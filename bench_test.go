@@ -1,0 +1,658 @@
+// Package encore's top-level benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for measured-vs-paper comparisons).
+//
+// Run all experiments with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the reproduced table or figure series via b.Logf
+// (visible with -v) and reports its headline quantities as custom benchmark
+// metrics so runs can be compared numerically.
+package encore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"encore/internal/analytics"
+	"encore/internal/baseline"
+	"encore/internal/browser"
+	"encore/internal/censor"
+	"encore/internal/clientsim"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/inference"
+	"encore/internal/netsim"
+	"encore/internal/originserver"
+	"encore/internal/pipeline"
+	"encore/internal/results"
+	"encore/internal/scheduler"
+	"encore/internal/stats"
+	"encore/internal/targets"
+	"encore/internal/testbed"
+	"encore/internal/webgen"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures (built once; reused across benchmark iterations so the
+// heavy synthetic-Web generation and campaign simulation do not dominate
+// every iteration).
+// ---------------------------------------------------------------------------
+
+var (
+	feasibilityOnce   sync.Once
+	feasibilityReport *pipeline.Report
+
+	campaignOnce  sync.Once
+	campaignStack *clientsim.Stack
+)
+
+// feasibility runs the §6.1 crawl (Pattern Expander → Target Fetcher → Task
+// Generator) over the Herdict-style high-value list once.
+func feasibility() *pipeline.Report {
+	feasibilityOnce.Do(func() {
+		web := webgen.Generate(webgen.DefaultConfig(61))
+		g := geo.NewRegistry(61)
+		net := netsim.New(netsim.Config{Web: web, Censor: censor.NewEngine(), Geo: g, Seed: 61})
+		client, err := net.NewClient("US")
+		if err != nil {
+			panic(err)
+		}
+		client.Unreliability = 0
+		fetcher := browser.New(core.BrowserChrome, client, net, 61)
+		pl := pipeline.New(web, fetcher, pipeline.DefaultConfig())
+		feasibilityReport = pl.Run(targets.HerdictHighValue(), time.Date(2014, 2, 26, 0, 0, 0, 0, time.UTC))
+	})
+	return feasibilityReport
+}
+
+// campaign runs the §7 deployment once: the paper's censorship policies, the
+// §7.2 target list, and a multi-month campaign of visits.
+func campaign() *clientsim.Stack {
+	campaignOnce.Do(func() {
+		campaignStack = clientsim.BuildStack(clientsim.StackConfig{
+			Seed:   72,
+			Censor: censor.PaperPolicies(),
+		})
+		campaignStack.Population.RunCampaign(clientsim.CampaignConfig{
+			Visits:   8000,
+			Start:    time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+			Duration: 7 * 30 * 24 * time.Hour,
+		})
+	})
+	return campaignStack
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Table 1: the mechanism matrix.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1MechanismMatrix validates each measurement mechanism against
+// unfiltered and filtered resources across browser families and reports the
+// fraction of cells whose observed behaviour matches Table 1.
+func BenchmarkTable1MechanismMatrix(b *testing.B) {
+	eng := censor.NewEngine()
+	tb := testbed.New("testbed.encore-bench.org")
+	tb.InstallPolicies(eng)
+	web := webgen.Generate(webgen.Config{Seed: 11, TargetDomains: webgen.HighValueTargets(), GenericDomains: 5, CDNDomains: 2, PagesPerDomain: 8})
+	g := geo.NewRegistry(11)
+	net := netsim.New(netsim.Config{Web: web, Censor: eng, Geo: g, Seed: 11})
+	tb.RegisterHosts(net)
+
+	matrixChecks := 0
+	matrixCorrect := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrixChecks, matrixCorrect = 0, 0
+		for _, family := range core.BrowserFamilies() {
+			client, err := net.NewClient("DE")
+			if err != nil {
+				b.Fatal(err)
+			}
+			client.Unreliability = 0
+			br := browser.New(family, client, net, uint64(i)+1)
+			for _, target := range tb.Targets() {
+				if !family.SupportsTask(target.TaskType) {
+					continue
+				}
+				task := core.Task{MeasurementID: "m", Type: target.TaskType, TargetURL: target.URL,
+					CachedImageURL: target.URL, PatternKey: "bench"}
+				res := br.ExecuteTask(task)
+				matrixChecks++
+				if res.Success == tb.ExpectedTaskSuccess(target) {
+					matrixCorrect++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(matrixCorrect)/float64(matrixChecks), "matrix-accuracy")
+	b.Logf("Table 1 mechanism matrix: %d/%d mechanism×mechanism×browser cells behave as documented", matrixCorrect, matrixChecks)
+	for _, row := range core.Table1() {
+		b.Logf("  %-11s feedback=%-11s chromeOnly=%-5v limitations=%v", row.Type, row.Feedback, row.ChromeOnly, row.Limitations)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2-E4 — Figures 4, 5, 6: the feasibility analysis of §6.1.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure4ImagesPerDomain reproduces the CDF of per-domain image
+// counts for <=1KB, <=5KB, and all images.
+func BenchmarkFigure4ImagesPerDomain(b *testing.B) {
+	var report *pipeline.Report
+	for i := 0; i < b.N; i++ {
+		report = feasibility()
+		all, under5, under1 := report.ImagesPerDomain()
+		_ = stats.NewCDFInts(all)
+		_ = stats.NewCDFInts(under5)
+		_ = stats.NewCDFInts(under1)
+	}
+	all, under5, under1 := report.ImagesPerDomain()
+	fig := stats.Figure{Title: "Figure 4: images per domain", XLabel: "images per domain", YLabel: "CDF"}
+	fig.AddSeries("<=1KB", stats.NewCDFInts(under1), 12)
+	fig.AddSeries("<=5KB", stats.NewCDFInts(under5), 12)
+	fig.AddSeries("all", stats.NewCDFInts(all), 12)
+	b.Logf("\n%s", fig.Render())
+	b.ReportMetric(float64(len(all)), "domains")
+	b.ReportMetric(100*report.FractionOfDomainsMeasurable(1024), "pct-domains-with-1KB-images")
+	b.ReportMetric(100*report.FractionOfDomainsMeasurable(100*1024), "pct-domains-with-any-images")
+}
+
+// BenchmarkFigure5PageSizes reproduces the CDF of total page sizes.
+func BenchmarkFigure5PageSizes(b *testing.B) {
+	var sizes []float64
+	for i := 0; i < b.N; i++ {
+		sizes = feasibility().PageSizesKB()
+		_ = stats.NewCDF(sizes)
+	}
+	fig := stats.Figure{Title: "Figure 5: total page size", XLabel: "page size (KB)", YLabel: "CDF"}
+	fig.AddSeries("pages", stats.NewCDF(sizes), 12)
+	b.Logf("\n%s", fig.Render())
+	summary := stats.Summarize(sizes)
+	b.ReportMetric(float64(summary.Count), "pages")
+	b.ReportMetric(summary.Median, "median-page-KB")
+	b.ReportMetric(100*stats.Fraction(sizes, func(v float64) bool { return v >= 512 }), "pct-pages-over-500KB")
+}
+
+// BenchmarkFigure6CacheableImages reproduces the CDF of cacheable images per
+// page for <=100KB pages, <=500KB pages, and all pages.
+func BenchmarkFigure6CacheableImages(b *testing.B) {
+	var report *pipeline.Report
+	for i := 0; i < b.N; i++ {
+		report = feasibility()
+		_ = report.CacheableImagesPerPage(100)
+		_ = report.CacheableImagesPerPage(500)
+		_ = report.CacheableImagesPerPage(0)
+	}
+	fig := stats.Figure{Title: "Figure 6: cacheable images per page", XLabel: "cacheable images per page", YLabel: "CDF"}
+	fig.AddSeries("<=100KB", stats.NewCDFInts(report.CacheableImagesPerPage(100)), 12)
+	fig.AddSeries("<=500KB", stats.NewCDFInts(report.CacheableImagesPerPage(500)), 12)
+	fig.AddSeries("all", stats.NewCDFInts(report.CacheableImagesPerPage(0)), 12)
+	b.Logf("\n%s", fig.Render())
+	b.ReportMetric(100*report.FractionOfPagesIFrameMeasurable(100), "pct-pages-iframe-measurable-100KB")
+	b.ReportMetric(100*report.FractionOfPagesIFrameMeasurable(0), "pct-pages-iframe-measurable-any")
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Figure 7: cached vs uncached load times.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure7CacheTiming reproduces the cached/uncached load-time
+// comparison across ~1,099 globally distributed clients.
+func BenchmarkFigure7CacheTiming(b *testing.B) {
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 75})
+	fav, ok := stack.Web.FaviconOf("wikipedia.org")
+	if !ok {
+		b.Skip("no favicon in this seed")
+	}
+	var exp clientsim.CacheTimingExperiment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp = stack.Population.RunCacheTiming(1099, fav.URL)
+	}
+	b.StopTimer()
+	uncached := stats.Summarize(exp.Uncached)
+	cached := stats.Summarize(exp.Cached)
+	diff := stats.Summarize(exp.Differences)
+	b.Logf("Figure 7 (ms): uncached %s", uncached)
+	b.Logf("Figure 7 (ms): cached   %s", cached)
+	b.Logf("Figure 7 (ms): diff     %s", diff)
+	b.ReportMetric(float64(len(exp.Uncached)), "clients")
+	b.ReportMetric(cached.Median, "median-cached-ms")
+	b.ReportMetric(uncached.Median, "median-uncached-ms")
+	b.ReportMetric(100*stats.Fraction(exp.Differences, func(v float64) bool { return v >= 50 }), "pct-diff-over-50ms")
+}
+
+// ---------------------------------------------------------------------------
+// E6 — §6.2 pilot demographics.
+// ---------------------------------------------------------------------------
+
+// BenchmarkPilotStudyDemographics reproduces the one-month pilot analysis.
+func BenchmarkPilotStudyDemographics(b *testing.B) {
+	g := geo.NewRegistry(62)
+	var report analytics.PilotReport
+	for i := 0; i < b.N; i++ {
+		visits := analytics.GeneratePilot(analytics.DefaultPilotConfig(62), g)
+		report = analytics.Analyze(visits, g)
+	}
+	b.Logf("\n%s", report.String())
+	b.ReportMetric(float64(report.Visits), "visits")
+	b.ReportMetric(float64(report.RanTask), "ran-task")
+	b.ReportMetric(float64(report.CountriesOver10), "countries-over-10-visits")
+	b.ReportMetric(100*report.FilteringFraction, "pct-visits-from-filtering-countries")
+	b.ReportMetric(100*report.DwellOver10s, "pct-dwell-over-10s")
+	b.ReportMetric(100*report.DwellOver60s, "pct-dwell-over-60s")
+}
+
+// ---------------------------------------------------------------------------
+// E7 — §7.1 testbed soundness.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTestbedSoundness schedules control (testbed) measurements on a
+// fraction of clients and reports the task error rates per mechanism,
+// including the image false-positive rate on unfiltered controls.
+func BenchmarkTestbedSoundness(b *testing.B) {
+	eng := censor.NewEngine()
+	tb := testbed.New("testbed.encore-bench.org")
+	tb.InstallPolicies(eng)
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 71, Censor: eng})
+	tb.RegisterHosts(stack.Net)
+	rng := stats.NewRNG(71)
+	regions := []geo.CountryCode{"US", "DE", "GB", "BR", "IN", "IN", "KR", "JP", "FR", "CA"}
+
+	var total, correct, controlImages, controlImageFailures int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, correct, controlImages, controlImageFailures = 0, 0, 0, 0
+		for c := 0; c < 300; c++ {
+			region := regions[c%len(regions)]
+			client, err := stack.Net.NewClient(region)
+			if err != nil {
+				continue
+			}
+			br := browser.New(browser.SampleFamily(rng), client, stack.Net, rng.Uint64())
+			for _, target := range tb.Targets() {
+				if target.TaskType == core.TaskScript && br.Family != core.BrowserChrome {
+					continue
+				}
+				task := core.Task{MeasurementID: fmt.Sprintf("tb-%d-%d", c, total), Type: target.TaskType,
+					TargetURL: target.URL, PatternKey: "testbed"}
+				res := br.ExecuteTask(task)
+				total++
+				if res.Success == tb.ExpectedTaskSuccess(target) {
+					correct++
+				}
+				if target.Mechanism == censor.MechanismNone && target.TaskType == core.TaskImage {
+					controlImages++
+					if !res.Success {
+						controlImageFailures++
+					}
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total), "measurements")
+	b.ReportMetric(100*float64(correct)/float64(total), "pct-correct")
+	b.ReportMetric(100*float64(controlImageFailures)/float64(controlImages), "pct-image-false-positives")
+	b.Logf("§7.1 soundness: %d measurements, %.1f%% matching ground truth, image FP rate %.1f%% (paper: ~5%% driven by India)",
+		total, 100*float64(correct)/float64(total), 100*float64(controlImageFailures)/float64(controlImages))
+}
+
+// ---------------------------------------------------------------------------
+// E8 — §7 deployment scale.
+// ---------------------------------------------------------------------------
+
+// BenchmarkDeploymentCampaign reports the campaign-scale statistics the paper
+// gives at the top of §7: measurements, distinct IPs, and country coverage.
+func BenchmarkDeploymentCampaign(b *testing.B) {
+	var st results.CampaignStats
+	for i := 0; i < b.N; i++ {
+		st = campaign().Store.Stats()
+	}
+	b.ReportMetric(float64(st.Measurements), "measurements")
+	b.ReportMetric(float64(st.DistinctClients), "distinct-clients")
+	b.ReportMetric(float64(st.Countries), "countries")
+	b.Logf("§7 campaign: %d measurements from %d distinct IPs in %d countries (paper: 141,626 / 88,260 / 170 over seven months)",
+		st.Measurements, st.DistinctClients, st.Countries)
+	for _, c := range st.TopCountries(8) {
+		b.Logf("  %-3s %6d measurements", c, st.ByCountry[c])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — §7.2 filtering detection.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFilteringDetection runs the binomial detection algorithm over the
+// campaign store and scores it against ground truth.
+func BenchmarkFilteringDetection(b *testing.B) {
+	stack := campaign()
+	detector := inference.New(inference.DefaultConfig())
+	var verdicts []inference.Verdict
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts = detector.DetectStore(stack.Store)
+	}
+	b.StopTimer()
+	conf := inference.Score(verdicts, stack.GroundTruth(), inference.DefaultConfig().MinMeasurements)
+	flagged := inference.Filtered(verdicts)
+	b.ReportMetric(float64(len(flagged)), "detections")
+	b.ReportMetric(conf.Precision(), "precision")
+	b.ReportMetric(conf.Recall(), "recall")
+	b.Logf("§7.2 detections (paper: youtube.com in PK/IR/CN; twitter.com and facebook.com in CN/IR):")
+	for _, v := range flagged {
+		b.Logf("  %-24s %-3s %3d/%3d successes (p=%.4f)", v.PatternKey, v.Region, v.Successes, v.Completed, v.PValue)
+	}
+	b.Logf("precision=%.2f recall=%.2f (TP=%d FP=%d FN=%d)", conf.Precision(), conf.Recall(),
+		conf.TruePositives, conf.FalsePositives, conf.FalseNegatives)
+}
+
+// ---------------------------------------------------------------------------
+// E10 — §6.3 webmaster overhead.
+// ---------------------------------------------------------------------------
+
+// BenchmarkWebmasterOverhead measures the bytes Encore adds to origin pages
+// and the size of generated task scripts.
+func BenchmarkWebmasterOverhead(b *testing.B) {
+	snippet := core.SnippetOptions{CoordinatorURL: "//coordinator.encore-project.org", CollectorURL: "//collector.encore-project.org"}
+	origin := originserver.New("professor.example.edu", snippet)
+	page := origin.Pages()["/"]
+	task := core.Task{MeasurementID: "m-overhead", Type: core.TaskImage,
+		TargetURL: "http://youtube.com/favicon.ico", PatternKey: "domain:youtube.com"}
+	var overhead, scriptBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		overhead = origin.PageOverheadBytes(page)
+		scriptBytes = len(core.GenerateTaskScript(task, snippet))
+	}
+	b.ReportMetric(float64(overhead), "embed-bytes")
+	b.ReportMetric(float64(scriptBytes), "task-script-bytes")
+	b.Logf("§6.3 overhead: embed snippet adds %d bytes to each origin page (paper: ~100); a generated image task script is %d bytes", overhead, scriptBytes)
+}
+
+// ---------------------------------------------------------------------------
+// E11 — vantage-point coverage vs a custom-software baseline.
+// ---------------------------------------------------------------------------
+
+// BenchmarkVantagePointCoverage compares country coverage per unit of
+// recruitment effort for Encore and the direct-prober baseline.
+func BenchmarkVantagePointCoverage(b *testing.B) {
+	stack := campaign()
+	g := stack.Geo
+	var encoreCoverage, directCoverage baseline.Coverage
+	var volunteers []baseline.Volunteer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var encoreRegions []geo.CountryCode
+		for region := range stack.Store.CountByRegion() {
+			encoreRegions = append(encoreRegions, region)
+		}
+		encoreCoverage = baseline.CoverageOf(encoreRegions, g)
+		model := baseline.DefaultRecruitmentModel(g)
+		rng := stats.NewRNG(uint64(i) + 1)
+		volunteers = model.Recruit(8000, rng)
+		var directRegions []geo.CountryCode
+		for _, v := range volunteers {
+			directRegions = append(directRegions, v.Region)
+		}
+		directCoverage = baseline.CoverageOf(directRegions, g)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(encoreCoverage.Countries)), "encore-countries")
+	b.ReportMetric(float64(encoreCoverage.FilteringCountries), "encore-filtering-countries")
+	b.ReportMetric(float64(len(directCoverage.Countries)), "direct-countries")
+	b.ReportMetric(float64(directCoverage.FilteringCountries), "direct-filtering-countries")
+	b.Logf("coverage at equal effort: encore %d countries (%d filtering) vs direct probes %d volunteers in %d countries (%d filtering)",
+		len(encoreCoverage.Countries), encoreCoverage.FilteringCountries,
+		len(volunteers), len(directCoverage.Countries), directCoverage.FilteringCountries)
+}
+
+// ---------------------------------------------------------------------------
+// E12 — ablation: detection parameters.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationDetectionParameters sweeps the null success probability p
+// and significance level α and reports the precision/recall trade-off on the
+// campaign data.
+func BenchmarkAblationDetectionParameters(b *testing.B) {
+	stack := campaign()
+	truth := stack.GroundTruth()
+	ps := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	alphas := []float64{0.01, 0.05, 0.1}
+	type row struct {
+		p, alpha, precision, recall float64
+		detections                  int
+	}
+	var rows []row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, p := range ps {
+			for _, alpha := range alphas {
+				det := inference.New(inference.Config{Test: stats.BinomialTest{P: p, Alpha: alpha}, MinMeasurements: 5})
+				verdicts := det.DetectStore(stack.Store)
+				conf := inference.Score(verdicts, truth, 5)
+				rows = append(rows, row{p: p, alpha: alpha, precision: conf.Precision(), recall: conf.Recall(),
+					detections: len(inference.Filtered(verdicts))})
+			}
+		}
+	}
+	b.StopTimer()
+	b.Logf("detection parameter sweep (paper uses p=0.7, alpha=0.05):")
+	b.Logf("  %5s %6s %10s %9s %6s", "p", "alpha", "detections", "precision", "recall")
+	for _, r := range rows {
+		b.Logf("  %5.2f %6.2f %10d %9.2f %6.2f", r.p, r.alpha, r.detections, r.precision, r.recall)
+	}
+	b.ReportMetric(float64(len(rows)), "configurations")
+}
+
+// ---------------------------------------------------------------------------
+// E13 — ablation: scheduling quorum window.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// E14 — longitudinal detection of a filtering onset.
+// ---------------------------------------------------------------------------
+
+// BenchmarkLongitudinalOnsetDetection simulates a policy change mid-campaign
+// (Turkey blocking twitter.com) and measures how precisely windowed detection
+// localizes the onset — the longitudinal capability §1 motivates.
+func BenchmarkLongitudinalOnsetDetection(b *testing.B) {
+	var localizationErrorDays float64
+	var detected int
+	for i := 0; i < b.N; i++ {
+		eng := censor.NewEngine()
+		stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 140 + uint64(i), Censor: eng})
+		start := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+		regions := []geo.CountryCode{"TR", "TR", "US", "DE", "GB"}
+		stack.Population.RunCampaign(clientsim.CampaignConfig{
+			Visits: 1000, Start: start, Duration: 14 * 24 * time.Hour, Regions: regions})
+		tr := &censor.Policy{Region: "TR"}
+		tr.AddDomain("twitter.com", censor.MechanismDNSRedirect, "court order")
+		eng.SetPolicy(tr)
+		blockStart := start.Add(14 * 24 * time.Hour)
+		stack.Population.RunCampaign(clientsim.CampaignConfig{
+			Visits: 1000, Start: blockStart, Duration: 14 * 24 * time.Hour, Regions: regions})
+
+		detector := inference.New(inference.DefaultConfig())
+		windows := detector.DetectWindows(stack.Store, 7*24*time.Hour)
+		for _, t := range inference.Transitions(windows, inference.DefaultConfig().MinMeasurements) {
+			if t.PatternKey == "domain:twitter.com" && t.Region == "TR" && t.FilteredNow {
+				detected++
+				localizationErrorDays = t.At.Sub(blockStart).Hours() / 24
+				if localizationErrorDays < 0 {
+					localizationErrorDays = -localizationErrorDays
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(detected)/float64(b.N), "onsets-detected-per-run")
+	b.ReportMetric(localizationErrorDays, "localization-error-days")
+	b.Logf("longitudinal onset detection: onset of the Turkish twitter.com block localized to within %.0f day(s) of the true policy change", localizationErrorDays)
+}
+
+// ---------------------------------------------------------------------------
+// E15 — ablation: image-size bound for image tasks.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationImageSizeBound sweeps the Task Generator's image-size
+// bound and reports the coverage / client-overhead trade-off that motivates
+// the paper's 1 KB preference.
+func BenchmarkAblationImageSizeBound(b *testing.B) {
+	report := feasibility()
+	bounds := []int{1024, 5 * 1024, 50 * 1024, 1 << 20}
+	type row struct {
+		bound        int
+		pctDomains   float64
+		meanOverhead float64
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, bound := range bounds {
+			frac := report.FractionOfDomainsMeasurable(bound)
+			// Mean per-measurement client overhead if tasks used the largest
+			// admissible image on each domain (worst case for the bound).
+			var total, n float64
+			for _, d := range report.Domains {
+				switch {
+				case bound <= 1024 && d.Images1KB > 0:
+					total += 1024
+					n++
+				case bound <= 5*1024 && d.Images5KB > 0:
+					total += 5 * 1024
+					n++
+				case d.Images > 0:
+					total += float64(bound)
+					n++
+				}
+			}
+			mean := 0.0
+			if n > 0 {
+				mean = total / n
+			}
+			rows = append(rows, row{bound: bound, pctDomains: 100 * frac, meanOverhead: mean})
+		}
+	}
+	b.Logf("image-size bound ablation (coverage vs worst-case client bytes per measurement):")
+	for _, r := range rows {
+		b.Logf("  bound<=%-8d domains-measurable=%.0f%%  worst-case-bytes=%.0f", r.bound, r.pctDomains, r.meanOverhead)
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].pctDomains, "pct-domains-at-1KB")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E16 — §8 robustness: blocking Encore's own infrastructure.
+// ---------------------------------------------------------------------------
+
+// BenchmarkInfrastructureBlockingResilience measures how many measurements a
+// censored region still contributes when the censor blocks Encore's
+// coordination server, under three deployments: a single coordinator domain,
+// a coordinator replicated behind mirror domains, and webmaster-proxied task
+// delivery (§8).
+func BenchmarkInfrastructureBlockingResilience(b *testing.B) {
+	type deployment struct {
+		name  string
+		infra clientsim.Infrastructure
+	}
+	base := clientsim.DefaultInfrastructure()
+	mirrored := clientsim.DefaultInfrastructure()
+	mirrored.CoordinatorMirrors = []string{"encore-mirror-1.shared-hosting.example.net", "encore-mirror-2.shared-hosting.example.net"}
+	proxied := clientsim.DefaultInfrastructure()
+	proxied.WebmasterProxy = true
+	deployments := []deployment{{"single-coordinator", base}, {"mirrored", mirrored}, {"webmaster-proxy", proxied}}
+
+	type row struct {
+		name        string
+		submissions int
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for di, dep := range deployments {
+			eng := censor.PaperPolicies()
+			cn, _ := eng.Policy("CN")
+			cn.BlockMeasurementInfra = []string{dep.infra.CoordinatorDomain}
+			eng.SetPolicy(cn)
+			infra := dep.infra
+			stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 160 + uint64(i*3+di), Censor: eng, Infra: &infra})
+			res := stack.Population.RunCampaign(clientsim.CampaignConfig{
+				Visits:  200,
+				Start:   time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+				Regions: []geo.CountryCode{"CN"},
+			})
+			rows = append(rows, row{name: dep.name, submissions: res.TasksSubmitted})
+		}
+	}
+	b.Logf("§8 resilience: submissions from a region whose censor blocks the primary coordinator (200 visits):")
+	for _, r := range rows {
+		b.Logf("  %-20s %4d submissions", r.name, r.submissions)
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(float64(rows[0].submissions), "submissions-single")
+		b.ReportMetric(float64(rows[1].submissions), "submissions-mirrored")
+		b.ReportMetric(float64(rows[2].submissions), "submissions-proxied")
+	}
+}
+
+// BenchmarkAblationSchedulingQuorum varies the scheduler's quorum window and
+// reports how concentrated measurements of a single pattern become within a
+// 60-second analysis window — the property §5.3 argues enables cross-region
+// comparison.
+func BenchmarkAblationSchedulingQuorum(b *testing.B) {
+	report := feasibility()
+	windows := []time.Duration{time.Second, 15 * time.Second, 60 * time.Second, 5 * time.Minute}
+	type row struct {
+		window        time.Duration
+		concentration float64
+	}
+	var rows []row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, w := range windows {
+			cfg := scheduler.DefaultConfig()
+			cfg.QuorumWindow = w
+			cfg.Seed = uint64(i) + 1
+			sched := scheduler.New(report.Tasks, cfg)
+			// Simulate 200 clients arriving over one minute and measure the
+			// share of assignments that hit the most-assigned pattern.
+			counts := map[string]int{}
+			total := 0
+			start := time.Unix(1_000_000, 0)
+			for c := 0; c < 200; c++ {
+				at := start.Add(time.Duration(c*300) * time.Millisecond)
+				tasks := sched.Assign(scheduler.ClientInfo{Region: "PK", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}, at)
+				for _, t := range tasks {
+					counts[t.PatternKey]++
+					total++
+				}
+			}
+			max := 0
+			for _, n := range counts {
+				if n > max {
+					max = n
+				}
+			}
+			conc := 0.0
+			if total > 0 {
+				conc = float64(max) / float64(total)
+			}
+			rows = append(rows, row{window: w, concentration: conc})
+		}
+	}
+	b.StopTimer()
+	b.Logf("quorum-window ablation (fraction of one minute's assignments on the single most-measured pattern):")
+	for _, r := range rows {
+		b.Logf("  window=%-8v concentration=%.2f", r.window, r.concentration)
+	}
+	if len(rows) >= 3 {
+		b.ReportMetric(rows[2].concentration, "concentration-60s-window")
+	}
+}

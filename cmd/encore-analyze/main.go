@@ -1,0 +1,81 @@
+// Command encore-analyze runs the filtering detection algorithm (§7.2) over a
+// JSON-lines measurement file produced by encore-collector or encore-sim and
+// prints the filtering report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"encore/internal/inference"
+	"encore/internal/results"
+	"encore/internal/stats"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "measurements.jsonl", "measurement file (JSON lines)")
+		p         = flag.Float64("p", 0.7, "null-hypothesis per-measurement success probability")
+		alpha     = flag.Float64("alpha", 0.05, "significance level")
+		minMeas   = flag.Int("min-measurements", 5, "minimum completed measurements per region before it can be flagged")
+		verbose   = flag.Bool("v", false, "also print per-cell statistics for unflagged cells")
+		tuned     = flag.Bool("tuned", false, "tune the null probability per country from observed baselines (§7.2 enhancement)")
+		confounds = flag.Bool("confounds", true, "warn when a detection's failures concentrate in one browser or task type")
+		window    = flag.Duration("window", time.Duration(0), "if set (e.g. 168h), additionally run windowed detection and report filtering onset/lift transitions")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		log.Fatalf("opening measurements: %v", err)
+	}
+	defer f.Close()
+	store := results.NewStore()
+	if err := store.ReadJSONL(f); err != nil {
+		log.Fatalf("reading measurements: %v", err)
+	}
+
+	campaign := store.Stats()
+	fmt.Printf("loaded %d measurements from %d distinct clients in %d countries\n",
+		campaign.Measurements, campaign.DistinctClients, campaign.Countries)
+	for _, country := range campaign.TopCountries(10) {
+		fmt.Printf("  %s: %d measurements\n", country, campaign.ByCountry[country])
+	}
+
+	cfg := inference.Config{
+		Test:            stats.BinomialTest{P: *p, Alpha: *alpha},
+		MinMeasurements: *minMeas,
+	}
+	detector := inference.New(cfg)
+	var verdicts []inference.Verdict
+	if *tuned {
+		verdicts = inference.NewTuned(cfg, store, 0.9).DetectStore(store)
+	} else {
+		verdicts = detector.DetectStore(store)
+	}
+	fmt.Println()
+	fmt.Print(inference.Report(verdicts))
+
+	if *confounds {
+		warnings := inference.CheckConfounds(store, verdicts, inference.DefaultConfoundConfig())
+		fmt.Println()
+		fmt.Print(inference.ConfoundReport(warnings))
+	}
+
+	if *window > 0 {
+		fmt.Printf("\nwindowed detection (%v windows):\n", *window)
+		windows := detector.DetectWindows(store, *window)
+		fmt.Print(inference.TimelineReport(windows, *minMeas))
+	}
+
+	if *verbose {
+		fmt.Println("\nper-cell detail:")
+		for _, v := range verdicts {
+			fmt.Printf("  %-40s %-4s %4d/%4d success (p=%.4f) filtered=%v\n",
+				v.PatternKey, v.Region, v.Successes, v.Completed, v.PValue, v.Filtered)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command encore-collector runs Encore's collection server (§5.5): it accepts
+// measurement submissions at /submit, geolocates and stores them, and can
+// periodically checkpoint the measurement store to a JSON-lines file for
+// later analysis with encore-analyze.
+//
+// Because submissions are attributed through the task index that the
+// coordination server populates, a standalone collector accepts any
+// measurement ID it has seen registered via its -import flag or records
+// arriving through the shared in-process deployment (encore-sim). For
+// demonstration deployments, run encore-sim instead, which wires both servers
+// together.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"encore/internal/collectserver"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8081", "listen address")
+		outPath    = flag.String("out", "measurements.jsonl", "path to write measurements to on exit and every checkpoint interval")
+		checkpoint = flag.Duration("checkpoint", time.Minute, "how often to write the measurement store to disk")
+		seed       = flag.Uint64("seed", 1, "seed for the synthetic GeoIP registry")
+		openTasks  = flag.Bool("accept-any", false, "register unknown measurement IDs on the fly instead of rejecting them (useful for manual testing with curl)")
+	)
+	flag.Parse()
+
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	g := geo.NewRegistry(*seed)
+	server := collectserver.New(store, index, g)
+
+	var handler http.Handler = server
+	if *openTasks {
+		handler = acceptAny{server: server, index: index}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("collection server listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("collector: %v", err)
+		}
+	}()
+
+	ticker := time.NewTicker(*checkpoint)
+	defer ticker.Stop()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for {
+		select {
+		case <-ticker.C:
+			writeStore(store, *outPath)
+		case <-ctx.Done():
+			writeStore(store, *outPath)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+			return
+		}
+	}
+}
+
+// acceptAny registers unknown measurement IDs before delegating to the
+// collection server, so ad-hoc curl submissions are stored rather than
+// rejected.
+type acceptAny struct {
+	server *collectserver.Server
+	index  *results.TaskIndex
+}
+
+func (a acceptAny) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("cmh-id"); id != "" {
+		if _, known := a.index.Lookup(id); !known {
+			a.index.Register(core.Task{
+				MeasurementID: id,
+				Type:          core.TaskImage,
+				TargetURL:     "http://unknown.example/",
+				PatternKey:    "adhoc:" + id,
+			})
+		}
+	}
+	a.server.ServeHTTP(w, r)
+}
+
+func writeStore(store *results.Store, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("checkpoint: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := store.WriteJSONL(f); err != nil {
+		log.Printf("checkpoint write: %v", err)
+		return
+	}
+	log.Printf("checkpointed %d measurements to %s", store.Len(), path)
+}

@@ -1,0 +1,107 @@
+// Command encore-coordinator runs Encore's coordination server: it serves the
+// embed snippet target (/task.js and /frame.html) and schedules measurement
+// tasks for each requesting client (§5.3-§5.4).
+//
+// The server needs a task set to schedule from. By default it generates one
+// by running the task-generation pipeline over the built-in measurement-study
+// target list against the synthetic Web; pass -targets to use a custom list
+// file (one pattern per line, see internal/targets).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"encore/internal/browser"
+	"encore/internal/censor"
+	"encore/internal/coordserver"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/netsim"
+	"encore/internal/pipeline"
+	"encore/internal/results"
+	"encore/internal/scheduler"
+	"encore/internal/targets"
+	"encore/internal/webgen"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		collectorURL = flag.String("collector", "//localhost:8081", "collection server base URL embedded in task scripts")
+		coordURL     = flag.String("self", "//localhost:8080", "this server's public base URL (used in the embed snippet)")
+		targetsPath  = flag.String("targets", "", "path to a target list file; defaults to the built-in YouTube/Twitter/Facebook list")
+		seed         = flag.Uint64("seed", 1, "seed for the synthetic Web and scheduling randomness")
+	)
+	flag.Parse()
+
+	list := targets.MeasurementStudyList()
+	if *targetsPath != "" {
+		f, err := os.Open(*targetsPath)
+		if err != nil {
+			log.Fatalf("opening target list: %v", err)
+		}
+		parsed, err := targets.ReadFrom(f, "file")
+		f.Close()
+		if err != nil {
+			log.Fatalf("parsing target list: %v", err)
+		}
+		list = parsed
+	}
+
+	web := webgen.Generate(webgen.DefaultConfig(*seed))
+	g := geo.NewRegistry(*seed)
+	net := netsim.New(netsim.Config{Web: web, Censor: censor.NewEngine(), Geo: g, Seed: *seed})
+	fetcherClient, err := net.NewClient("US")
+	if err != nil {
+		log.Fatalf("building fetcher client: %v", err)
+	}
+	fetcherClient.Unreliability = 0
+	fetcher := browser.New(core.BrowserChrome, fetcherClient, net, *seed)
+
+	log.Printf("running task-generation pipeline over %d target patterns", list.Len())
+	pl := pipeline.New(web, fetcher, pipeline.DefaultConfig())
+	report := pl.Run(list, time.Now())
+	log.Printf("pipeline: %s", report.Summary())
+
+	schedCfg := scheduler.DefaultConfig()
+	schedCfg.Seed = *seed
+	sched := scheduler.New(report.Tasks, schedCfg)
+	index := results.NewTaskIndex()
+	snippet := core.SnippetOptions{CoordinatorURL: *coordURL, CollectorURL: *collectorURL}
+	server := coordserver.New(sched, index, g, snippet)
+
+	log.Printf("webmasters embed: %s", core.EmbedSnippet(snippet))
+	runServer(*addr, server, "coordination server")
+}
+
+// runServer starts an HTTP server and blocks until interrupted.
+func runServer(addr string, handler http.Handler, name string) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("%s listening on %s", name, addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("%s shutdown: %v", name, err)
+	}
+	fmt.Println("bye")
+}

@@ -1,0 +1,87 @@
+// Command encore-pipeline runs the measurement task generation pipeline
+// (§5.2, Figure 3) over a target list and prints the feasibility analysis
+// behind Figures 4-6: how many (small) images each domain hosts, how heavy
+// pages are, and how many pages qualify for the iframe mechanism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"encore/internal/browser"
+	"encore/internal/censor"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/netsim"
+	"encore/internal/pipeline"
+	"encore/internal/stats"
+	"encore/internal/targets"
+	"encore/internal/webgen"
+)
+
+func main() {
+	var (
+		targetsPath = flag.String("targets", "", "path to a target list file; defaults to the built-in Herdict-style high-value list")
+		seed        = flag.Uint64("seed", 1, "seed for the synthetic Web")
+		points      = flag.Int("points", 20, "number of points per rendered CDF")
+	)
+	flag.Parse()
+
+	list := targets.HerdictHighValue()
+	if *targetsPath != "" {
+		f, err := os.Open(*targetsPath)
+		if err != nil {
+			log.Fatalf("opening target list: %v", err)
+		}
+		parsed, err := targets.ReadFrom(f, "file")
+		f.Close()
+		if err != nil {
+			log.Fatalf("parsing target list: %v", err)
+		}
+		list = parsed
+	}
+	fmt.Print(list.Summary())
+
+	web := webgen.Generate(webgen.DefaultConfig(*seed))
+	g := geo.NewRegistry(*seed)
+	net := netsim.New(netsim.Config{Web: web, Censor: censor.NewEngine(), Geo: g, Seed: *seed})
+	client, err := net.NewClient("US")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Unreliability = 0
+	fetcher := browser.New(core.BrowserChrome, client, net, *seed)
+
+	pl := pipeline.New(web, fetcher, pipeline.DefaultConfig())
+	start := time.Now()
+	report := pl.Run(list, time.Date(2014, 2, 26, 0, 0, 0, 0, time.UTC))
+	fmt.Printf("pipeline finished in %v: %s\n\n", time.Since(start).Round(time.Millisecond), report.Summary())
+
+	// Figure 4.
+	all, under5, under1 := report.ImagesPerDomain()
+	fig4 := stats.Figure{Title: "Figure 4: images per domain", XLabel: "images per domain", YLabel: "CDF"}
+	fig4.AddSeries("<=1KB", stats.NewCDFInts(under1), *points)
+	fig4.AddSeries("<=5KB", stats.NewCDFInts(under5), *points)
+	fig4.AddSeries("all", stats.NewCDFInts(all), *points)
+	fmt.Println(fig4.Render())
+
+	// Figure 5.
+	fig5 := stats.Figure{Title: "Figure 5: total page size", XLabel: "page size (KB)", YLabel: "CDF"}
+	fig5.AddSeries("pages", stats.NewCDF(report.PageSizesKB()), *points)
+	fmt.Println(fig5.Render())
+
+	// Figure 6.
+	fig6 := stats.Figure{Title: "Figure 6: cacheable images per page", XLabel: "cacheable images per page", YLabel: "CDF"}
+	fig6.AddSeries("<=100KB", stats.NewCDFInts(report.CacheableImagesPerPage(100)), *points)
+	fig6.AddSeries("<=500KB", stats.NewCDFInts(report.CacheableImagesPerPage(500)), *points)
+	fig6.AddSeries("all", stats.NewCDFInts(report.CacheableImagesPerPage(0)), *points)
+	fmt.Println(fig6.Render())
+
+	fmt.Printf("domains measurable with <=1KB images: %.0f%%\n", 100*report.FractionOfDomainsMeasurable(1024))
+	fmt.Printf("domains measurable with <=5KB images: %.0f%%\n", 100*report.FractionOfDomainsMeasurable(5*1024))
+	fmt.Printf("pages iframe-measurable at <=100KB:   %.0f%%\n", 100*report.FractionOfPagesIFrameMeasurable(100))
+	fmt.Printf("task candidates by type: %v\n", report.Tasks.CountByType())
+}

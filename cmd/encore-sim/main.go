@@ -1,0 +1,87 @@
+// Command encore-sim runs a complete Encore deployment end to end in one
+// process: it generates the synthetic Web, installs the paper's censorship
+// policies (§7.2), runs the task-generation pipeline, simulates a measurement
+// campaign of origin-page visits from around the world, applies the filtering
+// detection algorithm, and prints the resulting report. It optionally writes
+// the raw measurements to a JSON-lines file for encore-analyze.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"encore/internal/censor"
+	"encore/internal/clientsim"
+	"encore/internal/inference"
+	"encore/internal/targets"
+)
+
+func main() {
+	var (
+		visits  = flag.Int("visits", 5000, "number of origin-page visits to simulate")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		outPath = flag.String("out", "", "optional path to write measurements (JSON lines)")
+		list    = flag.String("targets", "study", "target list: 'study' (YouTube/Twitter/Facebook) or 'herdict' (full high-value list, low-sensitivity entries only)")
+	)
+	flag.Parse()
+
+	var targetList *targets.List
+	switch *list {
+	case "study":
+		targetList = targets.MeasurementStudyList()
+	case "herdict":
+		targetList = targets.HerdictHighValue().FilterSensitivity(targets.SensitivityLow)
+	default:
+		log.Fatalf("unknown target list %q", *list)
+	}
+
+	fmt.Printf("building deployment (seed=%d, %d target patterns)...\n", *seed, targetList.Len())
+	stack := clientsim.BuildStack(clientsim.StackConfig{
+		Seed:    *seed,
+		Censor:  censor.PaperPolicies(),
+		Targets: targetList,
+	})
+	fmt.Printf("pipeline: %s\n", stack.Report.Summary())
+	fmt.Printf("censorship ground truth:\n%s\n", stack.Censor.Summary())
+
+	start := time.Now()
+	campaign := stack.Population.RunCampaign(clientsim.CampaignConfig{
+		Visits:   *visits,
+		Start:    time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 7 * 30 * 24 * time.Hour, // seven months, as in §7
+	})
+	fmt.Printf("campaign finished in %v: %s\n", time.Since(start).Round(time.Millisecond), campaign)
+
+	stats := stack.Store.Stats()
+	fmt.Printf("collected %d measurements from %d distinct IPs in %d countries\n",
+		stats.Measurements, stats.DistinctClients, stats.Countries)
+	for _, country := range stats.TopCountries(8) {
+		fmt.Printf("  %s: %d measurements\n", country, stats.ByCountry[country])
+	}
+
+	detector := inference.New(inference.DefaultConfig())
+	verdicts := detector.DetectStore(stack.Store)
+	fmt.Println()
+	fmt.Print(inference.Report(verdicts))
+	fmt.Print(inference.ConfoundReport(inference.CheckConfounds(stack.Store, verdicts, inference.DefaultConfoundConfig())))
+
+	conf := inference.Score(verdicts, stack.GroundTruth(), inference.DefaultConfig().MinMeasurements)
+	fmt.Printf("\nscoring against ground truth: TP=%d FP=%d FN=%d TN=%d precision=%.2f recall=%.2f\n",
+		conf.TruePositives, conf.FalsePositives, conf.FalseNegatives, conf.TrueNegatives,
+		conf.Precision(), conf.Recall())
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("creating output: %v", err)
+		}
+		defer f.Close()
+		if err := stack.Store.WriteJSONL(f); err != nil {
+			log.Fatalf("writing measurements: %v", err)
+		}
+		fmt.Printf("wrote %d measurements to %s\n", stack.Store.Len(), *outPath)
+	}
+}

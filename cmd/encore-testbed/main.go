@@ -1,0 +1,51 @@
+// Command encore-testbed runs the Web censorship testbed's content server
+// (§7.1). The real testbed's filtering happens in DNS and firewall
+// configuration; this binary serves the content half (a pixel image, a probe
+// style sheet, a nosniff script, and a small page) and prints the subdomain
+// layout a deployment would configure.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"encore/internal/censor"
+	"encore/internal/testbed"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8083", "listen address")
+		domain = flag.String("domain", "testbed.encore-test.org", "base domain the testbed subdomains hang off")
+	)
+	flag.Parse()
+
+	tb := testbed.New(*domain)
+	fmt.Println("testbed subdomain layout (configure DNS/firewall accordingly):")
+	fmt.Printf("  %-40s unfiltered control\n", tb.ControlDomain())
+	for _, m := range censor.Mechanisms() {
+		fmt.Printf("  %-40s emulate %s\n", tb.MechanismDomain(m), m)
+	}
+	fmt.Printf("  %-40s must not resolve (DNS control)\n", tb.MissingDomain())
+
+	srv := &http.Server{Addr: *addr, Handler: tb.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		log.Printf("testbed content server listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("testbed: %v", err)
+		}
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+}

@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"encore/internal/censor"
+	"encore/internal/geo"
+	"encore/internal/netsim"
+	"encore/internal/stats"
+	"encore/internal/targets"
+	"encore/internal/webgen"
+)
+
+func testNet(t *testing.T) (*netsim.Network, *geo.Registry) {
+	t.Helper()
+	web := webgen.Generate(webgen.Config{
+		Seed:           4,
+		TargetDomains:  webgen.HighValueTargets(),
+		GenericDomains: 5,
+		CDNDomains:     1,
+		PagesPerDomain: 8,
+	})
+	g := geo.NewRegistry(4)
+	n := netsim.New(netsim.Config{Web: web, Censor: censor.PaperPolicies(), Geo: g, Seed: 4})
+	return n, g
+}
+
+func TestRecruitSkewsAwayFromFilteringCountries(t *testing.T) {
+	_, g := testNet(t)
+	model := DefaultRecruitmentModel(g)
+	rng := stats.NewRNG(1)
+	volunteers := model.Recruit(20000, rng)
+	if len(volunteers) == 0 {
+		t.Fatal("no volunteers recruited")
+	}
+	filtering := map[geo.CountryCode]bool{}
+	for _, c := range g.FilteringCountries() {
+		filtering[c] = true
+	}
+	inFiltering := 0
+	for _, v := range volunteers {
+		if v.Probes <= 0 {
+			t.Fatal("volunteer with no probes")
+		}
+		if filtering[v.Region] {
+			inFiltering++
+		}
+	}
+	frac := float64(inFiltering) / float64(len(volunteers))
+	// Most of the world's Internet users are in filtering countries in our
+	// registry, so an unbiased sample would be majority-filtering; the
+	// recruitment penalty must push the volunteer share well below that.
+	if frac > 0.45 {
+		t.Fatalf("%.2f of volunteers are in filtering countries; recruitment penalty not applied", frac)
+	}
+}
+
+func TestProbeTargetsSeesFilteringDetail(t *testing.T) {
+	n, _ := testNet(t)
+	p := &Prober{Net: n}
+	list := targets.MeasurementStudyList()
+
+	probes := p.ProbeTargets(Volunteer{Region: "PK", Probes: 10}, list)
+	if len(probes) != list.Len() {
+		t.Fatalf("got %d probes, want %d", len(probes), list.Len())
+	}
+	sawYoutubeFailure := false
+	for _, pr := range probes {
+		if strings.Contains(pr.URL, "youtube.com") && !pr.Success {
+			sawYoutubeFailure = true
+			if pr.FailureStage == censor.StageNone {
+				t.Fatal("direct probe should attribute the failure to a stage")
+			}
+		}
+	}
+	if !sawYoutubeFailure {
+		t.Fatal("Pakistan volunteer should observe youtube.com failing")
+	}
+	if got := p.ProbeTargets(Volunteer{Region: "XX"}, list); got != nil {
+		t.Fatal("unknown region should produce no probes")
+	}
+}
+
+func TestCoverageOf(t *testing.T) {
+	_, g := testNet(t)
+	cov := CoverageOf([]geo.CountryCode{"US", "US", "CN", "PK", ""}, g)
+	if len(cov.Countries) != 3 {
+		t.Fatalf("Countries=%v", cov.Countries)
+	}
+	if cov.FilteringCountries != 2 {
+		t.Fatalf("FilteringCountries=%d, want 2 (CN, PK)", cov.FilteringCountries)
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	_, g := testNet(t)
+	c := Comparison{
+		RecruitmentContacts: 1000,
+		DirectVolunteers:    12,
+		DirectCoverage:      CoverageOf([]geo.CountryCode{"US", "DE"}, g),
+		EncoreClients:       5000,
+		EncoreCoverage:      CoverageOf([]geo.CountryCode{"US", "CN", "PK", "IR"}, g),
+	}
+	s := c.String()
+	if !strings.Contains(s, "direct probes") || !strings.Contains(s, "encore") {
+		t.Fatalf("comparison string malformed: %q", s)
+	}
+}

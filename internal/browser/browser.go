@@ -1,0 +1,421 @@
+// Package browser simulates the client-side half of Encore: a Web browser
+// that renders pages, maintains a cache, enforces the cross-origin embedding
+// semantics described in §3.2 and §4, and executes measurement tasks.
+//
+// The paper's measurements run in real browsers; this simulator substitutes
+// for them while preserving exactly the observables Encore's JavaScript can
+// see: whether onload or onerror fires for an embedded image or script,
+// whether a style sheet's rules were applied, and how long an image takes to
+// load (the cache-timing side channel used by iframe tasks). Per-family
+// differences are modelled where the paper depends on them — most notably
+// that only Chrome reports onload for arbitrary resources loaded via the
+// script tag.
+package browser
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/har"
+	"encore/internal/netsim"
+	"encore/internal/stats"
+	"encore/internal/webgen"
+)
+
+// Browser is one simulated browser instance belonging to one client.
+type Browser struct {
+	Family core.BrowserFamily
+	// Client is the network-level identity and link quality of the device
+	// the browser runs on.
+	Client netsim.Client
+
+	net *netsim.Network
+	rng *stats.RNG
+
+	mu    sync.Mutex
+	cache map[string]bool
+}
+
+// New creates a browser of the given family for a client attached to the
+// network simulator.
+func New(family core.BrowserFamily, client netsim.Client, network *netsim.Network, seed uint64) *Browser {
+	return &Browser{
+		Family: family,
+		Client: client,
+		net:    network,
+		rng:    stats.NewRNG(seed),
+		cache:  make(map[string]bool),
+	}
+}
+
+// UserAgent returns a representative User-Agent string for the browser
+// family; collection servers record it with each submission.
+func (b *Browser) UserAgent() string {
+	switch b.Family {
+	case core.BrowserChrome:
+		return "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Chrome/39.0 Safari/537.36"
+	case core.BrowserFirefox:
+		return "Mozilla/5.0 (X11; Linux x86_64; rv:35.0) Gecko/20100101 Firefox/35.0"
+	case core.BrowserSafari:
+		return "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10) AppleWebKit/600.3.18 Safari/600.3.18"
+	case core.BrowserIE:
+		return "Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:11.0) like Gecko"
+	default:
+		return "Mozilla/5.0 (compatible; OtherBrowser/1.0)"
+	}
+}
+
+// Cached reports whether the URL is in the browser cache.
+func (b *Browser) Cached(url string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cache[url]
+}
+
+// ClearCache empties the browser cache.
+func (b *Browser) ClearCache() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cache = make(map[string]bool)
+}
+
+// addToCache records a successfully fetched, cacheable resource.
+func (b *Browser) addToCache(url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cache[url] = true
+}
+
+// fetch performs one resource fetch with the browser cache consulted first.
+// measurementMarker is propagated to the network for distorting-adversary
+// experiments.
+func (b *Browser) fetch(url string, marker bool) netsim.FetchResult {
+	if b.Cached(url) {
+		b.mu.Lock()
+		dur := 1 + 9*b.rng.Float64()
+		b.mu.Unlock()
+		res := netsim.FetchResult{
+			URL:            url,
+			Outcome:        netsim.OutcomeSuccess,
+			HTTPStatus:     200,
+			DurationMillis: dur,
+			ContentValid:   true,
+			FromCache:      true,
+		}
+		if r, ok := b.net.Web.LookupResource(url); ok {
+			res.MIMEType = r.MIMEType
+			res.BytesReceived = r.SizeBytes
+		}
+		return res
+	}
+	res := b.net.Fetch(b.Client, url, marker)
+	if res.Succeeded() {
+		if r, ok := b.net.Web.LookupResource(url); ok && r.Cacheable {
+			b.addToCache(url)
+		}
+	}
+	return res
+}
+
+// PageLoad is the outcome of rendering a page: whether the HTML arrived, how
+// many embedded resources loaded, and the total time and bytes.
+type PageLoad struct {
+	URL            string
+	OK             bool
+	ResourcesOK    int
+	ResourcesTotal int
+	TotalBytes     int
+	DurationMillis float64
+}
+
+// LoadPage renders a page the way a browser embedding it (directly or in an
+// iframe) would: fetch the HTML, then fetch every embedded resource, adding
+// cacheable ones to the cache. The load is considered OK when the HTML
+// document itself arrived intact.
+func (b *Browser) LoadPage(url string) PageLoad {
+	load := PageLoad{URL: url}
+	htmlRes := b.fetch(url, false)
+	load.DurationMillis += htmlRes.DurationMillis
+	load.TotalBytes += htmlRes.BytesReceived
+	if !htmlRes.Succeeded() {
+		return load
+	}
+	load.OK = true
+
+	page, ok := b.net.Web.LookupPage(url)
+	if !ok {
+		return load
+	}
+	for _, ru := range page.Resources {
+		res := b.fetch(ru, false)
+		load.ResourcesTotal++
+		load.TotalBytes += res.BytesReceived
+		// Subresources load in parallel in a real browser; approximate by
+		// accumulating only a fraction of each sequential duration.
+		load.DurationMillis += res.DurationMillis * 0.25
+		if res.Succeeded() {
+			load.ResourcesOK++
+		}
+	}
+	return load
+}
+
+// ExecuteTask runs a measurement task exactly as the generated JavaScript
+// would, and returns the client-side result. The browser never learns (or
+// reports) whether the censor interfered — only what its own events reveal.
+func (b *Browser) ExecuteTask(task core.Task) core.Result {
+	result := core.Result{Task: task, Completed: true}
+	if err := task.Validate(); err != nil {
+		// A malformed task never fires callbacks; the client only submits
+		// the init record.
+		result.Completed = false
+		return result
+	}
+	switch task.Type {
+	case core.TaskImage:
+		result.Success, result.DurationMillis = b.runImageTask(task)
+	case core.TaskStylesheet:
+		result.Success, result.DurationMillis = b.runStylesheetTask(task)
+	case core.TaskScript:
+		result.Success, result.DurationMillis = b.runScriptTask(task)
+	case core.TaskIFrame:
+		result.Success, result.DurationMillis = b.runIFrameTask(task)
+	default:
+		result.Completed = false
+	}
+	if result.DurationMillis > float64(task.TimeoutOrDefaultMillis()) {
+		// The task's own timeout fired first; the client reports failure.
+		result.Success = false
+		result.DurationMillis = float64(task.TimeoutOrDefaultMillis())
+	}
+	return result
+}
+
+// runImageTask embeds the target with <img>: onload fires only if the fetch
+// succeeded AND the bytes decode as an image (a substituted block page does
+// not), mirroring "the requirement to successfully render the image".
+func (b *Browser) runImageTask(task core.Task) (bool, float64) {
+	res := b.fetch(task.TargetURL, false)
+	if !res.Succeeded() {
+		return false, res.DurationMillis
+	}
+	isImage := strings.HasPrefix(strings.ToLower(res.MIMEType), "image/")
+	return isImage, res.DurationMillis
+}
+
+// runStylesheetTask loads the target as a style sheet inside an isolation
+// iframe and checks whether the probe element's computed style changed. The
+// probe only observes the style when the fetch succeeded and the content
+// really is CSS.
+func (b *Browser) runStylesheetTask(task core.Task) (bool, float64) {
+	res := b.fetch(task.TargetURL, false)
+	if !res.Succeeded() {
+		return false, res.DurationMillis
+	}
+	isCSS := strings.Contains(strings.ToLower(res.MIMEType), "css")
+	return isCSS, res.DurationMillis
+}
+
+// runScriptTask loads the target with <script>. Chrome fires onload whenever
+// the fetch returned HTTP 200, regardless of content type (§4.3.2); other
+// browsers refuse non-JavaScript content and fire onerror, which is why the
+// scheduler only assigns script tasks to Chrome.
+func (b *Browser) runScriptTask(task core.Task) (bool, float64) {
+	res := b.fetch(task.TargetURL, false)
+	if res.Outcome != netsim.OutcomeSuccess || res.HTTPStatus != 200 {
+		return false, res.DurationMillis
+	}
+	if b.Family == core.BrowserChrome {
+		return true, res.DurationMillis
+	}
+	isJS := strings.Contains(strings.ToLower(res.MIMEType), "javascript")
+	return isJS && res.ContentValid, res.DurationMillis
+}
+
+// runIFrameTask loads the target page in a hidden iframe and then times the
+// load of an image that page embeds. If the page loaded, the image is in the
+// browser cache and renders within a few milliseconds; otherwise the image
+// must be fetched from the network, which takes at least tens of
+// milliseconds for any realistic client (Figure 7).
+func (b *Browser) runIFrameTask(task core.Task) (bool, float64) {
+	load := b.LoadPage(task.TargetURL)
+	imgRes := b.fetch(task.CachedImageURL, false)
+	elapsed := load.DurationMillis + imgRes.DurationMillis
+	if !imgRes.Succeeded() {
+		return false, elapsed
+	}
+	const cacheThresholdMillis = 50
+	return imgRes.DurationMillis < cacheThresholdMillis, elapsed
+}
+
+// CacheTimingSample measures the uncached and cached load time of one
+// resource, reproducing the Figure 7 experiment: load the resource once from
+// the network, then again from the cache.
+type CacheTimingSample struct {
+	UncachedMillis float64
+	CachedMillis   float64
+}
+
+// MeasureCacheTiming loads url twice (cold then warm) and reports both times.
+// If the cold fetch fails, ok is false.
+func (b *Browser) MeasureCacheTiming(url string) (CacheTimingSample, bool) {
+	b.mu.Lock()
+	delete(b.cache, url)
+	b.mu.Unlock()
+	cold := b.fetch(url, false)
+	if !cold.Succeeded() {
+		return CacheTimingSample{}, false
+	}
+	// Force-cache the resource even if its headers are conservative; the
+	// Figure 7 experiment controls both loads.
+	b.addToCache(url)
+	warm := b.fetch(url, false)
+	return CacheTimingSample{UncachedMillis: cold.DurationMillis, CachedMillis: warm.DurationMillis}, true
+}
+
+// RenderHAR renders a page the way the Target Fetcher's headless browser does
+// and records a HAR log describing every object the page loads (§5.2). The
+// fetch happens from the Target Fetcher's own vantage point (b.Client), which
+// the paper locates at Georgia Tech, i.e. an unfiltered network.
+func (b *Browser) RenderHAR(url string, started time.Time) (*har.Log, error) {
+	log := har.NewLog()
+	htmlRes := b.net.Fetch(b.Client, url, false)
+	if !htmlRes.Succeeded() {
+		return nil, fmt.Errorf("browser: fetching %s: %s", url, htmlRes.Outcome)
+	}
+	page, ok := b.net.Web.LookupPage(url)
+	if !ok {
+		return nil, fmt.Errorf("browser: %s is not a page", url)
+	}
+	pageID := log.AddPage(url, started, htmlRes.DurationMillis)
+	log.AddEntry(b.harEntry(pageID, started, url, htmlRes))
+	offset := htmlRes.DurationMillis
+	for _, ru := range page.Resources {
+		res := b.net.Fetch(b.Client, ru, false)
+		entryStart := started.Add(time.Duration(offset) * time.Millisecond)
+		log.AddEntry(b.harEntry(pageID, entryStart, ru, res))
+		offset += res.DurationMillis * 0.25
+	}
+	if err := log.Validate(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// harEntry converts one fetch into a HAR entry, synthesizing the response
+// headers a real server for that resource would send.
+func (b *Browser) harEntry(pageID string, started time.Time, url string, res netsim.FetchResult) har.Entry {
+	status := res.HTTPStatus
+	if res.Outcome != netsim.OutcomeSuccess && status == 0 {
+		status = 0 // network-level failure: no response
+	}
+	headers := []har.Header{{Name: "Content-Type", Value: res.MIMEType}}
+	if r, ok := b.net.Web.LookupResource(url); ok {
+		if r.Cacheable {
+			headers = append(headers, har.Header{Name: "Cache-Control", Value: "public, max-age=86400"})
+		} else {
+			headers = append(headers, har.Header{Name: "Cache-Control", Value: "no-cache"})
+		}
+		if r.NoSniff {
+			headers = append(headers, har.Header{Name: "X-Content-Type-Options", Value: "nosniff"})
+		}
+	}
+	return har.Entry{
+		Pageref:         pageID,
+		StartedDateTime: started,
+		Time:            res.DurationMillis,
+		Request: har.Request{
+			Method:      "GET",
+			URL:         url,
+			HTTPVersion: "HTTP/1.1",
+			Headers:     []har.Header{{Name: "User-Agent", Value: b.UserAgent()}},
+		},
+		Response: har.Response{
+			Status:      status,
+			StatusText:  statusText(status),
+			HTTPVersion: "HTTP/1.1",
+			Headers:     headers,
+			Content:     har.Content{Size: res.BytesReceived, MimeType: res.MIMEType},
+			BodySize:    res.BytesReceived,
+		},
+		Timings: har.Timings{
+			DNS:     res.DurationMillis * 0.1,
+			Connect: res.DurationMillis * 0.3,
+			Send:    1,
+			Wait:    res.DurationMillis * 0.3,
+			Receive: res.DurationMillis * 0.3,
+		},
+	}
+}
+
+func statusText(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 0:
+		return ""
+	default:
+		return "Error"
+	}
+}
+
+// FamilyShare returns the approximate market share used to assign browser
+// families to simulated clients. Chrome's majority share matters because only
+// Chrome can run script tasks.
+func FamilyShare() map[core.BrowserFamily]float64 {
+	return map[core.BrowserFamily]float64{
+		core.BrowserChrome:  0.48,
+		core.BrowserFirefox: 0.18,
+		core.BrowserSafari:  0.16,
+		core.BrowserIE:      0.12,
+		core.BrowserOther:   0.06,
+	}
+}
+
+// SampleFamily draws a browser family according to FamilyShare.
+func SampleFamily(rng *stats.RNG) core.BrowserFamily {
+	families := core.BrowserFamilies()
+	weights := make([]float64, len(families))
+	share := FamilyShare()
+	for i, f := range families {
+		weights[i] = share[f]
+	}
+	idx := rng.WeightedChoice(weights)
+	if idx < 0 {
+		return core.BrowserOther
+	}
+	return families[idx]
+}
+
+// CandidateFromResource converts a synthetic-Web resource into the Candidate
+// the Task Generator evaluates, without consulting a HAR (used by unit tests
+// and the quick path of the pipeline).
+func CandidateFromResource(w *webgen.Web, r *webgen.Resource) core.Candidate {
+	c := core.Candidate{
+		URL:       r.URL,
+		MIMEType:  r.MIMEType,
+		SizeBytes: r.SizeBytes,
+		Cacheable: r.Cacheable,
+		NoSniff:   r.NoSniff,
+	}
+	if page, ok := w.LookupPage(r.URL); ok {
+		c.PageTotalBytes = w.PageWeight(page)
+		for _, ru := range page.Resources {
+			if res, ok := w.LookupResource(ru); ok {
+				if res.Type == webgen.TypeImage && res.Cacheable {
+					c.CacheableImages++
+				}
+				if res.Type == webgen.TypeMedia {
+					c.HasLargeMedia = true
+				}
+			}
+		}
+		c.HasSideEffects = core.LikelySideEffects(r.URL)
+	}
+	return c
+}

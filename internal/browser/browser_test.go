@@ -1,0 +1,398 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"encore/internal/censor"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/netsim"
+	"encore/internal/stats"
+	"encore/internal/webgen"
+)
+
+type env struct {
+	web *webgen.Web
+	net *netsim.Network
+}
+
+func newEnv(t *testing.T, eng *censor.Engine) *env {
+	t.Helper()
+	web := webgen.Generate(webgen.Config{
+		Seed:           3,
+		TargetDomains:  webgen.HighValueTargets(),
+		GenericDomains: 8,
+		CDNDomains:     2,
+		PagesPerDomain: 10,
+	})
+	if eng == nil {
+		eng = censor.NewEngine()
+	}
+	n := netsim.New(netsim.Config{Web: web, Censor: eng, Geo: geo.NewRegistry(3), Seed: 11})
+	return &env{web: web, net: n}
+}
+
+func (e *env) browser(t *testing.T, family core.BrowserFamily, region geo.CountryCode) *Browser {
+	t.Helper()
+	client, err := e.net.NewClient(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Unreliability = 0
+	return New(family, client, e.net, 99)
+}
+
+func (e *env) favicon(t *testing.T, domain string) *webgen.Resource {
+	t.Helper()
+	fav, ok := e.web.FaviconOf(domain)
+	if !ok {
+		t.Skipf("%s has no favicon in this seed", domain)
+	}
+	return fav
+}
+
+func imageTask(target string) core.Task {
+	return core.Task{MeasurementID: "m-img", Type: core.TaskImage, TargetURL: target, PatternKey: "k"}
+}
+
+func TestImageTaskSuccessUnfiltered(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserFirefox, "US")
+	fav := e.favicon(t, "youtube.com")
+	res := b.ExecuteTask(imageTask(fav.URL))
+	if !res.Completed || !res.Success {
+		t.Fatalf("unfiltered image task should succeed: %+v", res)
+	}
+	if res.State() != core.StateSuccess {
+		t.Fatalf("state=%v", res.State())
+	}
+	if res.DurationMillis <= 0 {
+		t.Fatal("duration missing")
+	}
+}
+
+func TestImageTaskFailsUnderEveryMechanism(t *testing.T) {
+	for _, m := range censor.Mechanisms() {
+		t.Run(m.String(), func(t *testing.T) {
+			eng := censor.NewEngine()
+			pol := &censor.Policy{Region: "CN"}
+			pol.AddDomain("youtube.com", m, "test")
+			eng.SetPolicy(pol)
+			e := newEnv(t, eng)
+			b := e.browser(t, core.BrowserChrome, "CN")
+			fav := e.favicon(t, "youtube.com")
+			res := b.ExecuteTask(imageTask(fav.URL))
+			if res.Success {
+				t.Fatalf("image task should fail under %v", m)
+			}
+		})
+	}
+}
+
+func TestImageTaskRejectsBlockPageContent(t *testing.T) {
+	// DNS redirect serves an HTML block page with HTTP 200: the image must
+	// fail to render, so the task reports failure.
+	eng := censor.NewEngine()
+	pol := &censor.Policy{Region: "IR"}
+	pol.AddDomain("twitter.com", censor.MechanismDNSRedirect, "")
+	eng.SetPolicy(pol)
+	e := newEnv(t, eng)
+	b := e.browser(t, core.BrowserFirefox, "IR")
+	fav := e.favicon(t, "twitter.com")
+	if res := b.ExecuteTask(imageTask(fav.URL)); res.Success {
+		t.Fatal("block page must not satisfy an image task")
+	}
+}
+
+func TestStylesheetTask(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserSafari, "DE")
+	var css *webgen.Resource
+	for _, r := range e.web.ResourcesOnDomain("bbc.co.uk") {
+		if r.Type == webgen.TypeStylesheet {
+			css = r
+			break
+		}
+	}
+	if css == nil {
+		t.Skip("no stylesheet on bbc.co.uk in this seed")
+	}
+	task := core.Task{MeasurementID: "m-css", Type: core.TaskStylesheet, TargetURL: css.URL, PatternKey: "k"}
+	if res := b.ExecuteTask(task); !res.Success {
+		t.Fatalf("stylesheet task failed: %+v", res)
+	}
+	// A non-CSS target must not report success even if it loads.
+	fav := e.favicon(t, "bbc.co.uk")
+	task.TargetURL = fav.URL
+	if res := b.ExecuteTask(task); res.Success {
+		t.Fatal("stylesheet task against an image should fail (style not applied)")
+	}
+}
+
+func TestScriptTaskChromeVsOthers(t *testing.T) {
+	e := newEnv(t, nil)
+	fav := e.favicon(t, "facebook.com")
+	task := core.Task{MeasurementID: "m-s", Type: core.TaskScript, TargetURL: fav.URL, PatternKey: "k"}
+
+	chrome := e.browser(t, core.BrowserChrome, "US")
+	if res := chrome.ExecuteTask(task); !res.Success {
+		t.Fatal("Chrome fires onload for any 200 response via script tag")
+	}
+	firefox := e.browser(t, core.BrowserFirefox, "US")
+	if res := firefox.ExecuteTask(task); res.Success {
+		t.Fatal("non-Chrome browsers must not report success for non-script content")
+	}
+	// 404 responses fail even on Chrome.
+	task404 := task
+	task404.TargetURL = "http://facebook.com/no/such/thing.png"
+	if res := chrome.ExecuteTask(task404); res.Success {
+		t.Fatal("script task must fail on HTTP 404")
+	}
+}
+
+func TestScriptTaskDetectsDNSBlocking(t *testing.T) {
+	eng := censor.NewEngine()
+	pol := &censor.Policy{Region: "PK"}
+	pol.AddDomain("youtube.com", censor.MechanismDNSNXDOMAIN, "")
+	eng.SetPolicy(pol)
+	e := newEnv(t, eng)
+	chrome := e.browser(t, core.BrowserChrome, "PK")
+	fav := e.favicon(t, "youtube.com")
+	task := core.Task{MeasurementID: "m-s2", Type: core.TaskScript, TargetURL: fav.URL, PatternKey: "k"}
+	if res := chrome.ExecuteTask(task); res.Success {
+		t.Fatal("script task should fail when DNS is blocked")
+	}
+}
+
+func iframeTaskFor(t *testing.T, e *env, domain string) (core.Task, bool) {
+	t.Helper()
+	site, ok := e.web.Site(domain)
+	if !ok {
+		return core.Task{}, false
+	}
+	for _, pu := range site.Pages {
+		page, _ := e.web.LookupPage(pu)
+		if page == nil {
+			continue
+		}
+		for _, ru := range page.Resources {
+			r, _ := e.web.LookupResource(ru)
+			if r != nil && r.Type == webgen.TypeImage && r.Cacheable {
+				return core.Task{
+					MeasurementID:  "m-if",
+					Type:           core.TaskIFrame,
+					TargetURL:      pu,
+					CachedImageURL: ru,
+					PatternKey:     "k",
+				}, true
+			}
+		}
+	}
+	return core.Task{}, false
+}
+
+func TestIFrameTaskCacheTiming(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserChrome, "US")
+	task, ok := iframeTaskFor(t, e, "wikipedia.org")
+	if !ok {
+		t.Skip("no suitable iframe target")
+	}
+	res := b.ExecuteTask(task)
+	if !res.Success {
+		t.Fatalf("iframe task on unfiltered page should succeed: %+v", res)
+	}
+}
+
+func TestIFrameTaskFailsWhenPageFiltered(t *testing.T) {
+	eng := censor.NewEngine()
+	pol := &censor.Policy{Region: "CN"}
+	pol.AddDomain("wikipedia.org", censor.MechanismPacketDrop, "")
+	eng.SetPolicy(pol)
+	e := newEnv(t, eng)
+	b := e.browser(t, core.BrowserChrome, "CN")
+	task, ok := iframeTaskFor(t, e, "wikipedia.org")
+	if !ok {
+		t.Skip("no suitable iframe target")
+	}
+	res := b.ExecuteTask(task)
+	if res.Success {
+		t.Fatal("iframe task should fail when the page (and image) are filtered")
+	}
+}
+
+func TestExecuteInvalidTask(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserChrome, "US")
+	res := b.ExecuteTask(core.Task{})
+	if res.Completed {
+		t.Fatal("invalid task should only produce an init record")
+	}
+	if res.State() != core.StateInit {
+		t.Fatalf("state=%v", res.State())
+	}
+}
+
+func TestCacheBehaviour(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserFirefox, "GB")
+	fav := e.favicon(t, "github.com")
+	if b.Cached(fav.URL) {
+		t.Fatal("cache should start empty")
+	}
+	first := b.ExecuteTask(imageTask(fav.URL))
+	if !first.Success {
+		t.Fatalf("first load failed: %+v", first)
+	}
+	if !b.Cached(fav.URL) {
+		t.Fatal("cacheable favicon should be cached after a successful load")
+	}
+	second := b.ExecuteTask(imageTask(fav.URL))
+	if !second.Success || second.DurationMillis >= first.DurationMillis {
+		t.Fatalf("cached load should be faster: %.1f vs %.1f", second.DurationMillis, first.DurationMillis)
+	}
+	b.ClearCache()
+	if b.Cached(fav.URL) {
+		t.Fatal("ClearCache should empty the cache")
+	}
+}
+
+func TestMeasureCacheTiming(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserChrome, "BR")
+	fav := e.favicon(t, "nytimes.com")
+	sample, ok := b.MeasureCacheTiming(fav.URL)
+	if !ok {
+		t.Fatal("cache timing measurement failed")
+	}
+	if sample.CachedMillis >= sample.UncachedMillis {
+		t.Fatalf("cached (%.1fms) should be faster than uncached (%.1fms)", sample.CachedMillis, sample.UncachedMillis)
+	}
+	if sample.CachedMillis > 20 {
+		t.Fatalf("cached load should take a few milliseconds, got %.1f", sample.CachedMillis)
+	}
+	if _, ok := b.MeasureCacheTiming("http://no-such-host.invalid/x.png"); ok {
+		t.Fatal("cache timing of an unreachable resource should fail")
+	}
+}
+
+func TestLoadPage(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserChrome, "US")
+	site, _ := e.web.Site("bbc.co.uk")
+	load := b.LoadPage(site.Pages[0])
+	if !load.OK {
+		t.Fatalf("page load failed: %+v", load)
+	}
+	if load.ResourcesTotal == 0 || load.TotalBytes == 0 {
+		t.Fatalf("page load fetched no resources: %+v", load)
+	}
+	if load.ResourcesOK == 0 {
+		t.Fatal("no subresources loaded")
+	}
+	bad := b.LoadPage("http://unknown-host.invalid/")
+	if bad.OK {
+		t.Fatal("load of unknown host should fail")
+	}
+}
+
+func TestRenderHAR(t *testing.T) {
+	e := newEnv(t, nil)
+	b := e.browser(t, core.BrowserChrome, "US")
+	site, _ := e.web.Site("hrw.org")
+	log, err := b.RenderHAR(site.Pages[0], time.Date(2014, 2, 26, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Pages) != 1 {
+		t.Fatalf("HAR has %d pages", len(log.Pages))
+	}
+	if len(log.Entries) < 2 {
+		t.Fatalf("HAR has only %d entries", len(log.Entries))
+	}
+	ps := log.AnalyzePage(log.Pages[0].ID)
+	if ps.TotalBytes <= 0 || ps.Objects != len(log.Entries) {
+		t.Fatalf("HAR analysis inconsistent: %+v", ps)
+	}
+	if _, err := b.RenderHAR("http://unknown-host.invalid/", time.Now()); err == nil {
+		t.Fatal("rendering an unreachable page should error")
+	}
+	// Rendering a non-page resource should error too.
+	fav := e.favicon(t, "hrw.org")
+	if _, err := b.RenderHAR(fav.URL, time.Now()); err == nil {
+		t.Fatal("rendering a non-page should error")
+	}
+}
+
+func TestTaskTimeoutEnforced(t *testing.T) {
+	// A packet-drop censor makes fetches take the full browser patience
+	// (30s); a task with a 5s timeout must report failure at ~5s.
+	eng := censor.NewEngine()
+	pol := &censor.Policy{Region: "CN"}
+	pol.AddDomain("youtube.com", censor.MechanismPacketDrop, "")
+	eng.SetPolicy(pol)
+	e := newEnv(t, eng)
+	b := e.browser(t, core.BrowserChrome, "CN")
+	fav := e.favicon(t, "youtube.com")
+	task := imageTask(fav.URL)
+	task.TimeoutMillis = 5000
+	res := b.ExecuteTask(task)
+	if res.Success {
+		t.Fatal("task should fail")
+	}
+	if res.DurationMillis > 5000 {
+		t.Fatalf("task duration %.0fms exceeds its own timeout", res.DurationMillis)
+	}
+}
+
+func TestUserAgents(t *testing.T) {
+	e := newEnv(t, nil)
+	seen := map[string]bool{}
+	for _, f := range core.BrowserFamilies() {
+		b := e.browser(t, f, "US")
+		ua := b.UserAgent()
+		if ua == "" || seen[ua] {
+			t.Fatalf("user agent for %v missing or duplicated", f)
+		}
+		seen[ua] = true
+	}
+	chrome := e.browser(t, core.BrowserChrome, "US")
+	if !strings.Contains(chrome.UserAgent(), "Chrome") {
+		t.Fatal("Chrome UA should identify Chrome")
+	}
+}
+
+func TestSampleFamilyDistribution(t *testing.T) {
+	rng := stats.NewRNG(1)
+	counts := map[core.BrowserFamily]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[SampleFamily(rng)]++
+	}
+	if counts[core.BrowserChrome] <= counts[core.BrowserIE] {
+		t.Fatal("Chrome should be the most common family")
+	}
+	total := 0.0
+	for _, share := range FamilyShare() {
+		total += share
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("family shares sum to %v", total)
+	}
+}
+
+func TestCandidateFromResource(t *testing.T) {
+	e := newEnv(t, nil)
+	fav := e.favicon(t, "amnesty.org")
+	c := CandidateFromResource(e.web, fav)
+	if c.MIMEType != fav.MIMEType || c.SizeBytes != fav.SizeBytes || !c.Cacheable {
+		t.Fatalf("candidate does not mirror resource: %+v", c)
+	}
+	site, _ := e.web.Site("amnesty.org")
+	pc := CandidateFromResource(e.web, e.web.Resources[site.Pages[0]])
+	if pc.PageTotalBytes <= 0 {
+		t.Fatal("page candidate should carry page weight")
+	}
+}

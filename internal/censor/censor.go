@@ -1,0 +1,388 @@
+// Package censor models the adversary from the paper's threat model (§3.1):
+// a national or ISP-level Web filter that can reject, block, or modify any
+// stage of a Web connection for clients inside its region, driven by a
+// blacklist of domains, URLs, and keywords.
+//
+// The engine never exposes internal censor state to measurement code. It
+// produces a Decision describing what a client in the region would observe
+// when fetching a URL: whether and at which protocol stage the connection is
+// disturbed, and what the observable symptom is (NXDOMAIN, a bogus DNS
+// answer, a TCP reset, a silent timeout, a block page, or severe throttling).
+// The network simulator translates Decisions into fetch outcomes.
+package censor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"encore/internal/geo"
+	"encore/internal/urlpattern"
+)
+
+// Mechanism enumerates the filtering mechanisms the testbed emulates (§7.1
+// describes "seven varieties of DNS, IP, and HTTP filtering").
+type Mechanism int
+
+const (
+	// MechanismNone means the request is not filtered.
+	MechanismNone Mechanism = iota
+	// MechanismDNSNXDOMAIN makes the resolver deny the name exists.
+	MechanismDNSNXDOMAIN
+	// MechanismDNSRedirect answers DNS queries with an address the censor
+	// controls (often a block-page server or a black-hole address).
+	MechanismDNSRedirect
+	// MechanismTCPReset injects RST packets when a connection is attempted.
+	MechanismTCPReset
+	// MechanismPacketDrop silently drops packets so connections time out.
+	MechanismPacketDrop
+	// MechanismHTTPBlockPage intercepts the HTTP exchange and returns a
+	// block page instead of the requested content.
+	MechanismHTTPBlockPage
+	// MechanismHTTPDrop drops the HTTP request or response after the TCP
+	// handshake completes, so the fetch times out mid-transfer.
+	MechanismHTTPDrop
+	// MechanismThrottle degrades the connection so severely that most
+	// fetches exceed client patience.
+	MechanismThrottle
+)
+
+// Mechanisms lists every concrete filtering mechanism (excluding
+// MechanismNone), in a stable order. The testbed instantiates one
+// configuration per entry.
+func Mechanisms() []Mechanism {
+	return []Mechanism{
+		MechanismDNSNXDOMAIN,
+		MechanismDNSRedirect,
+		MechanismTCPReset,
+		MechanismPacketDrop,
+		MechanismHTTPBlockPage,
+		MechanismHTTPDrop,
+		MechanismThrottle,
+	}
+}
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismNone:
+		return "none"
+	case MechanismDNSNXDOMAIN:
+		return "dns-nxdomain"
+	case MechanismDNSRedirect:
+		return "dns-redirect"
+	case MechanismTCPReset:
+		return "tcp-reset"
+	case MechanismPacketDrop:
+		return "packet-drop"
+	case MechanismHTTPBlockPage:
+		return "http-blockpage"
+	case MechanismHTTPDrop:
+		return "http-drop"
+	case MechanismThrottle:
+		return "throttle"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Stage identifies where in the connection lifecycle filtering manifests
+// (§3.1: DNS lookup, TCP connection establishment, or the HTTP exchange).
+type Stage int
+
+const (
+	// StageNone means no filtering.
+	StageNone Stage = iota
+	// StageDNS filtering manifests during name resolution.
+	StageDNS
+	// StageTCP filtering manifests during connection establishment.
+	StageTCP
+	// StageHTTP filtering manifests during the HTTP request/response.
+	StageHTTP
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "none"
+	case StageDNS:
+		return "dns"
+	case StageTCP:
+		return "tcp"
+	case StageHTTP:
+		return "http"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// StageOf returns the protocol stage at which a mechanism operates.
+func StageOf(m Mechanism) Stage {
+	switch m {
+	case MechanismDNSNXDOMAIN, MechanismDNSRedirect:
+		return StageDNS
+	case MechanismTCPReset, MechanismPacketDrop:
+		return StageTCP
+	case MechanismHTTPBlockPage, MechanismHTTPDrop, MechanismThrottle:
+		return StageHTTP
+	case MechanismNone:
+		return StageNone
+	default:
+		return StageNone
+	}
+}
+
+// Rule is one blacklist entry: a URL pattern (domain, prefix, or exact URL)
+// filtered with a particular mechanism.
+type Rule struct {
+	Pattern   urlpattern.Pattern
+	Mechanism Mechanism
+	// Note documents why the rule exists (mirrors block-list provenance).
+	Note string
+}
+
+// KeywordRule filters any URL containing the keyword, emulating
+// keyword-based filtering such as the Great Firewall's URL keyword resets.
+type KeywordRule struct {
+	Keyword   string
+	Mechanism Mechanism
+}
+
+// Policy is the complete filtering policy of one region.
+type Policy struct {
+	Region geo.CountryCode
+	Rules  []Rule
+	// KeywordRules apply when no pattern rule matches.
+	KeywordRules []KeywordRule
+	// BlockMeasurementInfra, when set, additionally filters access to the
+	// named Encore infrastructure domains (coordination/collection
+	// servers), modelling the adversary attacking the platform itself
+	// (§3.1 aspect 2, §8).
+	BlockMeasurementInfra []string
+	// InfraMechanism is the mechanism used against measurement
+	// infrastructure; defaults to DNS NXDOMAIN when unset.
+	InfraMechanism Mechanism
+	// AllowMeasurementTraffic, when true, models the distorting adversary
+	// (§3.1 aspect 3): requests that carry measurement markers are allowed
+	// through even though ordinary user access to the same URL is filtered.
+	AllowMeasurementTraffic bool
+}
+
+// AddDomain appends a domain-filtering rule; it panics on an invalid domain
+// (policies are assembled from static configuration).
+func (p *Policy) AddDomain(domain string, m Mechanism, note string) {
+	pat, err := urlpattern.Domain(domain)
+	if err != nil {
+		panic(fmt.Sprintf("censor: invalid domain %q: %v", domain, err))
+	}
+	p.Rules = append(p.Rules, Rule{Pattern: pat, Mechanism: m, Note: note})
+}
+
+// AddURL appends an exact-URL rule.
+func (p *Policy) AddURL(url string, m Mechanism, note string) error {
+	pat, err := urlpattern.Exact(url)
+	if err != nil {
+		return err
+	}
+	p.Rules = append(p.Rules, Rule{Pattern: pat, Mechanism: m, Note: note})
+	return nil
+}
+
+// AddPrefix appends a URL-prefix rule.
+func (p *Policy) AddPrefix(prefix string, m Mechanism, note string) error {
+	pat, err := urlpattern.Prefix(prefix)
+	if err != nil {
+		return err
+	}
+	p.Rules = append(p.Rules, Rule{Pattern: pat, Mechanism: m, Note: note})
+	return nil
+}
+
+// AddKeyword appends a keyword rule.
+func (p *Policy) AddKeyword(keyword string, m Mechanism) {
+	p.KeywordRules = append(p.KeywordRules, KeywordRule{Keyword: strings.ToLower(keyword), Mechanism: m})
+}
+
+// Decision describes what the censor does to one fetch.
+type Decision struct {
+	Filtered  bool
+	Mechanism Mechanism
+	Stage     Stage
+	// MatchedRule describes which rule fired, for reporting and tests.
+	MatchedRule string
+	// ExtraDelayMillis is added latency for throttling mechanisms.
+	ExtraDelayMillis float64
+	// BlockPage indicates the client receives substituted content rather
+	// than a connection error.
+	BlockPage bool
+}
+
+// Request carries the attributes of a fetch the censor can observe on the
+// wire.
+type Request struct {
+	Region geo.CountryCode
+	URL    string
+	// MeasurementMarker indicates the request is identifiable as Encore
+	// measurement traffic (e.g. by Referer or a recognizable task URL).
+	// Only consulted when a policy sets AllowMeasurementTraffic.
+	MeasurementMarker bool
+}
+
+// GlobalRegion is a pseudo-region whose policy applies to clients everywhere,
+// regardless of their own region's policy. The censorship testbed (§7.1) uses
+// it to emulate filtering for every client that measures testbed resources.
+const GlobalRegion geo.CountryCode = "*"
+
+// Engine evaluates fetches against per-region policies. The zero value is an
+// engine with no policies (nothing filtered).
+type Engine struct {
+	policies map[geo.CountryCode]*Policy
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{policies: make(map[geo.CountryCode]*Policy)}
+}
+
+// SetPolicy installs (or replaces) the policy for a region.
+func (e *Engine) SetPolicy(p *Policy) {
+	if e.policies == nil {
+		e.policies = make(map[geo.CountryCode]*Policy)
+	}
+	e.policies[p.Region] = p
+}
+
+// Policy returns the policy for a region, if any.
+func (e *Engine) Policy(region geo.CountryCode) (*Policy, bool) {
+	p, ok := e.policies[region]
+	return p, ok
+}
+
+// Regions returns the regions that have policies installed, sorted.
+func (e *Engine) Regions() []geo.CountryCode {
+	var out []geo.CountryCode
+	for r := range e.policies {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluate decides what happens to a fetch. Requests from regions without a
+// policy (and outside any global-policy rule) are never filtered. The
+// client's regional policy is consulted first, then the global policy.
+func (e *Engine) Evaluate(req Request) Decision {
+	if p, ok := e.policies[req.Region]; ok && p != nil {
+		if d := evaluatePolicy(p, req); d.Filtered {
+			return d
+		}
+	}
+	if req.Region != GlobalRegion {
+		if p, ok := e.policies[GlobalRegion]; ok && p != nil {
+			if d := evaluatePolicy(p, req); d.Filtered {
+				return d
+			}
+		}
+	}
+	return Decision{}
+}
+
+func evaluatePolicy(p *Policy, req Request) Decision {
+	// Infrastructure blocking takes precedence: if the URL is on a blocked
+	// infrastructure domain, clients cannot reach Encore at all.
+	host := urlpattern.DomainOf(req.URL)
+	for _, infra := range p.BlockMeasurementInfra {
+		id := urlpattern.NormalizeHost(infra)
+		if host == id || strings.HasSuffix(host, "."+id) {
+			mech := p.InfraMechanism
+			if mech == MechanismNone {
+				mech = MechanismDNSNXDOMAIN
+			}
+			return decisionFor(mech, "infrastructure:"+id)
+		}
+	}
+	if p.AllowMeasurementTraffic && req.MeasurementMarker {
+		return Decision{}
+	}
+	for _, rule := range p.Rules {
+		if rule.Pattern.Matches(req.URL) {
+			return decisionFor(rule.Mechanism, rule.Pattern.String())
+		}
+	}
+	if len(p.KeywordRules) > 0 {
+		lower := strings.ToLower(req.URL)
+		for _, kr := range p.KeywordRules {
+			if kr.Keyword != "" && strings.Contains(lower, kr.Keyword) {
+				return decisionFor(kr.Mechanism, "keyword:"+kr.Keyword)
+			}
+		}
+	}
+	return Decision{}
+}
+
+// IsFiltered is a convenience wrapper that reports whether the URL would be
+// filtered for ordinary (non-marked) traffic from the region.
+func (e *Engine) IsFiltered(region geo.CountryCode, url string) bool {
+	return e.Evaluate(Request{Region: region, URL: url}).Filtered
+}
+
+func decisionFor(m Mechanism, matched string) Decision {
+	d := Decision{Filtered: true, Mechanism: m, Stage: StageOf(m), MatchedRule: matched}
+	switch m {
+	case MechanismHTTPBlockPage, MechanismDNSRedirect:
+		d.BlockPage = true
+	case MechanismThrottle:
+		d.ExtraDelayMillis = 30_000
+	}
+	return d
+}
+
+// PaperPolicies returns the filtering policies the paper's measurements
+// confirmed (§7.2): youtube.com filtered in Pakistan, Iran, and China;
+// twitter.com and facebook.com filtered in China and Iran. Mechanisms follow
+// public reporting: Pakistan used DNS tampering for YouTube, Iran serves
+// block pages / DNS redirection, and China combines DNS poisoning with TCP
+// resets and keyword filtering.
+func PaperPolicies() *Engine {
+	e := NewEngine()
+
+	cn := &Policy{Region: "CN"}
+	cn.AddDomain("youtube.com", MechanismDNSRedirect, "GFW DNS poisoning")
+	cn.AddDomain("twitter.com", MechanismTCPReset, "GFW TCP reset")
+	cn.AddDomain("facebook.com", MechanismDNSRedirect, "GFW DNS poisoning")
+	cn.AddKeyword("falun", MechanismTCPReset)
+	cn.AddKeyword("tiananmen", MechanismTCPReset)
+	e.SetPolicy(cn)
+
+	ir := &Policy{Region: "IR"}
+	ir.AddDomain("youtube.com", MechanismHTTPBlockPage, "national block page")
+	ir.AddDomain("twitter.com", MechanismHTTPBlockPage, "national block page")
+	ir.AddDomain("facebook.com", MechanismDNSRedirect, "DNS redirection")
+	e.SetPolicy(ir)
+
+	pk := &Policy{Region: "PK"}
+	pk.AddDomain("youtube.com", MechanismDNSNXDOMAIN, "PTA YouTube ban (2012-2016)")
+	e.SetPolicy(pk)
+
+	return e
+}
+
+// Summary renders the engine's policies as human-readable lines, sorted by
+// region, for reports and debugging.
+func (e *Engine) Summary() string {
+	var b strings.Builder
+	for _, region := range e.Regions() {
+		p := e.policies[region]
+		for _, r := range p.Rules {
+			fmt.Fprintf(&b, "%s: %s via %s (%s)\n", region, r.Pattern.String(), r.Mechanism, r.Note)
+		}
+		for _, kr := range p.KeywordRules {
+			fmt.Fprintf(&b, "%s: keyword %q via %s\n", region, kr.Keyword, kr.Mechanism)
+		}
+		for _, infra := range p.BlockMeasurementInfra {
+			fmt.Fprintf(&b, "%s: blocks Encore infrastructure %s\n", region, infra)
+		}
+	}
+	return b.String()
+}

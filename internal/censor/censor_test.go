@@ -1,0 +1,312 @@
+package censor
+
+import (
+	"strings"
+	"testing"
+
+	"encore/internal/geo"
+	"encore/internal/urlpattern"
+)
+
+func TestMechanismsCoverSevenVarieties(t *testing.T) {
+	ms := Mechanisms()
+	if len(ms) != 7 {
+		t.Fatalf("paper describes seven filtering varieties; engine offers %d", len(ms))
+	}
+	seen := make(map[Mechanism]bool)
+	stages := make(map[Stage]bool)
+	for _, m := range ms {
+		if m == MechanismNone {
+			t.Fatal("Mechanisms should not include MechanismNone")
+		}
+		if seen[m] {
+			t.Fatalf("duplicate mechanism %v", m)
+		}
+		seen[m] = true
+		stages[StageOf(m)] = true
+	}
+	for _, s := range []Stage{StageDNS, StageTCP, StageHTTP} {
+		if !stages[s] {
+			t.Fatalf("no mechanism operates at stage %v", s)
+		}
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	cases := map[Mechanism]Stage{
+		MechanismNone:          StageNone,
+		MechanismDNSNXDOMAIN:   StageDNS,
+		MechanismDNSRedirect:   StageDNS,
+		MechanismTCPReset:      StageTCP,
+		MechanismPacketDrop:    StageTCP,
+		MechanismHTTPBlockPage: StageHTTP,
+		MechanismHTTPDrop:      StageHTTP,
+		MechanismThrottle:      StageHTTP,
+	}
+	for m, want := range cases {
+		if got := StageOf(m); got != want {
+			t.Errorf("StageOf(%v)=%v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if MechanismDNSNXDOMAIN.String() != "dns-nxdomain" || StageHTTP.String() != "http" {
+		t.Fatal("unexpected string names")
+	}
+	if Mechanism(42).String() == "" || Stage(42).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+func TestEmptyEngineFiltersNothing(t *testing.T) {
+	e := NewEngine()
+	if e.IsFiltered("CN", "http://youtube.com/watch") {
+		t.Fatal("engine without policies must not filter")
+	}
+	var zero Engine
+	if zero.Evaluate(Request{Region: "CN", URL: "http://youtube.com/"}).Filtered {
+		t.Fatal("zero-value engine must not filter")
+	}
+}
+
+func TestDomainRuleFiltersSubdomainsAndPaths(t *testing.T) {
+	e := NewEngine()
+	p := &Policy{Region: "PK"}
+	p.AddDomain("youtube.com", MechanismDNSNXDOMAIN, "test")
+	e.SetPolicy(p)
+
+	for _, u := range []string{
+		"http://youtube.com/",
+		"http://youtube.com/watch/page-001.html",
+		"http://www.youtube.com/favicon.ico",
+	} {
+		d := e.Evaluate(Request{Region: "PK", URL: u})
+		if !d.Filtered || d.Mechanism != MechanismDNSNXDOMAIN || d.Stage != StageDNS {
+			t.Fatalf("decision for %s = %+v", u, d)
+		}
+	}
+	if e.IsFiltered("PK", "http://vimeo.com/") {
+		t.Fatal("unrelated domain should not be filtered")
+	}
+	if e.IsFiltered("US", "http://youtube.com/") {
+		t.Fatal("other regions should not be filtered")
+	}
+}
+
+func TestExactAndPrefixRules(t *testing.T) {
+	e := NewEngine()
+	p := &Policy{Region: "GB"}
+	if err := p.AddURL("http://blogspot.com/posts/page-001.html", MechanismHTTPBlockPage, "single post"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddPrefix("http://wordpress.com/posts/", MechanismHTTPDrop, "section"); err != nil {
+		t.Fatal(err)
+	}
+	e.SetPolicy(p)
+
+	if !e.IsFiltered("GB", "http://blogspot.com/posts/page-001.html") {
+		t.Fatal("exact URL should be filtered")
+	}
+	if e.IsFiltered("GB", "http://blogspot.com/posts/page-002.html") {
+		t.Fatal("other URLs on the domain should not be filtered")
+	}
+	if !e.IsFiltered("GB", "http://wordpress.com/posts/page-007.html") {
+		t.Fatal("prefix rule should filter URLs under it")
+	}
+	if e.IsFiltered("GB", "http://wordpress.com/archive/page-007.html") {
+		t.Fatal("prefix rule should not filter sibling sections")
+	}
+}
+
+func TestAddRuleErrors(t *testing.T) {
+	p := &Policy{Region: "XX"}
+	if err := p.AddURL("ftp://bad", MechanismHTTPDrop, ""); err == nil {
+		t.Fatal("expected error for invalid URL")
+	}
+	if err := p.AddPrefix("ftp://bad/", MechanismHTTPDrop, ""); err == nil {
+		t.Fatal("expected error for invalid prefix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDomain should panic on invalid domain")
+		}
+	}()
+	p.AddDomain("not a domain!", MechanismTCPReset, "")
+}
+
+func TestKeywordRules(t *testing.T) {
+	e := NewEngine()
+	p := &Policy{Region: "CN"}
+	p.AddKeyword("Falun", MechanismTCPReset)
+	e.SetPolicy(p)
+	d := e.Evaluate(Request{Region: "CN", URL: "http://example.org/articles/falun-gong-report.html"})
+	if !d.Filtered || d.Mechanism != MechanismTCPReset {
+		t.Fatalf("keyword rule did not fire: %+v", d)
+	}
+	if !strings.HasPrefix(d.MatchedRule, "keyword:") {
+		t.Fatalf("MatchedRule=%q", d.MatchedRule)
+	}
+	if e.IsFiltered("CN", "http://example.org/articles/weather.html") {
+		t.Fatal("non-matching URL filtered")
+	}
+}
+
+func TestBlockPageAndThrottleDecisions(t *testing.T) {
+	if d := decisionFor(MechanismHTTPBlockPage, "x"); !d.BlockPage {
+		t.Fatal("block-page mechanism should set BlockPage")
+	}
+	if d := decisionFor(MechanismDNSRedirect, "x"); !d.BlockPage {
+		t.Fatal("DNS redirect should set BlockPage (substituted content)")
+	}
+	if d := decisionFor(MechanismThrottle, "x"); d.ExtraDelayMillis <= 0 {
+		t.Fatal("throttle should add delay")
+	}
+	if d := decisionFor(MechanismTCPReset, "x"); d.BlockPage || d.ExtraDelayMillis != 0 {
+		t.Fatal("TCP reset should not substitute content or delay")
+	}
+}
+
+func TestInfrastructureBlocking(t *testing.T) {
+	e := NewEngine()
+	p := &Policy{Region: "IR", BlockMeasurementInfra: []string{"coordinator.encore-project.org"}}
+	e.SetPolicy(p)
+	d := e.Evaluate(Request{Region: "IR", URL: "http://coordinator.encore-project.org/task.js"})
+	if !d.Filtered || d.Stage != StageDNS {
+		t.Fatalf("infrastructure request should be DNS-blocked: %+v", d)
+	}
+	if !strings.HasPrefix(d.MatchedRule, "infrastructure:") {
+		t.Fatalf("MatchedRule=%q", d.MatchedRule)
+	}
+	// Subdomains of the blocked infra domain are blocked too.
+	d = e.Evaluate(Request{Region: "IR", URL: "http://mirror.coordinator.encore-project.org/task.js"})
+	if !d.Filtered {
+		t.Fatal("subdomain of blocked infrastructure should be filtered")
+	}
+	// A custom infrastructure mechanism is honoured.
+	p2 := &Policy{Region: "CN", BlockMeasurementInfra: []string{"collector.encore-project.org"}, InfraMechanism: MechanismTCPReset}
+	e.SetPolicy(p2)
+	d = e.Evaluate(Request{Region: "CN", URL: "http://collector.encore-project.org/submit"})
+	if d.Mechanism != MechanismTCPReset {
+		t.Fatalf("custom infra mechanism ignored: %+v", d)
+	}
+}
+
+func TestDistortingAdversaryAllowsMarkedTraffic(t *testing.T) {
+	e := NewEngine()
+	p := &Policy{Region: "CN", AllowMeasurementTraffic: true}
+	p.AddDomain("facebook.com", MechanismDNSRedirect, "")
+	e.SetPolicy(p)
+	plain := e.Evaluate(Request{Region: "CN", URL: "http://facebook.com/favicon.ico"})
+	marked := e.Evaluate(Request{Region: "CN", URL: "http://facebook.com/favicon.ico", MeasurementMarker: true})
+	if !plain.Filtered {
+		t.Fatal("ordinary traffic should be filtered")
+	}
+	if marked.Filtered {
+		t.Fatal("distorting adversary should let marked measurement traffic through")
+	}
+}
+
+func TestPaperPolicies(t *testing.T) {
+	e := PaperPolicies()
+	cases := []struct {
+		region   geo.CountryCode
+		domain   string
+		filtered bool
+	}{
+		{"PK", "youtube.com", true},
+		{"IR", "youtube.com", true},
+		{"CN", "youtube.com", true},
+		{"CN", "twitter.com", true},
+		{"IR", "twitter.com", true},
+		{"CN", "facebook.com", true},
+		{"IR", "facebook.com", true},
+		{"PK", "twitter.com", false},
+		{"PK", "facebook.com", false},
+		{"US", "youtube.com", false},
+		{"GB", "facebook.com", false},
+		{"IN", "twitter.com", false},
+	}
+	for _, tc := range cases {
+		got := e.IsFiltered(tc.region, "http://"+tc.domain+"/favicon.ico")
+		if got != tc.filtered {
+			t.Errorf("%s / %s: filtered=%v, want %v", tc.region, tc.domain, got, tc.filtered)
+		}
+	}
+}
+
+func TestPaperPoliciesRegionsAndSummary(t *testing.T) {
+	e := PaperPolicies()
+	regions := e.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("paper policies cover %d regions, want 3 (CN, IR, PK)", len(regions))
+	}
+	if _, ok := e.Policy("CN"); !ok {
+		t.Fatal("missing CN policy")
+	}
+	sum := e.Summary()
+	for _, want := range []string{"youtube.com", "twitter.com", "facebook.com", "CN", "IR", "PK"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestRulePatternKindsCoexist(t *testing.T) {
+	// A policy may mix kinds; first matching rule wins.
+	e := NewEngine()
+	p := &Policy{Region: "TR"}
+	if err := p.AddURL("http://twitter.com/profile/page-001.html", MechanismHTTPBlockPage, "court order"); err != nil {
+		t.Fatal(err)
+	}
+	p.AddDomain("twitter.com", MechanismDNSNXDOMAIN, "full block")
+	e.SetPolicy(p)
+	d := e.Evaluate(Request{Region: "TR", URL: "http://twitter.com/profile/page-001.html"})
+	if d.Mechanism != MechanismHTTPBlockPage {
+		t.Fatalf("first matching rule should win, got %v", d.Mechanism)
+	}
+	d = e.Evaluate(Request{Region: "TR", URL: "http://twitter.com/groups/page-002.html"})
+	if d.Mechanism != MechanismDNSNXDOMAIN {
+		t.Fatalf("domain rule should catch other URLs, got %v", d.Mechanism)
+	}
+}
+
+func TestGlobalPolicyAppliesEverywhere(t *testing.T) {
+	e := NewEngine()
+	global := &Policy{Region: GlobalRegion}
+	global.AddDomain("dns-nxdomain.testbed.example.test", MechanismDNSNXDOMAIN, "testbed")
+	e.SetPolicy(global)
+	for _, region := range []geo.CountryCode{"US", "CN", "BR", "ZZ"} {
+		d := e.Evaluate(Request{Region: region, URL: "http://dns-nxdomain.testbed.example.test/pixel.png"})
+		if !d.Filtered || d.Mechanism != MechanismDNSNXDOMAIN {
+			t.Fatalf("global policy did not apply for %s: %+v", region, d)
+		}
+	}
+	if e.IsFiltered("US", "http://control.testbed.example.test/pixel.png") {
+		t.Fatal("global policy should not filter unlisted domains")
+	}
+}
+
+func TestRegionalPolicyTakesPrecedenceOverGlobal(t *testing.T) {
+	e := NewEngine()
+	global := &Policy{Region: GlobalRegion}
+	global.AddDomain("shared.example.com", MechanismHTTPDrop, "global")
+	e.SetPolicy(global)
+	regional := &Policy{Region: "CN"}
+	regional.AddDomain("shared.example.com", MechanismTCPReset, "regional")
+	e.SetPolicy(regional)
+	if d := e.Evaluate(Request{Region: "CN", URL: "http://shared.example.com/"}); d.Mechanism != MechanismTCPReset {
+		t.Fatalf("regional rule should win: %+v", d)
+	}
+	if d := e.Evaluate(Request{Region: "US", URL: "http://shared.example.com/"}); d.Mechanism != MechanismHTTPDrop {
+		t.Fatalf("global rule should apply elsewhere: %+v", d)
+	}
+}
+
+func TestMatchedRuleUsesPatternString(t *testing.T) {
+	e := PaperPolicies()
+	d := e.Evaluate(Request{Region: "PK", URL: "http://youtube.com/watch/page-001.html"})
+	if d.MatchedRule != urlpattern.MustParse("youtube.com").String() {
+		t.Fatalf("MatchedRule=%q", d.MatchedRule)
+	}
+}

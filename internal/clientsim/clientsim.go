@@ -1,0 +1,336 @@
+// Package clientsim simulates Encore's client population: Web users around
+// the world who visit an origin site hosting the Encore snippet, download a
+// measurement task from the coordination server, execute it in their browser,
+// and submit results to the collection server. It stands in for the paper's
+// seven-month deployment (§7: 141,626 measurements from 88,260 distinct IPs
+// in 170 countries) while exercising the real coordination, scheduling,
+// collection, and inference code.
+//
+// The simulator drives the servers through their programmatic entry points
+// (AssignAndRegister / Accept) but routes the *reachability* of Encore's own
+// infrastructure through the network simulator, so experiments on censors
+// blocking the coordination or collection servers (§8) behave correctly.
+package clientsim
+
+import (
+	"fmt"
+	"time"
+
+	"encore/internal/browser"
+	"encore/internal/collectserver"
+	"encore/internal/coordserver"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/netsim"
+	"encore/internal/scheduler"
+	"encore/internal/stats"
+)
+
+// Infrastructure names the domains Encore's own servers live on; clients must
+// be able to reach the coordinator to receive tasks and the collector to
+// submit results.
+//
+// Two §8 hardening options are modelled. CoordinatorMirrors lists additional
+// domains the coordination server is replicated behind ("the server that
+// dispatches tasks could be replicated across many domains to make it more
+// difficult for a censor to block Encore by censoring a single domain"); a
+// client that cannot reach the primary falls back to the mirrors.
+// WebmasterProxy models origin sites that fetch tasks from the coordination
+// server on their clients' behalf and inline them in the pages they serve
+// ("webmasters could contact the coordination server on behalf of clients"),
+// which removes the client→coordinator fetch entirely.
+type Infrastructure struct {
+	CoordinatorDomain  string
+	CoordinatorMirrors []string
+	CollectorDomain    string
+	OriginDomains      []string
+	WebmasterProxy     bool
+}
+
+// DefaultInfrastructure returns the domains used throughout the examples and
+// benchmarks.
+func DefaultInfrastructure() Infrastructure {
+	return Infrastructure{
+		CoordinatorDomain: "coordinator.encore-project.org",
+		CollectorDomain:   "collector.encore-project.org",
+		OriginDomains: []string{
+			"professor.example.edu",
+			"blog.volunteer-site.org",
+			"news.volunteer-site.net",
+		},
+	}
+}
+
+// Population drives simulated clients through the full Encore stack.
+type Population struct {
+	Net         *netsim.Network
+	Geo         *geo.Registry
+	Coordinator *coordserver.Server
+	Collector   *collectserver.Server
+	Infra       Infrastructure
+
+	rng *stats.RNG
+	// AbandonProbability is the chance a visitor navigates away before a
+	// task completes, leaving only the init record.
+	AbandonProbability float64
+}
+
+// New creates a population simulator and registers the Encore infrastructure
+// domains with the network simulator so their reachability is subject to the
+// censor.
+func New(net *netsim.Network, g *geo.Registry, coord *coordserver.Server, collect *collectserver.Server, infra Infrastructure, seed uint64) *Population {
+	p := &Population{
+		Net:                net,
+		Geo:                g,
+		Coordinator:        coord,
+		Collector:          collect,
+		Infra:              infra,
+		rng:                stats.NewRNG(seed),
+		AbandonProbability: 0.05,
+	}
+	// The coordination and collection servers answer small HTTP responses;
+	// registering them lets infrastructure-blocking policies take effect.
+	serveTaskJS := netsim.HostFunc(func(url string) (int, string, int, bool) {
+		return 200, "application/javascript", 2048, true
+	})
+	net.RegisterHost(infra.CoordinatorDomain, serveTaskJS)
+	for _, mirror := range infra.CoordinatorMirrors {
+		net.RegisterHost(mirror, serveTaskJS)
+	}
+	net.RegisterHost(infra.CollectorDomain, netsim.HostFunc(func(url string) (int, string, int, bool) {
+		return 200, "image/gif", 43, true
+	}))
+	for _, origin := range infra.OriginDomains {
+		net.RegisterHost(origin, netsim.HostFunc(func(url string) (int, string, int, bool) {
+			return 200, "text/html", 8192, true
+		}))
+	}
+	return p
+}
+
+// VisitOutcome summarizes one simulated origin-page visit.
+type VisitOutcome struct {
+	Region geo.CountryCode
+	// ReachedOrigin / ReachedCoordinator / ReachedCollector report which
+	// infrastructure pieces were reachable from the client.
+	ReachedOrigin      bool
+	ReachedCoordinator bool
+	ReachedCollector   bool
+	TasksAssigned      int
+	TasksExecuted      int
+	TasksSubmitted     int
+}
+
+// SimulateVisit drives one client from the given region through a full page
+// view: load the origin page, fetch the measurement task from the
+// coordinator, execute it, and submit results.
+func (p *Population) SimulateVisit(region geo.CountryCode, now time.Time) (VisitOutcome, error) {
+	out := VisitOutcome{Region: region}
+	client, err := p.Net.NewClient(region)
+	if err != nil {
+		return out, err
+	}
+	family := browser.SampleFamily(p.rng)
+	b := browser.New(family, client, p.Net, p.rng.Uint64())
+
+	origin := p.Infra.OriginDomains[p.rng.Intn(len(p.Infra.OriginDomains))]
+	originURL := "http://" + origin + "/"
+	if !p.Net.Fetch(client, originURL, false).Succeeded() {
+		return out, nil
+	}
+	out.ReachedOrigin = true
+
+	// The embed snippet makes the browser fetch task.js from the
+	// coordinator; if the censor blocks the coordinator (and every mirror),
+	// no measurement happens (§8 "Filtering access to Encore
+	// infrastructure"). Webmaster-proxied deployments inline the task in
+	// the origin page, so reaching the origin suffices.
+	if p.Infra.WebmasterProxy {
+		out.ReachedCoordinator = true
+	} else {
+		for _, domain := range append([]string{p.Infra.CoordinatorDomain}, p.Infra.CoordinatorMirrors...) {
+			taskJS := "http://" + domain + "/task.js"
+			if p.Net.Fetch(client, taskJS, false).Succeeded() {
+				out.ReachedCoordinator = true
+				break
+			}
+		}
+	}
+	if !out.ReachedCoordinator {
+		return out, nil
+	}
+
+	dwell := sampleDwell(p.rng)
+	info := scheduler.ClientInfo{
+		Region:               region,
+		Browser:              family,
+		ExpectedDwellSeconds: dwell,
+	}
+	tasks := p.Coordinator.AssignAndRegister(info, now)
+	out.TasksAssigned = len(tasks)
+	if len(tasks) == 0 {
+		return out, nil
+	}
+
+	// Submitting results requires reaching the collector.
+	collectorURL := "http://" + p.Infra.CollectorDomain + "/submit"
+	collectorReachable := p.Net.Fetch(client, collectorURL, false).Succeeded()
+	out.ReachedCollector = collectorReachable
+
+	ua := b.UserAgent()
+	for _, task := range tasks {
+		// The task submits an init record as soon as it starts.
+		if collectorReachable {
+			_ = p.Collector.Accept(core.Submission{
+				MeasurementID: task.MeasurementID,
+				State:         core.StateInit,
+				ClientIP:      client.IP.String(),
+				UserAgent:     ua,
+				OriginSite:    maybeOrigin(p.rng, origin),
+				Received:      now,
+			})
+		}
+		// Visitors sometimes navigate away before the task finishes.
+		if p.rng.Bool(p.AbandonProbability) {
+			continue
+		}
+		result := b.ExecuteTask(task)
+		out.TasksExecuted++
+		if !collectorReachable {
+			continue
+		}
+		err := p.Collector.Accept(core.Submission{
+			MeasurementID:  task.MeasurementID,
+			State:          result.State(),
+			DurationMillis: result.DurationMillis,
+			ClientIP:       client.IP.String(),
+			UserAgent:      ua,
+			OriginSite:     maybeOrigin(p.rng, origin),
+			Received:       now.Add(time.Duration(result.DurationMillis) * time.Millisecond),
+		})
+		if err == nil {
+			out.TasksSubmitted++
+		}
+	}
+	return out, nil
+}
+
+// maybeOrigin returns the origin site 1/4 of the time; the paper notes that
+// three quarters of measurements arrive with the Referer header stripped.
+func maybeOrigin(rng *stats.RNG, origin string) string {
+	if rng.Bool(0.25) {
+		return origin
+	}
+	return ""
+}
+
+// sampleDwell draws a dwell time matching §6.2 (45% > 10 s, 35% > 60 s).
+func sampleDwell(rng *stats.RNG) float64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.55:
+		return 1 + 9*rng.Float64()
+	case u < 0.65:
+		return 10 + 50*rng.Float64()
+	default:
+		return 60 + 300*rng.Float64()
+	}
+}
+
+// CampaignConfig parameterizes a measurement campaign.
+type CampaignConfig struct {
+	// Visits is the number of origin-page visits to simulate.
+	Visits int
+	// Start is the campaign start time; visits are spread uniformly over
+	// Duration.
+	Start    time.Time
+	Duration time.Duration
+	// Regions optionally fixes the mix of client regions; when empty,
+	// regions are sampled by Internet population from the geo registry.
+	Regions []geo.CountryCode
+}
+
+// CampaignResult summarizes a campaign run.
+type CampaignResult struct {
+	Visits             int
+	OriginUnreachable  int
+	CoordinatorBlocked int
+	TasksAssigned      int
+	TasksSubmitted     int
+	ByRegion           map[geo.CountryCode]int
+}
+
+// RunCampaign simulates a whole measurement campaign. Measurements accumulate
+// in the collection server's store.
+func (p *Population) RunCampaign(cfg CampaignConfig) CampaignResult {
+	res := CampaignResult{ByRegion: make(map[geo.CountryCode]int)}
+	if cfg.Visits <= 0 {
+		return res
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * 24 * time.Hour
+	}
+	step := cfg.Duration / time.Duration(cfg.Visits)
+	for i := 0; i < cfg.Visits; i++ {
+		var region geo.CountryCode
+		if len(cfg.Regions) > 0 {
+			region = cfg.Regions[i%len(cfg.Regions)]
+		} else {
+			region = p.Geo.SampleCountry(p.rng)
+		}
+		now := cfg.Start.Add(time.Duration(i) * step)
+		outcome, err := p.SimulateVisit(region, now)
+		if err != nil {
+			continue
+		}
+		res.Visits++
+		res.ByRegion[region]++
+		if !outcome.ReachedOrigin {
+			res.OriginUnreachable++
+		}
+		if outcome.ReachedOrigin && !outcome.ReachedCoordinator {
+			res.CoordinatorBlocked++
+		}
+		res.TasksAssigned += outcome.TasksAssigned
+		res.TasksSubmitted += outcome.TasksSubmitted
+	}
+	return res
+}
+
+// String renders the campaign result.
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("visits=%d originUnreachable=%d coordinatorBlocked=%d tasksAssigned=%d tasksSubmitted=%d regions=%d",
+		r.Visits, r.OriginUnreachable, r.CoordinatorBlocked, r.TasksAssigned, r.TasksSubmitted, len(r.ByRegion))
+}
+
+// CacheTimingExperiment reproduces Figure 7: a set of globally distributed
+// clients each load a single-pixel image uncached and then cached, and the
+// experiment reports both distributions plus their per-client differences.
+type CacheTimingExperiment struct {
+	Uncached    []float64
+	Cached      []float64
+	Differences []float64
+}
+
+// RunCacheTiming measures cached-versus-uncached load times for `clients`
+// clients drawn from the registry's population against the given image URL.
+func (p *Population) RunCacheTiming(clients int, imageURL string) CacheTimingExperiment {
+	var exp CacheTimingExperiment
+	for i := 0; i < clients; i++ {
+		region := p.Geo.SampleCountry(p.rng)
+		client, err := p.Net.NewClient(region)
+		if err != nil {
+			continue
+		}
+		client.Unreliability = 0
+		b := browser.New(browser.SampleFamily(p.rng), client, p.Net, p.rng.Uint64())
+		sample, ok := b.MeasureCacheTiming(imageURL)
+		if !ok {
+			continue
+		}
+		exp.Uncached = append(exp.Uncached, sample.UncachedMillis)
+		exp.Cached = append(exp.Cached, sample.CachedMillis)
+		exp.Differences = append(exp.Differences, sample.UncachedMillis-sample.CachedMillis)
+	}
+	return exp
+}

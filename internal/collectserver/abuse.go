@@ -1,0 +1,116 @@
+package collectserver
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// §8 notes that "attackers may attempt to submit poisoned measurement results
+// to alter the conclusions that Encore draws about censorship" and that
+// reputation mechanisms can raise the bar without eliminating the problem.
+// AbuseGuard implements the first line of defence the collection server can
+// apply on its own: per-client submission rate limiting and rejection of
+// conflicting terminal states for the same measurement (a client cannot
+// report both success and failure for one measurement ID).
+
+// Errors returned by the guard.
+var (
+	ErrRateLimited     = errors.New("collectserver: client exceeded submission rate limit")
+	ErrConflictingData = errors.New("collectserver: conflicting terminal states for measurement")
+)
+
+// AbuseGuardConfig parameterizes the guard.
+type AbuseGuardConfig struct {
+	// MaxSubmissionsPerWindow caps how many submissions one client IP may
+	// make per window; a real browser runs at most a handful of tasks per
+	// page view.
+	MaxSubmissionsPerWindow int
+	// Window is the rate-limiting window.
+	Window time.Duration
+}
+
+// DefaultAbuseGuardConfig allows a generous but bounded submission rate.
+func DefaultAbuseGuardConfig() AbuseGuardConfig {
+	return AbuseGuardConfig{MaxSubmissionsPerWindow: 120, Window: time.Hour}
+}
+
+// AbuseGuard tracks per-client submission counts and per-measurement terminal
+// states. It is safe for concurrent use.
+type AbuseGuard struct {
+	cfg AbuseGuardConfig
+
+	mu       sync.Mutex
+	buckets  map[string]*rateBucket
+	terminal map[string]string // measurement ID -> first terminal state seen
+}
+
+type rateBucket struct {
+	windowStart time.Time
+	count       int
+}
+
+// NewAbuseGuard creates a guard; zero config fields fall back to defaults.
+func NewAbuseGuard(cfg AbuseGuardConfig) *AbuseGuard {
+	def := DefaultAbuseGuardConfig()
+	if cfg.MaxSubmissionsPerWindow <= 0 {
+		cfg.MaxSubmissionsPerWindow = def.MaxSubmissionsPerWindow
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	return &AbuseGuard{
+		cfg:      cfg,
+		buckets:  make(map[string]*rateBucket),
+		terminal: make(map[string]string),
+	}
+}
+
+// Check decides whether a submission from clientIP for measurementID with the
+// given state (as a string; init states never conflict) should be accepted
+// now. A nil error means accept.
+func (g *AbuseGuard) Check(clientIP, measurementID, state string, now time.Time) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if clientIP != "" {
+		b, ok := g.buckets[clientIP]
+		if !ok || now.Sub(b.windowStart) >= g.cfg.Window {
+			b = &rateBucket{windowStart: now}
+			g.buckets[clientIP] = b
+		}
+		if b.count >= g.cfg.MaxSubmissionsPerWindow {
+			return ErrRateLimited
+		}
+		b.count++
+	}
+
+	if state == "success" || state == "failure" {
+		if prev, ok := g.terminal[measurementID]; ok && prev != state {
+			return ErrConflictingData
+		}
+		g.terminal[measurementID] = state
+	}
+	return nil
+}
+
+// Prune discards rate buckets older than the window and caps memory for
+// long-running collectors. Terminal-state records for measurements received
+// before cutoff are dropped too.
+func (g *AbuseGuard) Prune(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for ip, b := range g.buckets {
+		if now.Sub(b.windowStart) >= g.cfg.Window {
+			delete(g.buckets, ip)
+		}
+	}
+}
+
+// TrackedClients reports how many client IPs currently have rate state, for
+// monitoring.
+func (g *AbuseGuard) TrackedClients() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.buckets)
+}

@@ -1,0 +1,139 @@
+package collectserver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+func TestAbuseGuardRateLimit(t *testing.T) {
+	g := NewAbuseGuard(AbuseGuardConfig{MaxSubmissionsPerWindow: 5, Window: time.Hour})
+	now := time.Date(2014, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := g.Check("11.0.0.1", fmt.Sprintf("m%d", i), "success", now); err != nil {
+			t.Fatalf("submission %d rejected: %v", i, err)
+		}
+	}
+	if err := g.Check("11.0.0.1", "m6", "success", now); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("6th submission should be rate limited, got %v", err)
+	}
+	// A different client is unaffected.
+	if err := g.Check("11.0.0.2", "m7", "success", now); err != nil {
+		t.Fatalf("other client rejected: %v", err)
+	}
+	// After the window passes the client may submit again.
+	if err := g.Check("11.0.0.1", "m8", "success", now.Add(2*time.Hour)); err != nil {
+		t.Fatalf("submission after window rejected: %v", err)
+	}
+}
+
+func TestAbuseGuardConflictingTerminalStates(t *testing.T) {
+	g := NewAbuseGuard(DefaultAbuseGuardConfig())
+	now := time.Now()
+	if err := g.Check("11.0.0.1", "m1", "success", now); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reporting the same state is fine (retries happen).
+	if err := g.Check("11.0.0.1", "m1", "success", now); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("11.0.0.9", "m1", "failure", now); !errors.Is(err, ErrConflictingData) {
+		t.Fatalf("conflicting terminal state should be rejected, got %v", err)
+	}
+	// Init records never conflict.
+	if err := g.Check("11.0.0.9", "m1", "init", now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbuseGuardPrune(t *testing.T) {
+	g := NewAbuseGuard(AbuseGuardConfig{MaxSubmissionsPerWindow: 10, Window: time.Minute})
+	now := time.Now()
+	for i := 0; i < 20; i++ {
+		_ = g.Check(fmt.Sprintf("11.0.0.%d", i), fmt.Sprintf("m%d", i), "success", now)
+	}
+	if g.TrackedClients() != 20 {
+		t.Fatalf("tracked clients=%d", g.TrackedClients())
+	}
+	g.Prune(now.Add(2 * time.Minute))
+	if g.TrackedClients() != 0 {
+		t.Fatalf("prune left %d clients", g.TrackedClients())
+	}
+}
+
+func TestAbuseGuardDefaults(t *testing.T) {
+	g := NewAbuseGuard(AbuseGuardConfig{})
+	if g.cfg.MaxSubmissionsPerWindow <= 0 || g.cfg.Window <= 0 {
+		t.Fatal("defaults not applied")
+	}
+	// Submissions without a client IP skip rate limiting but still check
+	// terminal-state consistency.
+	if err := g.Check("", "m1", "success", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check("", "m1", "failure", time.Now()); !errors.Is(err, ErrConflictingData) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestServerRejectsPoisoningFlood(t *testing.T) {
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	g := geo.NewRegistry(1)
+	s := New(store, index, g)
+	s.Guard = NewAbuseGuard(AbuseGuardConfig{MaxSubmissionsPerWindow: 10, Window: time.Hour})
+	s.Now = func() time.Time { return time.Date(2014, 8, 1, 0, 0, 0, 0, time.UTC) }
+
+	// An attacker somehow learned 100 valid measurement IDs and floods
+	// failure reports from one address.
+	for i := 0; i < 100; i++ {
+		index.Register(core.Task{
+			MeasurementID: fmt.Sprintf("m%d", i),
+			Type:          core.TaskImage,
+			TargetURL:     "http://youtube.com/favicon.ico",
+			PatternKey:    "domain:youtube.com",
+		})
+	}
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		err := s.Accept(core.Submission{
+			MeasurementID: fmt.Sprintf("m%d", i),
+			State:         core.StateFailure,
+			ClientIP:      "11.0.0.77",
+		})
+		if err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrRateLimited) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if accepted != 10 {
+		t.Fatalf("flood accepted %d submissions, want exactly the rate limit (10)", accepted)
+	}
+	if store.Len() != 10 {
+		t.Fatalf("store has %d measurements", store.Len())
+	}
+}
+
+func TestServerRejectsConflictingResubmission(t *testing.T) {
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	s := New(store, index, geo.NewRegistry(1))
+	registerTask(index, "m-conflict", false)
+	if err := s.Accept(core.Submission{MeasurementID: "m-conflict", State: core.StateSuccess, ClientIP: "11.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Accept(core.Submission{MeasurementID: "m-conflict", State: core.StateFailure, ClientIP: "11.0.0.2"})
+	if !errors.Is(err, ErrConflictingData) {
+		t.Fatalf("conflicting resubmission accepted: %v", err)
+	}
+	m, _ := store.Get("m-conflict")
+	if m.State != core.StateSuccess {
+		t.Fatal("original result was overwritten by the poisoned one")
+	}
+}

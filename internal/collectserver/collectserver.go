@@ -1,0 +1,195 @@
+// Package collectserver implements Encore's collection server (§5.5): the
+// HTTP endpoint clients submit measurement results to. Submissions arrive as
+// simple GET requests carrying the measurement ID, the result state, and the
+// client-observed elapsed time (Appendix A uses exactly this query-parameter
+// scheme so that results can be delivered with a plain image beacon or AJAX
+// request). The server geolocates the submitting address, parses the
+// browser family from the User-Agent, joins the submission with the task
+// metadata registered by the coordination server, and stores a Measurement.
+package collectserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+	"encore/internal/urlpattern"
+)
+
+// Server is the collection server. It implements http.Handler.
+type Server struct {
+	Store *results.Store
+	Tasks *results.TaskIndex
+	Geo   *geo.Registry
+	// Now returns the current time; overridable for deterministic tests and
+	// simulations.
+	Now func() time.Time
+	// AllowCrossOrigin controls whether CORS headers are emitted so AJAX
+	// submissions from any origin succeed; the paper's collector must
+	// accept cross-origin submissions.
+	AllowCrossOrigin bool
+	// Guard applies the §8 anti-poisoning defences (rate limiting and
+	// conflicting-result rejection). Nil disables them.
+	Guard *AbuseGuard
+}
+
+// New creates a collection server backed by the given store and task index.
+func New(store *results.Store, tasks *results.TaskIndex, g *geo.Registry) *Server {
+	return &Server{
+		Store:            store,
+		Tasks:            tasks,
+		Geo:              g,
+		Now:              time.Now,
+		AllowCrossOrigin: true,
+		Guard:            NewAbuseGuard(DefaultAbuseGuardConfig()),
+	}
+}
+
+// ServeHTTP handles /submit requests and a /healthz endpoint.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.AllowCrossOrigin {
+		w.Header().Set("Access-Control-Allow-Origin", "*")
+	}
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/healthz"):
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "ok: %d measurements\n", s.Store.Len())
+	case strings.HasSuffix(r.URL.Path, "/submit"):
+		s.handleSubmit(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleSubmit parses one submission.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sub := core.Submission{
+		MeasurementID: q.Get("cmh-id"),
+		State:         core.State(q.Get("cmh-result")),
+		ClientIP:      clientIP(r),
+		UserAgent:     r.UserAgent(),
+		OriginSite:    urlpattern.DomainOf(r.Referer()),
+		Received:      s.Now(),
+	}
+	if elapsed := q.Get("cmh-elapsed"); elapsed != "" {
+		if v, err := strconv.ParseFloat(elapsed, 64); err == nil && v >= 0 {
+			sub.DurationMillis = v
+		}
+	}
+	if err := s.Accept(sub); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Respond with a 1x1 transparent GIF so image-beacon submissions render
+	// harmlessly.
+	w.Header().Set("Content-Type", "image/gif")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(transparentGIF)
+}
+
+// transparentGIF is a 1x1 transparent GIF used as the submission response.
+var transparentGIF = []byte{
+	0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00,
+	0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00,
+	0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00,
+	0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+}
+
+// Accept validates a submission and stores the resulting measurement. It is
+// the programmatic entry point used by the in-process client simulator; the
+// HTTP handler delegates to it.
+func (s *Server) Accept(sub core.Submission) error {
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	task, known := s.Tasks.Lookup(sub.MeasurementID)
+	if !known {
+		// Unknown measurement IDs are most likely crawler noise or
+		// poisoning attempts (§8); reject them.
+		return fmt.Errorf("collectserver: unknown measurement id %q", sub.MeasurementID)
+	}
+	if s.Guard != nil {
+		when := sub.Received
+		if when.IsZero() {
+			when = s.Now()
+		}
+		if err := s.Guard.Check(sub.ClientIP, sub.MeasurementID, string(sub.State), when); err != nil {
+			return err
+		}
+	}
+	region := geo.CountryCode("")
+	if s.Geo != nil && sub.ClientIP != "" {
+		if code, err := s.Geo.LookupString(sub.ClientIP); err == nil {
+			region = code
+		}
+	}
+	received := sub.Received
+	if received.IsZero() {
+		received = s.Now()
+	}
+	m := results.Measurement{
+		MeasurementID:  sub.MeasurementID,
+		PatternKey:     task.PatternKey,
+		TargetURL:      task.TargetURL,
+		TaskType:       task.Type,
+		State:          sub.State,
+		DurationMillis: sub.DurationMillis,
+		ClientIP:       sub.ClientIP,
+		Region:         region,
+		Browser:        ParseBrowserFamily(sub.UserAgent),
+		OriginSite:     sub.OriginSite,
+		Control:        task.Control,
+		Received:       received,
+	}
+	return s.Store.Add(m)
+}
+
+// clientIP extracts the submitting client's address, honouring
+// X-Forwarded-For when the collector sits behind a reverse proxy.
+func clientIP(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		parts := strings.Split(xff, ",")
+		return strings.TrimSpace(parts[0])
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ParseBrowserFamily maps a User-Agent string to a browser family, mirroring
+// the coarse parsing the paper's analysis needs ("Clients ran a variety of
+// Web browsers and operating systems").
+func ParseBrowserFamily(userAgent string) core.BrowserFamily {
+	ua := strings.ToLower(userAgent)
+	switch {
+	case strings.Contains(ua, "chrome") && !strings.Contains(ua, "edge"):
+		return core.BrowserChrome
+	case strings.Contains(ua, "firefox"):
+		return core.BrowserFirefox
+	case strings.Contains(ua, "safari") && !strings.Contains(ua, "chrome"):
+		return core.BrowserSafari
+	case strings.Contains(ua, "trident"), strings.Contains(ua, "msie"):
+		return core.BrowserIE
+	default:
+		return core.BrowserOther
+	}
+}
+
+// SubmitURL builds the submission URL a client-side task would request for a
+// given collector base URL, measurement ID and state; exposed so tests and
+// the client simulator construct exactly what the JavaScript does.
+func SubmitURL(collectorBase, measurementID string, state core.State, elapsedMillis float64) string {
+	base := strings.TrimSuffix(collectorBase, "/")
+	return fmt.Sprintf("%s/submit?cmh-id=%s&cmh-result=%s&cmh-elapsed=%.0f",
+		base, measurementID, state, elapsedMillis)
+}

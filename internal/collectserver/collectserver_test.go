@@ -1,0 +1,221 @@
+package collectserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+func testServer(t *testing.T) (*Server, *results.Store, *results.TaskIndex, *geo.Registry) {
+	t.Helper()
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	g := geo.NewRegistry(1)
+	s := New(store, index, g)
+	s.Now = func() time.Time { return time.Date(2014, 8, 1, 0, 0, 0, 0, time.UTC) }
+	return s, store, index, g
+}
+
+func registerTask(index *results.TaskIndex, id string, control bool) core.Task {
+	task := core.Task{
+		MeasurementID: id,
+		Type:          core.TaskImage,
+		TargetURL:     "http://youtube.com/favicon.ico",
+		PatternKey:    "domain:youtube.com",
+		Control:       control,
+	}
+	index.Register(task)
+	return task
+}
+
+func TestTaskIndex(t *testing.T) {
+	index := results.NewTaskIndex()
+	if index.Len() != 0 {
+		t.Fatal("new index not empty")
+	}
+	index.Register(core.Task{}) // no ID: ignored
+	if index.Len() != 0 {
+		t.Fatal("task without ID registered")
+	}
+	task := registerTask(index, "m-1", false)
+	got, ok := index.Lookup("m-1")
+	if !ok || got.PatternKey != task.PatternKey {
+		t.Fatalf("lookup failed: %+v", got)
+	}
+	if _, ok := index.Lookup("missing"); ok {
+		t.Fatal("missing ID found")
+	}
+}
+
+func TestAcceptSubmission(t *testing.T) {
+	s, store, index, g := testServer(t)
+	registerTask(index, "m-1", false)
+	ip, _ := g.RandomIP("PK")
+	sub := core.Submission{
+		MeasurementID: "m-1",
+		State:         core.StateFailure,
+		ClientIP:      ip.String(),
+		UserAgent:     "Mozilla/5.0 Chrome/39.0",
+		OriginSite:    "professor.example.edu",
+	}
+	if err := s.Accept(sub); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := store.Get("m-1")
+	if !ok {
+		t.Fatal("measurement not stored")
+	}
+	if m.Region != "PK" || m.Browser != core.BrowserChrome || m.PatternKey != "domain:youtube.com" {
+		t.Fatalf("measurement fields wrong: %+v", m)
+	}
+	if m.State != core.StateFailure || m.Received.IsZero() {
+		t.Fatalf("measurement state wrong: %+v", m)
+	}
+}
+
+func TestAcceptRejectsUnknownAndInvalid(t *testing.T) {
+	s, store, _, _ := testServer(t)
+	if err := s.Accept(core.Submission{MeasurementID: "unknown", State: core.StateSuccess}); err == nil {
+		t.Fatal("unknown measurement ID accepted (poisoning risk)")
+	}
+	if err := s.Accept(core.Submission{MeasurementID: "", State: core.StateSuccess}); err == nil {
+		t.Fatal("invalid submission accepted")
+	}
+	if store.Len() != 0 {
+		t.Fatal("rejected submissions stored")
+	}
+}
+
+func TestHTTPSubmit(t *testing.T) {
+	s, store, index, g := testServer(t)
+	registerTask(index, "m-7", false)
+	ip, _ := g.RandomIP("IR")
+
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	url := SubmitURL(srv.URL, "m-7", core.StateSuccess, 231)
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("User-Agent", "Mozilla/5.0 (X11) Firefox/35.0")
+	req.Header.Set("Referer", "http://blog.example.org/post.html")
+	req.Header.Set("X-Forwarded-For", ip.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/gif" {
+		t.Fatalf("content type=%q", ct)
+	}
+	if resp.Header.Get("Access-Control-Allow-Origin") != "*" {
+		t.Fatal("missing CORS header for cross-origin submissions")
+	}
+	m, ok := store.Get("m-7")
+	if !ok {
+		t.Fatal("measurement not stored via HTTP")
+	}
+	if m.Region != "IR" || m.Browser != core.BrowserFirefox || m.DurationMillis != 231 {
+		t.Fatalf("measurement fields wrong: %+v", m)
+	}
+	if m.OriginSite != "blog.example.org" {
+		t.Fatalf("origin site=%q", m.OriginSite)
+	}
+}
+
+func TestHTTPSubmitBadRequest(t *testing.T) {
+	s, _, _, _ := testServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/submit?cmh-id=&cmh-result=success")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status=%d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndNotFound(t *testing.T) {
+	s, _, _, _ := testServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status=%d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status=%d", resp.StatusCode)
+	}
+}
+
+func TestInitThenTerminalStateUpgrade(t *testing.T) {
+	s, store, index, _ := testServer(t)
+	registerTask(index, "m-9", false)
+	if err := s.Accept(core.Submission{MeasurementID: "m-9", State: core.StateInit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept(core.Submission{MeasurementID: "m-9", State: core.StateSuccess, DurationMillis: 88}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := store.Get("m-9")
+	if m.State != core.StateSuccess || store.Len() != 1 {
+		t.Fatalf("init/terminal merge broken: %+v (len=%d)", m, store.Len())
+	}
+}
+
+func TestControlFlagPropagates(t *testing.T) {
+	s, store, index, _ := testServer(t)
+	registerTask(index, "m-ctl", true)
+	if err := s.Accept(core.Submission{MeasurementID: "m-ctl", State: core.StateFailure}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := store.Get("m-ctl")
+	if !m.Control {
+		t.Fatal("control flag lost")
+	}
+}
+
+func TestParseBrowserFamily(t *testing.T) {
+	cases := map[string]core.BrowserFamily{
+		"Mozilla/5.0 (X11; Linux) AppleWebKit Chrome/39.0 Safari/537.36": core.BrowserChrome,
+		"Mozilla/5.0 (X11; rv:35.0) Gecko Firefox/35.0":                  core.BrowserFirefox,
+		"Mozilla/5.0 (Macintosh) AppleWebKit/600 Safari/600.3.18":        core.BrowserSafari,
+		"Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:11.0) like Gecko":  core.BrowserIE,
+		"curl/7.81.0": core.BrowserOther,
+		"":            core.BrowserOther,
+	}
+	for ua, want := range cases {
+		if got := ParseBrowserFamily(ua); got != want {
+			t.Errorf("ParseBrowserFamily(%q)=%v, want %v", ua, got, want)
+		}
+	}
+}
+
+func TestSubmitURL(t *testing.T) {
+	u := SubmitURL("http://collector.example.org/", "m-3", core.StateFailure, 1234)
+	if !strings.Contains(u, "cmh-id=m-3") || !strings.Contains(u, "cmh-result=failure") || !strings.Contains(u, "cmh-elapsed=1234") {
+		t.Fatalf("SubmitURL=%q", u)
+	}
+	if strings.Contains(u, "org//submit") {
+		t.Fatalf("double slash: %q", u)
+	}
+}

@@ -1,0 +1,170 @@
+// Package coordserver implements Encore's coordination server (§5.3-§5.4):
+// the component webmasters' pages reference from their one-line embed
+// snippet. When a client requests /task.js the server identifies the
+// client's browser family (from the User-Agent) and region (by geolocating
+// the address), asks the scheduler for one or more measurement tasks suited
+// to that client, registers the tasks so the collection server can attribute
+// results, and returns the generated JavaScript.
+package coordserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"encore/internal/collectserver"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+	"encore/internal/scheduler"
+)
+
+// Server is the coordination server. It implements http.Handler.
+type Server struct {
+	Scheduler *scheduler.Scheduler
+	Tasks     *results.TaskIndex
+	Geo       *geo.Registry
+	// Snippet options tell generated tasks where to submit results.
+	Snippet core.SnippetOptions
+	// Now is overridable for tests and simulation.
+	Now func() time.Time
+	// DefaultDwellSeconds is assumed when the client gives no hint about
+	// how long it will stay on the origin page.
+	DefaultDwellSeconds float64
+	// Obfuscate controls whether served task JavaScript is minified and
+	// obfuscated per client, as the paper's coordination server does
+	// (Appendix A, §8) to resist DPI-based blocking.
+	Obfuscate bool
+
+	served uint64
+}
+
+// New creates a coordination server.
+func New(sched *scheduler.Scheduler, tasks *results.TaskIndex, g *geo.Registry, snippet core.SnippetOptions) *Server {
+	return &Server{
+		Scheduler:           sched,
+		Tasks:               tasks,
+		Geo:                 g,
+		Snippet:             snippet,
+		Now:                 time.Now,
+		DefaultDwellSeconds: 15,
+	}
+}
+
+// TasksServed reports how many /task.js responses have been generated.
+func (s *Server) TasksServed() uint64 { return atomic.LoadUint64(&s.served) }
+
+// ServeHTTP routes /task.js, /frame.html, and /healthz.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Access-Control-Allow-Origin", "*")
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/task.js"):
+		s.handleTaskJS(w, r)
+	case strings.HasSuffix(r.URL.Path, "/frame.html"):
+		s.handleFrame(w, r)
+	case strings.HasSuffix(r.URL.Path, "/healthz"):
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "ok: %d task responses served\n", s.TasksServed())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ClientFromRequest derives the scheduling view of a client from its HTTP
+// request.
+func (s *Server) ClientFromRequest(r *http.Request) scheduler.ClientInfo {
+	info := scheduler.ClientInfo{
+		Browser:              collectserver.ParseBrowserFamily(r.UserAgent()),
+		ExpectedDwellSeconds: s.DefaultDwellSeconds,
+	}
+	ip := remoteIP(r)
+	if s.Geo != nil && ip != "" {
+		if code, err := s.Geo.LookupString(ip); err == nil {
+			info.Region = code
+		}
+	}
+	return info
+}
+
+// AssignAndRegister asks the scheduler for tasks for the client and registers
+// them in the task index. It is the programmatic entry point used by the
+// in-process client simulator; the HTTP handlers delegate to it.
+func (s *Server) AssignAndRegister(client scheduler.ClientInfo, now time.Time) []core.Task {
+	tasks := s.Scheduler.Assign(client, now)
+	for _, t := range tasks {
+		s.Tasks.Register(t)
+	}
+	if len(tasks) > 0 {
+		atomic.AddUint64(&s.served, 1)
+	}
+	return tasks
+}
+
+// handleTaskJS serves the measurement JavaScript for this client.
+func (s *Server) handleTaskJS(w http.ResponseWriter, r *http.Request) {
+	client := s.ClientFromRequest(r)
+	tasks := s.AssignAndRegister(client, s.Now())
+	w.Header().Set("Content-Type", "application/javascript")
+	w.Header().Set("Cache-Control", "no-store")
+	if len(tasks) == 0 {
+		fmt.Fprintln(w, "// encore: no measurement tasks available")
+		return
+	}
+	if !s.Obfuscate {
+		fmt.Fprintln(w, "// encore measurement tasks")
+	}
+	for _, t := range tasks {
+		fmt.Fprintln(w, s.renderTask(t))
+	}
+}
+
+// renderTask generates (and, if configured, obfuscates) the JavaScript for
+// one task.
+func (s *Server) renderTask(t core.Task) string {
+	js := core.GenerateTaskScript(t, s.Snippet)
+	if s.Obfuscate {
+		return core.ObfuscateScript(js, t.MeasurementID)
+	}
+	return js
+}
+
+// InlineTaskJS generates ready-to-inline task JavaScript for the client
+// behind the request. Origin servers operating in webmaster-proxy mode (§8)
+// call this so the measurement task travels inside the origin's own page and
+// the client never contacts the coordination server directly.
+func (s *Server) InlineTaskJS(r *http.Request) string {
+	client := s.ClientFromRequest(r)
+	tasks := s.AssignAndRegister(client, s.Now())
+	if len(tasks) == 0 {
+		return "// encore: no measurement tasks available\n"
+	}
+	var b strings.Builder
+	for _, t := range tasks {
+		b.WriteString(s.renderTask(t))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// handleFrame serves a minimal HTML document that loads /task.js, for
+// webmasters who prefer the iframe embed.
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>encore</title></head><body>%s</body></html>\n",
+		core.EmbedSnippet(s.Snippet))
+}
+
+func remoteIP(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		parts := strings.Split(xff, ",")
+		return strings.TrimSpace(parts[0])
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func generated() (Task, string) {
+	task := Task{
+		MeasurementID: "m-obfuscate-1",
+		Type:          TaskImage,
+		TargetURL:     "http://censored.com/favicon.ico",
+		PatternKey:    "domain:censored.com",
+	}
+	js := GenerateTaskScript(task, SnippetOptions{
+		CoordinatorURL: "//coordinator.example.org",
+		CollectorURL:   "//collector.example.org",
+	})
+	return task, js
+}
+
+func TestMinifyScript(t *testing.T) {
+	_, js := generated()
+	withComment := "// encore measurement tasks\n" + js
+	min := MinifyScript(withComment)
+	if len(min) >= len(withComment) {
+		t.Fatalf("minified script not smaller: %d vs %d", len(min), len(withComment))
+	}
+	if strings.Contains(min, "// encore") {
+		t.Fatal("comment survived minification")
+	}
+	// Functional content must survive: target URL, collector, callbacks.
+	for _, want := range []string{"//censored.com/favicon.ico", "collector.example.org", "onload", "onerror", `submitToCollector("init")`} {
+		if !strings.Contains(min, want) {
+			t.Fatalf("minified script lost %q", want)
+		}
+	}
+	if MinifyScript("") != "" {
+		t.Fatal("empty script should minify to empty")
+	}
+}
+
+func TestObfuscateScriptRenamesIdentifiers(t *testing.T) {
+	task, js := generated()
+	obf := ObfuscateScript(js, task.MeasurementID)
+	if strings.Contains(obf, "var M = Object()") || strings.Contains(obf, "M.sendSuccess") {
+		t.Fatalf("well-known identifiers survived obfuscation:\n%s", obf)
+	}
+	// Behaviour-critical strings must survive.
+	for _, want := range []string{task.MeasurementID, "//censored.com/favicon.ico", "collector.example.org", "cmh-id", "cmh-result"} {
+		if !strings.Contains(obf, want) {
+			t.Fatalf("obfuscated script lost %q", want)
+		}
+	}
+	// Different seeds produce different identifiers (no fixed signature).
+	other := ObfuscateScript(js, "m-obfuscate-2")
+	if obf == other {
+		t.Fatal("obfuscation is identical across seeds; DPI could signature it")
+	}
+}
+
+func TestQuickObfuscationPreservesSubmissionProtocol(t *testing.T) {
+	opts := SnippetOptions{CoordinatorURL: "//c.example.org", CollectorURL: "//d.example.org"}
+	types := TaskTypes()
+	f := func(idRaw uint32, typePick uint8) bool {
+		task := Task{
+			MeasurementID:  "m-" + identifierSuffix(string(rune('a'+idRaw%26))),
+			Type:           types[int(typePick)%len(types)],
+			TargetURL:      "http://t.example.net/x.png",
+			CachedImageURL: "http://t.example.net/y.png",
+			PatternKey:     "domain:t.example.net",
+		}
+		js := GenerateTaskScript(task, opts)
+		obf := ObfuscateScript(js, task.MeasurementID)
+		return strings.Contains(obf, task.MeasurementID) &&
+			strings.Contains(obf, "d.example.org") &&
+			strings.Contains(obf, "cmh-result") &&
+			!strings.Contains(obf, "var M = Object()")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

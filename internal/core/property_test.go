@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickScriptTasksOnlyForChrome checks that SuitableTypes never proposes
+// the script mechanism to a browser family that cannot run it, regardless of
+// the candidate's attributes.
+func TestQuickScriptTasksOnlyForChrome(t *testing.T) {
+	req := DefaultRequirements()
+	f := func(size uint32, mimePick, familyPick uint8, cacheable, nosniff bool) bool {
+		mimes := []string{"image/png", "text/css", "text/html", "application/javascript", "video/mp4"}
+		families := BrowserFamilies()
+		c := Candidate{
+			URL:       "http://example.com/object",
+			MIMEType:  mimes[int(mimePick)%len(mimes)],
+			SizeBytes: int(size % 2_000_000),
+			Cacheable: cacheable,
+			NoSniff:   nosniff,
+		}
+		family := families[int(familyPick)%len(families)]
+		for _, tt := range req.SuitableTypes(c, family) {
+			if tt == TaskScript && family != BrowserChrome {
+				return false
+			}
+			// Whatever is proposed must also pass the explicit check.
+			if err := req.CheckCandidate(tt, c); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeneratedTaskScriptsAreWellFormed checks invariants of the
+// generated client-side JavaScript over arbitrary task parameters: the
+// measurement ID and collector URL always appear, an init submission and a
+// failure timeout are always present, and the script never contains an
+// unescaped measurement target that could break out of its string literal.
+func TestQuickGeneratedTaskScriptsAreWellFormed(t *testing.T) {
+	opts := SnippetOptions{CoordinatorURL: "//coordinator.example.org", CollectorURL: "//collector.example.org"}
+	f := func(idRaw uint32, typePick uint8, pathRaw uint16, timeout uint16) bool {
+		id := fmt.Sprintf("m-%08x", idRaw)
+		types := TaskTypes()
+		task := Task{
+			MeasurementID:  id,
+			Type:           types[int(typePick)%len(types)],
+			TargetURL:      fmt.Sprintf("http://target.example.net/obj-%d.png", pathRaw),
+			CachedImageURL: fmt.Sprintf("http://target.example.net/img-%d.png", pathRaw),
+			PatternKey:     "domain:target.example.net",
+			TimeoutMillis:  int(timeout),
+		}
+		js := GenerateTaskScript(task, opts)
+		if !strings.Contains(js, id) {
+			return false
+		}
+		if !strings.Contains(js, "collector.example.org") {
+			return false
+		}
+		if !strings.Contains(js, `submitToCollector("init")`) {
+			return false
+		}
+		if !strings.Contains(js, "setTimeout(M.sendFailure") {
+			return false
+		}
+		if strings.Contains(js, "eval(") {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTaskValidationConsistency checks that Validate accepts exactly the
+// tasks that carry all required fields for their type.
+func TestQuickTaskValidationConsistency(t *testing.T) {
+	f := func(typePick uint8, hasID, hasTarget, hasPattern, hasCached bool) bool {
+		types := TaskTypes()
+		task := Task{Type: types[int(typePick)%len(types)]}
+		if hasID {
+			task.MeasurementID = "m-1"
+		}
+		if hasTarget {
+			task.TargetURL = "http://t.example.org/x"
+		}
+		if hasPattern {
+			task.PatternKey = "domain:t.example.org"
+		}
+		if hasCached {
+			task.CachedImageURL = "http://t.example.org/y.png"
+		}
+		err := task.Validate()
+		complete := hasID && hasTarget && hasPattern && (task.Type != TaskIFrame || hasCached)
+		return (err == nil) == complete
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

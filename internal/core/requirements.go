@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Requirements captures the per-mechanism constraints of Table 1 and §5.2
+// that the Task Generator enforces before a resource may be measured. The
+// zero value is not useful; use DefaultRequirements.
+type Requirements struct {
+	// MaxImageBytes bounds the size of images used by image tasks so that
+	// downloading and rendering them does not affect user experience
+	// ("Only small images (e.g., <= 1 KB)").
+	MaxImageBytes int
+	// RelaxedImageBytes is the looser bound (5 KB in the paper's analysis)
+	// used when no single-packet image exists on a domain.
+	RelaxedImageBytes int
+	// MaxPageBytes bounds the total weight of pages loaded in hidden
+	// iframes ("Only small pages (e.g., <= 100 KB)").
+	MaxPageBytes int
+	// RequireCacheableImage requires iframe targets to embed at least one
+	// cacheable image to time.
+	RequireCacheableImage bool
+	// ForbidLargeMedia excludes pages that load flash, video, or audio from
+	// iframe tasks (§5.2: "excludes pages that load flash applets, videos,
+	// or any other large objects").
+	ForbidLargeMedia bool
+	// RequireNoSniff requires script-task targets to serve
+	// X-Content-Type-Options: nosniff so non-Chrome browsers that
+	// accidentally receive the task cannot be tricked into executing
+	// non-script content (§4.3.2).
+	RequireNoSniff bool
+	// MaxStylesheetBytes bounds style-sheet task targets; sheets are
+	// "generally small and load quickly".
+	MaxStylesheetBytes int
+	// MaxSnippetBytes bounds the size of the embed snippet added to origin
+	// pages (§6.3: "our prototype adds only 100 bytes to each origin
+	// page").
+	MaxSnippetBytes int
+}
+
+// DefaultRequirements returns the thresholds used in the paper.
+func DefaultRequirements() Requirements {
+	return Requirements{
+		MaxImageBytes:         1024,
+		RelaxedImageBytes:     5 * 1024,
+		MaxPageBytes:          100 * 1024,
+		RequireCacheableImage: true,
+		ForbidLargeMedia:      true,
+		RequireNoSniff:        true,
+		MaxStylesheetBytes:    64 * 1024,
+		MaxSnippetBytes:       200,
+	}
+}
+
+// Candidate describes a resource (or page) being considered for measurement,
+// using only attributes the Target Fetcher can observe in a HAR file.
+type Candidate struct {
+	URL string
+	// MIMEType is the served content type.
+	MIMEType string
+	// SizeBytes is the resource size (for pages, the page's own HTML size).
+	SizeBytes int
+	// Cacheable reports whether caching headers allow reuse.
+	Cacheable bool
+	// NoSniff reports whether the response carries nosniff.
+	NoSniff bool
+
+	// Page-level attributes, only meaningful for iframe candidates.
+	PageTotalBytes  int
+	CacheableImages int
+	HasLargeMedia   bool
+	// HasSideEffects marks pages whose URLs look like they mutate server
+	// state (logout links, cart operations); such pages must not be loaded.
+	HasSideEffects bool
+}
+
+// ErrUnsuitable is wrapped by all rejection reasons from CheckCandidate.
+var ErrUnsuitable = errors.New("core: resource unsuitable for task type")
+
+// CheckCandidate reports whether the candidate may be measured with the given
+// mechanism under these requirements. A nil error means the candidate is
+// acceptable.
+func (req Requirements) CheckCandidate(t TaskType, c Candidate) error {
+	switch t {
+	case TaskImage:
+		if !strings.HasPrefix(strings.ToLower(c.MIMEType), "image/") {
+			return fmt.Errorf("%w: image task requires an image, got %q", ErrUnsuitable, c.MIMEType)
+		}
+		limit := req.MaxImageBytes
+		if limit <= 0 {
+			limit = 1024
+		}
+		if c.SizeBytes > req.RelaxedImageBytes && req.RelaxedImageBytes > 0 {
+			return fmt.Errorf("%w: image is %d bytes, exceeds relaxed bound %d", ErrUnsuitable, c.SizeBytes, req.RelaxedImageBytes)
+		}
+		return nil
+	case TaskStylesheet:
+		if !strings.Contains(strings.ToLower(c.MIMEType), "css") {
+			return fmt.Errorf("%w: stylesheet task requires text/css, got %q", ErrUnsuitable, c.MIMEType)
+		}
+		if c.SizeBytes <= 0 {
+			return fmt.Errorf("%w: stylesheet task requires a non-empty sheet", ErrUnsuitable)
+		}
+		if req.MaxStylesheetBytes > 0 && c.SizeBytes > req.MaxStylesheetBytes {
+			return fmt.Errorf("%w: stylesheet is %d bytes, exceeds %d", ErrUnsuitable, c.SizeBytes, req.MaxStylesheetBytes)
+		}
+		return nil
+	case TaskIFrame:
+		if !strings.Contains(strings.ToLower(c.MIMEType), "html") {
+			return fmt.Errorf("%w: iframe task requires an HTML page, got %q", ErrUnsuitable, c.MIMEType)
+		}
+		if req.MaxPageBytes > 0 && c.PageTotalBytes > req.MaxPageBytes {
+			return fmt.Errorf("%w: page loads %d bytes, exceeds %d", ErrUnsuitable, c.PageTotalBytes, req.MaxPageBytes)
+		}
+		if req.RequireCacheableImage && c.CacheableImages == 0 {
+			return fmt.Errorf("%w: page embeds no cacheable images to time", ErrUnsuitable)
+		}
+		if req.ForbidLargeMedia && c.HasLargeMedia {
+			return fmt.Errorf("%w: page embeds large media", ErrUnsuitable)
+		}
+		if c.HasSideEffects {
+			return fmt.Errorf("%w: page has likely server side effects", ErrUnsuitable)
+		}
+		return nil
+	case TaskScript:
+		if req.RequireNoSniff && !c.NoSniff {
+			return fmt.Errorf("%w: script task requires X-Content-Type-Options: nosniff", ErrUnsuitable)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown task type %v", ErrUnsuitable, t)
+	}
+}
+
+// PreferredImageBound reports whether the candidate image fits the strict
+// single-packet bound (as opposed to merely the relaxed bound).
+func (req Requirements) PreferredImageBound(c Candidate) bool {
+	limit := req.MaxImageBytes
+	if limit <= 0 {
+		limit = 1024
+	}
+	return c.SizeBytes <= limit
+}
+
+// SuitableTypes returns every task type that may measure the candidate under
+// the requirements, honouring the client's browser family when one is known
+// (pass BrowserOther to ignore browser constraints at generation time and
+// filter at scheduling time instead).
+func (req Requirements) SuitableTypes(c Candidate, family BrowserFamily) []TaskType {
+	var out []TaskType
+	for _, t := range TaskTypes() {
+		if !family.SupportsTask(t) && t == TaskScript {
+			continue
+		}
+		if err := req.CheckCandidate(t, c); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LikelySideEffects reports whether a URL looks like it changes server state
+// and therefore must not be fetched by measurement tasks (§4.2: "measurement
+// tasks should try to only test URLs without obvious server side-effects").
+func LikelySideEffects(url string) bool {
+	lower := strings.ToLower(url)
+	for _, marker := range []string{
+		"logout", "login", "signin", "signout", "delete", "remove",
+		"add-to-cart", "cart/add", "checkout", "purchase", "unsubscribe",
+		"vote", "like?", "post?", "submit", "action=",
+	} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// MechanismSummary is one row of Table 1: the mechanism, how it observes
+// success, and its limitations.
+type MechanismSummary struct {
+	Type        TaskType
+	Summary     string
+	Feedback    Feedback
+	Limitations []string
+	ChromeOnly  bool
+}
+
+// Table1 returns the mechanism matrix exactly as the paper presents it; the
+// E1 benchmark validates the running system against this table.
+func Table1() []MechanismSummary {
+	return []MechanismSummary{
+		{
+			Type:     TaskImage,
+			Summary:  "Render an image. Browser fires onload if successful.",
+			Feedback: FeedbackExplicit,
+			Limitations: []string{
+				"Only small images (e.g., <= 1 KB).",
+			},
+		},
+		{
+			Type:     TaskStylesheet,
+			Summary:  "Load a style sheet and test its effects.",
+			Feedback: FeedbackStyleProbe,
+			Limitations: []string{
+				"Only non-empty style sheets.",
+			},
+		},
+		{
+			Type:     TaskIFrame,
+			Summary:  "Load a Web page in an iframe, then load an image embedded on that page; cached images render quickly, implying the page was not filtered.",
+			Feedback: FeedbackTiming,
+			Limitations: []string{
+				"Only pages with cacheable images.",
+				"Only small pages (e.g., <= 100 KB).",
+				"Only pages without side effects.",
+			},
+		},
+		{
+			Type:     TaskScript,
+			Summary:  "Load and evaluate a resource as a script. Chrome fires onload iff it fetched the resource with HTTP 200 status.",
+			Feedback: FeedbackExplicit,
+			Limitations: []string{
+				"Only with Chrome.",
+				"Only with strict MIME type checking.",
+			},
+			ChromeOnly: true,
+		},
+	}
+}

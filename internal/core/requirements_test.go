@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckImageCandidate(t *testing.T) {
+	req := DefaultRequirements()
+	small := Candidate{URL: "http://x.com/favicon.ico", MIMEType: "image/x-icon", SizeBytes: 800}
+	if err := req.CheckCandidate(TaskImage, small); err != nil {
+		t.Fatalf("small image rejected: %v", err)
+	}
+	if !req.PreferredImageBound(small) {
+		t.Fatal("800-byte image should satisfy the strict bound")
+	}
+	medium := Candidate{MIMEType: "image/png", SizeBytes: 3000}
+	if err := req.CheckCandidate(TaskImage, medium); err != nil {
+		t.Fatalf("3KB image should pass under the relaxed bound: %v", err)
+	}
+	if req.PreferredImageBound(medium) {
+		t.Fatal("3KB image should not satisfy the strict bound")
+	}
+	big := Candidate{MIMEType: "image/jpeg", SizeBytes: 200 * 1024}
+	if err := req.CheckCandidate(TaskImage, big); !errors.Is(err, ErrUnsuitable) {
+		t.Fatalf("200KB image should be rejected: %v", err)
+	}
+	notImage := Candidate{MIMEType: "text/html", SizeBytes: 500}
+	if err := req.CheckCandidate(TaskImage, notImage); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("non-image should be rejected for image task")
+	}
+}
+
+func TestCheckStylesheetCandidate(t *testing.T) {
+	req := DefaultRequirements()
+	ok := Candidate{MIMEType: "text/css", SizeBytes: 4000}
+	if err := req.CheckCandidate(TaskStylesheet, ok); err != nil {
+		t.Fatalf("stylesheet rejected: %v", err)
+	}
+	empty := Candidate{MIMEType: "text/css", SizeBytes: 0}
+	if err := req.CheckCandidate(TaskStylesheet, empty); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("empty stylesheet should be rejected (Table 1)")
+	}
+	wrong := Candidate{MIMEType: "application/javascript", SizeBytes: 100}
+	if err := req.CheckCandidate(TaskStylesheet, wrong); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("non-CSS should be rejected")
+	}
+	huge := Candidate{MIMEType: "text/css", SizeBytes: 10 << 20}
+	if err := req.CheckCandidate(TaskStylesheet, huge); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("oversized stylesheet should be rejected")
+	}
+}
+
+func TestCheckIFrameCandidate(t *testing.T) {
+	req := DefaultRequirements()
+	good := Candidate{
+		MIMEType:        "text/html",
+		PageTotalBytes:  80 * 1024,
+		CacheableImages: 3,
+	}
+	if err := req.CheckCandidate(TaskIFrame, good); err != nil {
+		t.Fatalf("good iframe page rejected: %v", err)
+	}
+	tooBig := good
+	tooBig.PageTotalBytes = 500 * 1024
+	if err := req.CheckCandidate(TaskIFrame, tooBig); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("pages over 100KB must be rejected (§5.2)")
+	}
+	noCache := good
+	noCache.CacheableImages = 0
+	if err := req.CheckCandidate(TaskIFrame, noCache); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("pages without cacheable images must be rejected (Table 1)")
+	}
+	media := good
+	media.HasLargeMedia = true
+	if err := req.CheckCandidate(TaskIFrame, media); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("pages with flash/video must be rejected (§5.2)")
+	}
+	sideEffects := good
+	sideEffects.HasSideEffects = true
+	if err := req.CheckCandidate(TaskIFrame, sideEffects); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("pages with side effects must be rejected (Table 1)")
+	}
+	notHTML := good
+	notHTML.MIMEType = "image/png"
+	if err := req.CheckCandidate(TaskIFrame, notHTML); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("non-HTML iframe target must be rejected")
+	}
+}
+
+func TestCheckScriptCandidate(t *testing.T) {
+	req := DefaultRequirements()
+	nosniff := Candidate{MIMEType: "image/png", SizeBytes: 900, NoSniff: true}
+	if err := req.CheckCandidate(TaskScript, nosniff); err != nil {
+		t.Fatalf("nosniff target rejected: %v", err)
+	}
+	sniffable := Candidate{MIMEType: "image/png", SizeBytes: 900, NoSniff: false}
+	if err := req.CheckCandidate(TaskScript, sniffable); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("targets without nosniff must be rejected (strict MIME checking)")
+	}
+	relaxed := req
+	relaxed.RequireNoSniff = false
+	if err := relaxed.CheckCandidate(TaskScript, sniffable); err != nil {
+		t.Fatalf("relaxed requirements should accept: %v", err)
+	}
+}
+
+func TestCheckUnknownTaskType(t *testing.T) {
+	req := DefaultRequirements()
+	if err := req.CheckCandidate(TaskType(99), Candidate{}); !errors.Is(err, ErrUnsuitable) {
+		t.Fatal("unknown task type should be rejected")
+	}
+}
+
+func TestSuitableTypes(t *testing.T) {
+	req := DefaultRequirements()
+	icon := Candidate{MIMEType: "image/x-icon", SizeBytes: 700, NoSniff: true, Cacheable: true}
+	chromeTypes := req.SuitableTypes(icon, BrowserChrome)
+	if len(chromeTypes) != 2 {
+		t.Fatalf("Chrome should get image+script for a nosniff icon, got %v", chromeTypes)
+	}
+	ffTypes := req.SuitableTypes(icon, BrowserFirefox)
+	if len(ffTypes) != 1 || ffTypes[0] != TaskImage {
+		t.Fatalf("Firefox should only get the image task, got %v", ffTypes)
+	}
+	page := Candidate{MIMEType: "text/html", PageTotalBytes: 50 * 1024, CacheableImages: 2}
+	pageTypes := req.SuitableTypes(page, BrowserSafari)
+	if len(pageTypes) != 1 || pageTypes[0] != TaskIFrame {
+		t.Fatalf("small cacheable page should map to iframe task, got %v", pageTypes)
+	}
+}
+
+func TestLikelySideEffects(t *testing.T) {
+	risky := []string{
+		"http://shop.example.com/cart/add?id=3",
+		"http://example.com/account/logout",
+		"http://example.com/forum?action=post",
+		"http://example.com/unsubscribe?u=1",
+	}
+	for _, u := range risky {
+		if !LikelySideEffects(u) {
+			t.Errorf("%q should be flagged as having side effects", u)
+		}
+	}
+	safe := []string{
+		"http://example.com/news/article-17.html",
+		"http://example.com/images/logo.png",
+		"http://example.com/about/",
+	}
+	for _, u := range safe {
+		if LikelySideEffects(u) {
+			t.Errorf("%q should not be flagged", u)
+		}
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has four rows, got %d", len(rows))
+	}
+	byType := map[TaskType]MechanismSummary{}
+	for _, r := range rows {
+		if r.Summary == "" || len(r.Limitations) == 0 {
+			t.Fatalf("row %v incomplete", r.Type)
+		}
+		byType[r.Type] = r
+	}
+	if !byType[TaskScript].ChromeOnly {
+		t.Fatal("script row must be marked Chrome-only")
+	}
+	if byType[TaskImage].ChromeOnly {
+		t.Fatal("image row must not be Chrome-only")
+	}
+	if byType[TaskIFrame].Feedback != FeedbackTiming {
+		t.Fatal("iframe row must use timing feedback")
+	}
+	if len(byType[TaskIFrame].Limitations) != 3 {
+		t.Fatal("iframe row lists three limitations in the paper")
+	}
+}
+
+func TestDefaultRequirementsMatchPaperThresholds(t *testing.T) {
+	req := DefaultRequirements()
+	if req.MaxImageBytes != 1024 {
+		t.Fatalf("MaxImageBytes=%d, want 1024 (<=1 KB)", req.MaxImageBytes)
+	}
+	if req.RelaxedImageBytes != 5*1024 {
+		t.Fatalf("RelaxedImageBytes=%d, want 5120 (<=5 KB)", req.RelaxedImageBytes)
+	}
+	if req.MaxPageBytes != 100*1024 {
+		t.Fatalf("MaxPageBytes=%d, want 102400 (<=100 KB)", req.MaxPageBytes)
+	}
+	if !req.RequireCacheableImage || !req.ForbidLargeMedia || !req.RequireNoSniff {
+		t.Fatal("paper's conservative defaults should all be enabled")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SnippetOptions parameterize the client-side code Encore generates: the
+// webmaster-facing embed snippet and the per-task JavaScript served by the
+// coordination server.
+type SnippetOptions struct {
+	// CoordinatorURL is the base URL of the coordination server, e.g.
+	// "//coordinator.example.org".
+	CoordinatorURL string
+	// CollectorURL is the base URL of the collection server.
+	CollectorURL string
+}
+
+// EmbedSnippet returns the one-line HTML a webmaster adds to a page to enable
+// Encore (§5.4). It references the coordination server, which generates a
+// measurement task specific to the client on the fly.
+func EmbedSnippet(opts SnippetOptions) string {
+	base := strings.TrimSuffix(opts.CoordinatorURL, "/")
+	return fmt.Sprintf(`<script async src="%s/task.js"></script>`, base)
+}
+
+// EmbedSnippetIFrame returns the alternative iframe-based embed the paper
+// also describes, which isolates Encore entirely from the hosting page.
+func EmbedSnippetIFrame(opts SnippetOptions) string {
+	base := strings.TrimSuffix(opts.CoordinatorURL, "/")
+	return fmt.Sprintf(`<iframe src="%s/frame.html" style="display:none" width="0" height="0"></iframe>`, base)
+}
+
+// GenerateTaskScript renders the JavaScript measurement task the coordination server
+// serves to a client (Appendix A). The script embeds the target resource
+// according to the task's mechanism, wires success/failure callbacks, and
+// submits results to the collection server with the measurement ID.
+func GenerateTaskScript(t Task, opts SnippetOptions) string {
+	collector := strings.TrimSuffix(opts.CollectorURL, "/")
+	var b strings.Builder
+	b.WriteString("(function(){\n")
+	b.WriteString("var M = Object();\n")
+	fmt.Fprintf(&b, "M.measurementId = %q;\n", t.MeasurementID)
+	fmt.Fprintf(&b, "M.taskType = %q;\n", t.Type.String())
+	fmt.Fprintf(&b, "M.started = (new Date()).getTime();\n")
+	fmt.Fprintf(&b, `M.submitToCollector = function(state) {
+  var img = new Image();
+  img.src = %q + "/submit?cmh-id=" + encodeURIComponent(M.measurementId) +
+    "&cmh-result=" + encodeURIComponent(state) +
+    "&cmh-elapsed=" + ((new Date()).getTime() - M.started);
+};
+`, collector)
+	b.WriteString("M.sendSuccess = function() { M.submitToCollector(\"success\"); };\n")
+	b.WriteString("M.sendFailure = function() { M.submitToCollector(\"failure\"); };\n")
+
+	switch t.Type {
+	case TaskImage:
+		fmt.Fprintf(&b, `M.measure = function() {
+  var img = document.createElement('img');
+  img.src = %q;
+  img.style.display = 'none';
+  img.onload = M.sendSuccess;
+  img.onerror = M.sendFailure;
+  document.body.appendChild(img);
+};
+`, schemeRelative(t.TargetURL))
+	case TaskStylesheet:
+		fmt.Fprintf(&b, `M.measure = function() {
+  var frame = document.createElement('iframe');
+  frame.style.display = 'none';
+  document.body.appendChild(frame);
+  var doc = frame.contentDocument;
+  var link = doc.createElement('link');
+  link.rel = 'stylesheet';
+  link.href = %q;
+  var probe = doc.createElement('p');
+  doc.body.appendChild(probe);
+  link.onload = function() {
+    var color = frame.contentWindow.getComputedStyle(probe).color;
+    if (color === 'rgb(0, 0, 255)') { M.sendSuccess(); } else { M.sendFailure(); }
+  };
+  link.onerror = M.sendFailure;
+  doc.head.appendChild(link);
+};
+`, schemeRelative(t.TargetURL))
+	case TaskIFrame:
+		fmt.Fprintf(&b, `M.measure = function() {
+  var frame = document.createElement('iframe');
+  frame.style.display = 'none';
+  frame.src = %q;
+  var done = function() {
+    var started = (new Date()).getTime();
+    var img = document.createElement('img');
+    img.style.display = 'none';
+    img.src = %q + '?cachecheck=' ;
+    img.onload = function() {
+      var elapsed = (new Date()).getTime() - started;
+      if (elapsed < 50) { M.sendSuccess(); } else { M.sendFailure(); }
+    };
+    img.onerror = M.sendFailure;
+    document.body.appendChild(img);
+  };
+  frame.onload = done;
+  setTimeout(done, %d);
+  document.body.appendChild(frame);
+};
+`, schemeRelative(t.TargetURL), schemeRelative(t.CachedImageURL), t.TimeoutOrDefaultMillis())
+	case TaskScript:
+		fmt.Fprintf(&b, `M.measure = function() {
+  var s = document.createElement('script');
+  s.src = %q;
+  s.onload = M.sendSuccess;
+  s.onerror = M.sendFailure;
+  document.head.appendChild(s);
+};
+`, schemeRelative(t.TargetURL))
+	}
+
+	b.WriteString("M.submitToCollector(\"init\");\n")
+	fmt.Fprintf(&b, "setTimeout(M.sendFailure, %d);\n", t.TimeoutOrDefaultMillis())
+	b.WriteString("if (document.readyState === 'complete') { M.measure(); } else { window.addEventListener('load', M.measure); }\n")
+	b.WriteString("})();\n")
+	return b.String()
+}
+
+// TimeoutOrDefaultMillis returns the task timeout in milliseconds,
+// defaulting to 30000.
+func (t Task) TimeoutOrDefaultMillis() int {
+	if t.TimeoutMillis <= 0 {
+		return 30000
+	}
+	return t.TimeoutMillis
+}
+
+// schemeRelative rewrites http(s) URLs as scheme-relative ("//host/path") so
+// the measurement request inherits the scheme of the origin page, as the
+// paper's example tasks do.
+func schemeRelative(url string) string {
+	for _, prefix := range []string{"https://", "http://"} {
+		if strings.HasPrefix(url, prefix) {
+			return "//" + strings.TrimPrefix(url, prefix)
+		}
+	}
+	return url
+}
+
+// SnippetOverheadBytes returns the number of bytes the webmaster-facing embed
+// snippet adds to an origin page; §6.3 reports roughly 100 bytes.
+func SnippetOverheadBytes(opts SnippetOptions) int {
+	return len(EmbedSnippet(opts))
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func snippetOpts() SnippetOptions {
+	return SnippetOptions{
+		CoordinatorURL: "//coordinator.encore-test.org",
+		CollectorURL:   "//collector.encore-test.org",
+	}
+}
+
+func TestEmbedSnippetIsOneLineAndSmall(t *testing.T) {
+	s := EmbedSnippet(snippetOpts())
+	if strings.Contains(s, "\n") {
+		t.Fatal("embed snippet must be a single line")
+	}
+	if !strings.Contains(s, "coordinator.encore-test.org/task.js") {
+		t.Fatalf("snippet does not reference the coordinator: %q", s)
+	}
+	// §6.3: "our prototype adds only 100 bytes to each origin page".
+	if n := SnippetOverheadBytes(snippetOpts()); n > DefaultRequirements().MaxSnippetBytes {
+		t.Fatalf("snippet is %d bytes, exceeding the %d-byte budget", n, DefaultRequirements().MaxSnippetBytes)
+	}
+}
+
+func TestEmbedSnippetIFrame(t *testing.T) {
+	s := EmbedSnippetIFrame(snippetOpts())
+	if !strings.Contains(s, "<iframe") || !strings.Contains(s, "display:none") {
+		t.Fatalf("iframe embed malformed: %q", s)
+	}
+}
+
+func TestEmbedSnippetTrailingSlash(t *testing.T) {
+	s := EmbedSnippet(SnippetOptions{CoordinatorURL: "//c.example.org/"})
+	if strings.Contains(s, "org//task.js") {
+		t.Fatalf("double slash in snippet: %q", s)
+	}
+}
+
+func TestTaskScriptImage(t *testing.T) {
+	task := Task{
+		MeasurementID: "uuid-42",
+		Type:          TaskImage,
+		TargetURL:     "http://censored.com/favicon.ico",
+		PatternKey:    "domain:censored.com",
+	}
+	js := GenerateTaskScript(task, snippetOpts())
+	for _, want := range []string{
+		`"uuid-42"`,
+		"//censored.com/favicon.ico",
+		"onload",
+		"onerror",
+		"display",
+		`submitToCollector("init")`,
+		"collector.encore-test.org",
+		"cmh-id", "cmh-result",
+	} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("image task script missing %q:\n%s", want, js)
+		}
+	}
+	// The task must not execute content from the measurement target.
+	if strings.Contains(js, "eval(") {
+		t.Fatal("task script must not eval remote content")
+	}
+}
+
+func TestTaskScriptStylesheet(t *testing.T) {
+	task := Task{
+		MeasurementID: "uuid-43",
+		Type:          TaskStylesheet,
+		TargetURL:     "https://cdn.censored.com/style.css",
+		PatternKey:    "domain:censored.com",
+	}
+	js := GenerateTaskScript(task, snippetOpts())
+	for _, want := range []string{"stylesheet", "getComputedStyle", "rgb(0, 0, 255)", "//cdn.censored.com/style.css", "iframe"} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("stylesheet task script missing %q", want)
+		}
+	}
+}
+
+func TestTaskScriptIFrame(t *testing.T) {
+	task := Task{
+		MeasurementID:  "uuid-44",
+		Type:           TaskIFrame,
+		TargetURL:      "http://censored.com/news/page-001.html",
+		CachedImageURL: "http://censored.com/static/shared-1.png",
+		PatternKey:     "exact:censored.com/news/page-001.html",
+		TimeoutMillis:  8000,
+	}
+	js := GenerateTaskScript(task, snippetOpts())
+	for _, want := range []string{"iframe", "//censored.com/news/page-001.html", "//censored.com/static/shared-1.png", "elapsed < 50", "8000"} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("iframe task script missing %q", want)
+		}
+	}
+}
+
+func TestTaskScriptScriptMechanism(t *testing.T) {
+	task := Task{
+		MeasurementID: "uuid-45",
+		Type:          TaskScript,
+		TargetURL:     "http://censored.com/logo.png",
+		PatternKey:    "domain:censored.com",
+	}
+	js := GenerateTaskScript(task, snippetOpts())
+	for _, want := range []string{"createElement('script')", "//censored.com/logo.png", "onload", "onerror"} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("script task script missing %q", want)
+		}
+	}
+}
+
+func TestTaskScriptAlwaysSubmitsInitAndHasTimeout(t *testing.T) {
+	for _, tt := range TaskTypes() {
+		task := Task{MeasurementID: "m", Type: tt, TargetURL: "http://t.com/x",
+			CachedImageURL: "http://t.com/y.png", PatternKey: "k"}
+		js := GenerateTaskScript(task, snippetOpts())
+		if !strings.Contains(js, `submitToCollector("init")`) {
+			t.Fatalf("%v task does not submit init", tt)
+		}
+		if !strings.Contains(js, "setTimeout(M.sendFailure") {
+			t.Fatalf("%v task has no failure timeout", tt)
+		}
+	}
+}
+
+func TestSchemeRelative(t *testing.T) {
+	if got := schemeRelative("http://a.com/x"); got != "//a.com/x" {
+		t.Fatalf("got %q", got)
+	}
+	if got := schemeRelative("https://a.com/x"); got != "//a.com/x" {
+		t.Fatalf("got %q", got)
+	}
+	if got := schemeRelative("//a.com/x"); got != "//a.com/x" {
+		t.Fatalf("got %q", got)
+	}
+}

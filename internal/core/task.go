@@ -1,0 +1,305 @@
+// Package core implements Encore's primary contribution: measurement tasks
+// that induce unmodified Web browsers to test the reachability of
+// cross-origin resources, and the rules governing which task types can test
+// which resources on which browsers (§4, Table 1).
+//
+// A measurement task is a small, self-contained HTML/JavaScript snippet that
+// attempts to load a Web resource from a measurement target and reports
+// whether the attempt succeeded. Four mechanisms are supported:
+//
+//   - Images: embed a small image with <img>; onload/onerror give explicit
+//     binary feedback. Only works for image resources.
+//   - Style sheets: load a sheet and probe getComputedStyle for its effect.
+//     Only works for non-empty style sheets.
+//   - Inline frames: load a full page in a hidden iframe, then time the load
+//     of an image that page embeds; a fast (cached) load implies the page
+//     loaded. Only for small pages with cacheable images and no side effects.
+//   - Scripts: load any resource with <script>; Chrome fires onload iff the
+//     HTTP fetch returned 200, regardless of content type. Chrome only, and
+//     only for targets serving X-Content-Type-Options: nosniff.
+//
+// The package also defines the measurement records clients submit and the
+// embed snippet webmasters add to their pages.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TaskType identifies one of the four measurement mechanisms of Table 1.
+type TaskType int
+
+const (
+	// TaskImage renders a cross-origin image and listens for onload/onerror.
+	TaskImage TaskType = iota
+	// TaskStylesheet loads a cross-origin style sheet and verifies that its
+	// style rules were applied.
+	TaskStylesheet
+	// TaskIFrame loads a Web page in a hidden iframe and infers success
+	// from the cache-timing of an image embedded on that page.
+	TaskIFrame
+	// TaskScript loads an arbitrary resource via the script tag; Chrome
+	// reports onload iff the fetch returned HTTP 200.
+	TaskScript
+)
+
+// TaskTypes lists all mechanisms in Table 1 order.
+func TaskTypes() []TaskType {
+	return []TaskType{TaskImage, TaskStylesheet, TaskIFrame, TaskScript}
+}
+
+// String names the task type.
+func (t TaskType) String() string {
+	switch t {
+	case TaskImage:
+		return "image"
+	case TaskStylesheet:
+		return "stylesheet"
+	case TaskIFrame:
+		return "iframe"
+	case TaskScript:
+		return "script"
+	default:
+		return fmt.Sprintf("TaskType(%d)", int(t))
+	}
+}
+
+// Feedback describes how a mechanism learns whether the resource loaded.
+type Feedback int
+
+const (
+	// FeedbackExplicit means the browser fires distinct success/failure
+	// events (onload/onerror) for the mechanism.
+	FeedbackExplicit Feedback = iota
+	// FeedbackStyleProbe means success is detected by inspecting computed
+	// style after loading a sheet.
+	FeedbackStyleProbe
+	// FeedbackTiming means success is inferred from load timing (the
+	// cache-timing side channel).
+	FeedbackTiming
+)
+
+// String names the feedback kind.
+func (f Feedback) String() string {
+	switch f {
+	case FeedbackExplicit:
+		return "explicit"
+	case FeedbackStyleProbe:
+		return "style-probe"
+	case FeedbackTiming:
+		return "timing"
+	default:
+		return fmt.Sprintf("Feedback(%d)", int(f))
+	}
+}
+
+// FeedbackOf returns how each mechanism observes success (Table 1).
+func FeedbackOf(t TaskType) Feedback {
+	switch t {
+	case TaskImage, TaskScript:
+		return FeedbackExplicit
+	case TaskStylesheet:
+		return FeedbackStyleProbe
+	case TaskIFrame:
+		return FeedbackTiming
+	default:
+		return FeedbackExplicit
+	}
+}
+
+// BrowserFamily identifies the client's browser engine, which determines
+// which task types it can run (§4.3.2: the script mechanism is Chrome-only).
+type BrowserFamily int
+
+const (
+	// BrowserChrome is Google Chrome / Chromium.
+	BrowserChrome BrowserFamily = iota
+	// BrowserFirefox is Mozilla Firefox.
+	BrowserFirefox
+	// BrowserSafari is Apple Safari.
+	BrowserSafari
+	// BrowserIE is Internet Explorer / legacy Edge.
+	BrowserIE
+	// BrowserOther covers everything else (mobile WebViews, bots).
+	BrowserOther
+)
+
+// BrowserFamilies lists the modelled families.
+func BrowserFamilies() []BrowserFamily {
+	return []BrowserFamily{BrowserChrome, BrowserFirefox, BrowserSafari, BrowserIE, BrowserOther}
+}
+
+// String names the browser family.
+func (b BrowserFamily) String() string {
+	switch b {
+	case BrowserChrome:
+		return "chrome"
+	case BrowserFirefox:
+		return "firefox"
+	case BrowserSafari:
+		return "safari"
+	case BrowserIE:
+		return "ie"
+	default:
+		return "other"
+	}
+}
+
+// SupportsTask reports whether a browser family can run a task type. All
+// families support image, style sheet, and iframe tasks; only Chrome handles
+// the script mechanism safely (§4.3.2).
+func (b BrowserFamily) SupportsTask(t TaskType) bool {
+	if t == TaskScript {
+		return b == BrowserChrome
+	}
+	return true
+}
+
+// Task is one scheduled measurement: an instruction to a specific client to
+// test one resource with one mechanism.
+type Task struct {
+	// MeasurementID uniquely identifies the measurement; every submission
+	// (init, success, failure) carries it so the collection server can link
+	// them (Appendix A).
+	MeasurementID string
+	// Type selects the mechanism.
+	Type TaskType
+	// TargetURL is the cross-origin resource the client attempts to load.
+	// For iframe tasks this is the page loaded in the frame.
+	TargetURL string
+	// CachedImageURL is only set for iframe tasks: the image embedded on
+	// TargetURL whose (re)load time reveals whether the page loaded.
+	CachedImageURL string
+	// PatternKey identifies what the measurement is evidence about (for
+	// example "domain:youtube.com"); the detection algorithm aggregates by
+	// this key.
+	PatternKey string
+	// TimeoutMillis bounds how long the client-side task waits before
+	// reporting failure.
+	TimeoutMillis int
+	// Created records when the coordination server generated the task.
+	Created time.Time
+	// Control marks tasks that target known-unfiltered (or deliberately
+	// invalid) resources for soundness validation (§7.1); controls are
+	// excluded from filtering detection.
+	Control bool
+}
+
+// Validation errors.
+var (
+	ErrMissingMeasurementID = errors.New("core: task missing measurement ID")
+	ErrMissingTarget        = errors.New("core: task missing target URL")
+	ErrMissingCachedImage   = errors.New("core: iframe task missing cached image URL")
+	ErrMissingPatternKey    = errors.New("core: task missing pattern key")
+)
+
+// Validate checks that the task carries everything a client needs to run it.
+func (t Task) Validate() error {
+	if t.MeasurementID == "" {
+		return ErrMissingMeasurementID
+	}
+	if t.TargetURL == "" {
+		return ErrMissingTarget
+	}
+	if t.Type == TaskIFrame && t.CachedImageURL == "" {
+		return ErrMissingCachedImage
+	}
+	if t.PatternKey == "" {
+		return ErrMissingPatternKey
+	}
+	return nil
+}
+
+// Timeout returns the task timeout as a duration, defaulting to 30 seconds
+// when unset, matching typical browser fetch patience.
+func (t Task) Timeout() time.Duration {
+	if t.TimeoutMillis <= 0 {
+		return 30 * time.Second
+	}
+	return time.Duration(t.TimeoutMillis) * time.Millisecond
+}
+
+// State is the lifecycle state a client reports for a measurement. Clients
+// submit an "init" record as soon as the task starts (so Encore knows which
+// clients attempted measurements even if they never finish) followed by a
+// terminal success or failure record.
+type State string
+
+const (
+	// StateInit is submitted when the task begins executing.
+	StateInit State = "init"
+	// StateSuccess is submitted when the resource loaded.
+	StateSuccess State = "success"
+	// StateFailure is submitted when the resource failed to load.
+	StateFailure State = "failure"
+)
+
+// ValidState reports whether s is one of the defined states.
+func ValidState(s State) bool {
+	switch s {
+	case StateInit, StateSuccess, StateFailure:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result is what a client learns from running one task. It is converted into
+// one or more Submissions for delivery to the collection server.
+type Result struct {
+	Task Task
+	// Success reports whether the cross-origin resource loaded (by the
+	// mechanism's own notion of "loaded").
+	Success bool
+	// DurationMillis is how long the load took, as observed by the task's
+	// JavaScript (timing feedback for iframe tasks, diagnostic otherwise).
+	DurationMillis float64
+	// Completed indicates the task ran to completion; false means the task
+	// was abandoned (user navigated away) and only the init record exists.
+	Completed bool
+}
+
+// State returns the terminal state the result maps to.
+func (r Result) State() State {
+	if !r.Completed {
+		return StateInit
+	}
+	if r.Success {
+		return StateSuccess
+	}
+	return StateFailure
+}
+
+// Submission is one record delivered to the collection server, mirroring the
+// query parameters in Appendix A (cmh-id, cmh-result) plus the metadata the
+// server records about the submitting client.
+type Submission struct {
+	MeasurementID string
+	State         State
+	// DurationMillis is the client-observed load duration (0 for init).
+	DurationMillis float64
+	// ClientIP is the submitting client's address as seen by the collection
+	// server; analysis geolocates it.
+	ClientIP string
+	// UserAgent identifies the client's browser family.
+	UserAgent string
+	// OriginSite is the site hosting Encore that the client was visiting,
+	// when the Referer header is present (the paper notes 3/4 of
+	// measurements arrive with the Referer stripped).
+	OriginSite string
+	// Received is when the collection server accepted the submission.
+	Received time.Time
+}
+
+// Validate checks the submission is well-formed.
+func (s Submission) Validate() error {
+	if s.MeasurementID == "" {
+		return ErrMissingMeasurementID
+	}
+	if !ValidState(s.State) {
+		return fmt.Errorf("core: invalid submission state %q", s.State)
+	}
+	return nil
+}

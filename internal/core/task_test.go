@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTaskTypesAndStrings(t *testing.T) {
+	types := TaskTypes()
+	if len(types) != 4 {
+		t.Fatalf("Table 1 lists four mechanisms, got %d", len(types))
+	}
+	names := map[string]bool{}
+	for _, tt := range types {
+		names[tt.String()] = true
+	}
+	for _, want := range []string{"image", "stylesheet", "iframe", "script"} {
+		if !names[want] {
+			t.Fatalf("missing mechanism %q", want)
+		}
+	}
+	if TaskType(99).String() == "" {
+		t.Fatal("unknown task type should render")
+	}
+}
+
+func TestFeedbackOf(t *testing.T) {
+	if FeedbackOf(TaskImage) != FeedbackExplicit {
+		t.Fatal("image tasks give explicit feedback")
+	}
+	if FeedbackOf(TaskStylesheet) != FeedbackStyleProbe {
+		t.Fatal("stylesheet tasks use style probing")
+	}
+	if FeedbackOf(TaskIFrame) != FeedbackTiming {
+		t.Fatal("iframe tasks rely on cache timing")
+	}
+	if FeedbackOf(TaskScript) != FeedbackExplicit {
+		t.Fatal("script tasks give explicit feedback on Chrome")
+	}
+	for _, f := range []Feedback{FeedbackExplicit, FeedbackStyleProbe, FeedbackTiming, Feedback(9)} {
+		if f.String() == "" {
+			t.Fatal("feedback should render")
+		}
+	}
+}
+
+func TestBrowserSupportsTask(t *testing.T) {
+	for _, b := range BrowserFamilies() {
+		for _, tt := range []TaskType{TaskImage, TaskStylesheet, TaskIFrame} {
+			if !b.SupportsTask(tt) {
+				t.Fatalf("%v should support %v", b, tt)
+			}
+		}
+	}
+	if !BrowserChrome.SupportsTask(TaskScript) {
+		t.Fatal("Chrome supports the script mechanism")
+	}
+	for _, b := range []BrowserFamily{BrowserFirefox, BrowserSafari, BrowserIE, BrowserOther} {
+		if b.SupportsTask(TaskScript) {
+			t.Fatalf("%v must not be given script tasks (§4.3.2)", b)
+		}
+	}
+	if BrowserChrome.String() != "chrome" || BrowserFamily(42).String() != "other" {
+		t.Fatal("browser family strings broken")
+	}
+}
+
+func validTask() Task {
+	return Task{
+		MeasurementID: "m-123",
+		Type:          TaskImage,
+		TargetURL:     "http://censored.com/favicon.ico",
+		PatternKey:    "domain:censored.com",
+		Created:       time.Now(),
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	if err := validTask().Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	tk := validTask()
+	tk.MeasurementID = ""
+	if err := tk.Validate(); !errors.Is(err, ErrMissingMeasurementID) {
+		t.Fatalf("err=%v", err)
+	}
+	tk = validTask()
+	tk.TargetURL = ""
+	if err := tk.Validate(); !errors.Is(err, ErrMissingTarget) {
+		t.Fatalf("err=%v", err)
+	}
+	tk = validTask()
+	tk.PatternKey = ""
+	if err := tk.Validate(); !errors.Is(err, ErrMissingPatternKey) {
+		t.Fatalf("err=%v", err)
+	}
+	tk = validTask()
+	tk.Type = TaskIFrame
+	if err := tk.Validate(); !errors.Is(err, ErrMissingCachedImage) {
+		t.Fatalf("iframe task without cached image should fail: %v", err)
+	}
+	tk.CachedImageURL = "http://censored.com/logo.png"
+	if err := tk.Validate(); err != nil {
+		t.Fatalf("complete iframe task rejected: %v", err)
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	tk := validTask()
+	if tk.Timeout() != 30*time.Second {
+		t.Fatalf("default timeout = %v", tk.Timeout())
+	}
+	tk.TimeoutMillis = 5000
+	if tk.Timeout() != 5*time.Second {
+		t.Fatalf("timeout = %v", tk.Timeout())
+	}
+	if tk.TimeoutOrDefaultMillis() != 5000 {
+		t.Fatal("TimeoutOrDefaultMillis should honour explicit value")
+	}
+	tk.TimeoutMillis = 0
+	if tk.TimeoutOrDefaultMillis() != 30000 {
+		t.Fatal("TimeoutOrDefaultMillis default should be 30000")
+	}
+}
+
+func TestResultState(t *testing.T) {
+	r := Result{Task: validTask(), Success: true, Completed: true}
+	if r.State() != StateSuccess {
+		t.Fatalf("state=%v", r.State())
+	}
+	r.Success = false
+	if r.State() != StateFailure {
+		t.Fatalf("state=%v", r.State())
+	}
+	r.Completed = false
+	if r.State() != StateInit {
+		t.Fatalf("abandoned task state=%v", r.State())
+	}
+}
+
+func TestValidState(t *testing.T) {
+	for _, s := range []State{StateInit, StateSuccess, StateFailure} {
+		if !ValidState(s) {
+			t.Fatalf("state %q should be valid", s)
+		}
+	}
+	if ValidState("bogus") {
+		t.Fatal("bogus state accepted")
+	}
+}
+
+func TestSubmissionValidate(t *testing.T) {
+	s := Submission{MeasurementID: "m-1", State: StateSuccess}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.MeasurementID = ""
+	if err := s.Validate(); !errors.Is(err, ErrMissingMeasurementID) {
+		t.Fatalf("err=%v", err)
+	}
+	s = Submission{MeasurementID: "m-1", State: "weird"}
+	if err := s.Validate(); err == nil {
+		t.Fatal("invalid state accepted")
+	}
+}

@@ -1,0 +1,279 @@
+// Package geo provides IP geolocation for the Encore reproduction.
+//
+// The paper uses a standard IP geolocation database (MaxMind GeoLite) to map
+// client IP addresses to countries (§7). That database is proprietary, so
+// this package substitutes a deterministic synthetic allocator: each country
+// in the registry receives a set of /16 IPv4 blocks sized roughly in
+// proportion to its Internet population, and lookups resolve an address to
+// the owning country. All analysis code in the repository depends only on the
+// country-level lookup this package provides, so the substitution preserves
+// behaviour.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"encore/internal/stats"
+)
+
+// CountryCode is an ISO 3166-1 alpha-2 style country identifier.
+type CountryCode string
+
+// Country describes one country in the registry together with the properties
+// the simulation needs: a relative Internet-population weight (drives how many
+// clients originate there), a baseline round-trip latency to well-connected
+// content, a network unreliability factor (drives spontaneous, non-censorship
+// failures), and whether the paper identifies it as practicing Web filtering.
+type Country struct {
+	Code CountryCode
+	Name string
+	// Weight is the relative share of simulated Internet users.
+	Weight float64
+	// BaseRTTMillis is the typical round-trip time in milliseconds from
+	// clients in this country to globally hosted content.
+	BaseRTTMillis float64
+	// Unreliability is the probability that an arbitrary fetch fails for
+	// reasons unrelated to censorship (wireless loss, congested links,
+	// transient DNS trouble). The paper calls out India's unreliable
+	// connectivity as a source of false positives (§7.1).
+	Unreliability float64
+	// KnownFilterer records whether the paper lists the country as
+	// practicing some form of Web filtering (§7).
+	KnownFilterer bool
+}
+
+// ErrUnknownCountry is returned when a lookup or registry query names a
+// country that is not in the registry.
+var ErrUnknownCountry = errors.New("geo: unknown country")
+
+// Registry is an immutable set of countries with an IPv4 block allocation.
+type Registry struct {
+	countries []Country
+	byCode    map[CountryCode]*Country
+	// blocks maps the high 16 bits of an IPv4 address to a country code.
+	blocks map[uint16]CountryCode
+	// blocksByCountry lists allocated /16 prefixes per country.
+	blocksByCountry map[CountryCode][]uint16
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// Countries used throughout the reproduction. Weights approximate relative
+// Internet user populations; RTTs and unreliability are coarse but plausible.
+// The filtering flags follow §7 of the paper: "China, India, the United
+// Kingdom, and Brazil reporting at least 1,000 measurements, and more than 100
+// measurements from Egypt, South Korea, Iran, Pakistan, Turkey, and Saudi
+// Arabia. These countries practice some form of Web filtering."
+var defaultCountries = []Country{
+	{Code: "US", Name: "United States", Weight: 28, BaseRTTMillis: 40, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "CN", Name: "China", Weight: 60, BaseRTTMillis: 180, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "IN", Name: "India", Weight: 40, BaseRTTMillis: 160, Unreliability: 0.060, KnownFilterer: true},
+	{Code: "GB", Name: "United Kingdom", Weight: 10, BaseRTTMillis: 50, Unreliability: 0.010, KnownFilterer: true},
+	{Code: "BR", Name: "Brazil", Weight: 12, BaseRTTMillis: 120, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "PK", Name: "Pakistan", Weight: 8, BaseRTTMillis: 200, Unreliability: 0.050, KnownFilterer: true},
+	{Code: "IR", Name: "Iran", Weight: 7, BaseRTTMillis: 190, Unreliability: 0.040, KnownFilterer: true},
+	{Code: "TR", Name: "Turkey", Weight: 7, BaseRTTMillis: 90, Unreliability: 0.025, KnownFilterer: true},
+	{Code: "EG", Name: "Egypt", Weight: 6, BaseRTTMillis: 140, Unreliability: 0.040, KnownFilterer: true},
+	{Code: "KR", Name: "South Korea", Weight: 6, BaseRTTMillis: 100, Unreliability: 0.010, KnownFilterer: true},
+	{Code: "SA", Name: "Saudi Arabia", Weight: 4, BaseRTTMillis: 130, Unreliability: 0.020, KnownFilterer: true},
+	{Code: "DE", Name: "Germany", Weight: 9, BaseRTTMillis: 45, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "FR", Name: "France", Weight: 8, BaseRTTMillis: 48, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "JP", Name: "Japan", Weight: 11, BaseRTTMillis: 95, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "RU", Name: "Russia", Weight: 10, BaseRTTMillis: 110, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "CA", Name: "Canada", Weight: 4, BaseRTTMillis: 45, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "AU", Name: "Australia", Weight: 3, BaseRTTMillis: 150, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "NG", Name: "Nigeria", Weight: 5, BaseRTTMillis: 220, Unreliability: 0.070, KnownFilterer: false},
+	{Code: "ID", Name: "Indonesia", Weight: 9, BaseRTTMillis: 190, Unreliability: 0.050, KnownFilterer: true},
+	{Code: "MX", Name: "Mexico", Weight: 6, BaseRTTMillis: 110, Unreliability: 0.030, KnownFilterer: false},
+	{Code: "VN", Name: "Vietnam", Weight: 5, BaseRTTMillis: 180, Unreliability: 0.040, KnownFilterer: true},
+	{Code: "TH", Name: "Thailand", Weight: 4, BaseRTTMillis: 170, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "ZA", Name: "South Africa", Weight: 3, BaseRTTMillis: 200, Unreliability: 0.040, KnownFilterer: false},
+	{Code: "NL", Name: "Netherlands", Weight: 3, BaseRTTMillis: 42, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "SE", Name: "Sweden", Weight: 2, BaseRTTMillis: 45, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "IT", Name: "Italy", Weight: 6, BaseRTTMillis: 55, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "ES", Name: "Spain", Weight: 5, BaseRTTMillis: 55, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "PL", Name: "Poland", Weight: 4, BaseRTTMillis: 60, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "UA", Name: "Ukraine", Weight: 4, BaseRTTMillis: 80, Unreliability: 0.025, KnownFilterer: false},
+	{Code: "AR", Name: "Argentina", Weight: 4, BaseRTTMillis: 140, Unreliability: 0.030, KnownFilterer: false},
+	{Code: "CO", Name: "Colombia", Weight: 3, BaseRTTMillis: 130, Unreliability: 0.030, KnownFilterer: false},
+	{Code: "CL", Name: "Chile", Weight: 2, BaseRTTMillis: 150, Unreliability: 0.020, KnownFilterer: false},
+	{Code: "PE", Name: "Peru", Weight: 2, BaseRTTMillis: 150, Unreliability: 0.035, KnownFilterer: false},
+	{Code: "VE", Name: "Venezuela", Weight: 2, BaseRTTMillis: 150, Unreliability: 0.050, KnownFilterer: true},
+	{Code: "PH", Name: "Philippines", Weight: 5, BaseRTTMillis: 190, Unreliability: 0.045, KnownFilterer: false},
+	{Code: "MY", Name: "Malaysia", Weight: 3, BaseRTTMillis: 160, Unreliability: 0.020, KnownFilterer: true},
+	{Code: "SG", Name: "Singapore", Weight: 1, BaseRTTMillis: 140, Unreliability: 0.008, KnownFilterer: true},
+	{Code: "BD", Name: "Bangladesh", Weight: 5, BaseRTTMillis: 200, Unreliability: 0.060, KnownFilterer: true},
+	{Code: "LK", Name: "Sri Lanka", Weight: 1, BaseRTTMillis: 190, Unreliability: 0.040, KnownFilterer: true},
+	{Code: "MM", Name: "Myanmar", Weight: 2, BaseRTTMillis: 220, Unreliability: 0.070, KnownFilterer: true},
+	{Code: "KH", Name: "Cambodia", Weight: 1, BaseRTTMillis: 210, Unreliability: 0.060, KnownFilterer: true},
+	{Code: "UZ", Name: "Uzbekistan", Weight: 1, BaseRTTMillis: 180, Unreliability: 0.050, KnownFilterer: true},
+	{Code: "KZ", Name: "Kazakhstan", Weight: 1, BaseRTTMillis: 150, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "BY", Name: "Belarus", Weight: 1, BaseRTTMillis: 90, Unreliability: 0.020, KnownFilterer: true},
+	{Code: "AE", Name: "United Arab Emirates", Weight: 2, BaseRTTMillis: 120, Unreliability: 0.015, KnownFilterer: true},
+	{Code: "QA", Name: "Qatar", Weight: 1, BaseRTTMillis: 130, Unreliability: 0.015, KnownFilterer: true},
+	{Code: "KW", Name: "Kuwait", Weight: 1, BaseRTTMillis: 130, Unreliability: 0.020, KnownFilterer: true},
+	{Code: "BH", Name: "Bahrain", Weight: 1, BaseRTTMillis: 130, Unreliability: 0.015, KnownFilterer: true},
+	{Code: "OM", Name: "Oman", Weight: 1, BaseRTTMillis: 140, Unreliability: 0.020, KnownFilterer: true},
+	{Code: "JO", Name: "Jordan", Weight: 1, BaseRTTMillis: 130, Unreliability: 0.025, KnownFilterer: true},
+	{Code: "MA", Name: "Morocco", Weight: 2, BaseRTTMillis: 120, Unreliability: 0.030, KnownFilterer: true},
+	{Code: "DZ", Name: "Algeria", Weight: 2, BaseRTTMillis: 130, Unreliability: 0.040, KnownFilterer: false},
+	{Code: "TN", Name: "Tunisia", Weight: 1, BaseRTTMillis: 120, Unreliability: 0.030, KnownFilterer: false},
+	{Code: "KE", Name: "Kenya", Weight: 2, BaseRTTMillis: 210, Unreliability: 0.050, KnownFilterer: false},
+	{Code: "GH", Name: "Ghana", Weight: 1, BaseRTTMillis: 210, Unreliability: 0.055, KnownFilterer: false},
+	{Code: "ET", Name: "Ethiopia", Weight: 2, BaseRTTMillis: 230, Unreliability: 0.070, KnownFilterer: true},
+	{Code: "TZ", Name: "Tanzania", Weight: 1, BaseRTTMillis: 220, Unreliability: 0.060, KnownFilterer: false},
+	{Code: "GR", Name: "Greece", Weight: 1, BaseRTTMillis: 65, Unreliability: 0.015, KnownFilterer: false},
+	{Code: "PT", Name: "Portugal", Weight: 1, BaseRTTMillis: 60, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "RO", Name: "Romania", Weight: 2, BaseRTTMillis: 70, Unreliability: 0.015, KnownFilterer: false},
+	{Code: "CZ", Name: "Czechia", Weight: 1, BaseRTTMillis: 55, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "HU", Name: "Hungary", Weight: 1, BaseRTTMillis: 60, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "AT", Name: "Austria", Weight: 1, BaseRTTMillis: 50, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "CH", Name: "Switzerland", Weight: 1, BaseRTTMillis: 48, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "BE", Name: "Belgium", Weight: 1, BaseRTTMillis: 45, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "DK", Name: "Denmark", Weight: 1, BaseRTTMillis: 48, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "NO", Name: "Norway", Weight: 1, BaseRTTMillis: 50, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "FI", Name: "Finland", Weight: 1, BaseRTTMillis: 55, Unreliability: 0.008, KnownFilterer: false},
+	{Code: "IE", Name: "Ireland", Weight: 1, BaseRTTMillis: 52, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "NZ", Name: "New Zealand", Weight: 1, BaseRTTMillis: 170, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "IL", Name: "Israel", Weight: 2, BaseRTTMillis: 110, Unreliability: 0.012, KnownFilterer: false},
+	{Code: "TW", Name: "Taiwan", Weight: 3, BaseRTTMillis: 120, Unreliability: 0.010, KnownFilterer: false},
+	{Code: "HK", Name: "Hong Kong", Weight: 2, BaseRTTMillis: 130, Unreliability: 0.010, KnownFilterer: false},
+}
+
+// NewRegistry builds a registry containing the default country set and a
+// deterministic IPv4 block allocation derived from seed.
+func NewRegistry(seed uint64) *Registry {
+	return NewRegistryWithCountries(seed, defaultCountries)
+}
+
+// NewRegistryWithCountries builds a registry from a custom country set. The
+// slice is copied. Countries with non-positive weights still receive one /16
+// block so their addresses remain resolvable.
+func NewRegistryWithCountries(seed uint64, countries []Country) *Registry {
+	r := &Registry{
+		countries:       append([]Country(nil), countries...),
+		byCode:          make(map[CountryCode]*Country, len(countries)),
+		blocks:          make(map[uint16]CountryCode),
+		blocksByCountry: make(map[CountryCode][]uint16),
+		rng:             stats.NewRNG(seed),
+	}
+	sort.Slice(r.countries, func(i, j int) bool { return r.countries[i].Code < r.countries[j].Code })
+	for i := range r.countries {
+		c := &r.countries[i]
+		r.byCode[c.Code] = c
+	}
+	r.allocateBlocks()
+	return r
+}
+
+// allocateBlocks deterministically assigns /16 prefixes to countries in
+// proportion to their weights. Prefixes start at 11.0.0.0/16 to stay clear of
+// common special-purpose ranges in test output.
+func (r *Registry) allocateBlocks() {
+	totalWeight := 0.0
+	for _, c := range r.countries {
+		if c.Weight > 0 {
+			totalWeight += c.Weight
+		}
+	}
+	const totalBlocks = 4096
+	next := uint16(11 << 8) // 11.0.x.x
+	for _, c := range r.countries {
+		share := 1
+		if totalWeight > 0 && c.Weight > 0 {
+			share = int(float64(totalBlocks) * c.Weight / totalWeight)
+			if share < 1 {
+				share = 1
+			}
+		}
+		for i := 0; i < share; i++ {
+			r.blocks[next] = c.Code
+			r.blocksByCountry[c.Code] = append(r.blocksByCountry[c.Code], next)
+			next++
+		}
+	}
+}
+
+// Countries returns the registry's countries sorted by code.
+func (r *Registry) Countries() []Country {
+	return append([]Country(nil), r.countries...)
+}
+
+// Country returns the registry entry for code.
+func (r *Registry) Country(code CountryCode) (Country, error) {
+	c, ok := r.byCode[code]
+	if !ok {
+		return Country{}, fmt.Errorf("%w: %q", ErrUnknownCountry, code)
+	}
+	return *c, nil
+}
+
+// Lookup resolves an IPv4 address to its country code. Addresses outside any
+// allocated block resolve to the empty code with ErrUnknownCountry.
+func (r *Registry) Lookup(ip net.IP) (CountryCode, error) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return "", fmt.Errorf("%w: %v is not IPv4", ErrUnknownCountry, ip)
+	}
+	prefix := uint16(v4[0])<<8 | uint16(v4[1])
+	code, ok := r.blocks[prefix]
+	if !ok {
+		return "", fmt.Errorf("%w: no allocation for %v", ErrUnknownCountry, ip)
+	}
+	return code, nil
+}
+
+// LookupString resolves a textual IPv4 address.
+func (r *Registry) LookupString(addr string) (CountryCode, error) {
+	ip := net.ParseIP(addr)
+	if ip == nil {
+		return "", fmt.Errorf("%w: cannot parse %q", ErrUnknownCountry, addr)
+	}
+	return r.Lookup(ip)
+}
+
+// RandomIP returns a deterministic pseudo-random IPv4 address located in the
+// given country. It is safe for concurrent use.
+func (r *Registry) RandomIP(code CountryCode) (net.IP, error) {
+	blocks, ok := r.blocksByCountry[code]
+	if !ok || len(blocks) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCountry, code)
+	}
+	r.mu.Lock()
+	block := blocks[r.rng.Intn(len(blocks))]
+	low := r.rng.Intn(1 << 16)
+	r.mu.Unlock()
+	return net.IPv4(byte(block>>8), byte(block&0xff), byte(low>>8), byte(low&0xff)), nil
+}
+
+// SampleCountry draws a country code with probability proportional to the
+// countries' weights, using the supplied generator so callers control
+// determinism.
+func (r *Registry) SampleCountry(rng *stats.RNG) CountryCode {
+	weights := make([]float64, len(r.countries))
+	for i, c := range r.countries {
+		weights[i] = c.Weight
+	}
+	idx := rng.WeightedChoice(weights)
+	if idx < 0 {
+		return ""
+	}
+	return r.countries[idx].Code
+}
+
+// FilteringCountries returns the codes of countries flagged as known
+// filterers, sorted.
+func (r *Registry) FilteringCountries() []CountryCode {
+	var out []CountryCode
+	for _, c := range r.countries {
+		if c.KnownFilterer {
+			out = append(out, c.Code)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package geo
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"encore/internal/stats"
+)
+
+func TestRegistryContainsPaperCountries(t *testing.T) {
+	r := NewRegistry(1)
+	required := []CountryCode{"CN", "IN", "GB", "BR", "EG", "KR", "IR", "PK", "TR", "SA", "US"}
+	for _, code := range required {
+		c, err := r.Country(code)
+		if err != nil {
+			t.Fatalf("missing country %s: %v", code, err)
+		}
+		if c.Name == "" || c.Weight <= 0 {
+			t.Fatalf("country %s incompletely specified: %+v", code, c)
+		}
+	}
+}
+
+func TestFilteringCountriesMatchPaper(t *testing.T) {
+	r := NewRegistry(1)
+	filtering := make(map[CountryCode]bool)
+	for _, c := range r.FilteringCountries() {
+		filtering[c] = true
+	}
+	for _, code := range []CountryCode{"CN", "IR", "PK", "GB", "KR", "IN"} {
+		if !filtering[code] {
+			t.Errorf("%s should be a known filterer per §7", code)
+		}
+	}
+	if filtering["US"] {
+		t.Error("US should not be flagged as a known filterer")
+	}
+}
+
+func TestUnknownCountry(t *testing.T) {
+	r := NewRegistry(1)
+	if _, err := r.Country("XX"); !errors.Is(err, ErrUnknownCountry) {
+		t.Fatalf("expected ErrUnknownCountry, got %v", err)
+	}
+	if _, err := r.RandomIP("XX"); !errors.Is(err, ErrUnknownCountry) {
+		t.Fatalf("expected ErrUnknownCountry, got %v", err)
+	}
+}
+
+func TestRandomIPRoundTrip(t *testing.T) {
+	r := NewRegistry(42)
+	for _, c := range r.Countries() {
+		for i := 0; i < 10; i++ {
+			ip, err := r.RandomIP(c.Code)
+			if err != nil {
+				t.Fatalf("RandomIP(%s): %v", c.Code, err)
+			}
+			code, err := r.Lookup(ip)
+			if err != nil {
+				t.Fatalf("Lookup(%v): %v", ip, err)
+			}
+			if code != c.Code {
+				t.Fatalf("IP %v generated for %s resolved to %s", ip, c.Code, code)
+			}
+		}
+	}
+}
+
+func TestLookupString(t *testing.T) {
+	r := NewRegistry(7)
+	ip, err := r.RandomIP("CN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := r.LookupString(ip.String())
+	if err != nil || code != "CN" {
+		t.Fatalf("LookupString(%s)=%s, %v", ip, code, err)
+	}
+	if _, err := r.LookupString("not-an-ip"); !errors.Is(err, ErrUnknownCountry) {
+		t.Fatalf("expected ErrUnknownCountry, got %v", err)
+	}
+	if _, err := r.LookupString("203.0.113.7"); !errors.Is(err, ErrUnknownCountry) {
+		t.Fatalf("unallocated address should not resolve, got %v", err)
+	}
+}
+
+func TestLookupRejectsIPv6(t *testing.T) {
+	r := NewRegistry(7)
+	if _, err := r.Lookup(net.ParseIP("2001:db8::1")); !errors.Is(err, ErrUnknownCountry) {
+		t.Fatalf("expected ErrUnknownCountry for IPv6, got %v", err)
+	}
+}
+
+func TestWeightedAllocationFavorsPopulousCountries(t *testing.T) {
+	r := NewRegistry(3)
+	cn := len(r.blocksByCountry["CN"])
+	se := len(r.blocksByCountry["SE"])
+	if cn <= se {
+		t.Fatalf("CN should receive more blocks than SE: %d vs %d", cn, se)
+	}
+	if se == 0 {
+		t.Fatal("even low-weight countries must receive at least one block")
+	}
+}
+
+func TestSampleCountryDistribution(t *testing.T) {
+	r := NewRegistry(5)
+	rng := stats.NewRNG(99)
+	counts := make(map[CountryCode]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[r.SampleCountry(rng)]++
+	}
+	if counts[""] > 0 {
+		t.Fatal("sampling produced empty country codes")
+	}
+	if counts["CN"] < counts["SE"] {
+		t.Fatalf("CN (%d) should be sampled more often than SE (%d)", counts["CN"], counts["SE"])
+	}
+	usFrac := float64(counts["US"]) / n
+	if usFrac < 0.05 || usFrac > 0.25 {
+		t.Fatalf("US sampled fraction %v looks off", usFrac)
+	}
+}
+
+func TestRegistryDeterminism(t *testing.T) {
+	a := NewRegistry(11)
+	b := NewRegistry(11)
+	ipA, _ := a.RandomIP("IR")
+	ipB, _ := b.RandomIP("IR")
+	if !ipA.Equal(ipB) {
+		t.Fatalf("same seed should yield same first IP: %v vs %v", ipA, ipB)
+	}
+}
+
+func TestCustomCountrySet(t *testing.T) {
+	custom := []Country{
+		{Code: "AA", Name: "Alpha", Weight: 1, BaseRTTMillis: 10},
+		{Code: "BB", Name: "Beta", Weight: 0, BaseRTTMillis: 20},
+	}
+	r := NewRegistryWithCountries(1, custom)
+	if len(r.Countries()) != 2 {
+		t.Fatalf("custom registry has %d countries", len(r.Countries()))
+	}
+	ip, err := r.RandomIP("BB")
+	if err != nil {
+		t.Fatalf("zero-weight country should still have a block: %v", err)
+	}
+	if code, _ := r.Lookup(ip); code != "BB" {
+		t.Fatalf("lookup of %v = %s, want BB", ip, code)
+	}
+}
+
+func TestQuickLookupAlwaysResolvesGeneratedIPs(t *testing.T) {
+	r := NewRegistry(13)
+	codes := r.Countries()
+	f := func(pick uint8, _ uint16) bool {
+		c := codes[int(pick)%len(codes)]
+		ip, err := r.RandomIP(c.Code)
+		if err != nil {
+			return false
+		}
+		got, err := r.Lookup(ip)
+		return err == nil && got == c.Code
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

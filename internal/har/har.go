@@ -1,0 +1,338 @@
+// Package har implements the subset of the HTTP Archive (HAR) 1.2 format
+// that Encore's task-generation pipeline consumes (§5.2). The Target Fetcher
+// renders each candidate URL in a browser and records a HAR file documenting
+// every resource the page loaded, its timings, and its HTTP headers; the Task
+// Generator then inspects those HAR files to decide which measurement task
+// types can test each resource.
+package har
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Version is the HAR specification version this package produces.
+const Version = "1.2"
+
+// Log is the top-level HAR object.
+type Log struct {
+	Version string  `json:"version"`
+	Creator Creator `json:"creator"`
+	Pages   []Page  `json:"pages"`
+	Entries []Entry `json:"entries"`
+}
+
+// Creator identifies the software that produced the archive.
+type Creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Page records one rendered page.
+type Page struct {
+	StartedDateTime time.Time   `json:"startedDateTime"`
+	ID              string      `json:"id"`
+	Title           string      `json:"title"`
+	PageTimings     PageTimings `json:"pageTimings"`
+}
+
+// PageTimings records page-level load milestones in milliseconds.
+type PageTimings struct {
+	OnContentLoad float64 `json:"onContentLoad"`
+	OnLoad        float64 `json:"onLoad"`
+}
+
+// Entry records one request/response pair observed while rendering a page.
+type Entry struct {
+	Pageref         string    `json:"pageref"`
+	StartedDateTime time.Time `json:"startedDateTime"`
+	Time            float64   `json:"time"`
+	Request         Request   `json:"request"`
+	Response        Response  `json:"response"`
+	Timings         Timings   `json:"timings"`
+}
+
+// Request is the issued HTTP request.
+type Request struct {
+	Method      string   `json:"method"`
+	URL         string   `json:"url"`
+	HTTPVersion string   `json:"httpVersion"`
+	Headers     []Header `json:"headers"`
+	HeadersSize int      `json:"headersSize"`
+	BodySize    int      `json:"bodySize"`
+}
+
+// Response is the received HTTP response.
+type Response struct {
+	Status      int      `json:"status"`
+	StatusText  string   `json:"statusText"`
+	HTTPVersion string   `json:"httpVersion"`
+	Headers     []Header `json:"headers"`
+	Content     Content  `json:"content"`
+	HeadersSize int      `json:"headersSize"`
+	BodySize    int      `json:"bodySize"`
+}
+
+// Content describes the response body.
+type Content struct {
+	Size     int    `json:"size"`
+	MimeType string `json:"mimeType"`
+}
+
+// Header is a single HTTP header.
+type Header struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Timings breaks an entry's total time into phases (milliseconds).
+type Timings struct {
+	Blocked float64 `json:"blocked"`
+	DNS     float64 `json:"dns"`
+	Connect float64 `json:"connect"`
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// Total returns the sum of the timing phases, ignoring negative (absent)
+// values as the HAR specification requires.
+func (t Timings) Total() float64 {
+	sum := 0.0
+	for _, v := range []float64{t.Blocked, t.DNS, t.Connect, t.Send, t.Wait, t.Receive} {
+		if v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// ErrInvalidLog is returned when decoding or validating a malformed archive.
+var ErrInvalidLog = errors.New("har: invalid log")
+
+// File wraps a Log for JSON encoding, matching the {"log": {...}} framing of
+// .har files on disk.
+type File struct {
+	Log Log `json:"log"`
+}
+
+// NewLog returns an empty log attributed to the Encore reproduction.
+func NewLog() *Log {
+	return &Log{
+		Version: Version,
+		Creator: Creator{Name: "encore-target-fetcher", Version: "1.0"},
+	}
+}
+
+// AddPage appends a page record and returns its identifier.
+func (l *Log) AddPage(url string, started time.Time, onLoadMillis float64) string {
+	id := fmt.Sprintf("page_%d", len(l.Pages)+1)
+	l.Pages = append(l.Pages, Page{
+		StartedDateTime: started,
+		ID:              id,
+		Title:           url,
+		PageTimings:     PageTimings{OnContentLoad: onLoadMillis * 0.8, OnLoad: onLoadMillis},
+	})
+	return id
+}
+
+// AddEntry appends an entry associated with the given page id.
+func (l *Log) AddEntry(e Entry) {
+	l.Entries = append(l.Entries, e)
+}
+
+// Validate checks structural invariants: a version, at least one page for any
+// entry's pageref, and non-negative sizes.
+func (l *Log) Validate() error {
+	if l.Version == "" {
+		return fmt.Errorf("%w: missing version", ErrInvalidLog)
+	}
+	pageIDs := make(map[string]bool, len(l.Pages))
+	for _, p := range l.Pages {
+		if p.ID == "" {
+			return fmt.Errorf("%w: page with empty id", ErrInvalidLog)
+		}
+		if pageIDs[p.ID] {
+			return fmt.Errorf("%w: duplicate page id %q", ErrInvalidLog, p.ID)
+		}
+		pageIDs[p.ID] = true
+	}
+	for i, e := range l.Entries {
+		if e.Pageref != "" && !pageIDs[e.Pageref] {
+			return fmt.Errorf("%w: entry %d references unknown page %q", ErrInvalidLog, i, e.Pageref)
+		}
+		if e.Request.URL == "" {
+			return fmt.Errorf("%w: entry %d missing request URL", ErrInvalidLog, i)
+		}
+		if e.Response.Content.Size < 0 {
+			return fmt.Errorf("%w: entry %d has negative content size", ErrInvalidLog, i)
+		}
+	}
+	return nil
+}
+
+// Encode writes the log as pretty-printed JSON with the standard file
+// framing.
+func (l *Log) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(File{Log: *l})
+}
+
+// Decode reads a HAR file from r and validates it.
+func Decode(r io.Reader) (*Log, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidLog, err)
+	}
+	if err := f.Log.Validate(); err != nil {
+		return nil, err
+	}
+	return &f.Log, nil
+}
+
+// Header lookup helpers.
+
+// HeaderValue returns the first value of the named header (case-insensitive),
+// or "" if absent.
+func HeaderValue(headers []Header, name string) string {
+	for _, h := range headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value
+		}
+	}
+	return ""
+}
+
+// EntriesForPage returns the entries whose pageref matches id, preserving
+// order.
+func (l *Log) EntriesForPage(id string) []Entry {
+	var out []Entry
+	for _, e := range l.Entries {
+		if e.Pageref == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Analysis helpers used by the Task Generator (§5.2) and the feasibility
+// study (§6.1).
+
+// IsImage reports whether the entry's response is an image.
+func (e Entry) IsImage() bool {
+	return strings.HasPrefix(strings.ToLower(e.Response.Content.MimeType), "image/")
+}
+
+// IsStylesheet reports whether the entry's response is a CSS style sheet.
+func (e Entry) IsStylesheet() bool {
+	return strings.Contains(strings.ToLower(e.Response.Content.MimeType), "text/css")
+}
+
+// IsScript reports whether the entry's response is JavaScript.
+func (e Entry) IsScript() bool {
+	mt := strings.ToLower(e.Response.Content.MimeType)
+	return strings.Contains(mt, "javascript") || strings.Contains(mt, "ecmascript")
+}
+
+// IsHTML reports whether the entry's response is an HTML document.
+func (e Entry) IsHTML() bool {
+	return strings.Contains(strings.ToLower(e.Response.Content.MimeType), "text/html")
+}
+
+// IsCacheable reports whether the response may be stored and reused by a
+// browser cache: it requires a cache-friendly Cache-Control (or an Expires
+// header) and the absence of no-store/no-cache directives.
+func (e Entry) IsCacheable() bool {
+	cc := strings.ToLower(HeaderValue(e.Response.Headers, "Cache-Control"))
+	if strings.Contains(cc, "no-store") || strings.Contains(cc, "no-cache") || strings.Contains(cc, "private") {
+		return false
+	}
+	if strings.Contains(cc, "max-age=0") {
+		return false
+	}
+	if strings.Contains(cc, "max-age") || strings.Contains(cc, "public") || strings.Contains(cc, "immutable") {
+		return true
+	}
+	return HeaderValue(e.Response.Headers, "Expires") != ""
+}
+
+// NoSniff reports whether the response carries X-Content-Type-Options:
+// nosniff, which governs whether Chrome's script-tag mechanism is safe to use
+// against the resource (§4.3.2).
+func (e Entry) NoSniff() bool {
+	return strings.EqualFold(HeaderValue(e.Response.Headers, "X-Content-Type-Options"), "nosniff")
+}
+
+// PageStats summarizes one page of a HAR log for the feasibility analysis.
+type PageStats struct {
+	PageID string
+	URL    string
+	// TotalBytes is the sum of all object sizes the page loads — the
+	// paper's "page size" metric in Figure 5.
+	TotalBytes int
+	// Objects is the number of entries the page loads.
+	Objects int
+	// Images counts image entries; SmallImages1KB / SmallImages5KB count
+	// images at most 1 KB / 5 KB (Figure 4 thresholds).
+	Images          int
+	SmallImages1KB  int
+	SmallImages5KB  int
+	CacheableImages int
+	Stylesheets     int
+	Scripts         int
+	// HasLargeMedia reports whether the page loads flash, video, or audio
+	// objects — pages the Task Generator must exclude from iframe tasks.
+	HasLargeMedia bool
+}
+
+// AnalyzePage computes PageStats for the page with the given id.
+func (l *Log) AnalyzePage(id string) PageStats {
+	stats := PageStats{PageID: id}
+	for _, p := range l.Pages {
+		if p.ID == id {
+			stats.URL = p.Title
+			break
+		}
+	}
+	for _, e := range l.EntriesForPage(id) {
+		stats.Objects++
+		stats.TotalBytes += e.Response.Content.Size
+		mt := strings.ToLower(e.Response.Content.MimeType)
+		switch {
+		case e.IsImage():
+			stats.Images++
+			if e.Response.Content.Size <= 1024 {
+				stats.SmallImages1KB++
+			}
+			if e.Response.Content.Size <= 5*1024 {
+				stats.SmallImages5KB++
+			}
+			if e.IsCacheable() {
+				stats.CacheableImages++
+			}
+		case e.IsStylesheet():
+			stats.Stylesheets++
+		case e.IsScript():
+			stats.Scripts++
+		}
+		if strings.Contains(mt, "flash") || strings.Contains(mt, "video") ||
+			strings.Contains(mt, "audio") || strings.Contains(mt, "shockwave") {
+			stats.HasLargeMedia = true
+		}
+	}
+	return stats
+}
+
+// AnalyzeAll returns PageStats for every page in the log, in page order.
+func (l *Log) AnalyzeAll() []PageStats {
+	out := make([]PageStats, 0, len(l.Pages))
+	for _, p := range l.Pages {
+		out = append(out, l.AnalyzePage(p.ID))
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package har
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	l := NewLog()
+	start := time.Date(2014, 2, 26, 12, 0, 0, 0, time.UTC)
+	pid := l.AddPage("http://example.com/", start, 850)
+	l.AddEntry(Entry{
+		Pageref: pid,
+		Time:    120,
+		Request: Request{Method: "GET", URL: "http://example.com/", HTTPVersion: "HTTP/1.1"},
+		Response: Response{
+			Status: 200, StatusText: "OK", HTTPVersion: "HTTP/1.1",
+			Headers: []Header{{Name: "Content-Type", Value: "text/html"}},
+			Content: Content{Size: 18000, MimeType: "text/html"},
+		},
+		Timings: Timings{DNS: 10, Connect: 30, Send: 1, Wait: 50, Receive: 29},
+	})
+	l.AddEntry(Entry{
+		Pageref: pid,
+		Time:    40,
+		Request: Request{Method: "GET", URL: "http://example.com/favicon.ico", HTTPVersion: "HTTP/1.1"},
+		Response: Response{
+			Status: 200, StatusText: "OK", HTTPVersion: "HTTP/1.1",
+			Headers: []Header{
+				{Name: "Content-Type", Value: "image/x-icon"},
+				{Name: "Cache-Control", Value: "public, max-age=86400"},
+			},
+			Content: Content{Size: 900, MimeType: "image/x-icon"},
+		},
+	})
+	l.AddEntry(Entry{
+		Pageref: pid,
+		Time:    60,
+		Request: Request{Method: "GET", URL: "http://cdn.example.com/site.css", HTTPVersion: "HTTP/1.1"},
+		Response: Response{
+			Status: 200, StatusText: "OK", HTTPVersion: "HTTP/1.1",
+			Headers: []Header{
+				{Name: "Content-Type", Value: "text/css"},
+				{Name: "Cache-Control", Value: "no-store"},
+			},
+			Content: Content{Size: 4000, MimeType: "text/css"},
+		},
+	})
+	l.AddEntry(Entry{
+		Pageref: pid,
+		Time:    70,
+		Request: Request{Method: "GET", URL: "http://cdn.example.com/app.js", HTTPVersion: "HTTP/1.1"},
+		Response: Response{
+			Status: 200, StatusText: "OK", HTTPVersion: "HTTP/1.1",
+			Headers: []Header{
+				{Name: "Content-Type", Value: "application/javascript"},
+				{Name: "X-Content-Type-Options", Value: "nosniff"},
+				{Name: "Expires", Value: "Thu, 01 Jan 2026 00:00:00 GMT"},
+			},
+			Content: Content{Size: 30000, MimeType: "application/javascript"},
+		},
+	})
+	return l
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"log"`) {
+		t.Fatal("encoded HAR missing log framing")
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version {
+		t.Fatalf("version=%q", got.Version)
+	}
+	if len(got.Entries) != len(l.Entries) || len(got.Pages) != len(l.Pages) {
+		t.Fatalf("round trip lost records: %d/%d entries, %d/%d pages",
+			len(got.Entries), len(l.Entries), len(got.Pages), len(l.Pages))
+	}
+	if got.Entries[1].Request.URL != "http://example.com/favicon.ico" {
+		t.Fatalf("entry URL lost: %q", got.Entries[1].Request.URL)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error decoding garbage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := sampleLog()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("sample log invalid: %v", err)
+	}
+	bad := NewLog()
+	bad.AddEntry(Entry{Pageref: "missing", Request: Request{URL: "http://x.com/"}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for dangling pageref")
+	}
+	bad2 := NewLog()
+	bad2.AddEntry(Entry{Request: Request{URL: ""}})
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected error for missing URL")
+	}
+	bad3 := &Log{}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("expected error for missing version")
+	}
+	dup := NewLog()
+	dup.Pages = append(dup.Pages, Page{ID: "p"}, Page{ID: "p"})
+	if err := dup.Validate(); err == nil {
+		t.Fatal("expected error for duplicate page ids")
+	}
+}
+
+func TestHeaderValue(t *testing.T) {
+	hs := []Header{{Name: "Content-Type", Value: "text/html"}}
+	if HeaderValue(hs, "content-type") != "text/html" {
+		t.Fatal("header lookup should be case-insensitive")
+	}
+	if HeaderValue(hs, "Missing") != "" {
+		t.Fatal("missing header should return empty string")
+	}
+}
+
+func TestEntryClassification(t *testing.T) {
+	l := sampleLog()
+	entries := l.Entries
+	if !entries[0].IsHTML() || entries[0].IsImage() {
+		t.Fatal("entry 0 should be HTML")
+	}
+	if !entries[1].IsImage() {
+		t.Fatal("entry 1 should be an image")
+	}
+	if !entries[2].IsStylesheet() {
+		t.Fatal("entry 2 should be a stylesheet")
+	}
+	if !entries[3].IsScript() {
+		t.Fatal("entry 3 should be a script")
+	}
+}
+
+func TestCacheability(t *testing.T) {
+	l := sampleLog()
+	if !l.Entries[1].IsCacheable() {
+		t.Fatal("favicon with max-age should be cacheable")
+	}
+	if l.Entries[2].IsCacheable() {
+		t.Fatal("no-store stylesheet should not be cacheable")
+	}
+	if !l.Entries[3].IsCacheable() {
+		t.Fatal("entry with Expires should be cacheable")
+	}
+	noCC := Entry{Response: Response{Headers: nil}}
+	if noCC.IsCacheable() {
+		t.Fatal("entry without caching headers should not be cacheable")
+	}
+	maxAge0 := Entry{Response: Response{Headers: []Header{{Name: "Cache-Control", Value: "max-age=0"}}}}
+	if maxAge0.IsCacheable() {
+		t.Fatal("max-age=0 should not be cacheable")
+	}
+}
+
+func TestNoSniff(t *testing.T) {
+	l := sampleLog()
+	if !l.Entries[3].NoSniff() {
+		t.Fatal("script entry carries nosniff")
+	}
+	if l.Entries[0].NoSniff() {
+		t.Fatal("HTML entry does not carry nosniff")
+	}
+}
+
+func TestTimingsTotal(t *testing.T) {
+	tm := Timings{Blocked: -1, DNS: 10, Connect: 20, Send: 1, Wait: 5, Receive: 4}
+	if got := tm.Total(); got != 40 {
+		t.Fatalf("Total=%v, want 40 (negative phases ignored)", got)
+	}
+}
+
+func TestAnalyzePage(t *testing.T) {
+	l := sampleLog()
+	ps := l.AnalyzePage("page_1")
+	if ps.Objects != 4 {
+		t.Fatalf("Objects=%d", ps.Objects)
+	}
+	if ps.TotalBytes != 18000+900+4000+30000 {
+		t.Fatalf("TotalBytes=%d", ps.TotalBytes)
+	}
+	if ps.Images != 1 || ps.SmallImages1KB != 1 || ps.SmallImages5KB != 1 || ps.CacheableImages != 1 {
+		t.Fatalf("image stats wrong: %+v", ps)
+	}
+	if ps.Stylesheets != 1 || ps.Scripts != 1 {
+		t.Fatalf("sheet/script stats wrong: %+v", ps)
+	}
+	if ps.HasLargeMedia {
+		t.Fatal("sample page has no large media")
+	}
+	if ps.URL != "http://example.com/" {
+		t.Fatalf("URL=%q", ps.URL)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	l := sampleLog()
+	all := l.AnalyzeAll()
+	if len(all) != 1 || all[0].PageID != "page_1" {
+		t.Fatalf("AnalyzeAll=%+v", all)
+	}
+}
+
+func TestLargeMediaDetection(t *testing.T) {
+	l := NewLog()
+	pid := l.AddPage("http://video.example.com/", time.Now(), 100)
+	l.AddEntry(Entry{
+		Pageref: pid,
+		Request: Request{Method: "GET", URL: "http://video.example.com/movie.mp4"},
+		Response: Response{Status: 200,
+			Content: Content{Size: 5 << 20, MimeType: "video/mp4"}},
+	})
+	if !l.AnalyzePage(pid).HasLargeMedia {
+		t.Fatal("video entry should set HasLargeMedia")
+	}
+}
+
+func TestEntriesForPageFiltersOthers(t *testing.T) {
+	l := sampleLog()
+	pid2 := l.AddPage("http://other.com/", time.Now(), 50)
+	l.AddEntry(Entry{Pageref: pid2, Request: Request{Method: "GET", URL: "http://other.com/"},
+		Response: Response{Status: 200, Content: Content{Size: 10, MimeType: "text/html"}}})
+	if n := len(l.EntriesForPage("page_1")); n != 4 {
+		t.Fatalf("page_1 has %d entries, want 4", n)
+	}
+	if n := len(l.EntriesForPage(pid2)); n != 1 {
+		t.Fatalf("page_2 has %d entries, want 1", n)
+	}
+}

@@ -1,0 +1,247 @@
+// Package inference implements Encore's filtering detection algorithm
+// (§4.3, §7.2): measurements of a resource from a region are modelled as
+// Bernoulli trials that succeed with probability p (0.7 in the paper) in the
+// absence of filtering; a one-sided binomial hypothesis test at significance
+// α (0.05) flags region/resource pairs whose success counts are improbably
+// low, and a pair is reported as filtered only if the same resource passes
+// the test (i.e. remains accessible) somewhere else. The cross-region
+// requirement is what separates "this site is down or broken" from "this
+// site is blocked here".
+package inference
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"encore/internal/geo"
+	"encore/internal/results"
+	"encore/internal/stats"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Test is the hypothesis test; defaults to the paper's parameters
+	// (p=0.7, α=0.05).
+	Test stats.BinomialTest
+	// MinMeasurements is the minimum number of completed measurements a
+	// region must contribute before the detector will consider flagging it;
+	// prevents single-client regions from generating verdicts.
+	MinMeasurements int
+	// MinControlRegions is how many other regions must find the resource
+	// accessible before a flagged region is reported (the "yet does not
+	// fail the same test in other regions" condition).
+	MinControlRegions int
+}
+
+// DefaultConfig returns the paper's detection parameters.
+func DefaultConfig() Config {
+	return Config{
+		Test:              stats.DefaultBinomialTest(),
+		MinMeasurements:   5,
+		MinControlRegions: 1,
+	}
+}
+
+// Verdict is the detector's conclusion for one pattern in one region.
+type Verdict struct {
+	PatternKey string
+	Region     geo.CountryCode
+	// Completed is the number of measurements that reached a terminal
+	// state; Successes of those that loaded the resource.
+	Completed int
+	Successes int
+	// PValue is Pr[Binomial(Completed, p) <= Successes].
+	PValue float64
+	// RejectsNull reports whether the binomial test alone flags the cell.
+	RejectsNull bool
+	// AccessibleElsewhere reports whether at least MinControlRegions other
+	// regions measured the same pattern without rejecting the null.
+	AccessibleElsewhere bool
+	// Filtered is the final decision: RejectsNull && AccessibleElsewhere.
+	Filtered bool
+}
+
+// SuccessRate returns the observed success fraction.
+func (v Verdict) SuccessRate() float64 {
+	if v.Completed == 0 {
+		return 1
+	}
+	return float64(v.Successes) / float64(v.Completed)
+}
+
+// Detector runs the detection algorithm over aggregated measurements.
+type Detector struct {
+	cfg Config
+}
+
+// New creates a detector; zero-value config fields fall back to defaults.
+func New(cfg Config) *Detector {
+	def := DefaultConfig()
+	if cfg.Test.P == 0 && cfg.Test.Alpha == 0 {
+		cfg.Test = def.Test
+	}
+	if cfg.MinMeasurements <= 0 {
+		cfg.MinMeasurements = def.MinMeasurements
+	}
+	if cfg.MinControlRegions <= 0 {
+		cfg.MinControlRegions = def.MinControlRegions
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Detect evaluates every (pattern, region) cell in the aggregated groups and
+// returns verdicts sorted by pattern then region. Cells with fewer completed
+// measurements than MinMeasurements yield verdicts with Filtered=false and
+// are still included so reports can show coverage.
+func (d *Detector) Detect(groups []results.Group) []Verdict {
+	// First pass: per-cell binomial tests.
+	type cell struct {
+		group   results.Group
+		rejects bool
+		pvalue  float64
+	}
+	byPattern := make(map[string][]cell)
+	for _, g := range groups {
+		completed := g.Successes + g.Failures
+		p := d.cfg.Test.PValue(g.Successes, completed)
+		rejects := completed >= d.cfg.MinMeasurements && d.cfg.Test.Rejects(g.Successes, completed)
+		byPattern[g.Key.PatternKey] = append(byPattern[g.Key.PatternKey], cell{group: g, rejects: rejects, pvalue: p})
+	}
+
+	var verdicts []Verdict
+	for pattern, cells := range byPattern {
+		// Count regions where the resource looks accessible (enough data
+		// and the test does not reject).
+		accessibleRegions := 0
+		for _, c := range cells {
+			completed := c.group.Successes + c.group.Failures
+			if completed >= d.cfg.MinMeasurements && !c.rejects {
+				accessibleRegions++
+			}
+		}
+		for _, c := range cells {
+			completed := c.group.Successes + c.group.Failures
+			v := Verdict{
+				PatternKey:  pattern,
+				Region:      c.group.Key.Region,
+				Completed:   completed,
+				Successes:   c.group.Successes,
+				PValue:      c.pvalue,
+				RejectsNull: c.rejects,
+			}
+			v.AccessibleElsewhere = accessibleRegions >= d.cfg.MinControlRegions
+			v.Filtered = v.RejectsNull && v.AccessibleElsewhere
+			verdicts = append(verdicts, v)
+		}
+	}
+	sort.Slice(verdicts, func(i, j int) bool {
+		if verdicts[i].PatternKey != verdicts[j].PatternKey {
+			return verdicts[i].PatternKey < verdicts[j].PatternKey
+		}
+		return verdicts[i].Region < verdicts[j].Region
+	})
+	return verdicts
+}
+
+// DetectStore is a convenience wrapper that aggregates a store (excluding
+// control measurements) and runs detection.
+func (d *Detector) DetectStore(store *results.Store) []Verdict {
+	return d.Detect(results.Aggregate(store.All()))
+}
+
+// Filtered returns only the verdicts flagged as filtered.
+func Filtered(verdicts []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range verdicts {
+		if v.Filtered {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FilteredSet returns a set keyed "pattern|region" for quick membership
+// checks in tests and experiment scoring.
+func FilteredSet(verdicts []Verdict) map[string]bool {
+	out := make(map[string]bool)
+	for _, v := range verdicts {
+		if v.Filtered {
+			out[v.PatternKey+"|"+string(v.Region)] = true
+		}
+	}
+	return out
+}
+
+// Report renders a human-readable filtering report: one line per filtered
+// pair, followed by coverage statistics.
+func Report(verdicts []Verdict) string {
+	var b strings.Builder
+	filtered := Filtered(verdicts)
+	fmt.Fprintf(&b, "Detected filtering: %d pattern/region pairs\n", len(filtered))
+	for _, v := range filtered {
+		fmt.Fprintf(&b, "  %s filtered in %s: %d/%d succeeded (p=%.4f)\n",
+			v.PatternKey, v.Region, v.Successes, v.Completed, v.PValue)
+	}
+	byPattern := make(map[string]int)
+	for _, v := range verdicts {
+		byPattern[v.PatternKey]++
+	}
+	fmt.Fprintf(&b, "Coverage: %d patterns across %d cells\n", len(byPattern), len(verdicts))
+	return b.String()
+}
+
+// GroundTruth is the oracle used to score detection in simulations: it
+// reports whether the pattern is really filtered in the region.
+type GroundTruth func(patternKey string, region geo.CountryCode) bool
+
+// Confusion is a confusion matrix for detection scoring.
+type Confusion struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Precision returns TP / (TP + FP), or 1 when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	if c.TruePositives+c.FalsePositives == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(c.TruePositives+c.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN), or 1 when nothing was truly filtered.
+func (c Confusion) Recall() float64 {
+	if c.TruePositives+c.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(c.TruePositives+c.FalseNegatives)
+}
+
+// Score compares verdicts to ground truth. Only cells with at least
+// minCompleted completed measurements are scored, since cells without data
+// cannot be decided either way.
+func Score(verdicts []Verdict, truth GroundTruth, minCompleted int) Confusion {
+	var c Confusion
+	for _, v := range verdicts {
+		if v.Completed < minCompleted {
+			continue
+		}
+		actual := truth(v.PatternKey, v.Region)
+		switch {
+		case v.Filtered && actual:
+			c.TruePositives++
+		case v.Filtered && !actual:
+			c.FalsePositives++
+		case !v.Filtered && actual:
+			c.FalseNegatives++
+		default:
+			c.TrueNegatives++
+		}
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+package inference
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+// buildLongitudinalStore creates a store in which twitter.com starts
+// unfiltered in Turkey and becomes filtered halfway through the observation
+// period, while remaining reachable from the US throughout.
+func buildLongitudinalStore(t *testing.T) (*results.Store, time.Time) {
+	t.Helper()
+	store := results.NewStore()
+	start := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	id := 0
+	add := func(region string, success bool, day int) {
+		id++
+		state := core.StateSuccess
+		if !success {
+			state = core.StateFailure
+		}
+		err := store.Add(results.Measurement{
+			MeasurementID: fmt.Sprintf("m%d", id),
+			PatternKey:    "domain:twitter.com",
+			State:         state,
+			Region:        geo.CountryCode(region),
+			Browser:       core.BrowserChrome,
+			Received:      start.Add(time.Duration(day) * 24 * time.Hour),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 28; day++ {
+		// Turkey blocks Twitter from day 14 (the March 2014 Twitter ban).
+		add("TR", day < 14, day)
+		add("TR", day < 14, day)
+		add("US", true, day)
+		add("US", true, day)
+	}
+	return store, start
+}
+
+func TestDetectWindowsFindsOnset(t *testing.T) {
+	store, start := buildLongitudinalStore(t)
+	d := New(Config{MinMeasurements: 3})
+	windows := d.DetectWindows(store, 7*24*time.Hour)
+	if len(windows) != 4 {
+		t.Fatalf("got %d windows, want 4", len(windows))
+	}
+	// Weeks 1-2: no filtering; weeks 3-4: TR flagged.
+	for i, wv := range windows {
+		flagged := FilteredSet(wv.Verdicts)
+		trFiltered := flagged["domain:twitter.com|TR"]
+		wantFiltered := i >= 2
+		if trFiltered != wantFiltered {
+			t.Fatalf("window %d: TR filtered=%v, want %v", i, trFiltered, wantFiltered)
+		}
+		if flagged["domain:twitter.com|US"] {
+			t.Fatalf("window %d: US falsely flagged", i)
+		}
+	}
+	transitions := Transitions(windows, 3)
+	if len(transitions) != 1 {
+		t.Fatalf("got %d transitions, want 1: %+v", len(transitions), transitions)
+	}
+	tr := transitions[0]
+	if tr.Region != "TR" || !tr.FilteredNow {
+		t.Fatalf("transition wrong: %+v", tr)
+	}
+	if tr.At.Before(start.Add(13*24*time.Hour)) || tr.At.After(start.Add(22*24*time.Hour)) {
+		t.Fatalf("onset detected at %v, expected around day 14", tr.At)
+	}
+	report := TimelineReport(windows, 3)
+	if !strings.Contains(report, "onset of filtering") || !strings.Contains(report, "TR") {
+		t.Fatalf("timeline report missing onset:\n%s", report)
+	}
+}
+
+func TestTransitionsDetectLifting(t *testing.T) {
+	// Reverse scenario: filtering lifted halfway through.
+	store := results.NewStore()
+	start := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	id := 0
+	add := func(region string, success bool, day int) {
+		id++
+		state := core.StateSuccess
+		if !success {
+			state = core.StateFailure
+		}
+		_ = store.Add(results.Measurement{
+			MeasurementID: fmt.Sprintf("m%d", id), PatternKey: "domain:youtube.com", State: state,
+			Region: geo.CountryCode(region), Received: start.Add(time.Duration(day) * 24 * time.Hour)})
+	}
+	for day := 0; day < 14; day++ {
+		add("PK", day >= 7, day)
+		add("PK", day >= 7, day)
+		add("PK", day >= 7, day)
+		add("US", true, day)
+		add("US", true, day)
+		add("US", true, day)
+	}
+	d := New(Config{MinMeasurements: 3})
+	windows := d.DetectWindows(store, 7*24*time.Hour)
+	transitions := Transitions(windows, 3)
+	if len(transitions) != 1 || transitions[0].FilteredNow {
+		t.Fatalf("expected a single lifting transition, got %+v", transitions)
+	}
+}
+
+func TestDetectWindowsEmptyStore(t *testing.T) {
+	d := New(DefaultConfig())
+	if got := d.DetectWindows(results.NewStore(), time.Hour); len(got) != 0 {
+		t.Fatalf("empty store should yield no windows, got %d", len(got))
+	}
+}
+
+func TestTunedDetectorSuppressesLossyRegionFalsePositives(t *testing.T) {
+	// A very lossy (but uncensored) region fails 45% of its measurements of
+	// every pattern. The default p=0.7 test flags it; a tuned detector
+	// that learns the region's baseline must not.
+	store := results.NewStore()
+	id := 0
+	add := func(pattern, region string, success bool) {
+		id++
+		state := core.StateSuccess
+		if !success {
+			state = core.StateFailure
+		}
+		_ = store.Add(results.Measurement{MeasurementID: fmt.Sprintf("m%d", id), PatternKey: pattern,
+			State: state, Region: geo.CountryCode(region), Received: time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)})
+	}
+	for _, pattern := range []string{"domain:a.com", "domain:b.com", "domain:c.com"} {
+		for i := 0; i < 100; i++ {
+			add(pattern, "NG", i%100 < 55) // 55% success on everything
+			add(pattern, "US", i%100 < 97) // healthy elsewhere
+		}
+	}
+	// And one genuinely filtered pattern in NG: near-total failure.
+	for i := 0; i < 100; i++ {
+		add("domain:blocked.com", "NG", i%100 < 3)
+		add("domain:blocked.com", "US", i%100 < 97)
+	}
+
+	plain := New(DefaultConfig()).DetectStore(store)
+	plainFlagged := FilteredSet(plain)
+	if !plainFlagged["domain:a.com|NG"] {
+		t.Fatal("sanity: the untuned detector should false-positive on the lossy region")
+	}
+
+	tuned := NewTuned(DefaultConfig(), store, 0.9)
+	if p := tuned.NullProbability("NG"); p >= 0.7 {
+		t.Fatalf("NG null probability not tuned down: %v", p)
+	}
+	if p := tuned.NullProbability("US"); p > 0.7 {
+		t.Fatalf("US null probability should not exceed the base: %v", p)
+	}
+	verdicts := tuned.DetectStore(store)
+	flagged := FilteredSet(verdicts)
+	for _, pattern := range []string{"domain:a.com", "domain:b.com", "domain:c.com"} {
+		if flagged[pattern+"|NG"] {
+			t.Fatalf("tuned detector still false-positives on %s in NG", pattern)
+		}
+	}
+	if !flagged["domain:blocked.com|NG"] {
+		t.Fatal("tuned detector lost the genuine detection")
+	}
+	if flagged["domain:blocked.com|US"] {
+		t.Fatal("tuned detector flagged the US")
+	}
+}
+
+func TestTunedDetectorDefaults(t *testing.T) {
+	store := results.NewStore()
+	tuned := NewTuned(DefaultConfig(), store, -1)
+	if tuned.margin != 0.9 {
+		t.Fatalf("invalid margin should default to 0.9, got %v", tuned.margin)
+	}
+	// With no data, the tuned probability equals the base.
+	if p := tuned.NullProbability("US"); p != 0.7 {
+		t.Fatalf("empty-store null probability=%v, want 0.7", p)
+	}
+	if got := tuned.Detect(nil); len(got) != 0 {
+		t.Fatal("no groups should yield no verdicts")
+	}
+}

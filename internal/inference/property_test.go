@@ -1,0 +1,124 @@
+package inference
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+// randomGroups builds an aggregation from compact generated data: up to four
+// patterns and six regions with arbitrary success/failure counts.
+func randomGroups(patterns, cells uint8, counts []uint16) []results.Group {
+	regions := []string{"US", "CN", "PK", "IR", "IN", "DE"}
+	var ms []results.Measurement
+	id := 0
+	nPatterns := int(patterns%4) + 1
+	nCells := int(cells%12) + 1
+	for c := 0; c < nCells; c++ {
+		pattern := fmt.Sprintf("domain:site%d.com", c%nPatterns)
+		region := regions[c%len(regions)]
+		var successes, failures int
+		if len(counts) > 0 {
+			successes = int(counts[c%len(counts)] % 40)
+			failures = int(counts[(c+1)%len(counts)] % 40)
+		}
+		for i := 0; i < successes; i++ {
+			id++
+			ms = append(ms, results.Measurement{MeasurementID: fmt.Sprintf("m%d", id), PatternKey: pattern,
+				Region: geo.CountryCode(region), State: core.StateSuccess})
+		}
+		for i := 0; i < failures; i++ {
+			id++
+			ms = append(ms, results.Measurement{MeasurementID: fmt.Sprintf("m%d", id), PatternKey: pattern,
+				Region: geo.CountryCode(region), State: core.StateFailure})
+		}
+	}
+	return results.Aggregate(ms)
+}
+
+// TestQuickVerdictInvariants checks structural invariants of the detector
+// over arbitrary measurement aggregations:
+//
+//   - p-values lie in [0, 1],
+//   - a Filtered verdict always has RejectsNull and AccessibleElsewhere,
+//   - a cell below the minimum measurement count is never flagged,
+//   - success counts never exceed completed counts.
+func TestQuickVerdictInvariants(t *testing.T) {
+	d := New(DefaultConfig())
+	f := func(patterns, cells uint8, counts []uint16) bool {
+		groups := randomGroups(patterns, cells, counts)
+		for _, v := range d.Detect(groups) {
+			if v.PValue < 0 || v.PValue > 1 {
+				return false
+			}
+			if v.Filtered && (!v.RejectsNull || !v.AccessibleElsewhere) {
+				return false
+			}
+			if v.Completed < d.Config().MinMeasurements && v.Filtered {
+				return false
+			}
+			if v.Successes > v.Completed || v.Successes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoDetectionWithoutAccessibleRegion checks the core safety property
+// of the cross-region confirmation: whatever the data, a pattern can only be
+// flagged somewhere if at least one region found it accessible.
+func TestQuickNoDetectionWithoutAccessibleRegion(t *testing.T) {
+	d := New(DefaultConfig())
+	f := func(patterns, cells uint8, counts []uint16) bool {
+		groups := randomGroups(patterns, cells, counts)
+		verdicts := d.Detect(groups)
+		accessible := make(map[string]bool)
+		for _, v := range verdicts {
+			if v.Completed >= d.Config().MinMeasurements && !v.RejectsNull {
+				accessible[v.PatternKey] = true
+			}
+		}
+		for _, v := range verdicts {
+			if v.Filtered && !accessible[v.PatternKey] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScoreCountsPartitionVerdicts checks that the confusion matrix
+// partitions exactly the scored verdicts.
+func TestQuickScoreCountsPartitionVerdicts(t *testing.T) {
+	d := New(DefaultConfig())
+	f := func(patterns, cells uint8, counts []uint16, truthBit bool) bool {
+		groups := randomGroups(patterns, cells, counts)
+		verdicts := d.Detect(groups)
+		truth := func(pattern string, region geo.CountryCode) bool {
+			return truthBit && region == "CN"
+		}
+		min := d.Config().MinMeasurements
+		c := Score(verdicts, truth, min)
+		scored := 0
+		for _, v := range verdicts {
+			if v.Completed >= min {
+				scored++
+			}
+		}
+		return c.TruePositives+c.FalsePositives+c.TrueNegatives+c.FalseNegatives == scored
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

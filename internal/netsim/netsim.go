@@ -1,0 +1,371 @@
+// Package netsim simulates the network path between a Web client and the
+// servers it fetches from: DNS resolution, TCP connection establishment, and
+// the HTTP exchange, with the regional censor (internal/censor) interposed on
+// the path and a latency/loss model parameterized per country.
+//
+// The paper's clients are real browsers on real networks; this simulator
+// substitutes for those networks while preserving the only things Encore's
+// measurement tasks can observe: whether a fetch completes, what content
+// (real, block page, or nothing) arrives, and how long the fetch takes.
+// Ground-truth fields (whether the censor actually interfered) are carried on
+// results for experiment scoring only and are never consulted by the
+// measurement or inference code.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"encore/internal/censor"
+	"encore/internal/geo"
+	"encore/internal/stats"
+	"encore/internal/urlpattern"
+	"encore/internal/webgen"
+)
+
+// Outcome classifies what the client observes at the network level.
+type Outcome int
+
+const (
+	// OutcomeSuccess means the full response arrived.
+	OutcomeSuccess Outcome = iota
+	// OutcomeDNSFailure means name resolution failed (NXDOMAIN/SERVFAIL).
+	OutcomeDNSFailure
+	// OutcomeConnectFailure means the TCP connection was refused or reset.
+	OutcomeConnectFailure
+	// OutcomeTimeout means the fetch exceeded the client's patience.
+	OutcomeTimeout
+	// OutcomeHTTPError means the server returned a non-success status.
+	OutcomeHTTPError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeDNSFailure:
+		return "dns-failure"
+	case OutcomeConnectFailure:
+		return "connect-failure"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeHTTPError:
+		return "http-error"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Client is the network-level view of one measurement vantage point.
+type Client struct {
+	Region geo.CountryCode
+	IP     net.IP
+	// RTTMillis is the client's typical round-trip time to well-connected
+	// content.
+	RTTMillis float64
+	// Unreliability is the per-fetch probability of a spurious,
+	// non-censorship failure.
+	Unreliability float64
+	// BandwidthKBps is the client's downstream bandwidth.
+	BandwidthKBps float64
+	// PatienceMillis bounds how long a fetch may take before the browser
+	// gives up; fetches exceeding it report OutcomeTimeout.
+	PatienceMillis float64
+}
+
+// FetchResult describes one completed (or failed) fetch.
+type FetchResult struct {
+	URL            string
+	Outcome        Outcome
+	HTTPStatus     int
+	MIMEType       string
+	BytesReceived  int
+	DurationMillis float64
+	// ContentValid reports whether the bytes received are the genuine
+	// resource (false when a block page or other substituted content was
+	// served). Browsers observe this indirectly: an <img> pointing at a
+	// block page fails to render, a style sheet replaced by HTML does not
+	// apply its rules.
+	ContentValid bool
+	// FromCache reports whether the resource was served from the browser
+	// cache without touching the network (set by the browser layer).
+	FromCache bool
+
+	// Ground truth for experiment scoring only.
+	GroundTruthFiltered  bool
+	GroundTruthMechanism censor.Mechanism
+}
+
+// Succeeded reports whether the fetch delivered the genuine resource.
+func (r FetchResult) Succeeded() bool {
+	return r.Outcome == OutcomeSuccess && r.ContentValid
+}
+
+// Host serves HTTP content for a domain that is not part of the synthetic Web
+// (Encore's coordination, collection, and origin servers, or testbed
+// servers). Serve returns the response status, MIME type, and body size for
+// a URL; ok=false means the host has no resource at that URL (HTTP 404).
+type Host interface {
+	Serve(url string) (status int, mimeType string, size int, ok bool)
+}
+
+// HostFunc adapts a function to the Host interface.
+type HostFunc func(url string) (int, string, int, bool)
+
+// Serve implements Host.
+func (f HostFunc) Serve(url string) (int, string, int, bool) { return f(url) }
+
+// Network simulates fetches against the synthetic Web plus any registered
+// hosts, through a censor engine. It is safe for concurrent use.
+type Network struct {
+	Web    *webgen.Web
+	Censor *censor.Engine
+	Geo    *geo.Registry
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	hosts map[string]Host
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	Web    *webgen.Web
+	Censor *censor.Engine
+	Geo    *geo.Registry
+	Seed   uint64
+}
+
+// New creates a network simulator. Web, Censor, and Geo may not be nil.
+func New(cfg Config) *Network {
+	if cfg.Web == nil || cfg.Censor == nil || cfg.Geo == nil {
+		panic("netsim: Config requires Web, Censor, and Geo")
+	}
+	return &Network{
+		Web:    cfg.Web,
+		Censor: cfg.Censor,
+		Geo:    cfg.Geo,
+		rng:    stats.NewRNG(cfg.Seed),
+		hosts:  make(map[string]Host),
+	}
+}
+
+// RegisterHost attaches a Host implementation to a domain so simulated
+// clients can fetch from it (Encore infrastructure, testbed servers).
+func (n *Network) RegisterHost(domain string, h Host) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[urlpattern.NormalizeHost(domain)] = h
+}
+
+// NewClient builds a client located in the given country, with latency,
+// reliability, and bandwidth drawn from the country's profile.
+func (n *Network) NewClient(region geo.CountryCode) (Client, error) {
+	country, err := n.Geo.Country(region)
+	if err != nil {
+		return Client{}, err
+	}
+	ip, err := n.Geo.RandomIP(region)
+	if err != nil {
+		return Client{}, err
+	}
+	n.mu.Lock()
+	rtt := country.BaseRTTMillis * (0.7 + 0.6*n.rng.Float64())
+	bw := 200 + 1800*n.rng.Float64() // 200 KB/s .. 2 MB/s
+	n.mu.Unlock()
+	return Client{
+		Region:         region,
+		IP:             ip,
+		RTTMillis:      rtt,
+		Unreliability:  country.Unreliability,
+		BandwidthKBps:  bw,
+		PatienceMillis: 30_000,
+	}, nil
+}
+
+// Fetch simulates the client fetching the URL. measurementMarker indicates
+// the request is identifiable as Encore measurement traffic (used only by
+// distorting-adversary experiments).
+func (n *Network) Fetch(c Client, url string, measurementMarker bool) FetchResult {
+	n.mu.Lock()
+	rng := n.rng.Fork()
+	n.mu.Unlock()
+	return n.fetchWithRNG(rng, c, url, measurementMarker)
+}
+
+func (n *Network) fetchWithRNG(rng *stats.RNG, c Client, url string, marker bool) FetchResult {
+	res := FetchResult{URL: url}
+	decision := n.Censor.Evaluate(censor.Request{Region: c.Region, URL: url, MeasurementMarker: marker})
+	res.GroundTruthFiltered = decision.Filtered
+	res.GroundTruthMechanism = decision.Mechanism
+
+	elapsed := 0.0
+	patience := c.PatienceMillis
+	if patience <= 0 {
+		patience = 30_000
+	}
+
+	// Spurious, censorship-unrelated failures (wireless loss, resolver
+	// trouble, captive portals). These are what make single measurements
+	// unreliable and motivate the binomial test.
+	if rng.Bool(c.Unreliability) {
+		switch rng.Intn(3) {
+		case 0:
+			res.Outcome = OutcomeDNSFailure
+			res.DurationMillis = elapsed + c.RTTMillis*(2+3*rng.Float64())
+		case 1:
+			res.Outcome = OutcomeConnectFailure
+			res.DurationMillis = elapsed + c.RTTMillis*(1+2*rng.Float64())
+		default:
+			res.Outcome = OutcomeTimeout
+			res.DurationMillis = patience
+		}
+		return res
+	}
+
+	// --- DNS stage ---
+	dnsTime := 0.5*c.RTTMillis + 5*rng.Float64()
+	elapsed += dnsTime
+	if decision.Filtered {
+		switch decision.Mechanism {
+		case censor.MechanismDNSNXDOMAIN:
+			res.Outcome = OutcomeDNSFailure
+			res.DurationMillis = elapsed
+			return res
+		case censor.MechanismDNSRedirect:
+			// Resolution "succeeds" but points at the censor's server,
+			// which serves a block page over HTTP.
+			return n.serveBlockPage(rng, c, res, elapsed)
+		}
+	}
+	host := urlpattern.DomainOf(url)
+	resource, inWeb := n.Web.LookupResource(url)
+	n.mu.Lock()
+	extraHost, isExtra := n.hosts[host]
+	n.mu.Unlock()
+	_, siteKnown := n.Web.Site(host)
+	if !inWeb && !isExtra && !siteKnown {
+		// Unknown name: genuine NXDOMAIN (e.g. testbed control for an
+		// invalid domain).
+		res.Outcome = OutcomeDNSFailure
+		res.DurationMillis = elapsed
+		return res
+	}
+
+	// --- TCP stage ---
+	connectTime := c.RTTMillis * (1 + 0.2*rng.Float64())
+	elapsed += connectTime
+	if decision.Filtered {
+		switch decision.Mechanism {
+		case censor.MechanismTCPReset:
+			res.Outcome = OutcomeConnectFailure
+			res.DurationMillis = elapsed
+			return res
+		case censor.MechanismPacketDrop:
+			res.Outcome = OutcomeTimeout
+			res.DurationMillis = patience
+			return res
+		}
+	}
+
+	// --- HTTP stage ---
+	if decision.Filtered {
+		switch decision.Mechanism {
+		case censor.MechanismHTTPBlockPage:
+			return n.serveBlockPage(rng, c, res, elapsed)
+		case censor.MechanismHTTPDrop:
+			res.Outcome = OutcomeTimeout
+			res.DurationMillis = patience
+			return res
+		case censor.MechanismThrottle:
+			elapsed += decision.ExtraDelayMillis
+			if elapsed >= patience {
+				res.Outcome = OutcomeTimeout
+				res.DurationMillis = patience
+				return res
+			}
+		}
+	}
+
+	var status int
+	var mime string
+	var size int
+	switch {
+	case isExtra:
+		var ok bool
+		status, mime, size, ok = extraHost.Serve(url)
+		if !ok {
+			status, mime, size = 404, "text/html", 512
+		}
+	case inWeb:
+		status, mime, size = 200, resource.MIMEType, resource.SizeBytes
+	default:
+		// Known site but unknown path: 404.
+		status, mime, size = 404, "text/html", 1024
+	}
+
+	transferTime := c.RTTMillis*(1+0.3*rng.Float64()) + float64(size)/c.BandwidthKBps
+	elapsed += transferTime
+	if elapsed >= patience {
+		res.Outcome = OutcomeTimeout
+		res.DurationMillis = patience
+		return res
+	}
+
+	res.DurationMillis = elapsed
+	res.HTTPStatus = status
+	res.MIMEType = mime
+	res.BytesReceived = size
+	if status >= 200 && status < 300 {
+		res.Outcome = OutcomeSuccess
+		res.ContentValid = true
+	} else {
+		res.Outcome = OutcomeHTTPError
+	}
+	return res
+}
+
+// serveBlockPage completes a fetch with substituted censor content: an HTTP
+// 200 whose body is a small HTML block page rather than the requested
+// resource.
+func (n *Network) serveBlockPage(rng *stats.RNG, c Client, res FetchResult, elapsed float64) FetchResult {
+	elapsed += c.RTTMillis*(1.5+0.5*rng.Float64()) + 2
+	res.DurationMillis = elapsed
+	res.Outcome = OutcomeSuccess
+	res.HTTPStatus = 200
+	res.MIMEType = "text/html"
+	res.BytesReceived = 3 * 1024
+	res.ContentValid = false
+	return res
+}
+
+// FetchTiming estimates only the duration of a successful fetch of size bytes
+// for the client, without censorship or failures. The browser cache model
+// uses it to produce cached-versus-uncached timings (Figure 7).
+func (n *Network) FetchTiming(c Client, sizeBytes int, cached bool) float64 {
+	n.mu.Lock()
+	rng := n.rng.Fork()
+	n.mu.Unlock()
+	if cached {
+		// Cache hits never touch the network: a few milliseconds to read
+		// and render from the local cache.
+		return 1 + 9*rng.Float64()
+	}
+	dns := 0.5*c.RTTMillis + 5*rng.Float64()
+	connect := c.RTTMillis * (1 + 0.2*rng.Float64())
+	transfer := c.RTTMillis*(1+0.3*rng.Float64()) + float64(sizeBytes)/c.BandwidthKBps
+	return dns + connect + transfer
+}
+
+// DescribeResult renders a result as a compact single line for logs.
+func DescribeResult(r FetchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s outcome=%s status=%d bytes=%d dur=%.0fms valid=%v",
+		r.URL, r.Outcome, r.HTTPStatus, r.BytesReceived, r.DurationMillis, r.ContentValid)
+	if r.GroundTruthFiltered {
+		fmt.Fprintf(&b, " [filtered:%s]", r.GroundTruthMechanism)
+	}
+	return b.String()
+}

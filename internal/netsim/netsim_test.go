@@ -1,0 +1,335 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"encore/internal/censor"
+	"encore/internal/geo"
+	"encore/internal/webgen"
+)
+
+func testNetwork(t *testing.T, eng *censor.Engine) *Network {
+	t.Helper()
+	web := webgen.Generate(webgen.Config{
+		Seed:           1,
+		TargetDomains:  webgen.HighValueTargets(),
+		GenericDomains: 10,
+		CDNDomains:     2,
+		PagesPerDomain: 10,
+	})
+	if eng == nil {
+		eng = censor.NewEngine()
+	}
+	return New(Config{Web: web, Censor: eng, Geo: geo.NewRegistry(1), Seed: 7})
+}
+
+func reliableClient(t *testing.T, n *Network, region geo.CountryCode) Client {
+	t.Helper()
+	c, err := n.NewClient(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unreliability = 0 // make individual assertions deterministic
+	return c
+}
+
+func TestNewRequiresDependencies(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil dependencies")
+		}
+	}()
+	New(Config{})
+}
+
+func TestNewClientProfile(t *testing.T) {
+	n := testNetwork(t, nil)
+	c, err := n.NewClient("IN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Region != "IN" || c.IP == nil {
+		t.Fatalf("client incomplete: %+v", c)
+	}
+	if c.RTTMillis <= 0 || c.BandwidthKBps <= 0 || c.PatienceMillis <= 0 {
+		t.Fatalf("client network parameters not set: %+v", c)
+	}
+	if c.Unreliability <= 0 {
+		t.Fatal("India should have non-zero unreliability (drives §7.1 false positives)")
+	}
+	if _, err := n.NewClient("XX"); err == nil {
+		t.Fatal("expected error for unknown region")
+	}
+}
+
+func TestFetchUnfilteredSucceeds(t *testing.T) {
+	n := testNetwork(t, nil)
+	c := reliableClient(t, n, "US")
+	fav, ok := n.Web.FaviconOf("youtube.com")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	res := n.Fetch(c, fav.URL, false)
+	if !res.Succeeded() {
+		t.Fatalf("unfiltered fetch failed: %s", DescribeResult(res))
+	}
+	if res.BytesReceived != fav.SizeBytes {
+		t.Fatalf("BytesReceived=%d, want %d", res.BytesReceived, fav.SizeBytes)
+	}
+	if res.GroundTruthFiltered {
+		t.Fatal("unfiltered fetch marked as filtered")
+	}
+	if res.DurationMillis <= 0 {
+		t.Fatal("duration not modelled")
+	}
+}
+
+func TestFetchUnknownDomainIsDNSFailure(t *testing.T) {
+	n := testNetwork(t, nil)
+	c := reliableClient(t, n, "US")
+	res := n.Fetch(c, "http://does-not-exist-7913.invalid/favicon.ico", false)
+	if res.Outcome != OutcomeDNSFailure {
+		t.Fatalf("outcome=%v, want dns-failure", res.Outcome)
+	}
+	if res.GroundTruthFiltered {
+		t.Fatal("nonexistent domain should not count as filtered")
+	}
+}
+
+func TestFetchUnknownPathIs404(t *testing.T) {
+	n := testNetwork(t, nil)
+	c := reliableClient(t, n, "US")
+	res := n.Fetch(c, "http://youtube.com/no/such/object.png", false)
+	if res.Outcome != OutcomeHTTPError || res.HTTPStatus != 404 {
+		t.Fatalf("result=%s", DescribeResult(res))
+	}
+	if res.Succeeded() {
+		t.Fatal("404 must not count as success")
+	}
+}
+
+func TestCensorshipMechanismsObservables(t *testing.T) {
+	cases := []struct {
+		mechanism censor.Mechanism
+		check     func(t *testing.T, r FetchResult)
+	}{
+		{censor.MechanismDNSNXDOMAIN, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeDNSFailure {
+				t.Fatalf("outcome=%v", r.Outcome)
+			}
+		}},
+		{censor.MechanismDNSRedirect, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeSuccess || r.ContentValid {
+				t.Fatalf("DNS redirect should deliver invalid content: %s", DescribeResult(r))
+			}
+			if r.Succeeded() {
+				t.Fatal("block page must not count as success")
+			}
+		}},
+		{censor.MechanismTCPReset, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeConnectFailure {
+				t.Fatalf("outcome=%v", r.Outcome)
+			}
+		}},
+		{censor.MechanismPacketDrop, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeTimeout {
+				t.Fatalf("outcome=%v", r.Outcome)
+			}
+		}},
+		{censor.MechanismHTTPBlockPage, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeSuccess || r.ContentValid || r.MIMEType != "text/html" {
+				t.Fatalf("block page observables wrong: %s", DescribeResult(r))
+			}
+		}},
+		{censor.MechanismHTTPDrop, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeTimeout {
+				t.Fatalf("outcome=%v", r.Outcome)
+			}
+		}},
+		{censor.MechanismThrottle, func(t *testing.T, r FetchResult) {
+			if r.Outcome != OutcomeTimeout && r.DurationMillis < 10_000 {
+				t.Fatalf("throttled fetch should be slow or time out: %s", DescribeResult(r))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mechanism.String(), func(t *testing.T) {
+			eng := censor.NewEngine()
+			pol := &censor.Policy{Region: "CN"}
+			pol.AddDomain("facebook.com", tc.mechanism, "test")
+			eng.SetPolicy(pol)
+			n := testNetwork(t, eng)
+			c := reliableClient(t, n, "CN")
+			res := n.Fetch(c, "http://facebook.com/favicon.ico", false)
+			if !res.GroundTruthFiltered || res.GroundTruthMechanism != tc.mechanism {
+				t.Fatalf("ground truth not recorded: %s", DescribeResult(res))
+			}
+			if res.Succeeded() {
+				t.Fatalf("filtered fetch must not succeed: %s", DescribeResult(res))
+			}
+			tc.check(t, res)
+		})
+	}
+}
+
+func TestFilteringOnlyAffectsPolicyRegion(t *testing.T) {
+	n := testNetwork(t, censor.PaperPolicies())
+	fav, ok := n.Web.FaviconOf("youtube.com")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	us := reliableClient(t, n, "US")
+	pk := reliableClient(t, n, "PK")
+	if !n.Fetch(us, fav.URL, false).Succeeded() {
+		t.Fatal("US fetch of youtube.com should succeed")
+	}
+	if n.Fetch(pk, fav.URL, false).Succeeded() {
+		t.Fatal("PK fetch of youtube.com should be filtered")
+	}
+}
+
+func TestUnreliabilityCausesSpuriousFailures(t *testing.T) {
+	n := testNetwork(t, nil)
+	c, err := n.NewClient("IN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unreliability = 0.5
+	fav, ok := n.Web.FaviconOf("wikipedia.org")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	failures := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if !n.Fetch(c, fav.URL, false).Succeeded() {
+			failures++
+		}
+	}
+	if failures < trials/4 || failures > 3*trials/4 {
+		t.Fatalf("with unreliability 0.5, %d/%d fetches failed", failures, trials)
+	}
+}
+
+func TestRegisteredHostServed(t *testing.T) {
+	n := testNetwork(t, nil)
+	n.RegisterHost("coordinator.encore-test.org", HostFunc(func(url string) (int, string, int, bool) {
+		if strings.HasSuffix(url, "/task.js") {
+			return 200, "application/javascript", 2048, true
+		}
+		return 0, "", 0, false
+	}))
+	c := reliableClient(t, n, "US")
+	res := n.Fetch(c, "http://coordinator.encore-test.org/task.js", false)
+	if !res.Succeeded() || res.MIMEType != "application/javascript" {
+		t.Fatalf("registered host not served: %s", DescribeResult(res))
+	}
+	res = n.Fetch(c, "http://coordinator.encore-test.org/missing", false)
+	if res.Outcome != OutcomeHTTPError || res.HTTPStatus != 404 {
+		t.Fatalf("missing path should 404: %s", DescribeResult(res))
+	}
+}
+
+func TestInfraBlockingPreventsTaskFetch(t *testing.T) {
+	eng := censor.NewEngine()
+	eng.SetPolicy(&censor.Policy{Region: "IR", BlockMeasurementInfra: []string{"coordinator.encore-test.org"}})
+	n := testNetwork(t, eng)
+	n.RegisterHost("coordinator.encore-test.org", HostFunc(func(string) (int, string, int, bool) {
+		return 200, "application/javascript", 1024, true
+	}))
+	ir := reliableClient(t, n, "IR")
+	if n.Fetch(ir, "http://coordinator.encore-test.org/task.js", false).Succeeded() {
+		t.Fatal("blocked infrastructure should be unreachable from IR")
+	}
+	us := reliableClient(t, n, "US")
+	if !n.Fetch(us, "http://coordinator.encore-test.org/task.js", false).Succeeded() {
+		t.Fatal("infrastructure should be reachable from US")
+	}
+}
+
+func TestDistortingAdversary(t *testing.T) {
+	eng := censor.NewEngine()
+	pol := &censor.Policy{Region: "CN", AllowMeasurementTraffic: true}
+	pol.AddDomain("twitter.com", censor.MechanismTCPReset, "")
+	eng.SetPolicy(pol)
+	n := testNetwork(t, eng)
+	c := reliableClient(t, n, "CN")
+	fav, ok := n.Web.FaviconOf("twitter.com")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	if n.Fetch(c, fav.URL, false).Succeeded() {
+		t.Fatal("unmarked traffic should be filtered")
+	}
+	if !n.Fetch(c, fav.URL, true).Succeeded() {
+		t.Fatal("marked measurement traffic should pass the distorting adversary")
+	}
+}
+
+func TestFetchTimingCachedMuchFasterThanUncached(t *testing.T) {
+	n := testNetwork(t, nil)
+	c := reliableClient(t, n, "BR")
+	slower := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		uncached := n.FetchTiming(c, 1024, false)
+		cached := n.FetchTiming(c, 1024, true)
+		if cached > 10 {
+			t.Fatalf("cached load took %.1fms, expected tens of ms at most", cached)
+		}
+		if uncached > cached+50 {
+			slower++
+		}
+	}
+	// Figure 7: most clients take at least 50 ms longer uncached.
+	if slower < trials*7/10 {
+		t.Fatalf("only %d/%d uncached loads were >=50ms slower than cached", slower, trials)
+	}
+}
+
+func TestPatienceZeroDefaults(t *testing.T) {
+	n := testNetwork(t, nil)
+	c := reliableClient(t, n, "US")
+	c.PatienceMillis = 0
+	fav, ok := n.Web.FaviconOf("github.com")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	if res := n.Fetch(c, fav.URL, false); !res.Succeeded() {
+		t.Fatalf("zero patience should fall back to default, got %s", DescribeResult(res))
+	}
+}
+
+func TestDescribeResult(t *testing.T) {
+	r := FetchResult{URL: "http://x.com/", Outcome: OutcomeSuccess, HTTPStatus: 200,
+		ContentValid: true, GroundTruthFiltered: true, GroundTruthMechanism: censor.MechanismTCPReset}
+	s := DescribeResult(r)
+	if !strings.Contains(s, "x.com") || !strings.Contains(s, "filtered:tcp-reset") {
+		t.Fatalf("DescribeResult=%q", s)
+	}
+	if OutcomeDNSFailure.String() != "dns-failure" || Outcome(99).String() == "" {
+		t.Fatal("outcome strings broken")
+	}
+}
+
+func TestConcurrentFetchesSafe(t *testing.T) {
+	n := testNetwork(t, censor.PaperPolicies())
+	fav, ok := n.Web.FaviconOf("youtube.com")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			c, _ := n.NewClient("US")
+			for i := 0; i < 50; i++ {
+				n.Fetch(c, fav.URL, false)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

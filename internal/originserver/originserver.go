@@ -1,0 +1,143 @@
+// Package originserver implements a Web site that has volunteered to host
+// Encore (§5.4, §6.3): it serves its own pages with the one-line Encore
+// embed snippet added. The package exists so examples, tests, and the
+// webmaster-overhead experiment (E10) can measure exactly what deployment
+// costs a participating site: the added bytes per page and the absence of any
+// additional requests to the origin itself.
+package originserver
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"encore/internal/core"
+)
+
+// Page is one page of the origin site.
+type Page struct {
+	Path  string
+	Title string
+	Body  string
+}
+
+// Server is the origin Web server. It implements http.Handler.
+type Server struct {
+	// SiteName identifies the site (used in page footers and the Referer
+	// clients send with submissions).
+	SiteName string
+	// Snippet configures the Encore embed added to every page.
+	Snippet core.SnippetOptions
+	// EnableEncore controls whether pages include the snippet; disabling it
+	// gives the baseline for overhead measurements.
+	EnableEncore bool
+	// UseIFrameEmbed selects the iframe embed variant instead of the
+	// script-tag embed.
+	UseIFrameEmbed bool
+	// TaskProvider, when set, makes the origin proxy the coordination
+	// server on behalf of its visitors (§8): instead of the one-line
+	// remote embed, each served page inlines a freshly generated
+	// measurement task, so clients never contact the coordination server
+	// and a censor cannot suppress measurements by blocking it.
+	TaskProvider TaskProvider
+
+	pages  map[string]Page
+	visits uint64
+}
+
+// TaskProvider is the subset of the coordination server the webmaster-proxy
+// deployment mode needs: generate ready-to-serve task JavaScript for a
+// client request.
+type TaskProvider interface {
+	InlineTaskJS(r *http.Request) string
+}
+
+// New creates an origin server with a default set of pages.
+func New(siteName string, snippet core.SnippetOptions) *Server {
+	s := &Server{
+		SiteName:     siteName,
+		Snippet:      snippet,
+		EnableEncore: true,
+		pages:        make(map[string]Page),
+	}
+	s.AddPage(Page{Path: "/", Title: siteName, Body: "<h1>" + siteName + "</h1><p>Welcome to " + siteName + ".</p>"})
+	s.AddPage(Page{Path: "/about.html", Title: "About", Body: "<h1>About</h1><p>A volunteer Encore origin site.</p>"})
+	s.AddPage(Page{Path: "/research.html", Title: "Research", Body: "<h1>Research</h1><p>Publications and projects.</p>"})
+	return s
+}
+
+// AddPage registers a page.
+func (s *Server) AddPage(p Page) {
+	if s.pages == nil {
+		s.pages = make(map[string]Page)
+	}
+	s.pages[p.Path] = p
+}
+
+// Visits reports how many page views the origin has served.
+func (s *Server) Visits() uint64 { return atomic.LoadUint64(&s.visits) }
+
+// RenderPage renders the HTML for a page, with or without the Encore snippet
+// depending on configuration.
+func (s *Server) RenderPage(p Page) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	b.WriteString(p.Title)
+	b.WriteString("</title></head>\n<body>\n")
+	b.WriteString(p.Body)
+	b.WriteString("\n<footer>Hosted by ")
+	b.WriteString(s.SiteName)
+	b.WriteString("</footer>\n")
+	if s.EnableEncore {
+		if s.UseIFrameEmbed {
+			b.WriteString(core.EmbedSnippetIFrame(s.Snippet))
+		} else {
+			b.WriteString(core.EmbedSnippet(s.Snippet))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// PageOverheadBytes returns how many bytes Encore adds to the given page:
+// the rendered size with the snippet minus the size without it (§6.3 reports
+// roughly 100 bytes).
+func (s *Server) PageOverheadBytes(p Page) int {
+	enabled := s.EnableEncore
+	defer func() { s.EnableEncore = enabled }()
+	s.EnableEncore = true
+	with := len(s.RenderPage(p))
+	s.EnableEncore = false
+	without := len(s.RenderPage(p))
+	return with - without
+}
+
+// ServeHTTP serves the origin's pages.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	page, ok := s.pages[r.URL.Path]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	atomic.AddUint64(&s.visits, 1)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	html := s.RenderPage(page)
+	if s.EnableEncore && s.TaskProvider != nil {
+		// Webmaster-proxy mode: replace the remote embed with an inlined
+		// task generated for this specific client.
+		inline := "<script>\n" + s.TaskProvider.InlineTaskJS(r) + "</script>\n</body>"
+		html = strings.Replace(s.RenderPage(page), core.EmbedSnippet(s.Snippet)+"\n</body>", inline, 1)
+	}
+	fmt.Fprint(w, html)
+}
+
+// Pages returns the registered pages keyed by path.
+func (s *Server) Pages() map[string]Page {
+	out := make(map[string]Page, len(s.pages))
+	for k, v := range s.pages {
+		out[k] = v
+	}
+	return out
+}

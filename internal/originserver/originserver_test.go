@@ -1,0 +1,131 @@
+package originserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"encore/internal/core"
+)
+
+func opts() core.SnippetOptions {
+	return core.SnippetOptions{
+		CoordinatorURL: "//coordinator.encore-test.org",
+		CollectorURL:   "//collector.encore-test.org",
+	}
+}
+
+func TestRenderPageIncludesSnippet(t *testing.T) {
+	s := New("professor.example.edu", opts())
+	page := s.Pages()["/"]
+	html := s.RenderPage(page)
+	if !strings.Contains(html, "coordinator.encore-test.org/task.js") {
+		t.Fatal("rendered page missing Encore snippet")
+	}
+	s.EnableEncore = false
+	html = s.RenderPage(page)
+	if strings.Contains(html, "task.js") {
+		t.Fatal("disabled Encore still injected snippet")
+	}
+}
+
+func TestIFrameEmbedVariant(t *testing.T) {
+	s := New("site.example.org", opts())
+	s.UseIFrameEmbed = true
+	html := s.RenderPage(s.Pages()["/"])
+	if !strings.Contains(html, "<iframe") || !strings.Contains(html, "frame.html") {
+		t.Fatal("iframe embed variant not used")
+	}
+}
+
+func TestPageOverheadRoughly100Bytes(t *testing.T) {
+	s := New("professor.example.edu", opts())
+	overhead := s.PageOverheadBytes(s.Pages()["/"])
+	// §6.3: "our prototype adds only 100 bytes to each origin page".
+	if overhead <= 0 || overhead > 200 {
+		t.Fatalf("snippet overhead %d bytes, expected on the order of 100", overhead)
+	}
+	if !s.EnableEncore {
+		t.Fatal("PageOverheadBytes must restore EnableEncore")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	s := New("professor.example.edu", opts())
+	s.AddPage(Page{Path: "/publications.html", Title: "Publications", Body: "<h1>Papers</h1>"})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/publications.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "Papers") || !strings.Contains(string(body), "task.js") {
+		t.Fatalf("page content wrong:\n%s", body)
+	}
+	if s.Visits() != 1 {
+		t.Fatalf("visits=%d", s.Visits())
+	}
+
+	resp, err = http.Get(srv.URL + "/missing.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing page status=%d", resp.StatusCode)
+	}
+	if s.Visits() != 1 {
+		t.Fatal("404s must not count as visits")
+	}
+}
+
+// fakeProvider stands in for the coordination server in webmaster-proxy mode.
+type fakeProvider struct{ js string }
+
+func (f fakeProvider) InlineTaskJS(r *http.Request) string { return f.js }
+
+func TestWebmasterProxyInlinesTask(t *testing.T) {
+	s := New("proxying.example.org", opts())
+	s.TaskProvider = fakeProvider{js: "var encoreInlineTask = 1;\n"}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	html := string(body)
+	if !strings.Contains(html, "encoreInlineTask") {
+		t.Fatalf("proxy mode did not inline the task:\n%s", html)
+	}
+	if strings.Contains(html, "coordinator.encore-test.org/task.js") {
+		t.Fatal("proxy mode should not reference the coordination server")
+	}
+	// With Encore disabled, nothing is inlined.
+	s.EnableEncore = false
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "encoreInlineTask") {
+		t.Fatal("disabled Encore still inlined a task")
+	}
+}
+
+func TestDefaultPagesExist(t *testing.T) {
+	s := New("x", opts())
+	if len(s.Pages()) < 3 {
+		t.Fatalf("default origin should have a few pages, got %d", len(s.Pages()))
+	}
+}

@@ -1,0 +1,335 @@
+// Package results defines the measurement records Encore's collection server
+// stores (§5.5) and the stores and aggregations the detection algorithm
+// consumes (§7.2). A Measurement joins the client-side submission with the
+// server-side metadata (receiving time, client address, geolocated region)
+// and the task it answers.
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+)
+
+// Measurement is one completed measurement as stored by the collection
+// server: what was tested, by whom, and what the client reported.
+type Measurement struct {
+	// MeasurementID links all submissions of one task execution.
+	MeasurementID string `json:"measurement_id"`
+	// PatternKey identifies what was tested (e.g. "domain:youtube.com").
+	PatternKey string `json:"pattern_key"`
+	// TargetURL is the specific resource the task fetched.
+	TargetURL string `json:"target_url"`
+	// TaskType is the mechanism used.
+	TaskType core.TaskType `json:"task_type"`
+	// State is the final reported state (init-only records mean the task
+	// never completed).
+	State core.State `json:"state"`
+	// DurationMillis is the client-observed load time.
+	DurationMillis float64 `json:"duration_millis"`
+	// ClientIP is the submitting address.
+	ClientIP string `json:"client_ip"`
+	// Region is the geolocated country of ClientIP.
+	Region geo.CountryCode `json:"region"`
+	// Browser is the client's browser family (parsed from the user agent).
+	Browser core.BrowserFamily `json:"browser"`
+	// OriginSite is the Encore-hosting site the client was visiting, if the
+	// Referer header was present.
+	OriginSite string `json:"origin_site,omitempty"`
+	// Control marks soundness-validation measurements, which are excluded
+	// from filtering detection.
+	Control bool `json:"control,omitempty"`
+	// Received is when the collection server accepted the final submission.
+	Received time.Time `json:"received"`
+}
+
+// Completed reports whether the measurement reached a terminal state.
+func (m Measurement) Completed() bool {
+	return m.State == core.StateSuccess || m.State == core.StateFailure
+}
+
+// Success reports whether the measurement completed and the resource loaded.
+func (m Measurement) Success() bool { return m.State == core.StateSuccess }
+
+// Validate checks the record is usable by analysis.
+func (m Measurement) Validate() error {
+	if m.MeasurementID == "" {
+		return errors.New("results: measurement missing ID")
+	}
+	if m.PatternKey == "" {
+		return errors.New("results: measurement missing pattern key")
+	}
+	if !core.ValidState(m.State) {
+		return fmt.Errorf("results: invalid state %q", m.State)
+	}
+	return nil
+}
+
+// Store is an in-memory, concurrency-safe measurement store with JSON-lines
+// import/export. It preserves insertion order.
+type Store struct {
+	mu           sync.RWMutex
+	measurements []Measurement
+	byID         map[string]int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]int)}
+}
+
+// Add appends a measurement. If a measurement with the same ID already
+// exists, the terminal state wins over init (clients submit init first and a
+// terminal state later); otherwise the later record replaces the earlier one.
+func (s *Store) Add(m Measurement) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.byID[m.MeasurementID]; ok {
+		existing := s.measurements[idx]
+		if existing.Completed() && m.State == core.StateInit {
+			return nil // never downgrade a terminal state
+		}
+		s.measurements[idx] = m
+		return nil
+	}
+	s.byID[m.MeasurementID] = len(s.measurements)
+	s.measurements = append(s.measurements, m)
+	return nil
+}
+
+// Len returns the number of stored measurements.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.measurements)
+}
+
+// All returns a copy of every measurement.
+func (s *Store) All() []Measurement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Measurement(nil), s.measurements...)
+}
+
+// Get returns the measurement with the given ID.
+func (s *Store) Get(id string) (Measurement, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.byID[id]
+	if !ok {
+		return Measurement{}, false
+	}
+	return s.measurements[idx], true
+}
+
+// Filter returns measurements matching pred, preserving order.
+func (s *Store) Filter(pred func(Measurement) bool) []Measurement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Measurement
+	for _, m := range s.measurements {
+		if pred(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DistinctClients returns the number of distinct client IPs.
+func (s *Store) DistinctClients() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, m := range s.measurements {
+		if m.ClientIP != "" {
+			seen[m.ClientIP] = true
+		}
+	}
+	return len(seen)
+}
+
+// DistinctRegions returns the number of distinct regions reporting at least
+// one measurement.
+func (s *Store) DistinctRegions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[geo.CountryCode]bool)
+	for _, m := range s.measurements {
+		if m.Region != "" {
+			seen[m.Region] = true
+		}
+	}
+	return len(seen)
+}
+
+// CountByRegion returns the number of measurements per region.
+func (s *Store) CountByRegion() map[geo.CountryCode]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[geo.CountryCode]int)
+	for _, m := range s.measurements {
+		out[m.Region]++
+	}
+	return out
+}
+
+// WriteJSONL serializes the store as JSON lines.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	for _, m := range s.measurements {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL loads measurements from JSON lines, appending to the store.
+func (s *Store) ReadJSONL(r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Measurement
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("results: decoding line: %w", err)
+		}
+		if err := s.Add(m); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+// GroupKey identifies one aggregation cell: a pattern measured from a region.
+type GroupKey struct {
+	PatternKey string
+	Region     geo.CountryCode
+}
+
+// Group is the aggregated outcome of all measurements in one cell.
+type Group struct {
+	Key       GroupKey
+	Total     int
+	Successes int
+	Failures  int
+	// InitOnly counts abandoned measurements (init with no terminal state);
+	// they are excluded from the hypothesis test denominators.
+	InitOnly int
+	// Browsers/TaskTypes record the diversity of contributing measurements.
+	Browsers  map[core.BrowserFamily]int
+	TaskTypes map[core.TaskType]int
+}
+
+// SuccessRate returns successes / (successes+failures), or 1 when no
+// measurement completed (absence of evidence is not evidence of filtering).
+func (g Group) SuccessRate() float64 {
+	done := g.Successes + g.Failures
+	if done == 0 {
+		return 1
+	}
+	return float64(g.Successes) / float64(done)
+}
+
+// Aggregate groups the measurements by pattern and region, excluding control
+// measurements. The result is sorted by pattern then region for
+// deterministic iteration.
+func Aggregate(ms []Measurement) []Group {
+	cells := make(map[GroupKey]*Group)
+	for _, m := range ms {
+		if m.Control {
+			continue
+		}
+		key := GroupKey{PatternKey: m.PatternKey, Region: m.Region}
+		g, ok := cells[key]
+		if !ok {
+			g = &Group{Key: key, Browsers: make(map[core.BrowserFamily]int), TaskTypes: make(map[core.TaskType]int)}
+			cells[key] = g
+		}
+		g.Total++
+		g.Browsers[m.Browser]++
+		g.TaskTypes[m.TaskType]++
+		switch m.State {
+		case core.StateSuccess:
+			g.Successes++
+		case core.StateFailure:
+			g.Failures++
+		default:
+			g.InitOnly++
+		}
+	}
+	out := make([]Group, 0, len(cells))
+	for _, g := range cells {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.PatternKey != out[j].Key.PatternKey {
+			return out[i].Key.PatternKey < out[j].Key.PatternKey
+		}
+		return out[i].Key.Region < out[j].Key.Region
+	})
+	return out
+}
+
+// CampaignStats summarizes a measurement campaign the way §7 reports it:
+// total measurements, distinct client IPs, distinct countries, and the
+// per-country measurement counts.
+type CampaignStats struct {
+	Measurements    int
+	DistinctClients int
+	Countries       int
+	ByCountry       map[geo.CountryCode]int
+}
+
+// Stats computes campaign statistics over the whole store.
+func (s *Store) Stats() CampaignStats {
+	return CampaignStats{
+		Measurements:    s.Len(),
+		DistinctClients: s.DistinctClients(),
+		Countries:       s.DistinctRegions(),
+		ByCountry:       s.CountByRegion(),
+	}
+}
+
+// TopCountries returns the n countries with the most measurements, sorted by
+// descending count.
+func (c CampaignStats) TopCountries(n int) []geo.CountryCode {
+	type kv struct {
+		code  geo.CountryCode
+		count int
+	}
+	var all []kv
+	for code, count := range c.ByCountry {
+		all = append(all, kv{code, count})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].code < all[j].code
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]geo.CountryCode, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, e.code)
+	}
+	return out
+}

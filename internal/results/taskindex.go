@@ -1,0 +1,48 @@
+package results
+
+import (
+	"sync"
+
+	"encore/internal/core"
+)
+
+// TaskIndex maps measurement IDs to the tasks they belong to. The
+// coordination server registers every task it hands out; the collection
+// server consults the index to attribute incoming submissions (which carry
+// only the measurement ID) to the pattern, target, and task type they
+// measured. It is safe for concurrent use.
+type TaskIndex struct {
+	mu    sync.RWMutex
+	tasks map[string]core.Task
+}
+
+// NewTaskIndex returns an empty index.
+func NewTaskIndex() *TaskIndex {
+	return &TaskIndex{tasks: make(map[string]core.Task)}
+}
+
+// Register records a task under its measurement ID. Registering a task with
+// an empty ID is a no-op.
+func (ti *TaskIndex) Register(t core.Task) {
+	if t.MeasurementID == "" {
+		return
+	}
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.tasks[t.MeasurementID] = t
+}
+
+// Lookup returns the task registered under the measurement ID.
+func (ti *TaskIndex) Lookup(measurementID string) (core.Task, bool) {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	t, ok := ti.tasks[measurementID]
+	return t, ok
+}
+
+// Len returns the number of registered tasks.
+func (ti *TaskIndex) Len() int {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	return len(ti.tasks)
+}

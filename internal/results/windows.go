@@ -1,0 +1,148 @@
+package results
+
+import (
+	"sort"
+	"time"
+
+	"encore/internal/geo"
+)
+
+// Window identifies one time bucket of a longitudinal analysis.
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// WindowedGroups is the aggregation of one time window.
+type WindowedGroups struct {
+	Window Window
+	Groups []Group
+}
+
+// AggregateWindowed buckets measurements into fixed-size time windows by
+// their Received timestamps and aggregates each bucket by pattern and region.
+// Measurements without a timestamp are ignored; control measurements are
+// excluded as in Aggregate. Windows are aligned to the earliest measurement
+// and returned in chronological order; empty windows are included so
+// longitudinal plots have a continuous time axis.
+func AggregateWindowed(ms []Measurement, window time.Duration) []WindowedGroups {
+	if window <= 0 || len(ms) == 0 {
+		return nil
+	}
+	var first, last time.Time
+	for _, m := range ms {
+		if m.Received.IsZero() {
+			continue
+		}
+		if first.IsZero() || m.Received.Before(first) {
+			first = m.Received
+		}
+		if last.IsZero() || m.Received.After(last) {
+			last = m.Received
+		}
+	}
+	if first.IsZero() {
+		return nil
+	}
+	buckets := int(last.Sub(first)/window) + 1
+	byBucket := make([][]Measurement, buckets)
+	for _, m := range ms {
+		if m.Received.IsZero() {
+			continue
+		}
+		idx := int(m.Received.Sub(first) / window)
+		if idx < 0 || idx >= buckets {
+			continue
+		}
+		byBucket[idx] = append(byBucket[idx], m)
+	}
+	out := make([]WindowedGroups, 0, buckets)
+	for i := 0; i < buckets; i++ {
+		start := first.Add(time.Duration(i) * window)
+		out = append(out, WindowedGroups{
+			Window: Window{Start: start, End: start.Add(window)},
+			Groups: Aggregate(byBucket[i]),
+		})
+	}
+	return out
+}
+
+// SuccessRateByRegion returns, for one pattern, the per-region success rate
+// over a set of measurements; used to estimate per-country baseline
+// reliability for the tuned detector.
+func SuccessRateByRegion(ms []Measurement, patternKey string) map[geo.CountryCode]float64 {
+	type tally struct{ success, completed int }
+	counts := make(map[geo.CountryCode]*tally)
+	for _, m := range ms {
+		if m.Control || m.PatternKey != patternKey || !m.Completed() {
+			continue
+		}
+		t, ok := counts[m.Region]
+		if !ok {
+			t = &tally{}
+			counts[m.Region] = t
+		}
+		t.completed++
+		if m.Success() {
+			t.success++
+		}
+	}
+	out := make(map[geo.CountryCode]float64, len(counts))
+	for region, t := range counts {
+		if t.completed > 0 {
+			out[region] = float64(t.success) / float64(t.completed)
+		}
+	}
+	return out
+}
+
+// RegionBaselines estimates each region's baseline measurement success rate
+// from the supplied measurements: the mean per-pattern success rate across
+// all patterns measured from that region with at least minPerPattern
+// completed measurements. Regions under censorship for a particular pattern
+// still contribute their other (unfiltered) patterns, so the estimate tracks
+// network quality rather than censorship as long as most patterns are not
+// filtered.
+func RegionBaselines(ms []Measurement, minPerPattern int) map[geo.CountryCode]float64 {
+	type cell struct{ success, completed int }
+	perRegionPattern := make(map[geo.CountryCode]map[string]*cell)
+	for _, m := range ms {
+		if m.Control || !m.Completed() || m.Region == "" {
+			continue
+		}
+		if perRegionPattern[m.Region] == nil {
+			perRegionPattern[m.Region] = make(map[string]*cell)
+		}
+		c, ok := perRegionPattern[m.Region][m.PatternKey]
+		if !ok {
+			c = &cell{}
+			perRegionPattern[m.Region][m.PatternKey] = c
+		}
+		c.completed++
+		if m.Success() {
+			c.success++
+		}
+	}
+	out := make(map[geo.CountryCode]float64, len(perRegionPattern))
+	for region, patterns := range perRegionPattern {
+		var rates []float64
+		for _, c := range patterns {
+			if c.completed >= minPerPattern {
+				rates = append(rates, float64(c.success)/float64(c.completed))
+			}
+		}
+		if len(rates) == 0 {
+			continue
+		}
+		sort.Float64s(rates)
+		// The median per-pattern rate is robust to a minority of genuinely
+		// filtered patterns dragging the estimate down.
+		out[region] = rates[len(rates)/2]
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/pipeline"
+)
+
+// TestQuickAssignmentsAlwaysValidAndCompatible checks that whatever client
+// arrives (region, browser family, dwell time), every assigned task validates,
+// is supported by the client's browser, stays within the per-client cap, and
+// carries a fresh measurement ID.
+func TestQuickAssignmentsAlwaysValidAndCompatible(t *testing.T) {
+	ts := pipeline.NewTaskSet()
+	for i := 0; i < 5; i++ {
+		domain := fmt.Sprintf("site%d.example.org", i)
+		ts.Add(pipeline.Candidate{
+			PatternKey: "domain:" + domain,
+			Type:       core.TaskImage,
+			TargetURL:  "http://" + domain + "/favicon.ico",
+			Strict:     true,
+		})
+		ts.Add(pipeline.Candidate{
+			PatternKey: "domain:" + domain,
+			Type:       core.TaskScript,
+			TargetURL:  "http://" + domain + "/favicon.ico",
+		})
+		ts.Add(pipeline.Candidate{
+			PatternKey:     "domain:" + domain,
+			Type:           core.TaskIFrame,
+			TargetURL:      "http://" + domain + "/page.html",
+			CachedImageURL: "http://" + domain + "/logo.png",
+		})
+	}
+	cfg := DefaultConfig()
+	s := New(ts, cfg)
+	seenIDs := make(map[string]bool)
+
+	families := core.BrowserFamilies()
+	regions := []geo.CountryCode{"US", "CN", "PK", "IR", "IN", "DE", "BR"}
+	f := func(familyPick, regionPick uint8, dwell uint16, at uint32) bool {
+		client := ClientInfo{
+			Region:               regions[int(regionPick)%len(regions)],
+			Browser:              families[int(familyPick)%len(families)],
+			ExpectedDwellSeconds: float64(dwell % 300),
+		}
+		tasks := s.Assign(client, time.Unix(int64(at), 0))
+		if len(tasks) > cfg.MaxTasksPerClient {
+			return false
+		}
+		for _, task := range tasks {
+			if err := task.Validate(); err != nil {
+				return false
+			}
+			if !client.Browser.SupportsTask(task.Type) {
+				return false
+			}
+			if seenIDs[task.MeasurementID] {
+				return false
+			}
+			seenIDs[task.MeasurementID] = true
+			if task.Control {
+				return false // no control set installed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

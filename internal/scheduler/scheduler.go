@@ -1,0 +1,299 @@
+// Package scheduler implements the coordination server's task scheduling
+// (§5.3). Scheduling serves two purposes: matching tasks to client
+// capabilities (the script mechanism only runs on Chrome; clients that stay
+// on the origin page longer can run more tasks) and concentrating
+// measurements of the same target across many clients in a short window so
+// the detection algorithm can compare regions ("if 100 clients measure the
+// same URL within 60 seconds of each other and the only clients that report
+// failure are 10 clients in Pakistan, then we can draw much stronger
+// conclusions").
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/pipeline"
+	"encore/internal/stats"
+)
+
+// ClientInfo is what the coordination server knows about a requesting client
+// when it assigns tasks.
+type ClientInfo struct {
+	Region geo.CountryCode
+	// Browser is parsed from the User-Agent header.
+	Browser core.BrowserFamily
+	// ExpectedDwellSeconds estimates how long the client will stay on the
+	// origin page; §6.2 finds 45% of visitors stay longer than 10 seconds
+	// and 35% longer than a minute.
+	ExpectedDwellSeconds float64
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// QuorumWindow is how long the scheduler keeps steering clients to the
+	// same focus pattern before rotating to the next one.
+	QuorumWindow time.Duration
+	// SecondsPerTask is the budget assumed per measurement task when
+	// deciding how many tasks an idle client can run.
+	SecondsPerTask float64
+	// MaxTasksPerClient caps assignments per page view.
+	MaxTasksPerClient int
+	// ControlFraction is the fraction of clients diverted to control
+	// (testbed validation) tasks when a control set is installed; the paper
+	// used roughly 30% (§7.1).
+	ControlFraction float64
+	// Seed drives the scheduler's random choices.
+	Seed uint64
+}
+
+// DefaultConfig returns scheduling parameters matching the paper.
+func DefaultConfig() Config {
+	return Config{
+		QuorumWindow:      60 * time.Second,
+		SecondsPerTask:    10,
+		MaxTasksPerClient: 5,
+		ControlFraction:   0,
+		Seed:              1,
+	}
+}
+
+// Scheduler assigns measurement tasks to clients. It is safe for concurrent
+// use.
+type Scheduler struct {
+	cfg Config
+
+	mu           sync.Mutex
+	rng          *stats.RNG
+	tasks        *pipeline.TaskSet
+	controlTasks *pipeline.TaskSet
+	patternKeys  []string
+	focusIndex   int
+	focusSince   time.Time
+	nextID       uint64
+	// assignedPerRegion tracks how many assignments each (pattern, region)
+	// cell has received, used to balance coverage.
+	assignedPerRegion map[string]map[geo.CountryCode]int
+}
+
+// New creates a scheduler over a generated task set.
+func New(tasks *pipeline.TaskSet, cfg Config) *Scheduler {
+	if cfg.QuorumWindow <= 0 {
+		cfg.QuorumWindow = 60 * time.Second
+	}
+	if cfg.SecondsPerTask <= 0 {
+		cfg.SecondsPerTask = 10
+	}
+	if cfg.MaxTasksPerClient <= 0 {
+		cfg.MaxTasksPerClient = 5
+	}
+	return &Scheduler{
+		cfg:               cfg,
+		rng:               stats.NewRNG(cfg.Seed),
+		tasks:             tasks,
+		patternKeys:       tasks.PatternKeys(),
+		assignedPerRegion: make(map[string]map[geo.CountryCode]int),
+	}
+}
+
+// SetControlTasks installs a control task set (testbed targets and
+// known-unfiltered resources); a ControlFraction of clients is diverted to it
+// for soundness validation (§7.1).
+func (s *Scheduler) SetControlTasks(control *pipeline.TaskSet, fraction float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.controlTasks = control
+	s.cfg.ControlFraction = fraction
+}
+
+// newMeasurementID mints a unique measurement identifier.
+func (s *Scheduler) newMeasurementID() string {
+	s.nextID++
+	return fmt.Sprintf("m-%08d-%04x", s.nextID, s.rng.Uint64()&0xffff)
+}
+
+// focusPattern returns the pattern key currently receiving concentrated
+// measurements, rotating every QuorumWindow.
+func (s *Scheduler) focusPattern(now time.Time) string {
+	if len(s.patternKeys) == 0 {
+		return ""
+	}
+	if s.focusSince.IsZero() || now.Sub(s.focusSince) >= s.cfg.QuorumWindow {
+		if !s.focusSince.IsZero() {
+			s.focusIndex = (s.focusIndex + 1) % len(s.patternKeys)
+		}
+		s.focusSince = now
+	}
+	return s.patternKeys[s.focusIndex]
+}
+
+// Assign returns the tasks the client should run during this page view. The
+// number of tasks scales with the client's expected dwell time; every client
+// able to run at least one task receives one.
+func (s *Scheduler) Assign(client ClientInfo, now time.Time) []core.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	budget := 1
+	if client.ExpectedDwellSeconds > s.cfg.SecondsPerTask {
+		budget = int(client.ExpectedDwellSeconds / s.cfg.SecondsPerTask)
+	}
+	if budget > s.cfg.MaxTasksPerClient {
+		budget = s.cfg.MaxTasksPerClient
+	}
+
+	useControl := s.controlTasks != nil && s.controlTasks.Len() > 0 && s.rng.Bool(s.cfg.ControlFraction)
+	source := s.tasks
+	if useControl {
+		source = s.controlTasks
+	}
+	if source == nil || source.Len() == 0 {
+		return nil
+	}
+
+	var assigned []core.Task
+	seenTargets := make(map[string]bool)
+	for len(assigned) < budget {
+		var cand *pipeline.Candidate
+		if useControl {
+			cand = s.pickAnyCandidate(source, client)
+		} else {
+			cand = s.pickCandidate(source, client, now)
+		}
+		if cand == nil {
+			break
+		}
+		if seenTargets[cand.Type.String()+cand.TargetURL] {
+			break // avoid assigning the identical measurement twice in one view
+		}
+		seenTargets[cand.Type.String()+cand.TargetURL] = true
+		task := cand.Task(s.newMeasurementID(), useControl)
+		task.Created = now
+		task.TimeoutMillis = int(s.cfg.SecondsPerTask * 1000 * 3)
+		assigned = append(assigned, task)
+		s.recordAssignment(cand.PatternKey, client.Region)
+	}
+	return assigned
+}
+
+// pickCandidate selects a measurement candidate for a regular client: prefer
+// the current focus pattern (quorum scheduling), fall back to the pattern
+// with the fewest assignments from the client's region, and honour browser
+// capabilities.
+func (s *Scheduler) pickCandidate(source *pipeline.TaskSet, client ClientInfo, now time.Time) *pipeline.Candidate {
+	focus := s.focusPattern(now)
+	order := make([]string, 0, len(s.patternKeys))
+	if focus != "" {
+		order = append(order, focus)
+	}
+	// Least-covered patterns from this client's region next.
+	rest := append([]string(nil), s.patternKeys...)
+	region := client.Region
+	sortByCoverage(rest, s.assignedPerRegion, region)
+	order = append(order, rest...)
+
+	for _, key := range order {
+		if c := s.compatibleCandidate(source.Candidates(key), client); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// pickAnyCandidate selects a control candidate uniformly, honouring browser
+// capabilities.
+func (s *Scheduler) pickAnyCandidate(source *pipeline.TaskSet, client ClientInfo) *pipeline.Candidate {
+	keys := source.PatternKeys()
+	if len(keys) == 0 {
+		return nil
+	}
+	start := s.rng.Intn(len(keys))
+	for i := 0; i < len(keys); i++ {
+		key := keys[(start+i)%len(keys)]
+		if c := s.compatibleCandidate(source.Candidates(key), client); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// compatibleCandidate returns a candidate the client's browser can run,
+// preferring strict (smallest-overhead) candidates and, on Chrome, mixing in
+// script tasks for variety.
+func (s *Scheduler) compatibleCandidate(cands []pipeline.Candidate, client ClientInfo) *pipeline.Candidate {
+	var compatible []pipeline.Candidate
+	for _, c := range cands {
+		if client.Browser.SupportsTask(c.Type) {
+			compatible = append(compatible, c)
+		}
+	}
+	if len(compatible) == 0 {
+		return nil
+	}
+	// Prefer strict candidates (e.g. single-packet images).
+	var strict []pipeline.Candidate
+	for _, c := range compatible {
+		if c.Strict {
+			strict = append(strict, c)
+		}
+	}
+	pool := compatible
+	if len(strict) > 0 {
+		pool = strict
+	}
+	pick := pool[s.rng.Intn(len(pool))]
+	return &pick
+}
+
+func (s *Scheduler) recordAssignment(pattern string, region geo.CountryCode) {
+	if s.assignedPerRegion[pattern] == nil {
+		s.assignedPerRegion[pattern] = make(map[geo.CountryCode]int)
+	}
+	s.assignedPerRegion[pattern][region]++
+}
+
+// Assignments returns how many tasks have been assigned for a pattern from a
+// region, for coverage reporting and tests.
+func (s *Scheduler) Assignments(pattern string, region geo.CountryCode) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.assignedPerRegion[pattern][region]
+}
+
+// TotalAssignments returns the total number of tasks assigned so far.
+func (s *Scheduler) TotalAssignments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, regions := range s.assignedPerRegion {
+		for _, n := range regions {
+			total += n
+		}
+	}
+	return total
+}
+
+// sortByCoverage orders pattern keys by ascending assignment count from the
+// given region, breaking ties lexicographically for determinism.
+func sortByCoverage(keys []string, coverage map[string]map[geo.CountryCode]int, region geo.CountryCode) {
+	count := func(k string) int {
+		if coverage[k] == nil {
+			return 0
+		}
+		return coverage[k][region]
+	}
+	// Insertion sort: key lists are small (hundreds at most).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			ci, cj := count(keys[j]), count(keys[j-1])
+			if ci < cj || (ci == cj && keys[j] < keys[j-1]) {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			} else {
+				break
+			}
+		}
+	}
+}

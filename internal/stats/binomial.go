@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInvalidParameter is returned when a distribution parameter is out of
+// range (for example a probability outside [0, 1]).
+var ErrInvalidParameter = errors.New("stats: invalid parameter")
+
+// BinomialPMF returns Pr[X = k] for X ~ Binomial(n, p). It computes the
+// probability in log space to remain accurate for large n.
+func BinomialPMF(n, k int, p float64) float64 {
+	if n < 0 || k < 0 || k > n || p < 0 || p > 1 {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logPMF := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logPMF)
+}
+
+// BinomialCDF returns Pr[X <= k] for X ~ Binomial(n, p).
+func BinomialCDF(n, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	// Use the regularized incomplete beta function identity:
+	// Pr[X <= k] = I_{1-p}(n-k, k+1).
+	return regularizedIncompleteBeta(float64(n-k), float64(k+1), 1-p)
+}
+
+// BinomialSurvival returns Pr[X >= k] for X ~ Binomial(n, p).
+func BinomialSurvival(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	return 1 - BinomialCDF(n, k-1, p)
+}
+
+// BinomialTest is the one-sided lower-tail hypothesis test used by Encore's
+// filtering detection algorithm (§7.2): under the null hypothesis each
+// measurement succeeds independently with probability p; the test rejects the
+// null (indicating filtering) when observing x or fewer successes out of n is
+// sufficiently unlikely.
+type BinomialTest struct {
+	// P is the null-hypothesis success probability. Encore uses 0.7.
+	P float64
+	// Alpha is the significance level. Encore uses 0.05.
+	Alpha float64
+}
+
+// DefaultBinomialTest returns the test parameters used in the paper.
+func DefaultBinomialTest() BinomialTest {
+	return BinomialTest{P: 0.7, Alpha: 0.05}
+}
+
+// Validate reports whether the test parameters are usable.
+func (t BinomialTest) Validate() error {
+	if t.P <= 0 || t.P >= 1 {
+		return ErrInvalidParameter
+	}
+	if t.Alpha <= 0 || t.Alpha >= 1 {
+		return ErrInvalidParameter
+	}
+	return nil
+}
+
+// PValue returns Pr[Binomial(n, P) <= successes], the one-sided lower-tail
+// p-value for observing `successes` successes out of n measurements.
+func (t BinomialTest) PValue(successes, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > n {
+		successes = n
+	}
+	return BinomialCDF(n, successes, t.P)
+}
+
+// Rejects reports whether observing `successes` out of n measurements rejects
+// the null hypothesis at significance Alpha, i.e. whether the resource is
+// considered filtered for the region the measurements came from.
+func (t BinomialTest) Rejects(successes, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	return t.PValue(successes, n) <= t.Alpha
+}
+
+// MinMeasurements returns the smallest number of measurements n for which the
+// test can possibly reject the null hypothesis even when every measurement
+// fails. Below this count the test has no power and a region cannot be flagged
+// regardless of outcomes. Returns 0 if limit (a search bound) is reached.
+func (t BinomialTest) MinMeasurements(limit int) int {
+	for n := 1; n <= limit; n++ {
+		if t.Rejects(0, n) {
+			return n
+		}
+	}
+	return 0
+}
+
+// logChoose returns log(n choose k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1))
+}
+
+// regularizedIncompleteBeta computes I_x(a, b) using the continued fraction
+// expansion from Numerical Recipes (betacf), which converges for all
+// 0 <= x <= 1 after applying the symmetry relation.
+func regularizedIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - front*betaContinuedFraction(b, a, 1-x)/b
+}
+
+func betaContinuedFraction(a, b, x float64) float64 {
+	const (
+		maxIterations = 300
+		epsilon       = 3e-14
+		fpMin         = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIterations; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsilon {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {50, 0.7}, {200, 0.05}, {1, 0.5}} {
+		sum := 0.0
+		for k := 0; k <= tc.n; k++ {
+			sum += BinomialPMF(tc.n, k, tc.p)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PMF(n=%d,p=%v) sums to %v", tc.n, tc.p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFEdgeCases(t *testing.T) {
+	if got := BinomialPMF(10, 0, 0); got != 1 {
+		t.Fatalf("PMF(10,0,0)=%v, want 1", got)
+	}
+	if got := BinomialPMF(10, 5, 0); got != 0 {
+		t.Fatalf("PMF(10,5,0)=%v, want 0", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Fatalf("PMF(10,10,1)=%v, want 1", got)
+	}
+	if got := BinomialPMF(10, 11, 0.5); got != 0 {
+		t.Fatalf("PMF with k>n should be 0, got %v", got)
+	}
+	if got := BinomialPMF(-1, 0, 0.5); got != 0 {
+		t.Fatalf("PMF with negative n should be 0, got %v", got)
+	}
+}
+
+func TestBinomialCDFMatchesDirectSum(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{20, 0.7}, {35, 0.3}, {100, 0.9}} {
+		for k := 0; k <= tc.n; k += 3 {
+			direct := 0.0
+			for i := 0; i <= k; i++ {
+				direct += BinomialPMF(tc.n, i, tc.p)
+			}
+			got := BinomialCDF(tc.n, k, tc.p)
+			if math.Abs(got-direct) > 1e-8 {
+				t.Fatalf("CDF(n=%d,k=%d,p=%v)=%v, direct sum %v", tc.n, k, tc.p, got, direct)
+			}
+		}
+	}
+}
+
+func TestBinomialCDFBounds(t *testing.T) {
+	if got := BinomialCDF(10, -1, 0.5); got != 0 {
+		t.Fatalf("CDF(k<0)=%v, want 0", got)
+	}
+	if got := BinomialCDF(10, 10, 0.5); got != 1 {
+		t.Fatalf("CDF(k=n)=%v, want 1", got)
+	}
+	if got := BinomialCDF(10, 25, 0.5); got != 1 {
+		t.Fatalf("CDF(k>n)=%v, want 1", got)
+	}
+}
+
+func TestBinomialSurvival(t *testing.T) {
+	n, p := 30, 0.7
+	for k := 0; k <= n; k++ {
+		got := BinomialSurvival(n, k, p)
+		want := 0.0
+		for i := k; i <= n; i++ {
+			want += BinomialPMF(n, i, p)
+		}
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("Survival(k=%d)=%v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBinomialTestPaperParameters(t *testing.T) {
+	bt := DefaultBinomialTest()
+	if bt.P != 0.7 || bt.Alpha != 0.05 {
+		t.Fatalf("default test parameters %+v do not match the paper", bt)
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatalf("default parameters invalid: %v", err)
+	}
+}
+
+func TestBinomialTestValidation(t *testing.T) {
+	bad := []BinomialTest{
+		{P: 0, Alpha: 0.05},
+		{P: 1, Alpha: 0.05},
+		{P: 0.7, Alpha: 0},
+		{P: 0.7, Alpha: 1},
+		{P: -0.5, Alpha: 0.05},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("expected validation error for %+v", b)
+		}
+	}
+}
+
+// TestDetectionScenario mirrors the paper's example: 100 clients measure a
+// URL; only 10 clients in one region fail. A region where all 10 of 10
+// measurements fail should be flagged; a region with 90/90 successes must not.
+func TestDetectionScenario(t *testing.T) {
+	bt := DefaultBinomialTest()
+	if !bt.Rejects(0, 10) {
+		t.Fatal("10/10 failures should be detected as filtering")
+	}
+	if bt.Rejects(90, 90) {
+		t.Fatal("90/90 successes must not be flagged")
+	}
+	if bt.Rejects(70, 100) {
+		t.Fatal("successes at the null rate must not be flagged")
+	}
+	if !bt.Rejects(40, 100) {
+		t.Fatal("40/100 successes is far below the null rate and should be flagged")
+	}
+}
+
+func TestBinomialTestSmallSampleHasNoPower(t *testing.T) {
+	bt := DefaultBinomialTest()
+	// With p=0.7, Pr[X=0] for n=1 is 0.3 > 0.05, n=2 is 0.09 > 0.05,
+	// so a single or double failure cannot be significant.
+	if bt.Rejects(0, 1) {
+		t.Fatal("one failed measurement must not trigger detection")
+	}
+	if bt.Rejects(0, 2) {
+		t.Fatal("two failed measurements must not trigger detection")
+	}
+	min := bt.MinMeasurements(100)
+	if min != 3 {
+		t.Fatalf("MinMeasurements=%d, want 3 (0.3^3=0.027 <= 0.05)", min)
+	}
+}
+
+func TestBinomialTestZeroMeasurements(t *testing.T) {
+	bt := DefaultBinomialTest()
+	if bt.Rejects(0, 0) {
+		t.Fatal("zero measurements must never reject")
+	}
+	if p := bt.PValue(0, 0); p != 1 {
+		t.Fatalf("p-value with no measurements should be 1, got %v", p)
+	}
+}
+
+func TestPValueMonotoneInSuccesses(t *testing.T) {
+	bt := DefaultBinomialTest()
+	n := 50
+	prev := -1.0
+	for s := 0; s <= n; s++ {
+		p := bt.PValue(s, n)
+		if p < prev-1e-12 {
+			t.Fatalf("p-value not monotone at s=%d: %v < %v", s, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestQuickCDFWithinUnitInterval(t *testing.T) {
+	f := func(n uint8, k uint8, pRaw uint16) bool {
+		nn := int(n%100) + 1
+		kk := int(k) % (nn + 1)
+		p := float64(pRaw%1000) / 1000.0
+		c := BinomialCDF(nn, kk, p)
+		return c >= -1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCDFMonotoneInK(t *testing.T) {
+	f := func(n uint8, pRaw uint16) bool {
+		nn := int(n%60) + 1
+		p := float64(pRaw%999+1) / 1000.0
+		prev := -1.0
+		for k := 0; k <= nn; k++ {
+			c := BinomialCDF(nn, k, p)
+			if c < prev-1e-10 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := math.Exp(logChoose(5, 2)); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("C(5,2)=%v, want 10", got)
+	}
+	if got := math.Exp(logChoose(10, 0)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("C(10,0)=%v, want 1", got)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) {
+		t.Fatal("C(3,5) should be -inf in log space")
+	}
+}

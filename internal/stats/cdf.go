@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over a sample of
+// float64 values. It backs the reproduction of the paper's Figures 4-6, which
+// present CDFs of per-domain image counts, page sizes, and cacheable image
+// counts.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from values. The input is copied; the CDF is
+// immutable afterwards.
+func NewCDF(values []float64) *CDF {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// NewCDFInts builds an empirical CDF from integer counts.
+func NewCDFInts(values []int) *CDF {
+	fs := make([]float64, len(values))
+	for i, v := range values {
+		fs[i] = float64(v)
+	}
+	return NewCDF(fs)
+}
+
+// Len returns the number of samples underlying the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns F(x) = Pr[X <= x], the fraction of samples less than or equal to
+// x. An empty CDF returns 0 for every x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, x)
+	// SearchFloat64s returns the first index >= x; advance past duplicates
+	// equal to x so that At is inclusive.
+	for idx < len(c.sorted) && c.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the value below which fraction q of the samples fall.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return Quantile(c.sorted, q)
+}
+
+// Min returns the smallest sample, or 0 for an empty CDF.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample, or 0 for an empty CDF.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Points returns n evenly spaced (x, F(x)) points spanning the sample range,
+// suitable for plotting or textual rendering of the CDF curve.
+func (c *CDF) Points(n int) []Point {
+	if n <= 0 || len(c.sorted) == 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	min, max := c.Min(), c.Max()
+	if min == max {
+		return []Point{{X: min, Y: 1}}
+	}
+	step := (max - min) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := min + float64(i)*step
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is a single (x, y) coordinate on a CDF curve or experiment series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points: one labelled curve in a paper figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduction of one paper figure: a titled collection of series
+// with axis labels. Benchmarks render figures as aligned text tables so the
+// series can be compared against the published curves.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a named series built from an empirical CDF sampled at n
+// points.
+func (f *Figure) AddSeries(label string, cdf *CDF, n int) {
+	f.Series = append(f.Series, Series{Label: label, Points: cdf.Points(n)})
+}
+
+// Render produces a textual rendering of the figure: one row per sample
+// point, one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "# x=%s y=%s\n", f.XLabel, f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	header := []string{"x"}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(header, "\t"))
+	// Use the first series' x values as the row index; series produced by
+	// Points(n) with the same n share x spacing per-series, so render each
+	// series' own x when they differ.
+	rows := 0
+	for _, s := range f.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		cols := make([]string, 0, len(f.Series)+1)
+		x := ""
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				x = fmt.Sprintf("%.1f", s.Points[i].X)
+				break
+			}
+		}
+		cols = append(cols, x)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				cols = append(cols, fmt.Sprintf("%.3f", s.Points[i].Y))
+			} else {
+				cols = append(cols, "")
+			}
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(cols, "\t"))
+	}
+	return b.String()
+}

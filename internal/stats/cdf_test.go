@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasic(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len=%d, want 4", c.Len())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%v)=%v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFDuplicates(t *testing.T) {
+	c := NewCDF([]float64{5, 5, 5, 10})
+	if got := c.At(5); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(5)=%v, want 0.75", got)
+	}
+	if got := c.At(4.999); got != 0 {
+		t.Fatalf("At(4.999)=%v, want 0", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(10) != 0 || c.Quantile(0.5) != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Fatal("empty CDF should report zeros")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Fatal("empty CDF should produce no points")
+	}
+}
+
+func TestCDFInts(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 3})
+	if got := c.At(2); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("At(2)=%v", got)
+	}
+}
+
+func TestCDFQuantileMedian(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("median=%v, want 30", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Fatalf("q0=%v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 50 {
+		t.Fatalf("q1=%v, want 50", got)
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	pts := c.Points(20)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF points not monotone at %d", i)
+		}
+		if pts[i].X < pts[i-1].X {
+			t.Fatalf("x values not increasing at %d", i)
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Fatalf("last point should reach 1, got %v", pts[len(pts)-1].Y)
+	}
+}
+
+func TestCDFSingleValue(t *testing.T) {
+	c := NewCDF([]float64{7, 7, 7})
+	pts := c.Points(10)
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].Y != 1 {
+		t.Fatalf("degenerate CDF points wrong: %+v", pts)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := Figure{Title: "Figure 4", XLabel: "images per domain", YLabel: "CDF"}
+	fig.AddSeries("all", NewCDF([]float64{1, 2, 3, 4, 5}), 5)
+	fig.AddSeries("small", NewCDF([]float64{0, 1, 1, 2, 2}), 5)
+	out := fig.Render()
+	if !strings.Contains(out, "Figure 4") {
+		t.Fatal("render missing title")
+	}
+	if !strings.Contains(out, "all\tsmall") {
+		t.Fatalf("render missing series header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	fig := Figure{Title: "empty"}
+	out := fig.Render()
+	if !strings.Contains(out, "empty") {
+		t.Fatal("empty figure should still render its title")
+	}
+}
+
+func TestQuickCDFAtWithinUnitInterval(t *testing.T) {
+	f := func(values []float64, x float64) bool {
+		for i, v := range values {
+			if math.IsNaN(v) {
+				values[i] = 0
+			}
+		}
+		c := NewCDF(values)
+		got := c.At(x)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

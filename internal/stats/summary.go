@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics for a sample of float64 values.
+type Summary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P10    float64
+	P25    float64
+	P75    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	StdDev float64
+	Sum    float64
+}
+
+// Summarize computes descriptive statistics over values. An empty input
+// yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+
+	variance := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(sorted))
+
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: Quantile(sorted, 0.5),
+		P10:    Quantile(sorted, 0.10),
+		P25:    Quantile(sorted, 0.25),
+		P75:    Quantile(sorted, 0.75),
+		P90:    Quantile(sorted, 0.90),
+		P95:    Quantile(sorted, 0.95),
+		P99:    Quantile(sorted, 0.99),
+		StdDev: math.Sqrt(variance),
+		Sum:    sum,
+	}
+}
+
+// String renders the summary on a single line suitable for benchmark and
+// experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f median=%.2f mean=%.2f p75=%.2f p90=%.2f max=%.2f",
+		s.Count, s.Min, s.P25, s.Median, s.Mean, s.P75, s.P90, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
+// using linear interpolation between order statistics. It panics if sorted is
+// empty.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// QuantileUnsorted sorts a copy of values and returns the q-quantile.
+func QuantileUnsorted(values []float64, q float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, q)
+}
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Fraction returns the fraction of values for which pred returns true, or 0
+// for an empty slice.
+func Fraction(values []float64, pred func(float64) bool) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range values {
+		if pred(v) {
+			count++
+		}
+	}
+	return float64(count) / float64(len(values))
+}

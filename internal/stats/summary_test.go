@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 {
+		t.Fatalf("Count=%d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Min/Max=%v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("Mean=%v", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Fatalf("Median=%v", s.Median)
+	}
+	if s.Sum != 15 {
+		t.Fatalf("Sum=%v", s.Sum)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.StdDev-wantStd) > 1e-9 {
+		t.Fatalf("StdDev=%v, want %v", s.StdDev, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "median=") {
+		t.Fatalf("unexpected summary string: %q", str)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("q0.5=%v, want 5", got)
+	}
+	if got := Quantile(sorted, 0.25); got != 2.5 {
+		t.Fatalf("q0.25=%v, want 2.5", got)
+	}
+	if got := Quantile(sorted, -1); got != 0 {
+		t.Fatalf("q<0 should clamp to min, got %v", got)
+	}
+	if got := Quantile(sorted, 2); got != 10 {
+		t.Fatalf("q>1 should clamp to max, got %v", got)
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileUnsorted(t *testing.T) {
+	if got := QuantileUnsorted([]float64{5, 1, 3}, 0.5); got != 3 {
+		t.Fatalf("median of unsorted=%v, want 3", got)
+	}
+}
+
+func TestMeanAndFraction(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil)=%v", got)
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("Mean=%v", got)
+	}
+	vals := []float64{1, 2, 3, 4}
+	if got := Fraction(vals, func(v float64) bool { return v > 2 }); got != 0.5 {
+		t.Fatalf("Fraction=%v", got)
+	}
+	if got := Fraction(nil, func(float64) bool { return true }); got != 0 {
+		t.Fatalf("Fraction(nil)=%v", got)
+	}
+}

@@ -1,0 +1,131 @@
+package targets
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"encore/internal/urlpattern"
+)
+
+// Reciprocity implements the webmaster incentive sketched in §6.3: "in
+// exchange for installing our measurement scripts, webmasters could add their
+// own site to Encore's list of targets and receive notification about their
+// site's availability from Encore's client population." Participating
+// webmasters register their domain; the registry contributes those domains as
+// low-sensitivity measurement targets and produces per-webmaster reachability
+// digests from detection verdicts.
+type Reciprocity struct {
+	mu      sync.RWMutex
+	members map[string]ReciprocityMember
+}
+
+// ReciprocityMember is one participating webmaster site.
+type ReciprocityMember struct {
+	Domain string
+	// Contact is where availability notifications would be sent.
+	Contact string
+}
+
+// ErrAlreadyEnrolled is returned when a domain enrolls twice.
+var ErrAlreadyEnrolled = errors.New("targets: domain already enrolled")
+
+// NewReciprocity returns an empty reciprocity registry.
+func NewReciprocity() *Reciprocity {
+	return &Reciprocity{members: make(map[string]ReciprocityMember)}
+}
+
+// Enroll registers a webmaster's own site as a measurement target.
+func (r *Reciprocity) Enroll(domain, contact string) error {
+	d := urlpattern.NormalizeHost(domain)
+	if _, err := urlpattern.Domain(d); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[d]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyEnrolled, d)
+	}
+	r.members[d] = ReciprocityMember{Domain: d, Contact: contact}
+	return nil
+}
+
+// Members returns the enrolled sites sorted by domain.
+func (r *Reciprocity) Members() []ReciprocityMember {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ReciprocityMember, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// TargetList returns the enrolled domains as a low-sensitivity target list:
+// webmasters have consented to (indeed asked for) their own sites being
+// measured, so these entries carry the lowest possible risk annotation.
+func (r *Reciprocity) TargetList() *List {
+	l := NewList()
+	for _, m := range r.Members() {
+		pat, err := urlpattern.Domain(m.Domain)
+		if err != nil {
+			continue
+		}
+		l.Add(Entry{Pattern: pat, Source: "reciprocity", Sensitivity: SensitivityLow, Notes: "webmaster-enrolled"})
+	}
+	return l
+}
+
+// AvailabilityDigest is the notification a webmaster receives about their
+// site's reachability from Encore's client population.
+type AvailabilityDigest struct {
+	Domain string
+	// FilteredIn lists regions where detection flags the site as filtered.
+	FilteredIn []string
+	// RegionsMeasured is how many regions contributed enough measurements
+	// to be decided either way.
+	RegionsMeasured int
+}
+
+// Digest produces availability digests from detection verdicts. verdictRegion
+// pairs come in as (patternKey, region, filtered, decided) tuples via the
+// callback-friendly slice below to avoid an import cycle with the inference
+// package.
+type VerdictSummary struct {
+	PatternKey string
+	Region     string
+	Filtered   bool
+	Decided    bool
+}
+
+// Digest builds one digest per enrolled member from verdict summaries.
+func (r *Reciprocity) Digest(verdicts []VerdictSummary) []AvailabilityDigest {
+	byDomain := make(map[string]*AvailabilityDigest)
+	for _, m := range r.Members() {
+		byDomain[m.Domain] = &AvailabilityDigest{Domain: m.Domain}
+	}
+	for _, v := range verdicts {
+		// Pattern keys for domains look like "domain:<name>".
+		domain := strings.TrimPrefix(v.PatternKey, "domain:")
+		d, ok := byDomain[domain]
+		if !ok {
+			continue
+		}
+		if v.Decided {
+			d.RegionsMeasured++
+		}
+		if v.Filtered {
+			d.FilteredIn = append(d.FilteredIn, v.Region)
+		}
+	}
+	out := make([]AvailabilityDigest, 0, len(byDomain))
+	for _, m := range r.Members() {
+		d := byDomain[m.Domain]
+		sort.Strings(d.FilteredIn)
+		out = append(out, *d)
+	}
+	return out
+}

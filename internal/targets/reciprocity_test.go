@@ -1,0 +1,82 @@
+package targets
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReciprocityEnroll(t *testing.T) {
+	r := NewReciprocity()
+	if err := r.Enroll("Blog.Example.ORG", "webmaster@example.org"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enroll("blog.example.org", "again@example.org"); !errors.Is(err, ErrAlreadyEnrolled) {
+		t.Fatalf("duplicate enrollment error=%v", err)
+	}
+	if err := r.Enroll("not a domain!", "x"); err == nil {
+		t.Fatal("invalid domain accepted")
+	}
+	members := r.Members()
+	if len(members) != 1 || members[0].Domain != "blog.example.org" {
+		t.Fatalf("members=%+v", members)
+	}
+}
+
+func TestReciprocityTargetList(t *testing.T) {
+	r := NewReciprocity()
+	for _, d := range []string{"site-b.example.org", "site-a.example.org"} {
+		if err := r.Enroll(d, "wm@"+d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := r.TargetList()
+	if list.Len() != 2 {
+		t.Fatalf("target list has %d entries", list.Len())
+	}
+	for _, e := range list.Entries() {
+		if e.Sensitivity != SensitivityLow {
+			t.Fatal("webmaster-enrolled sites must be low sensitivity")
+		}
+		if e.Source != "reciprocity" {
+			t.Fatalf("source=%q", e.Source)
+		}
+	}
+}
+
+func TestReciprocityDigest(t *testing.T) {
+	r := NewReciprocity()
+	if err := r.Enroll("news.example.net", "wm@news.example.net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Enroll("quiet.example.net", "wm@quiet.example.net"); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := []VerdictSummary{
+		{PatternKey: "domain:news.example.net", Region: "CN", Filtered: true, Decided: true},
+		{PatternKey: "domain:news.example.net", Region: "US", Filtered: false, Decided: true},
+		{PatternKey: "domain:news.example.net", Region: "IR", Filtered: false, Decided: false},
+		{PatternKey: "domain:unrelated.com", Region: "CN", Filtered: true, Decided: true},
+	}
+	digests := r.Digest(verdicts)
+	if len(digests) != 2 {
+		t.Fatalf("digests=%+v", digests)
+	}
+	var news, quiet AvailabilityDigest
+	for _, d := range digests {
+		switch d.Domain {
+		case "news.example.net":
+			news = d
+		case "quiet.example.net":
+			quiet = d
+		}
+	}
+	if len(news.FilteredIn) != 1 || news.FilteredIn[0] != "CN" {
+		t.Fatalf("news digest wrong: %+v", news)
+	}
+	if news.RegionsMeasured != 2 {
+		t.Fatalf("news regions measured=%d, want 2", news.RegionsMeasured)
+	}
+	if len(quiet.FilteredIn) != 0 || quiet.RegionsMeasured != 0 {
+		t.Fatalf("quiet digest should be empty: %+v", quiet)
+	}
+}

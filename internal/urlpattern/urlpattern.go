@@ -1,0 +1,287 @@
+// Package urlpattern implements the URL pattern abstraction used by Encore's
+// measurement target lists (§5.1). A pattern denotes either a single URL, an
+// entire DNS domain (all URLs on that domain and its subdomains), or a URL
+// prefix (a section of a Web site). Patterns are the input to the task
+// generation pipeline's Pattern Expander.
+package urlpattern
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Kind identifies what a pattern denotes.
+type Kind int
+
+const (
+	// KindExact matches a single URL.
+	KindExact Kind = iota
+	// KindDomain matches every URL on a domain (and its subdomains).
+	KindDomain
+	// KindPrefix matches every URL sharing a path prefix on one domain.
+	KindPrefix
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindExact:
+		return "exact"
+	case KindDomain:
+		return "domain"
+	case KindPrefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Errors returned by Parse.
+var (
+	ErrEmptyPattern   = errors.New("urlpattern: empty pattern")
+	ErrInvalidPattern = errors.New("urlpattern: invalid pattern")
+)
+
+// Pattern is a parsed URL pattern. The zero value is not valid; use Parse or
+// one of the constructors.
+type Pattern struct {
+	// Kind is the granularity of the pattern.
+	Kind Kind
+	// Domain is the registered DNS domain the pattern applies to, always
+	// lower-case and without a trailing dot.
+	Domain string
+	// Path is the URL path for exact patterns or the path prefix for prefix
+	// patterns. Empty for domain patterns.
+	Path string
+	// Raw preserves the original pattern text.
+	Raw string
+}
+
+// Exact constructs a pattern matching a single URL.
+func Exact(rawURL string) (Pattern, error) {
+	u, err := parseHTTPURL(rawURL)
+	if err != nil {
+		return Pattern{}, err
+	}
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	return Pattern{Kind: KindExact, Domain: normalizeHost(u.Host), Path: path, Raw: rawURL}, nil
+}
+
+// Domain constructs a pattern matching every URL on the given domain.
+func Domain(domain string) (Pattern, error) {
+	if strings.Contains(domain, "://") {
+		u, err := parseHTTPURL(domain)
+		if err != nil {
+			return Pattern{}, err
+		}
+		return Pattern{Kind: KindDomain, Domain: normalizeHost(u.Host), Raw: domain}, nil
+	}
+	d := normalizeHost(domain)
+	if !validHostname(d) {
+		return Pattern{}, fmt.Errorf("%w: %q is not a domain", ErrInvalidPattern, domain)
+	}
+	return Pattern{Kind: KindDomain, Domain: d, Raw: domain}, nil
+}
+
+// Prefix constructs a pattern matching every URL under the given URL prefix.
+func Prefix(rawPrefix string) (Pattern, error) {
+	u, err := parseHTTPURL(rawPrefix)
+	if err != nil {
+		return Pattern{}, err
+	}
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	if !strings.HasSuffix(path, "/") {
+		path += "/"
+	}
+	return Pattern{Kind: KindPrefix, Domain: normalizeHost(u.Host), Path: path, Raw: rawPrefix}, nil
+}
+
+// Parse interprets a pattern string using the conventions of curated block
+// lists:
+//
+//   - "example.com"              → domain pattern
+//   - "*.example.com"            → domain pattern (wildcard form)
+//   - "http://example.com/news/" → prefix pattern (trailing slash)
+//   - "http://example.com/a.htm" → exact pattern
+//   - "example.com/news/"        → prefix pattern (scheme optional)
+func Parse(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Pattern{}, ErrEmptyPattern
+	}
+	trimmed := strings.TrimPrefix(s, "*.")
+	hasScheme := strings.Contains(trimmed, "://")
+	hasPath := false
+	if hasScheme {
+		rest := trimmed[strings.Index(trimmed, "://")+3:]
+		hasPath = strings.Contains(rest, "/")
+	} else {
+		hasPath = strings.Contains(trimmed, "/")
+	}
+	if !hasPath {
+		return Domain(trimmed)
+	}
+	if strings.HasSuffix(trimmed, "/") {
+		p, err := Prefix(trimmed)
+		if err != nil {
+			return Pattern{}, err
+		}
+		// A bare "example.com/" denotes the whole domain.
+		if p.Path == "/" {
+			return Domain(p.Domain)
+		}
+		p.Raw = s
+		return p, nil
+	}
+	p, err := Exact(trimmed)
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.Raw = s
+	return p, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for statically
+// known patterns in tests and examples.
+func MustParse(s string) Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Matches reports whether the pattern matches rawURL. Invalid URLs never
+// match.
+func (p Pattern) Matches(rawURL string) bool {
+	u, err := parseHTTPURL(rawURL)
+	if err != nil {
+		return false
+	}
+	host := normalizeHost(u.Host)
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	switch p.Kind {
+	case KindDomain:
+		return host == p.Domain || strings.HasSuffix(host, "."+p.Domain)
+	case KindPrefix:
+		return host == p.Domain && strings.HasPrefix(path, p.Path)
+	case KindExact:
+		return host == p.Domain && path == p.Path
+	default:
+		return false
+	}
+}
+
+// IsTrivial reports whether the pattern denotes exactly one URL and therefore
+// requires no expansion by the Pattern Expander (§5.2).
+func (p Pattern) IsTrivial() bool { return p.Kind == KindExact }
+
+// URL returns a canonical URL string for the pattern: the exact URL for exact
+// patterns, the domain root for domain patterns, and the prefix URL for
+// prefix patterns.
+func (p Pattern) URL() string {
+	switch p.Kind {
+	case KindExact, KindPrefix:
+		return "http://" + p.Domain + p.Path
+	default:
+		return "http://" + p.Domain + "/"
+	}
+}
+
+// String returns a canonical textual form that Parse round-trips.
+func (p Pattern) String() string {
+	switch p.Kind {
+	case KindDomain:
+		return p.Domain
+	case KindPrefix:
+		return "http://" + p.Domain + p.Path
+	case KindExact:
+		return "http://" + p.Domain + p.Path
+	default:
+		return p.Raw
+	}
+}
+
+// Key returns a stable identifier used to aggregate measurements that test
+// the same pattern.
+func (p Pattern) Key() string {
+	return p.Kind.String() + ":" + p.Domain + p.Path
+}
+
+func parseHTTPURL(raw string) (*url.URL, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil, ErrEmptyPattern
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPattern, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("%w: unsupported scheme %q", ErrInvalidPattern, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("%w: missing host in %q", ErrInvalidPattern, raw)
+	}
+	if !validHostname(normalizeHost(u.Host)) {
+		return nil, fmt.Errorf("%w: invalid host %q", ErrInvalidPattern, u.Host)
+	}
+	return u, nil
+}
+
+// validHostname reports whether h looks like a DNS host name: non-empty
+// dot-separated labels of letters, digits, and hyphens.
+func validHostname(h string) bool {
+	if h == "" || len(h) > 253 {
+		return false
+	}
+	for _, label := range strings.Split(h, ".") {
+		if label == "" || len(label) > 63 {
+			return false
+		}
+		for _, r := range label {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// normalizeHost lower-cases a host name and strips any port and trailing dot.
+func normalizeHost(host string) string {
+	h := strings.ToLower(strings.TrimSpace(host))
+	if i := strings.LastIndex(h, ":"); i >= 0 && !strings.Contains(h[i:], "]") {
+		h = h[:i]
+	}
+	return strings.TrimSuffix(h, ".")
+}
+
+// NormalizeHost exposes host normalization for other packages (origin
+// computation in the browser simulator, geo lookups of host names).
+func NormalizeHost(host string) string { return normalizeHost(host) }
+
+// DomainOf returns the normalized host of a URL, or "" if the URL is invalid.
+func DomainOf(rawURL string) string {
+	u, err := parseHTTPURL(rawURL)
+	if err != nil {
+		return ""
+	}
+	return normalizeHost(u.Host)
+}

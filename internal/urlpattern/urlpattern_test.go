@@ -1,0 +1,266 @@
+package urlpattern
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDomain(t *testing.T) {
+	for _, in := range []string{"example.com", "*.example.com", "Example.COM", "example.com/"} {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if p.Kind != KindDomain {
+			t.Fatalf("Parse(%q).Kind=%v, want domain", in, p.Kind)
+		}
+		if p.Domain != "example.com" {
+			t.Fatalf("Parse(%q).Domain=%q", in, p.Domain)
+		}
+	}
+}
+
+func TestParseExact(t *testing.T) {
+	p, err := Parse("http://example.com/news/article1.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindExact {
+		t.Fatalf("Kind=%v, want exact", p.Kind)
+	}
+	if p.Path != "/news/article1.html" {
+		t.Fatalf("Path=%q", p.Path)
+	}
+	if !p.IsTrivial() {
+		t.Fatal("exact pattern should be trivial")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := Parse("http://example.com/blog/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindPrefix {
+		t.Fatalf("Kind=%v, want prefix", p.Kind)
+	}
+	if p.Path != "/blog/" {
+		t.Fatalf("Path=%q", p.Path)
+	}
+	if p.IsTrivial() {
+		t.Fatal("prefix pattern should not be trivial")
+	}
+}
+
+func TestParseSchemelessPrefix(t *testing.T) {
+	p, err := Parse("example.com/blog/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindPrefix || p.Domain != "example.com" || p.Path != "/blog/" {
+		t.Fatalf("unexpected pattern %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(""); !errors.Is(err, ErrEmptyPattern) {
+		t.Fatalf("empty pattern error = %v", err)
+	}
+	if _, err := Parse("   "); !errors.Is(err, ErrEmptyPattern) {
+		t.Fatalf("blank pattern error = %v", err)
+	}
+	if _, err := Parse("ftp://example.com/x"); err == nil {
+		t.Fatal("expected error for non-http scheme")
+	}
+	if _, err := Exact("http://"); err == nil {
+		t.Fatal("expected error for missing host")
+	}
+	if _, err := Domain("not a domain/with/slash"); err == nil {
+		t.Fatal("expected error for invalid domain")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("ftp://bad")
+}
+
+func TestDomainMatching(t *testing.T) {
+	p := MustParse("censored.com")
+	matches := []string{
+		"http://censored.com/",
+		"http://censored.com/favicon.ico",
+		"https://www.censored.com/page?id=3",
+		"http://a.b.censored.com/x",
+		"http://CENSORED.com/x",
+		"http://censored.com:8080/x",
+	}
+	for _, u := range matches {
+		if !p.Matches(u) {
+			t.Errorf("domain pattern should match %q", u)
+		}
+	}
+	nonMatches := []string{
+		"http://notcensored.com/",
+		"http://censored.com.evil.com/",
+		"http://example.com/censored.com",
+		"://bad",
+	}
+	for _, u := range nonMatches {
+		if p.Matches(u) {
+			t.Errorf("domain pattern should not match %q", u)
+		}
+	}
+}
+
+func TestPrefixMatching(t *testing.T) {
+	p := MustParse("http://example.com/blog/")
+	if !p.Matches("http://example.com/blog/post-1.html") {
+		t.Fatal("prefix should match URL under it")
+	}
+	if p.Matches("http://example.com/news/post-1.html") {
+		t.Fatal("prefix should not match sibling path")
+	}
+	if p.Matches("http://other.com/blog/post-1.html") {
+		t.Fatal("prefix should not match other domain")
+	}
+	if p.Matches("http://sub.example.com/blog/post-1.html") {
+		t.Fatal("prefix should not match subdomain")
+	}
+}
+
+func TestExactMatching(t *testing.T) {
+	p := MustParse("http://example.com/a/b.html")
+	if !p.Matches("http://example.com/a/b.html") {
+		t.Fatal("exact should match itself")
+	}
+	if !p.Matches("https://example.com/a/b.html?utm=1") {
+		t.Fatal("exact should match regardless of scheme and query")
+	}
+	if p.Matches("http://example.com/a/b.html.evil") {
+		t.Fatal("exact should not match longer path")
+	}
+	if p.Matches("http://example.com/a/") {
+		t.Fatal("exact should not match parent path")
+	}
+}
+
+func TestRootURLMatchesDomainRoot(t *testing.T) {
+	p, err := Exact("http://example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "/" {
+		t.Fatalf("root path=%q, want /", p.Path)
+	}
+	if !p.Matches("http://example.com/") {
+		t.Fatal("root exact pattern should match trailing-slash URL")
+	}
+}
+
+func TestURLAndString(t *testing.T) {
+	d := MustParse("example.com")
+	if d.URL() != "http://example.com/" {
+		t.Fatalf("domain URL=%q", d.URL())
+	}
+	if d.String() != "example.com" {
+		t.Fatalf("domain String=%q", d.String())
+	}
+	e := MustParse("http://example.com/x.html")
+	if e.URL() != "http://example.com/x.html" {
+		t.Fatalf("exact URL=%q", e.URL())
+	}
+	pre := MustParse("http://example.com/blog/")
+	if !strings.HasSuffix(pre.URL(), "/blog/") {
+		t.Fatalf("prefix URL=%q", pre.URL())
+	}
+}
+
+func TestKeyDistinguishesKinds(t *testing.T) {
+	a := MustParse("example.com")
+	b := MustParse("http://example.com/blog/")
+	c := MustParse("http://example.com/blog/post.html")
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true}
+	if len(keys) != 3 {
+		t.Fatalf("keys collide: %v", keys)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"example.com",
+		"http://example.com/blog/",
+		"http://example.com/a/b.html",
+	} {
+		p := MustParse(in)
+		again := MustParse(p.String())
+		if again.Key() != p.Key() {
+			t.Fatalf("round trip of %q changed key: %q != %q", in, again.Key(), p.Key())
+		}
+	}
+}
+
+func TestNormalizeHost(t *testing.T) {
+	cases := map[string]string{
+		"Example.COM":      "example.com",
+		"example.com:8080": "example.com",
+		"example.com.":     "example.com",
+		"  example.com ":   "example.com",
+	}
+	for in, want := range cases {
+		if got := NormalizeHost(in); got != want {
+			t.Errorf("NormalizeHost(%q)=%q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	if got := DomainOf("https://Sub.Example.com:443/x"); got != "sub.example.com" {
+		t.Fatalf("DomainOf=%q", got)
+	}
+	if got := DomainOf("::bad::"); got != "" {
+		t.Fatalf("DomainOf(invalid)=%q, want empty", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindExact.String() != "exact" || KindDomain.String() != "domain" || KindPrefix.String() != "prefix" {
+		t.Fatal("unexpected kind strings")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestQuickDomainPatternMatchesOwnURLs(t *testing.T) {
+	f := func(label uint16, path uint16) bool {
+		domain := "d" + itoa(int(label%1000)) + ".example.org"
+		p, err := Domain(domain)
+		if err != nil {
+			return false
+		}
+		u := "http://" + domain + "/page" + itoa(int(path%50)) + ".html"
+		return p.Matches(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

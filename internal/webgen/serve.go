@@ -1,0 +1,97 @@
+package webgen
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler that serves one synthetic site's pages and
+// resources over real HTTP, with the same headers the network simulator
+// assumes (Content-Type, Cache-Control, X-Content-Type-Options). It lets the
+// loopback demo deployment (cmd/encore-coordinator, cmd/encore-collector,
+// cmd/encore-origin) measure an actual HTTP server: point a measurement task
+// at the handler's address and the browser-visible behaviour matches the
+// simulated one.
+//
+// Requests are matched by path only; the handler assumes it is reached via a
+// host name (or port) dedicated to the domain, the way the real Web maps one
+// virtual host per site.
+func (w *Web) Handler(domain string) (http.Handler, error) {
+	site, ok := w.Site(domain)
+	if !ok {
+		return nil, fmt.Errorf("webgen: unknown domain %q", domain)
+	}
+	return &siteHandler{web: w, site: site}, nil
+}
+
+type siteHandler struct {
+	web  *Web
+	site *Site
+}
+
+// ServeHTTP serves pages as HTML documents that embed their resources and
+// serves resources with their generated bodies.
+func (h *siteHandler) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	url := "http://" + h.site.Domain + r.URL.Path
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintf(rw, "ok: %s (%d pages)\n", h.site.Domain, len(h.site.Pages))
+		return
+	}
+	if page, ok := h.web.LookupPage(url); ok {
+		h.servePage(rw, page)
+		return
+	}
+	if res, ok := h.web.LookupResource(url); ok {
+		h.serveResource(rw, res)
+		return
+	}
+	http.NotFound(rw, r)
+}
+
+func (h *siteHandler) servePage(rw http.ResponseWriter, page *Page) {
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	rw.Header().Set("Cache-Control", "no-cache")
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head><title>%s</title>\n", page.URL)
+	for _, ru := range page.Resources {
+		res, ok := h.web.LookupResource(ru)
+		if !ok {
+			continue
+		}
+		switch res.Type {
+		case TypeStylesheet:
+			fmt.Fprintf(&b, "  <link rel=\"stylesheet\" href=%q>\n", ru)
+		case TypeScript:
+			fmt.Fprintf(&b, "  <script src=%q></script>\n", ru)
+		}
+	}
+	b.WriteString("</head>\n<body>\n")
+	for _, ru := range page.Resources {
+		res, ok := h.web.LookupResource(ru)
+		if !ok {
+			continue
+		}
+		switch res.Type {
+		case TypeImage:
+			fmt.Fprintf(&b, "  <img src=%q alt=\"\">\n", ru)
+		case TypeMedia:
+			fmt.Fprintf(&b, "  <video src=%q></video>\n", ru)
+		}
+	}
+	fmt.Fprintf(&b, "</body>\n</html>\n")
+	_, _ = rw.Write([]byte(b.String()))
+}
+
+func (h *siteHandler) serveResource(rw http.ResponseWriter, res *Resource) {
+	rw.Header().Set("Content-Type", res.MIMEType)
+	if res.Cacheable {
+		rw.Header().Set("Cache-Control", "public, max-age=86400")
+	} else {
+		rw.Header().Set("Cache-Control", "no-cache")
+	}
+	if res.NoSniff {
+		rw.Header().Set("X-Content-Type-Options", "nosniff")
+	}
+	_, _ = rw.Write(h.web.Body(res))
+}

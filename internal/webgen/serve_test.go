@@ -1,0 +1,121 @@
+package webgen
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerUnknownDomain(t *testing.T) {
+	w := Generate(smallConfig(30))
+	if _, err := w.Handler("no-such-domain.example"); err == nil {
+		t.Fatal("expected error for unknown domain")
+	}
+}
+
+func TestHandlerServesPagesAndResources(t *testing.T) {
+	w := Generate(smallConfig(31))
+	h, err := w.Handler("bbc.co.uk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	site, _ := w.Site("bbc.co.uk")
+	// Page paths must serve HTML that references the page's embedded
+	// resources.
+	pageURL := site.Pages[1]
+	path := strings.TrimPrefix(pageURL, "http://bbc.co.uk")
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("page status=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("page content type=%q", ct)
+	}
+	page, _ := w.LookupPage(pageURL)
+	if len(page.Resources) > 0 && !strings.Contains(string(body), "src=") && !strings.Contains(string(body), "href=") {
+		t.Fatalf("page HTML does not reference its resources:\n%s", body)
+	}
+
+	// Resource paths must serve the declared size, MIME type, and caching
+	// headers.
+	fav, ok := w.FaviconOf("bbc.co.uk")
+	if !ok {
+		t.Skip("no favicon in this seed")
+	}
+	favPath := strings.TrimPrefix(fav.URL, "http://bbc.co.uk")
+	resp, err = http.Get(srv.URL + favPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	favBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(favBody) != fav.SizeBytes {
+		t.Fatalf("favicon body %d bytes, declared %d", len(favBody), fav.SizeBytes)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "image/") {
+		t.Fatalf("favicon content type=%q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(resp.Header.Get("Cache-Control"), "max-age") {
+		t.Fatal("cacheable favicon missing max-age")
+	}
+
+	// Unknown paths 404; healthz responds.
+	resp, _ = http.Get(srv.URL + "/definitely/not/there")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing path status=%d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/healthz")
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(hb), "bbc.co.uk") {
+		t.Fatalf("healthz=%q", hb)
+	}
+}
+
+func TestHandlerNoSniffHeader(t *testing.T) {
+	w := Generate(smallConfig(32))
+	// Find a nosniff script on some content domain.
+	var target *Resource
+	var domain string
+	for _, d := range w.ContentDomains() {
+		for _, r := range w.ResourcesOnDomain(d) {
+			if r.Type == TypeScript && r.NoSniff {
+				target = r
+				domain = d
+				break
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no nosniff script generated in this seed")
+	}
+	h, err := w.Handler(domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	path := strings.TrimPrefix(target.URL, "http://"+domain)
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Content-Type-Options") != "nosniff" {
+		t.Fatal("nosniff header not served")
+	}
+}

@@ -1,0 +1,748 @@
+// Package webgen generates a deterministic synthetic Web for the Encore
+// reproduction.
+//
+// The paper's feasibility study (§6.1) crawls 178 potentially-filtered
+// domains from a Herdict-curated list, expands them to 6,548 URLs, and
+// analyzes the images, style sheets, scripts, and page sizes those URLs load.
+// The live Web is unavailable offline, so this package synthesizes a Web with
+// the same observable structure: named sites with categories, pages embedding
+// resources (possibly cross-origin on CDN domains), realistic size and
+// cacheability distributions, and a search index the Pattern Expander can
+// scrape. Resource bodies are generated on demand from the URL so the
+// testbed's HTTP servers can serve real bytes without storing them.
+package webgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"encore/internal/stats"
+	"encore/internal/urlpattern"
+)
+
+// ResourceType classifies a Web object.
+type ResourceType int
+
+const (
+	// TypeHTML is a Web page document.
+	TypeHTML ResourceType = iota
+	// TypeImage is an image (icon, photo, graphic).
+	TypeImage
+	// TypeStylesheet is a CSS style sheet.
+	TypeStylesheet
+	// TypeScript is a JavaScript file.
+	TypeScript
+	// TypeMedia is audio, video, or flash content.
+	TypeMedia
+	// TypeOther is any other object (fonts, JSON, etc).
+	TypeOther
+)
+
+// String returns the lower-case name of the resource type.
+func (t ResourceType) String() string {
+	switch t {
+	case TypeHTML:
+		return "html"
+	case TypeImage:
+		return "image"
+	case TypeStylesheet:
+		return "stylesheet"
+	case TypeScript:
+		return "script"
+	case TypeMedia:
+		return "media"
+	default:
+		return "other"
+	}
+}
+
+// MIME returns a representative MIME type for the resource type.
+func (t ResourceType) MIME() string {
+	switch t {
+	case TypeHTML:
+		return "text/html"
+	case TypeImage:
+		return "image/png"
+	case TypeStylesheet:
+		return "text/css"
+	case TypeScript:
+		return "application/javascript"
+	case TypeMedia:
+		return "video/mp4"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// Category describes what kind of site a domain hosts; it drives the page
+// structure the generator produces.
+type Category int
+
+const (
+	// CategoryGeneric is an ordinary content site.
+	CategoryGeneric Category = iota
+	// CategoryNews is an article-heavy news site with many images.
+	CategoryNews
+	// CategorySocial is a large social-media platform (Facebook, Twitter,
+	// YouTube analogues) with many small cacheable icons.
+	CategorySocial
+	// CategoryHumanRights is a small advocacy site, the archetypal
+	// high-value censorship target.
+	CategoryHumanRights
+	// CategoryBlog is a personal blog or academic homepage.
+	CategoryBlog
+	// CategoryVideo is a media-heavy streaming site.
+	CategoryVideo
+	// CategoryCDN hosts shared resources (style sheets, scripts, icons)
+	// embedded cross-origin by other sites.
+	CategoryCDN
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CategoryNews:
+		return "news"
+	case CategorySocial:
+		return "social"
+	case CategoryHumanRights:
+		return "human-rights"
+	case CategoryBlog:
+		return "blog"
+	case CategoryVideo:
+		return "video"
+	case CategoryCDN:
+		return "cdn"
+	default:
+		return "generic"
+	}
+}
+
+// Resource is one addressable Web object.
+type Resource struct {
+	URL       string
+	Domain    string
+	Type      ResourceType
+	SizeBytes int
+	Cacheable bool
+	// NoSniff indicates the server sends X-Content-Type-Options: nosniff.
+	NoSniff bool
+	// MIMEType is the served content type.
+	MIMEType string
+}
+
+// Page is a Web page together with the resources it embeds.
+type Page struct {
+	URL      string
+	Domain   string
+	HTMLSize int
+	// Resources lists the URLs of embedded objects, which may live on the
+	// page's own domain or on a cross-origin CDN.
+	Resources []string
+}
+
+// Site is one Web site (a DNS domain).
+type Site struct {
+	Domain   string
+	Category Category
+	Pages    []string
+	// FaviconURL is the site's favicon, if it serves one.
+	FaviconURL string
+}
+
+// Web is the generated synthetic Web.
+type Web struct {
+	Sites     map[string]*Site
+	Pages     map[string]*Page
+	Resources map[string]*Resource
+
+	domainOrder []string
+}
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed uint64
+	// TargetDomains are well-known domains that must exist (measurement
+	// targets referenced by name in experiments), mapped to a category.
+	TargetDomains map[string]Category
+	// GenericDomains is the number of additional filler domains.
+	GenericDomains int
+	// CDNDomains is the number of shared CDN domains.
+	CDNDomains int
+	// PagesPerDomain is the mean number of pages per domain.
+	PagesPerDomain int
+}
+
+// DefaultConfig returns a configuration sized like the paper's feasibility
+// study: the high-value targets plus enough filler domains to reach 178
+// domains overall, with roughly 40 pages each so pattern expansion to 50 URLs
+// saturates for most domains.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		TargetDomains:  HighValueTargets(),
+		GenericDomains: 150,
+		CDNDomains:     8,
+		PagesPerDomain: 40,
+	}
+}
+
+// HighValueTargets returns the well-known measurement targets used throughout
+// the experiments: the three sites the paper actually measured (§7.2) plus a
+// handful of archetypal high-value domains standing in for the Herdict list.
+func HighValueTargets() map[string]Category {
+	return map[string]Category{
+		"youtube.com":           CategoryVideo,
+		"twitter.com":           CategorySocial,
+		"facebook.com":          CategorySocial,
+		"wikipedia.org":         CategoryGeneric,
+		"bbc.co.uk":             CategoryNews,
+		"nytimes.com":           CategoryNews,
+		"hrw.org":               CategoryHumanRights,
+		"amnesty.org":           CategoryHumanRights,
+		"rsf.org":               CategoryHumanRights,
+		"freedomhouse.org":      CategoryHumanRights,
+		"blogspot.com":          CategoryBlog,
+		"wordpress.com":         CategoryBlog,
+		"tumblr.com":            CategorySocial,
+		"flickr.com":            CategorySocial,
+		"vimeo.com":             CategoryVideo,
+		"dailymotion.com":       CategoryVideo,
+		"citizenlab.ca":         CategoryHumanRights,
+		"torproject.org":        CategoryHumanRights,
+		"greatfire.org":         CategoryHumanRights,
+		"herdict.org":           CategoryHumanRights,
+		"persianblog.ir":        CategoryBlog,
+		"balatarin.com":         CategoryNews,
+		"voanews.com":           CategoryNews,
+		"rferl.org":             CategoryNews,
+		"aljazeera.com":         CategoryNews,
+		"reddit.com":            CategorySocial,
+		"instagram.com":         CategorySocial,
+		"whatsapp.com":          CategorySocial,
+		"telegram.org":          CategorySocial,
+		"github.com":            CategoryGeneric,
+		"archive.org":           CategoryGeneric,
+		"change.org":            CategoryHumanRights,
+		"avaaz.org":             CategoryHumanRights,
+		"ifex.org":              CategoryHumanRights,
+		"article19.org":         CategoryHumanRights,
+		"indexoncensorship.org": CategoryHumanRights,
+	}
+}
+
+// Generate builds a synthetic Web from cfg.
+func Generate(cfg Config) *Web {
+	rng := stats.NewRNG(cfg.Seed)
+	w := &Web{
+		Sites:     make(map[string]*Site),
+		Pages:     make(map[string]*Page),
+		Resources: make(map[string]*Resource),
+	}
+
+	// CDN domains first so content sites can reference them.
+	var cdns []string
+	for i := 0; i < cfg.CDNDomains; i++ {
+		name := fmt.Sprintf("cdn%d.example-cdn.net", i+1)
+		cdns = append(cdns, name)
+		w.addCDNSite(name, rng.Fork())
+	}
+
+	// Named target domains in sorted order for determinism.
+	var targets []string
+	for d := range cfg.TargetDomains {
+		targets = append(targets, d)
+	}
+	sort.Strings(targets)
+	for _, d := range targets {
+		w.addContentSite(d, cfg.TargetDomains[d], cfg.PagesPerDomain, cdns, rng.Fork())
+	}
+
+	// Filler domains.
+	for i := 0; i < cfg.GenericDomains; i++ {
+		name := fmt.Sprintf("site%03d.example.org", i+1)
+		cat := CategoryGeneric
+		switch i % 7 {
+		case 0:
+			cat = CategoryNews
+		case 1:
+			cat = CategoryBlog
+		case 2:
+			cat = CategoryHumanRights
+		case 3:
+			cat = CategoryVideo
+		}
+		w.addContentSite(name, cat, cfg.PagesPerDomain, cdns, rng.Fork())
+	}
+
+	sort.Strings(w.domainOrder)
+	return w
+}
+
+// addCDNSite creates a CDN domain serving shared small cacheable resources.
+func (w *Web) addCDNSite(domain string, rng *stats.RNG) *Site {
+	site := &Site{Domain: domain, Category: CategoryCDN}
+	w.Sites[domain] = site
+	w.domainOrder = append(w.domainOrder, domain)
+
+	// Shared libraries and icons: highly cacheable, various sizes.
+	for i := 0; i < 20; i++ {
+		u := fmt.Sprintf("http://%s/lib/script-%d.js", domain, i)
+		w.Resources[u] = &Resource{
+			URL: u, Domain: domain, Type: TypeScript,
+			SizeBytes: 2000 + rng.Intn(80000),
+			Cacheable: true, NoSniff: rng.Bool(0.5), MIMEType: TypeScript.MIME(),
+		}
+	}
+	for i := 0; i < 10; i++ {
+		u := fmt.Sprintf("http://%s/css/style-%d.css", domain, i)
+		w.Resources[u] = &Resource{
+			URL: u, Domain: domain, Type: TypeStylesheet,
+			SizeBytes: 1000 + rng.Intn(30000),
+			Cacheable: true, MIMEType: TypeStylesheet.MIME(),
+		}
+	}
+	for i := 0; i < 30; i++ {
+		u := fmt.Sprintf("http://%s/icons/icon-%d.png", domain, i)
+		w.Resources[u] = &Resource{
+			URL: u, Domain: domain, Type: TypeImage,
+			SizeBytes: 200 + rng.Intn(1800),
+			Cacheable: true, MIMEType: TypeImage.MIME(),
+		}
+	}
+	return site
+}
+
+// profile bundles the per-category generation parameters.
+type profile struct {
+	// imageRich is the probability a page embeds same-origin images at all
+	// (Figure 4: ~70% of domains embed at least one image).
+	imageRich float64
+	// imagesMean is the mean number of images on an image-bearing page.
+	imagesMean float64
+	// smallImageBias is the probability an image is a small icon (<= 1 KB).
+	smallImageBias float64
+	// cacheableProb is the probability an embedded image is cacheable.
+	cacheableProb float64
+	// pageKBMin/pageKBMax bound the page's total size in kilobytes before
+	// the heavy tail is applied (Figure 5: roughly even 0-2 MB).
+	pageKBMin, pageKBMax int
+	// mediaProb is the probability a page embeds large media (video/flash),
+	// which disqualifies it from iframe tasks.
+	mediaProb float64
+	// favicon is the probability the site serves a small favicon.
+	favicon float64
+}
+
+func profileFor(cat Category) profile {
+	switch cat {
+	case CategoryNews:
+		return profile{imageRich: 0.95, imagesMean: 18, smallImageBias: 0.35, cacheableProb: 0.7, pageKBMin: 300, pageKBMax: 2000, mediaProb: 0.25, favicon: 0.95}
+	case CategorySocial:
+		return profile{imageRich: 0.95, imagesMean: 25, smallImageBias: 0.6, cacheableProb: 0.8, pageKBMin: 400, pageKBMax: 1800, mediaProb: 0.2, favicon: 1.0}
+	case CategoryHumanRights:
+		return profile{imageRich: 0.7, imagesMean: 6, smallImageBias: 0.5, cacheableProb: 0.6, pageKBMin: 40, pageKBMax: 600, mediaProb: 0.05, favicon: 0.8}
+	case CategoryBlog:
+		return profile{imageRich: 0.6, imagesMean: 4, smallImageBias: 0.5, cacheableProb: 0.5, pageKBMin: 20, pageKBMax: 400, mediaProb: 0.05, favicon: 0.7}
+	case CategoryVideo:
+		return profile{imageRich: 0.9, imagesMean: 12, smallImageBias: 0.4, cacheableProb: 0.7, pageKBMin: 500, pageKBMax: 2500, mediaProb: 0.8, favicon: 1.0}
+	case CategoryCDN:
+		return profile{}
+	default:
+		return profile{imageRich: 0.72, imagesMean: 8, smallImageBias: 0.45, cacheableProb: 0.6, pageKBMin: 50, pageKBMax: 1500, mediaProb: 0.12, favicon: 0.85}
+	}
+}
+
+// addContentSite creates an ordinary content site with pages.
+func (w *Web) addContentSite(domain string, cat Category, meanPages int, cdns []string, rng *stats.RNG) *Site {
+	site := &Site{Domain: domain, Category: cat}
+	w.Sites[domain] = site
+	w.domainOrder = append(w.domainOrder, domain)
+	prof := profileFor(cat)
+
+	// Favicon.
+	if rng.Bool(prof.favicon) {
+		u := fmt.Sprintf("http://%s/favicon.ico", domain)
+		w.Resources[u] = &Resource{
+			URL: u, Domain: domain, Type: TypeImage,
+			SizeBytes: 300 + rng.Intn(800),
+			Cacheable: true, MIMEType: "image/x-icon",
+		}
+		site.FaviconURL = u
+	}
+
+	// Domains are not all the same size; draw page count around the mean.
+	nPages := meanPages/2 + rng.Intn(meanPages+1)
+	if nPages < 3 {
+		nPages = 3
+	}
+	// Whether this domain embeds images at all (Figure 4: ~70% do).
+	domainHasImages := rng.Bool(prof.imageRich)
+
+	// A pool of site-local shared images (headers, logos) reused across
+	// pages; reuse is what makes images cacheable *and* likely to already
+	// be cached, which the iframe task relies on.
+	var sharedImages []string
+	nShared := 2 + rng.Intn(8)
+	for i := 0; i < nShared; i++ {
+		u := fmt.Sprintf("http://%s/static/shared-%d.png", domain, i)
+		small := rng.Bool(prof.smallImageBias)
+		size := imageSize(rng, small)
+		w.Resources[u] = &Resource{
+			URL: u, Domain: domain, Type: TypeImage,
+			SizeBytes: size, Cacheable: true, MIMEType: TypeImage.MIME(),
+		}
+		sharedImages = append(sharedImages, u)
+	}
+
+	for p := 0; p < nPages; p++ {
+		pageURL := fmt.Sprintf("http://%s/%s/page-%03d.html", domain, sectionName(cat, p), p)
+		page := &Page{URL: pageURL, Domain: domain}
+
+		// Total page weight target in bytes (Figure 5 calibration).
+		targetKB := prof.pageKBMin
+		if prof.pageKBMax > prof.pageKBMin {
+			targetKB += rng.Intn(prof.pageKBMax - prof.pageKBMin)
+		}
+		// Long tail: a few pages are much heavier.
+		if rng.Bool(0.08) {
+			targetKB *= 2 + rng.Intn(4)
+		}
+		budget := targetKB * 1024
+
+		page.HTMLSize = 5*1024 + rng.Intn(60*1024)
+		budget -= page.HTMLSize
+
+		// Site favicon appears on every page that has one.
+		if site.FaviconURL != "" {
+			page.Resources = append(page.Resources, site.FaviconURL)
+			budget -= w.Resources[site.FaviconURL].SizeBytes
+		}
+
+		// Cross-origin CDN embeds (style sheets, scripts, widget icons).
+		if len(cdns) > 0 {
+			nCDN := rng.Intn(4)
+			for i := 0; i < nCDN; i++ {
+				cdn := cdns[rng.Intn(len(cdns))]
+				u := w.randomCDNResource(cdn, rng)
+				if u != "" {
+					page.Resources = append(page.Resources, u)
+					budget -= w.Resources[u].SizeBytes
+				}
+			}
+		}
+
+		// Same-origin style sheet and script.
+		if rng.Bool(0.8) {
+			u := fmt.Sprintf("http://%s/css/site-%d.css", domain, rng.Intn(3))
+			if _, ok := w.Resources[u]; !ok {
+				w.Resources[u] = &Resource{URL: u, Domain: domain, Type: TypeStylesheet,
+					SizeBytes: 1500 + rng.Intn(25000), Cacheable: true, MIMEType: TypeStylesheet.MIME()}
+			}
+			page.Resources = append(page.Resources, u)
+			budget -= w.Resources[u].SizeBytes
+		}
+		if rng.Bool(0.7) {
+			u := fmt.Sprintf("http://%s/js/app-%d.js", domain, rng.Intn(3))
+			if _, ok := w.Resources[u]; !ok {
+				w.Resources[u] = &Resource{URL: u, Domain: domain, Type: TypeScript,
+					SizeBytes: 4000 + rng.Intn(90000), Cacheable: true, NoSniff: rng.Bool(0.4), MIMEType: TypeScript.MIME()}
+			}
+			page.Resources = append(page.Resources, u)
+			budget -= w.Resources[u].SizeBytes
+		}
+
+		// Large media, which disqualifies the page from iframe tasks.
+		if rng.Bool(prof.mediaProb) {
+			u := fmt.Sprintf("http://%s/media/clip-%03d.mp4", domain, p)
+			size := 200*1024 + rng.Intn(3*1024*1024)
+			w.Resources[u] = &Resource{URL: u, Domain: domain, Type: TypeMedia,
+				SizeBytes: size, Cacheable: false, MIMEType: TypeMedia.MIME()}
+			page.Resources = append(page.Resources, u)
+			budget -= size
+		}
+
+		// Images: a couple of shared (cacheable, reused) images plus
+		// page-specific photos until the size budget runs out.
+		if domainHasImages {
+			nImages := 1 + rng.Poisson(prof.imagesMean)
+			for i := 0; i < nImages; i++ {
+				if i < 3 && len(sharedImages) > 0 && rng.Bool(0.7) {
+					u := sharedImages[rng.Intn(len(sharedImages))]
+					page.Resources = append(page.Resources, u)
+					budget -= w.Resources[u].SizeBytes
+					continue
+				}
+				small := rng.Bool(prof.smallImageBias)
+				size := imageSize(rng, small)
+				if budget-size < 0 && i > 0 {
+					break
+				}
+				u := fmt.Sprintf("http://%s/images/p%03d-img%02d.jpg", domain, p, i)
+				w.Resources[u] = &Resource{URL: u, Domain: domain, Type: TypeImage,
+					SizeBytes: size, Cacheable: rng.Bool(prof.cacheableProb), MIMEType: "image/jpeg"}
+				page.Resources = append(page.Resources, u)
+				budget -= size
+			}
+		}
+
+		// Register the page itself as an HTML resource so URL lookups and
+		// the testbed's HTTP servers can serve it uniformly.
+		w.Resources[pageURL] = &Resource{URL: pageURL, Domain: domain, Type: TypeHTML,
+			SizeBytes: page.HTMLSize, Cacheable: false, MIMEType: TypeHTML.MIME()}
+		w.Pages[pageURL] = page
+		site.Pages = append(site.Pages, pageURL)
+	}
+
+	// Root page aliases the first section page so "http://domain/" resolves.
+	rootURL := fmt.Sprintf("http://%s/", domain)
+	if len(site.Pages) > 0 {
+		first := w.Pages[site.Pages[0]]
+		root := &Page{URL: rootURL, Domain: domain, HTMLSize: first.HTMLSize, Resources: first.Resources}
+		w.Pages[rootURL] = root
+		w.Resources[rootURL] = &Resource{URL: rootURL, Domain: domain, Type: TypeHTML,
+			SizeBytes: root.HTMLSize, Cacheable: false, MIMEType: TypeHTML.MIME()}
+		site.Pages = append([]string{rootURL}, site.Pages...)
+	}
+	return site
+}
+
+// randomCDNResource picks a random resource hosted on the given CDN domain.
+func (w *Web) randomCDNResource(cdn string, rng *stats.RNG) string {
+	site, ok := w.Sites[cdn]
+	if !ok {
+		return ""
+	}
+	_ = site
+	// CDN resources follow a fixed naming scheme; choose among them.
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("http://%s/lib/script-%d.js", cdn, rng.Intn(20))
+	case 1:
+		return fmt.Sprintf("http://%s/css/style-%d.css", cdn, rng.Intn(10))
+	default:
+		return fmt.Sprintf("http://%s/icons/icon-%d.png", cdn, rng.Intn(30))
+	}
+}
+
+// imageSize draws an image size: small icons fit in a single packet, photos
+// follow a heavier distribution.
+func imageSize(rng *stats.RNG, small bool) int {
+	if small {
+		return 200 + rng.Intn(850) // <= ~1 KB
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return 1200 + rng.Intn(4000) // 1-5 KB
+	case 1:
+		return 5*1024 + rng.Intn(45*1024) // 5-50 KB
+	default:
+		return 50*1024 + rng.Intn(350*1024) // 50-400 KB
+	}
+}
+
+func sectionName(cat Category, p int) string {
+	sections := map[Category][]string{
+		CategoryNews:        {"world", "politics", "business", "tech"},
+		CategorySocial:      {"profile", "groups", "photos", "events"},
+		CategoryHumanRights: {"reports", "campaigns", "news", "about"},
+		CategoryBlog:        {"posts", "archive", "about"},
+		CategoryVideo:       {"watch", "channels", "trending"},
+		CategoryGeneric:     {"articles", "pages", "docs"},
+	}
+	s, ok := sections[cat]
+	if !ok || len(s) == 0 {
+		s = []string{"pages"}
+	}
+	return s[p%len(s)]
+}
+
+// Domains returns all domain names in deterministic (sorted) order.
+func (w *Web) Domains() []string {
+	return append([]string(nil), w.domainOrder...)
+}
+
+// ContentDomains returns the domains that host pages (excluding CDN-only
+// domains), sorted.
+func (w *Web) ContentDomains() []string {
+	var out []string
+	for _, d := range w.domainOrder {
+		if w.Sites[d].Category != CategoryCDN {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Site returns the site for a domain, if present.
+func (w *Web) Site(domain string) (*Site, bool) {
+	s, ok := w.Sites[urlpattern.NormalizeHost(domain)]
+	return s, ok
+}
+
+// LookupResource resolves a URL to its resource, if it exists.
+func (w *Web) LookupResource(url string) (*Resource, bool) {
+	r, ok := w.Resources[url]
+	return r, ok
+}
+
+// LookupPage resolves a URL to its page, if the URL is a page.
+func (w *Web) LookupPage(url string) (*Page, bool) {
+	p, ok := w.Pages[url]
+	return p, ok
+}
+
+// Search returns up to limit page URLs matching the pattern, emulating the
+// "site:" search-engine scraping the Pattern Expander performs (§5.2). The
+// result order is deterministic.
+func (w *Web) Search(p urlpattern.Pattern, limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	var out []string
+	// Fast path: domain and prefix patterns only need the one site.
+	if site, ok := w.Sites[p.Domain]; ok {
+		for _, u := range site.Pages {
+			if p.Matches(u) {
+				out = append(out, u)
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	// Fallback: scan everything (e.g. a pattern for a subdomain).
+	for _, d := range w.domainOrder {
+		for _, u := range w.Sites[d].Pages {
+			if p.Matches(u) {
+				out = append(out, u)
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Body deterministically generates the byte content for a resource. The
+// bytes depend only on the URL and declared size, so repeated calls (and
+// different server processes) serve identical content.
+func (w *Web) Body(r *Resource) []byte {
+	if r == nil || r.SizeBytes <= 0 {
+		return nil
+	}
+	body := make([]byte, r.SizeBytes)
+	// Seed a tiny generator from the URL so content differs across URLs.
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(r.URL); i++ {
+		h ^= uint64(r.URL[i])
+		h *= 1099511628211
+	}
+	rng := stats.NewRNG(h)
+	switch r.Type {
+	case TypeHTML:
+		copy(body, []byte("<!DOCTYPE html><html><head><title>"+r.URL+"</title></head><body>"))
+	case TypeStylesheet:
+		copy(body, []byte("p { color: rgb(0, 0, 255); } /* "+r.URL+" */ "))
+	case TypeScript:
+		copy(body, []byte("/* "+r.URL+" */ (function(){var x=1;})();"))
+	case TypeImage:
+		copy(body, []byte{0x89, 'P', 'N', 'G', 0x0d, 0x0a, 0x1a, 0x0a})
+	}
+	for i := 0; i < len(body); i++ {
+		if body[i] == 0 {
+			body[i] = byte('a' + rng.Intn(26))
+		}
+	}
+	return body
+}
+
+// PageWeight returns the total bytes a browser downloads to render the page:
+// the HTML plus every embedded resource (the Figure 5 metric).
+func (w *Web) PageWeight(p *Page) int {
+	total := p.HTMLSize
+	for _, u := range p.Resources {
+		if r, ok := w.Resources[u]; ok {
+			total += r.SizeBytes
+		}
+	}
+	return total
+}
+
+// Stats summarizes the generated Web; used in logs and sanity tests.
+type Stats struct {
+	Domains   int
+	Pages     int
+	Resources int
+	Images    int
+}
+
+// Stats computes summary counts.
+func (w *Web) Stats() Stats {
+	s := Stats{Domains: len(w.Sites), Pages: len(w.Pages), Resources: len(w.Resources)}
+	for _, r := range w.Resources {
+		if r.Type == TypeImage {
+			s.Images++
+		}
+	}
+	return s
+}
+
+// DescribeSite renders a short human-readable description of a site.
+func (w *Web) DescribeSite(domain string) string {
+	site, ok := w.Sites[domain]
+	if !ok {
+		return fmt.Sprintf("%s: unknown", domain)
+	}
+	return fmt.Sprintf("%s: category=%s pages=%d favicon=%v",
+		domain, site.Category, len(site.Pages), site.FaviconURL != "")
+}
+
+// FaviconOf returns the favicon resource of a domain, if the site serves one.
+func (w *Web) FaviconOf(domain string) (*Resource, bool) {
+	site, ok := w.Sites[urlpattern.NormalizeHost(domain)]
+	if !ok || site.FaviconURL == "" {
+		return nil, false
+	}
+	r, ok := w.Resources[site.FaviconURL]
+	return r, ok
+}
+
+// ResourcesOnDomain returns all resources hosted on a domain, sorted by URL.
+func (w *Web) ResourcesOnDomain(domain string) []*Resource {
+	var out []*Resource
+	for _, r := range w.Resources {
+		if r.Domain == domain {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// SmallImagesOnDomain returns image resources on the domain no larger than
+// maxBytes, sorted by URL. The Task Generator uses this to pick image-task
+// candidates (§4.3.1).
+func (w *Web) SmallImagesOnDomain(domain string, maxBytes int) []*Resource {
+	var out []*Resource
+	for _, r := range w.ResourcesOnDomain(domain) {
+		if r.Type == TypeImage && r.SizeBytes <= maxBytes {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders one line per domain; useful for debugging experiment setup.
+func (w *Web) String() string {
+	var b strings.Builder
+	for _, d := range w.domainOrder {
+		b.WriteString(w.DescribeSite(d))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

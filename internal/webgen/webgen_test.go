@@ -1,0 +1,328 @@
+package webgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"encore/internal/urlpattern"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		TargetDomains:  HighValueTargets(),
+		GenericDomains: 20,
+		CDNDomains:     3,
+		PagesPerDomain: 15,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(1))
+	b := Generate(smallConfig(1))
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for _, d := range a.Domains() {
+		sa, sb := a.Sites[d], b.Sites[d]
+		if sb == nil || len(sa.Pages) != len(sb.Pages) {
+			t.Fatalf("domain %s differs between runs", d)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(smallConfig(1))
+	b := Generate(smallConfig(2))
+	if a.Stats() == b.Stats() {
+		t.Fatal("different seeds produced identical webs (suspicious)")
+	}
+}
+
+func TestTargetDomainsPresent(t *testing.T) {
+	w := Generate(smallConfig(3))
+	for _, d := range []string{"youtube.com", "twitter.com", "facebook.com", "hrw.org"} {
+		site, ok := w.Site(d)
+		if !ok {
+			t.Fatalf("target domain %s missing", d)
+		}
+		if len(site.Pages) == 0 {
+			t.Fatalf("target domain %s has no pages", d)
+		}
+	}
+}
+
+func TestRootPageExists(t *testing.T) {
+	w := Generate(smallConfig(4))
+	for _, d := range []string{"youtube.com", "facebook.com"} {
+		root := "http://" + d + "/"
+		if _, ok := w.LookupPage(root); !ok {
+			t.Fatalf("root page for %s missing", d)
+		}
+		if _, ok := w.LookupResource(root); !ok {
+			t.Fatalf("root resource for %s missing", d)
+		}
+	}
+}
+
+func TestPagesHaveConsistentResources(t *testing.T) {
+	w := Generate(smallConfig(5))
+	for url, page := range w.Pages {
+		if page.URL != url {
+			t.Fatalf("page key %q != page.URL %q", url, page.URL)
+		}
+		for _, ru := range page.Resources {
+			if _, ok := w.Resources[ru]; !ok {
+				t.Fatalf("page %s references missing resource %s", url, ru)
+			}
+		}
+		if page.HTMLSize <= 0 {
+			t.Fatalf("page %s has non-positive HTML size", url)
+		}
+	}
+}
+
+func TestResourceFieldsSane(t *testing.T) {
+	w := Generate(smallConfig(6))
+	for url, r := range w.Resources {
+		if r.URL != url {
+			t.Fatalf("resource key mismatch %q vs %q", url, r.URL)
+		}
+		if r.SizeBytes <= 0 {
+			t.Fatalf("resource %s has non-positive size", url)
+		}
+		if r.MIMEType == "" {
+			t.Fatalf("resource %s missing MIME type", url)
+		}
+		if r.Domain == "" {
+			t.Fatalf("resource %s missing domain", url)
+		}
+	}
+}
+
+func TestMostSitesServeFavicons(t *testing.T) {
+	w := Generate(DefaultConfig(7))
+	content := w.ContentDomains()
+	withFavicon := 0
+	for _, d := range content {
+		if _, ok := w.FaviconOf(d); ok {
+			withFavicon++
+		}
+	}
+	frac := float64(withFavicon) / float64(len(content))
+	if frac < 0.6 {
+		t.Fatalf("only %.2f of sites serve favicons; Figure 4 relies on small images being common", frac)
+	}
+}
+
+func TestImageRichnessMatchesFigure4(t *testing.T) {
+	w := Generate(DefaultConfig(8))
+	content := w.ContentDomains()
+	withImages := 0
+	withSmallImages := 0
+	for _, d := range content {
+		imgs := 0
+		small := 0
+		for _, r := range w.ResourcesOnDomain(d) {
+			if r.Type == TypeImage {
+				imgs++
+				if r.SizeBytes <= 1024 {
+					small++
+				}
+			}
+		}
+		if imgs > 0 {
+			withImages++
+		}
+		if small > 0 {
+			withSmallImages++
+		}
+	}
+	fracImages := float64(withImages) / float64(len(content))
+	fracSmall := float64(withSmallImages) / float64(len(content))
+	// Figure 4: ~70% of domains embed at least one image; over 60% host
+	// single-packet images. Allow generous tolerance.
+	if fracImages < 0.55 || fracImages > 1.0 {
+		t.Fatalf("fraction of domains with images = %.2f, want roughly 0.7", fracImages)
+	}
+	if fracSmall < 0.5 {
+		t.Fatalf("fraction of domains with <=1KB images = %.2f, want > 0.5", fracSmall)
+	}
+}
+
+func TestPageWeightDistributionMatchesFigure5(t *testing.T) {
+	w := Generate(DefaultConfig(9))
+	over500KB := 0
+	total := 0
+	for _, p := range w.Pages {
+		weight := w.PageWeight(p)
+		if weight <= 0 {
+			t.Fatalf("page %s has non-positive weight", p.URL)
+		}
+		total++
+		if weight >= 500*1024 {
+			over500KB++
+		}
+	}
+	frac := float64(over500KB) / float64(total)
+	// Figure 5: over half of pages load at least half a megabyte.
+	if frac < 0.35 || frac > 0.9 {
+		t.Fatalf("fraction of pages over 500KB = %.2f, want roughly 0.5-0.6", frac)
+	}
+}
+
+func TestSearchDomainPattern(t *testing.T) {
+	w := Generate(smallConfig(10))
+	p := urlpattern.MustParse("youtube.com")
+	results := w.Search(p, 50)
+	if len(results) == 0 {
+		t.Fatal("search returned no results for youtube.com")
+	}
+	if len(results) > 50 {
+		t.Fatalf("search returned %d results, limit 50", len(results))
+	}
+	for _, u := range results {
+		if !p.Matches(u) {
+			t.Fatalf("search result %q does not match pattern", u)
+		}
+	}
+}
+
+func TestSearchRespectsLimit(t *testing.T) {
+	w := Generate(smallConfig(11))
+	p := urlpattern.MustParse("facebook.com")
+	if got := w.Search(p, 3); len(got) > 3 {
+		t.Fatalf("limit ignored: %d results", len(got))
+	}
+	if got := w.Search(p, 0); got != nil {
+		t.Fatal("zero limit should return nil")
+	}
+}
+
+func TestSearchUnknownDomain(t *testing.T) {
+	w := Generate(smallConfig(12))
+	p := urlpattern.MustParse("no-such-domain-xyz.com")
+	if got := w.Search(p, 10); len(got) != 0 {
+		t.Fatalf("unknown domain returned %d results", len(got))
+	}
+}
+
+func TestBodyDeterministicAndSized(t *testing.T) {
+	w := Generate(smallConfig(13))
+	fav, ok := w.FaviconOf("facebook.com")
+	if !ok {
+		t.Skip("facebook.com has no favicon in this seed")
+	}
+	b1 := w.Body(fav)
+	b2 := w.Body(fav)
+	if len(b1) != fav.SizeBytes {
+		t.Fatalf("body length %d != declared size %d", len(b1), fav.SizeBytes)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("body generation is not deterministic")
+	}
+	if w.Body(nil) != nil {
+		t.Fatal("nil resource should yield nil body")
+	}
+}
+
+func TestBodyOfStylesheetAppliesBlueRule(t *testing.T) {
+	w := Generate(smallConfig(14))
+	var css *Resource
+	for _, r := range w.Resources {
+		if r.Type == TypeStylesheet {
+			css = r
+			break
+		}
+	}
+	if css == nil {
+		t.Fatal("no stylesheet generated")
+	}
+	body := string(w.Body(css))
+	if len(body) < 10 || body[:1] != "p" {
+		t.Fatalf("stylesheet body does not start with the probe rule: %q", body[:20])
+	}
+}
+
+func TestSmallImagesOnDomain(t *testing.T) {
+	w := Generate(DefaultConfig(15))
+	imgs := w.SmallImagesOnDomain("facebook.com", 1024)
+	for _, r := range imgs {
+		if r.Type != TypeImage || r.SizeBytes > 1024 {
+			t.Fatalf("SmallImagesOnDomain returned wrong resource %+v", r)
+		}
+	}
+}
+
+func TestCDNResourcesAreCrossOriginTargets(t *testing.T) {
+	w := Generate(smallConfig(16))
+	// At least some pages should embed resources from a different domain.
+	crossOrigin := 0
+	for _, p := range w.Pages {
+		for _, ru := range p.Resources {
+			if r := w.Resources[ru]; r != nil && r.Domain != p.Domain {
+				crossOrigin++
+			}
+		}
+	}
+	if crossOrigin == 0 {
+		t.Fatal("no cross-origin embeds generated; CDN wiring is broken")
+	}
+}
+
+func TestContentDomainsExcludesCDNs(t *testing.T) {
+	w := Generate(smallConfig(17))
+	for _, d := range w.ContentDomains() {
+		if w.Sites[d].Category == CategoryCDN {
+			t.Fatalf("ContentDomains returned CDN domain %s", d)
+		}
+	}
+	if len(w.ContentDomains()) >= len(w.Domains()) {
+		t.Fatal("expected some CDN domains to be excluded")
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	w := Generate(smallConfig(18))
+	if w.DescribeSite("nonexistent.example") == "" {
+		t.Fatal("DescribeSite should render unknown domains")
+	}
+	if len(w.String()) == 0 {
+		t.Fatal("String should render something")
+	}
+}
+
+func TestResourceTypeStrings(t *testing.T) {
+	if TypeImage.String() != "image" || TypeHTML.String() != "html" || TypeMedia.MIME() == "" {
+		t.Fatal("resource type metadata broken")
+	}
+	if ResourceType(99).String() != "other" {
+		t.Fatal("unknown type should map to other")
+	}
+}
+
+func TestQuickSearchResultsMatchPattern(t *testing.T) {
+	w := Generate(smallConfig(19))
+	domains := w.ContentDomains()
+	f := func(idx uint16, limit uint8) bool {
+		d := domains[int(idx)%len(domains)]
+		p, err := urlpattern.Domain(d)
+		if err != nil {
+			return false
+		}
+		lim := int(limit%20) + 1
+		results := w.Search(p, lim)
+		if len(results) > lim {
+			return false
+		}
+		for _, u := range results {
+			if !p.Matches(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
