@@ -1,0 +1,35 @@
+# Development and CI entry points for the Encore reproduction.
+#
+#   make ci       - everything CI runs: format check, vet, build, race tests
+#   make test     - fast test run (no race detector)
+#   make race     - full test suite under the race detector
+#   make bench    - the paper's evaluation benchmarks
+#   make loadgen  - concurrent ingest throughput benchmarks (-cpu=4)
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench loadgen
+
+ci:
+	./scripts/ci.sh
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+loadgen:
+	$(GO) test -run xxx -bench 'ParallelIngest|ParallelCollect' -cpu 4 .

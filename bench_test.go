@@ -13,7 +13,9 @@ package encore
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"encore/internal/browser"
 	"encore/internal/censor"
 	"encore/internal/clientsim"
+	"encore/internal/collectserver"
 	"encore/internal/core"
 	"encore/internal/geo"
 	"encore/internal/inference"
@@ -598,6 +601,179 @@ func BenchmarkInfrastructureBlockingResilience(b *testing.B) {
 		b.ReportMetric(float64(rows[0].submissions), "submissions-single")
 		b.ReportMetric(float64(rows[1].submissions), "submissions-mirrored")
 		b.ReportMetric(float64(rows[2].submissions), "submissions-proxied")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E17 — ingest throughput: the sharded concurrent ingest path vs the seed's
+// single-mutex store. Run with -cpu=4 (or higher) to exercise contention:
+//
+//	go test -bench='ParallelIngest' -cpu=4 .
+// ---------------------------------------------------------------------------
+
+// singleMutexStore replicates the seed's original results store — one RWMutex
+// serializing every submission — and serves as the benchmark baseline the
+// sharded store is measured against.
+type singleMutexStore struct {
+	mu           sync.RWMutex
+	measurements []results.Measurement
+	byID         map[string]int
+}
+
+func (s *singleMutexStore) Add(m results.Measurement) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.byID[m.MeasurementID]; ok {
+		existing := s.measurements[idx]
+		if existing.Completed() && m.State == core.StateInit {
+			return nil
+		}
+		s.measurements[idx] = m
+		return nil
+	}
+	s.byID[m.MeasurementID] = len(s.measurements)
+	s.measurements = append(s.measurements, m)
+	return nil
+}
+
+func (s *singleMutexStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.measurements)
+}
+
+// benchWorkerSeq hands each RunParallel goroutine a distinct ID namespace.
+var benchWorkerSeq atomic.Uint64
+
+func benchMeasurement(worker uint64, i int) results.Measurement {
+	return results.Measurement{
+		MeasurementID: strconv.FormatUint(worker, 10) + "-" + strconv.Itoa(i),
+		PatternKey:    "domain:bench.com",
+		State:         core.StateSuccess,
+		Region:        "US",
+		ClientIP:      "11.0.0." + strconv.Itoa(i%200),
+	}
+}
+
+// BenchmarkParallelIngestSingleMutexBaseline measures concurrent submissions
+// into the seed's single-RWMutex store shape.
+func BenchmarkParallelIngestSingleMutexBaseline(b *testing.B) {
+	s := &singleMutexStore{byID: make(map[string]int)}
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			if err := s.Add(benchMeasurement(w, i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if s.Len() != b.N {
+		b.Fatalf("stored %d, want %d", s.Len(), b.N)
+	}
+}
+
+// BenchmarkParallelIngestShardedStore measures the same workload against the
+// sharded store.
+func BenchmarkParallelIngestShardedStore(b *testing.B) {
+	s := results.NewStore()
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			if err := s.Add(benchMeasurement(w, i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if s.Len() != b.N {
+		b.Fatalf("stored %d, want %d", s.Len(), b.N)
+	}
+}
+
+// benchCollector builds a collection server with an open-throttle abuse guard
+// for full-path ingest benchmarks.
+func benchCollector() (*collectserver.Server, *results.Store, *results.TaskIndex) {
+	g := geo.NewRegistry(17)
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	srv := collectserver.New(store, index, g)
+	srv.Guard = collectserver.NewAbuseGuard(collectserver.AbuseGuardConfig{
+		MaxSubmissionsPerWindow: 1 << 30, Window: time.Hour,
+	})
+	return srv, store, index
+}
+
+// BenchmarkParallelCollectServerAccept measures the full synchronous
+// submission path — task registration, validation, sharded abuse guard,
+// geolocation, sharded store — under concurrent clients.
+func BenchmarkParallelCollectServerAccept(b *testing.B) {
+	srv, _, index := benchCollector()
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		prefix := "c-" + strconv.FormatUint(w, 10) + "-"
+		ip := "11.0.1." + strconv.FormatUint(w%200, 10)
+		i := 0
+		for pb.Next() {
+			i++
+			id := prefix + strconv.Itoa(i)
+			index.Register(core.Task{
+				MeasurementID: id, Type: core.TaskImage,
+				TargetURL: "http://bench.com/favicon.ico", PatternKey: "domain:bench.com",
+			})
+			if err := srv.Accept(core.Submission{
+				MeasurementID: id, State: core.StateSuccess, ClientIP: ip,
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+}
+
+// BenchmarkParallelCollectServerAcceptAsync is the same workload with the
+// batched async ingest queue enabled; the drain is included in the timing.
+func BenchmarkParallelCollectServerAcceptAsync(b *testing.B) {
+	srv, store, index := benchCollector()
+	ingester := srv.EnableAsyncIngest(collectserver.DefaultIngestConfig())
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		prefix := "a-" + strconv.FormatUint(w, 10) + "-"
+		ip := "11.0.2." + strconv.FormatUint(w%200, 10)
+		i := 0
+		for pb.Next() {
+			i++
+			id := prefix + strconv.Itoa(i)
+			index.Register(core.Task{
+				MeasurementID: id, Type: core.TaskImage,
+				TargetURL: "http://bench.com/favicon.ico", PatternKey: "domain:bench.com",
+			})
+			if err := srv.Accept(core.Submission{
+				MeasurementID: id, State: core.StateSuccess, ClientIP: ip,
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	ingester.Close()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if store.Len() != b.N {
+		b.Fatalf("stored %d, want %d", store.Len(), b.N)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"encore/internal/censor"
 	"encore/internal/clientsim"
 	"encore/internal/inference"
+	"encore/internal/loadgen"
 	"encore/internal/targets"
 )
 
@@ -25,6 +26,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		outPath = flag.String("out", "", "optional path to write measurements (JSON lines)")
 		list    = flag.String("targets", "study", "target list: 'study' (YouTube/Twitter/Facebook) or 'herdict' (full high-value list, low-sensitivity entries only)")
+
+		loadgenMode    = flag.Bool("loadgen", false, "drive the campaign with concurrent clients and report ingest throughput")
+		loadgenClients = flag.Int("loadgen-clients", 8, "concurrent client streams in -loadgen mode")
+		loadgenSync    = flag.Bool("loadgen-sync", false, "disable the batched async ingest queue in -loadgen mode (for before/after comparisons)")
 	)
 	flag.Parse()
 
@@ -47,13 +52,30 @@ func main() {
 	fmt.Printf("pipeline: %s\n", stack.Report.Summary())
 	fmt.Printf("censorship ground truth:\n%s\n", stack.Censor.Summary())
 
-	start := time.Now()
-	campaign := stack.Population.RunCampaign(clientsim.CampaignConfig{
-		Visits:   *visits,
-		Start:    time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
-		Duration: 7 * 30 * 24 * time.Hour, // seven months, as in §7
-	})
-	fmt.Printf("campaign finished in %v: %s\n", time.Since(start).Round(time.Millisecond), campaign)
+	campaignStart := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+	campaignSpan := 7 * 30 * 24 * time.Hour // seven months, as in §7
+	if *loadgenMode {
+		clients := *loadgenClients
+		if clients < 1 {
+			clients = 1
+		}
+		res := loadgen.Run(stack, loadgen.Config{
+			Clients:           clients,
+			Visits:            *visits,
+			Start:             campaignStart,
+			SimulatedDuration: campaignSpan,
+			AsyncIngest:       !*loadgenSync,
+		})
+		fmt.Println(res)
+	} else {
+		start := time.Now()
+		campaign := stack.Population.RunCampaign(clientsim.CampaignConfig{
+			Visits:   *visits,
+			Start:    campaignStart,
+			Duration: campaignSpan,
+		})
+		fmt.Printf("campaign finished in %v: %s\n", time.Since(start).Round(time.Millisecond), campaign)
+	}
 
 	stats := stack.Store.Stats()
 	fmt.Printf("collected %d measurements from %d distinct IPs in %d countries\n",

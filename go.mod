@@ -1,0 +1,3 @@
+module encore
+
+go 1.21

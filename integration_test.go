@@ -144,6 +144,94 @@ func fetchBody(t *testing.T, url string, headers map[string]string) string {
 	return string(body)
 }
 
+// TestConcurrentIngestSoak runs a short measurement campaign with many
+// concurrent client streams submitting into one collection server with the
+// batched async ingest queue enabled — the §5.5 deployment shape — and then
+// audits the store for every invariant concurrency could have violated. Run
+// under -race (scripts/ci.sh does) this is the ingest path's soak test.
+func TestConcurrentIngestSoak(t *testing.T) {
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 271, Censor: censor.PaperPolicies()})
+	ingester := stack.Collector.EnableAsyncIngest(collectserver.IngestConfig{
+		Workers: 4, QueueSize: 256, BatchSize: 32,
+	})
+
+	const workers = 8
+	visits := 400
+	if testing.Short() {
+		visits = 120
+	}
+	res := stack.Population.RunCampaignConcurrent(clientsim.CampaignConfig{
+		Visits:   visits,
+		Start:    time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour,
+	}, workers)
+	ingester.Close()
+	stack.Collector.Ingest = nil
+
+	if res.Visits != visits {
+		t.Fatalf("campaign ran %d visits, want %d", res.Visits, visits)
+	}
+	if res.TasksSubmitted == 0 {
+		t.Fatal("no submissions survived the concurrent campaign")
+	}
+	st := ingester.Stats()
+	if st.StoreErrors != 0 {
+		t.Fatalf("ingest workers hit %d store errors", st.StoreErrors)
+	}
+	if st.Enqueued != st.Stored {
+		t.Fatalf("ingester enqueued %d but stored %d", st.Enqueued, st.Stored)
+	}
+
+	// Store invariants after concurrent ingest: consistent counters, no
+	// duplicate IDs, every record attributed and geolocated, terminal states
+	// retrievable.
+	all := stack.Store.All()
+	if len(all) != stack.Store.Len() {
+		t.Fatalf("All()=%d records but Len()=%d", len(all), stack.Store.Len())
+	}
+	seen := make(map[string]bool, len(all))
+	for _, m := range all {
+		if seen[m.MeasurementID] {
+			t.Fatalf("duplicate measurement ID %s", m.MeasurementID)
+		}
+		seen[m.MeasurementID] = true
+		if m.PatternKey == "" {
+			t.Fatalf("unattributed measurement: %+v", m)
+		}
+		if _, ok := stack.TaskIndex.Lookup(m.MeasurementID); !ok {
+			t.Fatalf("stored measurement %s has no registered task", m.MeasurementID)
+		}
+		got, ok := stack.Store.Get(m.MeasurementID)
+		if !ok || got.MeasurementID != m.MeasurementID {
+			t.Fatalf("Get(%s) lost a stored measurement", m.MeasurementID)
+		}
+	}
+	stats := stack.Store.Stats()
+	if stats.Measurements != len(all) {
+		t.Fatalf("Stats().Measurements=%d, want %d", stats.Measurements, len(all))
+	}
+	// The concurrently-collected store must still be analyzable: detection
+	// runs and aggregation conserves counts (Aggregate excludes controls).
+	nonControl := 0
+	for _, m := range all {
+		if !m.Control {
+			nonControl++
+		}
+	}
+	total := 0
+	for _, g := range results.Aggregate(all) {
+		if g.Successes+g.Failures+g.InitOnly != g.Total {
+			t.Fatalf("aggregation tallies inconsistent: %+v", g)
+		}
+		total += g.Total
+	}
+	if total != nonControl {
+		t.Fatalf("aggregation conserved %d measurements, want %d", total, nonControl)
+	}
+	detector := inference.New(inference.DefaultConfig())
+	_ = detector.DetectStore(stack.Store)
+}
+
 // TestLongitudinalOnsetEndToEnd changes the censor's policy halfway through a
 // simulated campaign (Turkey blocking twitter.com, as happened in March 2014)
 // and checks that windowed detection localizes the onset, demonstrating the

@@ -14,6 +14,7 @@ package clientsim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"encore/internal/browser"
@@ -106,6 +107,24 @@ func New(net *netsim.Network, g *geo.Registry, coord *coordserver.Server, collec
 		}))
 	}
 	return p
+}
+
+// Fork returns a Population that shares this population's network, geography,
+// infrastructure, and servers but draws from an independent RNG stream seeded
+// with seed. A Population is not safe for concurrent use (its RNG is
+// unsynchronized); concurrent load drivers give each worker goroutine its own
+// fork. The underlying servers and network simulator are concurrency-safe, so
+// forked populations hammer the same ingest path.
+func (p *Population) Fork(seed uint64) *Population {
+	return &Population{
+		Net:                p.Net,
+		Geo:                p.Geo,
+		Coordinator:        p.Coordinator,
+		Collector:          p.Collector,
+		Infra:              p.Infra,
+		rng:                stats.NewRNG(seed),
+		AbandonProbability: p.AbandonProbability,
+	}
 }
 
 // VisitOutcome summarizes one simulated origin-page visit.
@@ -294,6 +313,78 @@ func (p *Population) RunCampaign(cfg CampaignConfig) CampaignResult {
 		res.TasksAssigned += outcome.TasksAssigned
 		res.TasksSubmitted += outcome.TasksSubmitted
 	}
+	return res
+}
+
+// merge folds another campaign result into r.
+func (r *CampaignResult) merge(other CampaignResult) {
+	r.Visits += other.Visits
+	r.OriginUnreachable += other.OriginUnreachable
+	r.CoordinatorBlocked += other.CoordinatorBlocked
+	r.TasksAssigned += other.TasksAssigned
+	r.TasksSubmitted += other.TasksSubmitted
+	for region, n := range other.ByRegion {
+		r.ByRegion[region] += n
+	}
+}
+
+// RunCampaignConcurrent simulates a campaign with `workers` concurrent client
+// streams: the visit count is split across workers, each worker drives its
+// share through an independent RNG fork of this population, and all workers
+// submit into the same coordination and collection servers concurrently —
+// the load shape the sharded ingest path is built for. Each worker covers a
+// contiguous slice of the campaign's time range, so the union of workers
+// spans the same Start..Start+Duration interval as the sequential campaign.
+func (p *Population) RunCampaignConcurrent(cfg CampaignConfig, workers int) CampaignResult {
+	res := CampaignResult{ByRegion: make(map[geo.CountryCode]int)}
+	if cfg.Visits <= 0 {
+		return res
+	}
+	if workers <= 1 {
+		return p.RunCampaign(cfg)
+	}
+	if workers > cfg.Visits {
+		workers = cfg.Visits
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * 24 * time.Hour
+	}
+
+	share := cfg.Visits / workers
+	extra := cfg.Visits % workers
+	step := cfg.Duration / time.Duration(cfg.Visits)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		covered int
+	)
+	for w := 0; w < workers; w++ {
+		visits := share
+		if w < extra {
+			visits++
+		}
+		if visits == 0 {
+			continue
+		}
+		sub := CampaignConfig{
+			Visits:   visits,
+			Start:    cfg.Start.Add(time.Duration(covered) * step),
+			Duration: time.Duration(visits) * step,
+			Regions:  cfg.Regions,
+		}
+		covered += visits
+		fork := p.Fork(p.rng.Uint64())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			partial := fork.RunCampaign(sub)
+			mu.Lock()
+			res.merge(partial)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
 	return res
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"encore/internal/results"
 )
 
 // §8 notes that "attackers may attempt to submit poisoned measurement results
@@ -35,14 +37,33 @@ func DefaultAbuseGuardConfig() AbuseGuardConfig {
 	return AbuseGuardConfig{MaxSubmissionsPerWindow: 120, Window: time.Hour}
 }
 
+// guardShardCount is the number of lock shards for both the per-client rate
+// state and the per-measurement terminal state. Checks from different clients
+// (and for different measurements) hash to different shards and proceed in
+// parallel instead of serializing behind one guard-wide mutex.
+const guardShardCount = 16
+
+// rateShard holds the rate buckets for the client IPs that hash to it.
+type rateShard struct {
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+}
+
+// terminalShard holds the first-terminal-state records for the measurement
+// IDs that hash to it.
+type terminalShard struct {
+	mu     sync.Mutex
+	states map[string]string // measurement ID -> first terminal state seen
+}
+
 // AbuseGuard tracks per-client submission counts and per-measurement terminal
-// states. It is safe for concurrent use.
+// states. It is safe for concurrent use; rate and terminal state are each
+// sharded by key so unrelated clients never contend.
 type AbuseGuard struct {
 	cfg AbuseGuardConfig
 
-	mu       sync.Mutex
-	buckets  map[string]*rateBucket
-	terminal map[string]string // measurement ID -> first terminal state seen
+	rate     [guardShardCount]rateShard
+	terminal [guardShardCount]terminalShard
 }
 
 type rateBucket struct {
@@ -59,58 +80,80 @@ func NewAbuseGuard(cfg AbuseGuardConfig) *AbuseGuard {
 	if cfg.Window <= 0 {
 		cfg.Window = def.Window
 	}
-	return &AbuseGuard{
-		cfg:      cfg,
-		buckets:  make(map[string]*rateBucket),
-		terminal: make(map[string]string),
+	g := &AbuseGuard{cfg: cfg}
+	for i := range g.rate {
+		g.rate[i].buckets = make(map[string]*rateBucket)
 	}
+	for i := range g.terminal {
+		g.terminal[i].states = make(map[string]string)
+	}
+	return g
+}
+
+// guardShardIndex hashes a key to a shard index, sharing the store's shard
+// hash.
+func guardShardIndex(key string) int {
+	return int(results.ShardHash(key) % guardShardCount)
 }
 
 // Check decides whether a submission from clientIP for measurementID with the
 // given state (as a string; init states never conflict) should be accepted
 // now. A nil error means accept.
 func (g *AbuseGuard) Check(clientIP, measurementID, state string, now time.Time) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-
 	if clientIP != "" {
-		b, ok := g.buckets[clientIP]
+		sh := &g.rate[guardShardIndex(clientIP)]
+		sh.mu.Lock()
+		b, ok := sh.buckets[clientIP]
 		if !ok || now.Sub(b.windowStart) >= g.cfg.Window {
 			b = &rateBucket{windowStart: now}
-			g.buckets[clientIP] = b
+			sh.buckets[clientIP] = b
 		}
 		if b.count >= g.cfg.MaxSubmissionsPerWindow {
+			sh.mu.Unlock()
 			return ErrRateLimited
 		}
 		b.count++
+		sh.mu.Unlock()
 	}
 
 	if state == "success" || state == "failure" {
-		if prev, ok := g.terminal[measurementID]; ok && prev != state {
+		sh := &g.terminal[guardShardIndex(measurementID)]
+		sh.mu.Lock()
+		prev, ok := sh.states[measurementID]
+		if ok && prev != state {
+			sh.mu.Unlock()
 			return ErrConflictingData
 		}
-		g.terminal[measurementID] = state
+		sh.states[measurementID] = state
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // Prune discards rate buckets older than the window and caps memory for
-// long-running collectors. Terminal-state records for measurements received
-// before cutoff are dropped too.
+// long-running collectors.
 func (g *AbuseGuard) Prune(now time.Time) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for ip, b := range g.buckets {
-		if now.Sub(b.windowStart) >= g.cfg.Window {
-			delete(g.buckets, ip)
+	for i := range g.rate {
+		sh := &g.rate[i]
+		sh.mu.Lock()
+		for ip, b := range sh.buckets {
+			if now.Sub(b.windowStart) >= g.cfg.Window {
+				delete(sh.buckets, ip)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // TrackedClients reports how many client IPs currently have rate state, for
 // monitoring.
 func (g *AbuseGuard) TrackedClients() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.buckets)
+	total := 0
+	for i := range g.rate {
+		sh := &g.rate[i]
+		sh.mu.Lock()
+		total += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return total
 }

@@ -28,7 +28,10 @@ type Server struct {
 	Tasks *results.TaskIndex
 	Geo   *geo.Registry
 	// Now returns the current time; overridable for deterministic tests and
-	// simulations.
+	// simulations. Like the other configuration fields it must be set before
+	// the server starts handling requests: the handlers read it without
+	// synchronization, so mutating it concurrently with traffic is a data
+	// race.
 	Now func() time.Time
 	// AllowCrossOrigin controls whether CORS headers are emitted so AJAX
 	// submissions from any origin succeed; the paper's collector must
@@ -37,6 +40,12 @@ type Server struct {
 	// Guard applies the §8 anti-poisoning defences (rate limiting and
 	// conflicting-result rejection). Nil disables them.
 	Guard *AbuseGuard
+	// Ingest, when non-nil, routes accepted submissions through the batched
+	// async write queue instead of writing to Store inline, so the §5.5
+	// beacon response returns without waiting on store locks. Enable it with
+	// EnableAsyncIngest; stored counts become visible as workers drain the
+	// queue (Ingest.Close drains fully).
+	Ingest *Ingester
 }
 
 // New creates a collection server backed by the given store and task index.
@@ -103,26 +112,53 @@ var transparentGIF = []byte{
 	0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
 }
 
+// EnableAsyncIngest starts a batched async write queue and routes subsequent
+// Accept calls through it. Call before the server starts handling traffic.
+// The returned Ingester's Close drains the queue; callers that need every
+// accepted submission visible in the store (reports, shutdown) must close it
+// first.
+func (s *Server) EnableAsyncIngest(cfg IngestConfig) *Ingester {
+	s.Ingest = NewIngester(s.Store, cfg)
+	return s.Ingest
+}
+
 // Accept validates a submission and stores the resulting measurement. It is
 // the programmatic entry point used by the in-process client simulator; the
-// HTTP handler delegates to it.
+// HTTP handler delegates to it. Validation, attribution, and abuse checks run
+// synchronously (so callers observe rejections); with async ingest enabled
+// the store write itself is queued and a nil return means the submission was
+// accepted for storage.
 func (s *Server) Accept(sub core.Submission) error {
-	if err := sub.Validate(); err != nil {
+	m, err := s.prepare(sub)
+	if err != nil {
 		return err
+	}
+	if s.Ingest != nil {
+		return s.Ingest.Enqueue(m)
+	}
+	return s.Store.Add(m)
+}
+
+// prepare validates a submission, attributes it to its registered task,
+// applies the abuse guard, and geolocates the client, producing the
+// Measurement to store.
+func (s *Server) prepare(sub core.Submission) (results.Measurement, error) {
+	if err := sub.Validate(); err != nil {
+		return results.Measurement{}, err
 	}
 	task, known := s.Tasks.Lookup(sub.MeasurementID)
 	if !known {
 		// Unknown measurement IDs are most likely crawler noise or
 		// poisoning attempts (§8); reject them.
-		return fmt.Errorf("collectserver: unknown measurement id %q", sub.MeasurementID)
+		return results.Measurement{}, fmt.Errorf("collectserver: unknown measurement id %q", sub.MeasurementID)
+	}
+	received := sub.Received
+	if received.IsZero() {
+		received = s.Now()
 	}
 	if s.Guard != nil {
-		when := sub.Received
-		if when.IsZero() {
-			when = s.Now()
-		}
-		if err := s.Guard.Check(sub.ClientIP, sub.MeasurementID, string(sub.State), when); err != nil {
-			return err
+		if err := s.Guard.Check(sub.ClientIP, sub.MeasurementID, string(sub.State), received); err != nil {
+			return results.Measurement{}, err
 		}
 	}
 	region := geo.CountryCode("")
@@ -131,11 +167,7 @@ func (s *Server) Accept(sub core.Submission) error {
 			region = code
 		}
 	}
-	received := sub.Received
-	if received.IsZero() {
-		received = s.Now()
-	}
-	m := results.Measurement{
+	return results.Measurement{
 		MeasurementID:  sub.MeasurementID,
 		PatternKey:     task.PatternKey,
 		TargetURL:      task.TargetURL,
@@ -148,8 +180,7 @@ func (s *Server) Accept(sub core.Submission) error {
 		OriginSite:     sub.OriginSite,
 		Control:        task.Control,
 		Received:       received,
-	}
-	return s.Store.Add(m)
+	}, nil
 }
 
 // clientIP extracts the submitting client's address, honouring

@@ -1,0 +1,170 @@
+package collectserver
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"encore/internal/results"
+)
+
+// The §5.5 submission path must return the beacon response to the client's
+// browser as fast as possible: the client is mid-page-view and the response
+// is a 1x1 GIF nobody looks at. The Ingester decouples the HTTP handler from
+// store writes: handlers validate, attribute, and guard-check a submission
+// synchronously (so clients still see 400s for malformed or abusive
+// submissions), then enqueue the finished Measurement on a bounded channel.
+// A pool of workers drains the channel in batches and writes each batch to
+// the sharded store with one lock acquisition per touched shard.
+
+// ErrIngesterClosed is returned by Enqueue after Close has begun.
+var ErrIngesterClosed = errors.New("collectserver: ingester closed")
+
+// IngestConfig parameterizes the async ingest queue.
+type IngestConfig struct {
+	// Workers is the number of goroutines draining the queue.
+	Workers int
+	// QueueSize bounds the channel; when the queue is full, Enqueue blocks,
+	// propagating backpressure to the HTTP handler rather than buffering
+	// unboundedly.
+	QueueSize int
+	// BatchSize caps how many queued measurements one worker writes to the
+	// store per batch.
+	BatchSize int
+}
+
+// DefaultIngestConfig returns a configuration suitable for a multi-core
+// collector.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{Workers: 4, QueueSize: 4096, BatchSize: 64}
+}
+
+// IngestStats reports the ingester's lifetime counters.
+type IngestStats struct {
+	// Enqueued counts measurements accepted onto the queue.
+	Enqueued uint64
+	// Stored counts measurements written to the store.
+	Stored uint64
+	// StoreErrors counts individual measurements the store rejected as
+	// invalid (should be zero: submissions are validated before
+	// enqueueing). Rejected measurements never block valid ones batched
+	// alongside them.
+	StoreErrors uint64
+}
+
+// Ingester is a bounded, batched, asynchronous write queue in front of a
+// results.Store. It is safe for concurrent use.
+type Ingester struct {
+	store *results.Store
+	cfg   IngestConfig
+
+	ch chan results.Measurement
+	wg sync.WaitGroup
+
+	// mu guards closed: Enqueue holds the read lock across its channel send
+	// so Close (write lock) cannot close the channel mid-send.
+	mu     sync.RWMutex
+	closed bool
+
+	enqueued    atomic.Uint64
+	stored      atomic.Uint64
+	storeErrors atomic.Uint64
+}
+
+// NewIngester starts an ingest queue writing to store; zero config fields
+// fall back to defaults.
+func NewIngester(store *results.Store, cfg IngestConfig) *Ingester {
+	def := DefaultIngestConfig()
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = def.QueueSize
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = def.BatchSize
+	}
+	in := &Ingester{
+		store: store,
+		cfg:   cfg,
+		ch:    make(chan results.Measurement, cfg.QueueSize),
+	}
+	in.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go in.worker()
+	}
+	return in
+}
+
+// Enqueue queues one measurement for storage. It blocks while the queue is
+// full (backpressure) and returns ErrIngesterClosed once Close has begun.
+func (in *Ingester) Enqueue(m results.Measurement) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrIngesterClosed
+	}
+	in.ch <- m
+	in.enqueued.Add(1)
+	return nil
+}
+
+// worker drains the queue: it blocks for one measurement, then opportunistically
+// gathers up to BatchSize-1 more without blocking, and writes the batch.
+func (in *Ingester) worker() {
+	defer in.wg.Done()
+	batch := make([]results.Measurement, 0, in.cfg.BatchSize)
+	for {
+		m, ok := <-in.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], m)
+	fill:
+		for len(batch) < in.cfg.BatchSize {
+			select {
+			case m, ok := <-in.ch:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, m)
+			default:
+				break fill
+			}
+		}
+		stored, err := in.store.AddBatch(batch)
+		in.stored.Add(uint64(stored))
+		if err != nil {
+			// Unreachable in practice: submissions are validated before
+			// they are enqueued. AddBatch skips invalid members, so the
+			// shortfall is exactly the rejected count.
+			in.storeErrors.Add(uint64(len(batch) - stored))
+		}
+	}
+}
+
+// Close stops accepting new submissions, drains everything already queued,
+// and waits for the workers to finish. It is idempotent.
+func (in *Ingester) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	close(in.ch)
+	in.mu.Unlock()
+	in.wg.Wait()
+}
+
+// Stats returns the ingester's lifetime counters.
+func (in *Ingester) Stats() IngestStats {
+	return IngestStats{
+		Enqueued:    in.enqueued.Load(),
+		Stored:      in.stored.Load(),
+		StoreErrors: in.storeErrors.Load(),
+	}
+}
+
+// Pending reports how many measurements are queued but not yet written.
+func (in *Ingester) Pending() int { return len(in.ch) }

@@ -1,0 +1,204 @@
+package collectserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/results"
+)
+
+func testMeasurement(i int) results.Measurement {
+	return results.Measurement{
+		MeasurementID: fmt.Sprintf("m-%d", i),
+		PatternKey:    "domain:example.com",
+		State:         core.StateSuccess,
+		Region:        "US",
+		ClientIP:      fmt.Sprintf("11.0.0.%d", i%200),
+	}
+}
+
+// TestIngesterDrainsOnClose checks every enqueued measurement is in the store
+// after Close returns, and that Enqueue rejects submissions afterwards.
+func TestIngesterDrainsOnClose(t *testing.T) {
+	store := results.NewStore()
+	in := NewIngester(store, IngestConfig{Workers: 3, QueueSize: 64, BatchSize: 8})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := in.Enqueue(testMeasurement(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Close()
+	if store.Len() != n {
+		t.Fatalf("store has %d measurements after drain, want %d", store.Len(), n)
+	}
+	st := in.Stats()
+	if st.Enqueued != n || st.Stored != n || st.StoreErrors != 0 {
+		t.Fatalf("stats=%+v, want %d enqueued and stored", st, n)
+	}
+	if err := in.Enqueue(testMeasurement(0)); err != ErrIngesterClosed {
+		t.Fatalf("Enqueue after Close returned %v, want ErrIngesterClosed", err)
+	}
+	in.Close() // idempotent
+}
+
+// TestIngesterBackpressure fills a tiny queue from many concurrent producers;
+// blocked Enqueues must all complete once workers drain, with nothing lost.
+func TestIngesterBackpressure(t *testing.T) {
+	store := results.NewStore()
+	in := NewIngester(store, IngestConfig{Workers: 2, QueueSize: 4, BatchSize: 4})
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := in.Enqueue(testMeasurement(p*perProducer + i)); err != nil {
+					t.Errorf("Enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	in.Close()
+	if store.Len() != producers*perProducer {
+		t.Fatalf("store has %d measurements, want %d", store.Len(), producers*perProducer)
+	}
+}
+
+// TestServerAsyncIngestHTTP drives the HTTP submission path with the async
+// queue enabled: beacon responses return immediately, rejections stay
+// synchronous, and closing the ingester makes all accepted submissions
+// visible.
+func TestServerAsyncIngestHTTP(t *testing.T) {
+	g := geo.NewRegistry(1)
+	store := results.NewStore()
+	index := results.NewTaskIndex()
+	srv := New(store, index, g)
+	srv.Now = func() time.Time { return time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC) }
+	ingester := srv.EnableAsyncIngest(IngestConfig{Workers: 2, QueueSize: 16, BatchSize: 4})
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		index.Register(core.Task{
+			MeasurementID: fmt.Sprintf("m-%d", i),
+			Type:          core.TaskImage,
+			TargetURL:     "http://example.com/favicon.ico",
+			PatternKey:    "domain:example.com",
+		})
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < n; i++ {
+		url := SubmitURL(ts.URL, fmt.Sprintf("m-%d", i), core.StateSuccess, 120)
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// An unknown measurement ID must still be rejected synchronously.
+	resp, err := http.Get(SubmitURL(ts.URL, "bogus", core.StateSuccess, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown ID: status %d, want 400", resp.StatusCode)
+	}
+
+	ingester.Close()
+	if store.Len() != n {
+		t.Fatalf("store has %d measurements after drain, want %d", store.Len(), n)
+	}
+}
+
+// TestAbuseGuardConcurrent exercises the sharded guard from many goroutines:
+// per-client rate limits must hold exactly under concurrency, and for each
+// measurement at most one terminal state may ever be accepted.
+func TestAbuseGuardConcurrent(t *testing.T) {
+	const limit = 50
+	g := NewAbuseGuard(AbuseGuardConfig{MaxSubmissionsPerWindow: limit, Window: time.Hour})
+	now := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+
+	// Rate limiting: `workers` goroutines share one IP; exactly `limit`
+	// submissions may pass in total.
+	const workers, attempts = 8, 20
+	var accepted, limited int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				err := g.Check("11.0.0.1", fmt.Sprintf("rate-%d-%d", w, i), "init", now)
+				mu.Lock()
+				if err == nil {
+					accepted++
+				} else if err == ErrRateLimited {
+					limited++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if accepted != limit {
+		t.Fatalf("accepted %d submissions from one IP, want exactly %d", accepted, limit)
+	}
+	if limited != workers*attempts-limit {
+		t.Fatalf("limited %d, want %d", limited, workers*attempts-limit)
+	}
+
+	// Conflicting terminal states: goroutines race success vs failure for the
+	// same IDs from distinct IPs; for each ID only one state may win.
+	const ids = 100
+	acceptedStates := make([]map[string]bool, ids)
+	for i := range acceptedStates {
+		acceptedStates[i] = make(map[string]bool)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := "success"
+			if w%2 == 1 {
+				state = "failure"
+			}
+			ip := fmt.Sprintf("22.0.0.%d", w)
+			for i := 0; i < ids; i++ {
+				if err := g.Check(ip, fmt.Sprintf("conflict-%d", i), state, now); err == nil {
+					mu.Lock()
+					acceptedStates[i][state] = true
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, states := range acceptedStates {
+		if len(states) > 1 {
+			t.Fatalf("measurement conflict-%d accepted both terminal states", i)
+		}
+	}
+	if g.TrackedClients() == 0 {
+		t.Fatal("no rate state tracked")
+	}
+	g.Prune(now.Add(2 * time.Hour))
+	if g.TrackedClients() != 0 {
+		t.Fatalf("prune left %d clients tracked", g.TrackedClients())
+	}
+}

@@ -29,7 +29,8 @@ type Server struct {
 	Geo       *geo.Registry
 	// Snippet options tell generated tasks where to submit results.
 	Snippet core.SnippetOptions
-	// Now is overridable for tests and simulation.
+	// Now is overridable for tests and simulation. Set it before the server
+	// starts handling requests: handlers read it without synchronization.
 	Now func() time.Time
 	// DefaultDwellSeconds is assumed when the client gives no hint about
 	// how long it will stay on the origin page.
@@ -57,6 +58,12 @@ func New(sched *scheduler.Scheduler, tasks *results.TaskIndex, g *geo.Registry, 
 // TasksServed reports how many /task.js responses have been generated.
 func (s *Server) TasksServed() uint64 { return atomic.LoadUint64(&s.served) }
 
+// TasksAssigned reports how many individual measurement tasks have been
+// handed to clients; with several tasks per page view it exceeds TasksServed.
+// It delegates to the scheduler's atomic assignment counter, so monitoring
+// reads never contend with scheduling.
+func (s *Server) TasksAssigned() uint64 { return uint64(s.Scheduler.TotalAssignments()) }
+
 // ServeHTTP routes /task.js, /frame.html, and /healthz.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Access-Control-Allow-Origin", "*")
@@ -67,7 +74,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleFrame(w, r)
 	case strings.HasSuffix(r.URL.Path, "/healthz"):
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintf(w, "ok: %d task responses served\n", s.TasksServed())
+		fmt.Fprintf(w, "ok: %d task responses served, %d tasks assigned\n", s.TasksServed(), s.TasksAssigned())
 	default:
 		http.NotFound(w, r)
 	}

@@ -1,0 +1,124 @@
+// Package loadgen drives a full in-process Encore deployment — coordination
+// server, client simulator, and collection server — with K concurrent
+// simulated clients and reports the achieved ingest throughput. The paper's
+// collection server must absorb beacon submissions from clients mid-page-view
+// at deployment scale (§5.5, §8); loadgen is the harness that measures
+// whether the sharded stores, sharded abuse guard, and batched async ingest
+// queue actually deliver that headroom on a given machine.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"encore/internal/clientsim"
+	"encore/internal/collectserver"
+)
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// Clients is the number of concurrent simulated client streams (worker
+	// goroutines). Each stream forks the population's RNG and issues visits
+	// back-to-back.
+	Clients int
+	// Visits is the total number of origin-page visits across all streams;
+	// an uneven split is spread over the streams.
+	Visits int
+	// Start is the nominal campaign start time stamped on measurements.
+	Start time.Time
+	// SimulatedDuration is the campaign interval the visit timestamps span;
+	// it is simulation time, not wall-clock time.
+	SimulatedDuration time.Duration
+	// AsyncIngest enables the collector's batched async ingest queue for the
+	// run (the run drains the queue before reporting).
+	AsyncIngest bool
+	// Ingest configures the async queue when AsyncIngest is set; zero fields
+	// fall back to collectserver defaults.
+	Ingest collectserver.IngestConfig
+}
+
+// DefaultConfig returns a short, CI-sized load run.
+func DefaultConfig() Config {
+	return Config{
+		Clients:           8,
+		Visits:            2000,
+		Start:             time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		SimulatedDuration: 24 * time.Hour,
+		AsyncIngest:       true,
+	}
+}
+
+// Result reports what a load run achieved.
+type Result struct {
+	Clients        int
+	Visits         int
+	TasksAssigned  int
+	TasksSubmitted int
+	// Stored is the collection store's record count after the run (init
+	// records upgraded in place, so Stored <= TasksSubmitted + inits).
+	Stored int
+	// Elapsed is the wall-clock time of the concurrent drive, including the
+	// async queue drain.
+	Elapsed time.Duration
+	// SubmissionsPerSec is TasksSubmitted / Elapsed — the headline ingest
+	// throughput.
+	SubmissionsPerSec float64
+	// AssignmentsPerSec is TasksAssigned / Elapsed, the coordination-side
+	// throughput of the same run.
+	AssignmentsPerSec float64
+}
+
+// String renders the result as a one-line report.
+func (r Result) String() string {
+	return fmt.Sprintf("loadgen: %d clients, %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
+		r.Clients, r.Visits, r.TasksAssigned, r.TasksSubmitted, r.Stored,
+		r.Elapsed.Round(time.Millisecond), r.SubmissionsPerSec, r.AssignmentsPerSec)
+}
+
+// Run drives the stack's population with cfg.Clients concurrent streams and
+// reports throughput. Measurements accumulate in the stack's store; when
+// AsyncIngest is set the collector's queue is enabled for the run and fully
+// drained (and disabled again) before Run returns, so the store is complete
+// for any analysis that follows.
+func Run(stack *clientsim.Stack, cfg Config) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Visits <= 0 {
+		cfg.Visits = cfg.Clients
+	}
+	if cfg.SimulatedDuration <= 0 {
+		cfg.SimulatedDuration = 24 * time.Hour
+	}
+
+	var ingester *collectserver.Ingester
+	if cfg.AsyncIngest {
+		ingester = stack.Collector.EnableAsyncIngest(cfg.Ingest)
+	}
+
+	started := time.Now()
+	campaign := stack.Population.RunCampaignConcurrent(clientsim.CampaignConfig{
+		Visits:   cfg.Visits,
+		Start:    cfg.Start,
+		Duration: cfg.SimulatedDuration,
+	}, cfg.Clients)
+	if ingester != nil {
+		ingester.Close()
+		stack.Collector.Ingest = nil
+	}
+	elapsed := time.Since(started)
+
+	res := Result{
+		Clients:        cfg.Clients,
+		Visits:         campaign.Visits,
+		TasksAssigned:  campaign.TasksAssigned,
+		TasksSubmitted: campaign.TasksSubmitted,
+		Stored:         stack.Store.Len(),
+		Elapsed:        elapsed,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.SubmissionsPerSec = float64(campaign.TasksSubmitted) / secs
+		res.AssignmentsPerSec = float64(campaign.TasksAssigned) / secs
+	}
+	return res
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"encore/internal/censor"
+	"encore/internal/clientsim"
+)
+
+// TestRunDrivesConcurrentClients runs a small concurrent load campaign through
+// the full stack and checks the throughput accounting is consistent with what
+// the store actually absorbed.
+func TestRunDrivesConcurrentClients(t *testing.T) {
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 9, Censor: censor.PaperPolicies()})
+	cfg := Config{
+		Clients:           4,
+		Visits:            160,
+		Start:             time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		SimulatedDuration: time.Hour,
+		AsyncIngest:       true,
+	}
+	res := Run(stack, cfg)
+
+	if res.Visits != 160 {
+		t.Fatalf("Visits=%d, want 160", res.Visits)
+	}
+	if res.TasksSubmitted == 0 {
+		t.Fatal("no submissions made it through the stack")
+	}
+	if res.SubmissionsPerSec <= 0 {
+		t.Fatalf("SubmissionsPerSec=%v", res.SubmissionsPerSec)
+	}
+	// Every submitted terminal result must be in the store (init records for
+	// the same measurement upgrade in place rather than adding records).
+	if res.Stored < res.TasksSubmitted {
+		t.Fatalf("store has %d records, fewer than %d submissions", res.Stored, res.TasksSubmitted)
+	}
+	if res.Stored != stack.Store.Len() {
+		t.Fatalf("Stored=%d disagrees with store Len=%d", res.Stored, stack.Store.Len())
+	}
+	// The async queue must have been drained and disabled.
+	if stack.Collector.Ingest != nil {
+		t.Fatal("Run left the async ingester enabled")
+	}
+	if s := res.String(); !strings.Contains(s, "submissions/s") {
+		t.Fatalf("report missing throughput: %s", s)
+	}
+}
+
+// TestRunSyncPath exercises the synchronous (no queue) path for comparison
+// runs.
+func TestRunSyncPath(t *testing.T) {
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 10})
+	// An uneven total must be spread across the streams and run exactly.
+	res := Run(stack, Config{Clients: 3, Visits: 41, AsyncIngest: false})
+	if res.Visits != 41 {
+		t.Fatalf("Visits=%d, want 41", res.Visits)
+	}
+	if res.Stored != stack.Store.Len() {
+		t.Fatalf("Stored=%d disagrees with store Len=%d", res.Stored, stack.Store.Len())
+	}
+}

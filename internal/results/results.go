@@ -6,13 +6,9 @@
 package results
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
-	"sync"
 	"time"
 
 	"encore/internal/core"
@@ -71,150 +67,6 @@ func (m Measurement) Validate() error {
 		return fmt.Errorf("results: invalid state %q", m.State)
 	}
 	return nil
-}
-
-// Store is an in-memory, concurrency-safe measurement store with JSON-lines
-// import/export. It preserves insertion order.
-type Store struct {
-	mu           sync.RWMutex
-	measurements []Measurement
-	byID         map[string]int
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{byID: make(map[string]int)}
-}
-
-// Add appends a measurement. If a measurement with the same ID already
-// exists, the terminal state wins over init (clients submit init first and a
-// terminal state later); otherwise the later record replaces the earlier one.
-func (s *Store) Add(m Measurement) error {
-	if err := m.Validate(); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if idx, ok := s.byID[m.MeasurementID]; ok {
-		existing := s.measurements[idx]
-		if existing.Completed() && m.State == core.StateInit {
-			return nil // never downgrade a terminal state
-		}
-		s.measurements[idx] = m
-		return nil
-	}
-	s.byID[m.MeasurementID] = len(s.measurements)
-	s.measurements = append(s.measurements, m)
-	return nil
-}
-
-// Len returns the number of stored measurements.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.measurements)
-}
-
-// All returns a copy of every measurement.
-func (s *Store) All() []Measurement {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]Measurement(nil), s.measurements...)
-}
-
-// Get returns the measurement with the given ID.
-func (s *Store) Get(id string) (Measurement, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	idx, ok := s.byID[id]
-	if !ok {
-		return Measurement{}, false
-	}
-	return s.measurements[idx], true
-}
-
-// Filter returns measurements matching pred, preserving order.
-func (s *Store) Filter(pred func(Measurement) bool) []Measurement {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []Measurement
-	for _, m := range s.measurements {
-		if pred(m) {
-			out = append(out, m)
-		}
-	}
-	return out
-}
-
-// DistinctClients returns the number of distinct client IPs.
-func (s *Store) DistinctClients() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[string]bool)
-	for _, m := range s.measurements {
-		if m.ClientIP != "" {
-			seen[m.ClientIP] = true
-		}
-	}
-	return len(seen)
-}
-
-// DistinctRegions returns the number of distinct regions reporting at least
-// one measurement.
-func (s *Store) DistinctRegions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := make(map[geo.CountryCode]bool)
-	for _, m := range s.measurements {
-		if m.Region != "" {
-			seen[m.Region] = true
-		}
-	}
-	return len(seen)
-}
-
-// CountByRegion returns the number of measurements per region.
-func (s *Store) CountByRegion() map[geo.CountryCode]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[geo.CountryCode]int)
-	for _, m := range s.measurements {
-		out[m.Region]++
-	}
-	return out
-}
-
-// WriteJSONL serializes the store as JSON lines.
-func (s *Store) WriteJSONL(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	enc := json.NewEncoder(w)
-	for _, m := range s.measurements {
-		if err := enc.Encode(m); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// ReadJSONL loads measurements from JSON lines, appending to the store.
-func (s *Store) ReadJSONL(r io.Reader) error {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var m Measurement
-		if err := json.Unmarshal(line, &m); err != nil {
-			return fmt.Errorf("results: decoding line: %w", err)
-		}
-		if err := s.Add(m); err != nil {
-			return err
-		}
-	}
-	return scanner.Err()
 }
 
 // GroupKey identifies one aggregation cell: a pattern measured from a region.
@@ -295,16 +147,6 @@ type CampaignStats struct {
 	DistinctClients int
 	Countries       int
 	ByCountry       map[geo.CountryCode]int
-}
-
-// Stats computes campaign statistics over the whole store.
-func (s *Store) Stats() CampaignStats {
-	return CampaignStats{
-		Measurements:    s.Len(),
-		DistinctClients: s.DistinctClients(),
-		Countries:       s.DistinctRegions(),
-		ByCountry:       s.CountByRegion(),
-	}
 }
 
 // TopCountries returns the n countries with the most measurements, sorted by

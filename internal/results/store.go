@@ -1,0 +1,331 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+)
+
+// defaultShardCount is the number of lock shards a Store uses. Submissions
+// hash by measurement ID, so concurrent writers from many clients land on
+// different shards and never serialize behind a single store-wide mutex the
+// way the original single-RWMutex store did.
+const defaultShardCount = 32
+
+// storeEntry is one stored measurement together with its global insertion
+// sequence number, which lets snapshot operations reconstruct insertion order
+// across shards.
+type storeEntry struct {
+	seq uint64
+	m   Measurement
+}
+
+// storeShard holds the measurements whose IDs hash to it.
+type storeShard struct {
+	mu      sync.RWMutex
+	byID    map[string]int // measurement ID -> index into entries
+	entries []storeEntry
+}
+
+// Store is an in-memory, concurrency-safe measurement store with JSON-lines
+// import/export. Internally it is sharded by measurement ID: each shard has
+// its own lock, so concurrent Add/Get calls for different measurements do not
+// contend. Observably it preserves insertion order: All, Filter, and
+// WriteJSONL return measurements in the order they were first added (the
+// order is that of first insertion even when a record is later upgraded to a
+// terminal state). Concurrent Adds have no defined relative order, but each
+// lands at a unique position.
+type Store struct {
+	shards []storeShard
+	mask   uint32
+	// count is the number of live records; seq hands out insertion sequence
+	// numbers. Both are atomics so Len and ordering never take shard locks.
+	count atomic.Int64
+	seq   atomic.Uint64
+}
+
+// NewStore returns an empty store with the default shard count.
+func NewStore() *Store { return NewStoreWithShards(defaultShardCount) }
+
+// NewStoreWithShards returns an empty store with n lock shards (rounded up to
+// a power of two; n < 1 means the default).
+func NewStoreWithShards(n int) *Store {
+	if n < 1 {
+		n = defaultShardCount
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]storeShard, size), mask: uint32(size - 1)}
+	for i := range s.shards {
+		s.shards[i].byID = make(map[string]int)
+	}
+	return s
+}
+
+// ShardHash returns the FNV-1a hash of key used to pick lock shards. It is
+// exported so the other sharded ingest components (collectserver's
+// AbuseGuard) share one shard-distribution implementation.
+func ShardHash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor hashes a measurement ID to its shard.
+func (s *Store) shardFor(id string) *storeShard {
+	return &s.shards[ShardHash(id)&s.mask]
+}
+
+// Add appends a measurement. If a measurement with the same ID already
+// exists, the terminal state wins over init (clients submit init first and a
+// terminal state later); otherwise the later record replaces the earlier one
+// in place, keeping its original position in insertion order.
+func (s *Store) Add(m Measurement) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	sh := s.shardFor(m.MeasurementID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.addLocked(sh, m)
+	return nil
+}
+
+// addLocked inserts or upgrades one measurement; sh.mu must be held.
+func (s *Store) addLocked(sh *storeShard, m Measurement) {
+	if idx, ok := sh.byID[m.MeasurementID]; ok {
+		if sh.entries[idx].m.Completed() && m.State == core.StateInit {
+			return // never downgrade a terminal state
+		}
+		sh.entries[idx].m = m
+		return
+	}
+	sh.byID[m.MeasurementID] = len(sh.entries)
+	sh.entries = append(sh.entries, storeEntry{seq: s.seq.Add(1), m: m})
+	s.count.Add(1)
+}
+
+// AddBatch stores a batch of measurements, taking each shard lock at most
+// once. Invalid measurements are skipped — a poisoned batch member must not
+// discard well-formed submissions queued alongside it — and the first
+// validation error is returned alongside the number of measurements stored.
+func (s *Store) AddBatch(ms []Measurement) (int, error) {
+	var firstErr error
+	valid := ms
+	for i := range ms {
+		if err := ms[i].Validate(); err != nil {
+			if firstErr == nil {
+				// First invalid member: switch to a filtered copy.
+				firstErr = err
+				valid = append(make([]Measurement, 0, len(ms)-1), ms[:i]...)
+			}
+			continue
+		}
+		if firstErr != nil {
+			valid = append(valid, ms[i])
+		}
+	}
+	s.addBatchValidated(valid)
+	return len(valid), firstErr
+}
+
+// addBatchValidated groups pre-validated measurements by shard and inserts
+// each group under a single lock acquisition.
+func (s *Store) addBatchValidated(ms []Measurement) {
+	if len(ms) == 0 {
+		return
+	}
+	byShard := make(map[*storeShard][]Measurement)
+	for _, m := range ms {
+		sh := s.shardFor(m.MeasurementID)
+		byShard[sh] = append(byShard[sh], m)
+	}
+	for sh, group := range byShard {
+		sh.mu.Lock()
+		for _, m := range group {
+			s.addLocked(sh, m)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of stored measurements. It reads an atomic counter
+// and never blocks behind writers.
+func (s *Store) Len() int { return int(s.count.Load()) }
+
+// snapshot collects every entry across shards and sorts by insertion
+// sequence. Each shard is read-locked independently; the result is a
+// consistent snapshot per shard (entries added concurrently with the
+// snapshot may or may not appear).
+func (s *Store) snapshot() []storeEntry {
+	out := make([]storeEntry, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.entries...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// All returns a copy of every measurement in insertion order. The returned
+// slice is owned by the caller and safe to mutate concurrently with further
+// store writes: Measurement holds no shared references.
+func (s *Store) All() []Measurement {
+	entries := s.snapshot()
+	out := make([]Measurement, len(entries))
+	for i, e := range entries {
+		out[i] = e.m
+	}
+	return out
+}
+
+// Get returns the measurement with the given ID.
+func (s *Store) Get(id string) (Measurement, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	idx, ok := sh.byID[id]
+	if !ok {
+		return Measurement{}, false
+	}
+	return sh.entries[idx].m, true
+}
+
+// Filter returns measurements matching pred, preserving insertion order. Like
+// All, the result is a defensive copy safe for concurrent mutation.
+func (s *Store) Filter(pred func(Measurement) bool) []Measurement {
+	var out []Measurement
+	for _, e := range s.snapshot() {
+		if pred(e.m) {
+			out = append(out, e.m)
+		}
+	}
+	return out
+}
+
+// DistinctClients returns the number of distinct client IPs.
+func (s *Store) DistinctClients() int {
+	seen := make(map[string]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if e.m.ClientIP != "" {
+				seen[e.m.ClientIP] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return len(seen)
+}
+
+// DistinctRegions returns the number of distinct regions reporting at least
+// one measurement.
+func (s *Store) DistinctRegions() int {
+	seen := make(map[geo.CountryCode]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if e.m.Region != "" {
+				seen[e.m.Region] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return len(seen)
+}
+
+// CountByRegion returns the number of measurements per region.
+func (s *Store) CountByRegion() map[geo.CountryCode]int {
+	out := make(map[geo.CountryCode]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out[e.m.Region]++
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// WriteJSONL serializes the store as JSON lines in insertion order.
+func (s *Store) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range s.snapshot() {
+		if err := enc.Encode(e.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL loads measurements from JSON lines, appending to the store.
+func (s *Store) ReadJSONL(r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Measurement
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("results: decoding line: %w", err)
+		}
+		if err := s.Add(m); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+// Stats computes campaign statistics over one consistent snapshot of the
+// store, so the totals and per-country counts agree with each other even when
+// writers are running concurrently.
+func (s *Store) Stats() CampaignStats {
+	clients := make(map[string]bool)
+	regions := make(map[geo.CountryCode]bool)
+	byCountry := make(map[geo.CountryCode]int)
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			total++
+			if e.m.ClientIP != "" {
+				clients[e.m.ClientIP] = true
+			}
+			if e.m.Region != "" {
+				regions[e.m.Region] = true
+			}
+			byCountry[e.m.Region]++
+		}
+		sh.mu.RUnlock()
+	}
+	return CampaignStats{
+		Measurements:    total,
+		DistinctClients: len(clients),
+		Countries:       len(regions),
+		ByCountry:       byCountry,
+	}
+}

@@ -12,6 +12,7 @@ package scheduler
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encore/internal/core"
@@ -62,9 +63,16 @@ func DefaultConfig() Config {
 }
 
 // Scheduler assigns measurement tasks to clients. It is safe for concurrent
-// use.
+// use. Measurement IDs are minted from an atomic counter and the total
+// assignment count is an atomic, so ID generation and monitoring reads never
+// contend with the scheduling mutex that guards focus rotation and coverage
+// balancing.
 type Scheduler struct {
 	cfg Config
+
+	// nextID and totalAssigned are updated atomically, outside mu.
+	nextID        atomic.Uint64
+	totalAssigned atomic.Int64
 
 	mu           sync.Mutex
 	rng          *stats.RNG
@@ -73,7 +81,6 @@ type Scheduler struct {
 	patternKeys  []string
 	focusIndex   int
 	focusSince   time.Time
-	nextID       uint64
 	// assignedPerRegion tracks how many assignments each (pattern, region)
 	// cell has received, used to balance coverage.
 	assignedPerRegion map[string]map[geo.CountryCode]int
@@ -109,10 +116,22 @@ func (s *Scheduler) SetControlTasks(control *pipeline.TaskSet, fraction float64)
 	s.cfg.ControlFraction = fraction
 }
 
-// newMeasurementID mints a unique measurement identifier.
+// newMeasurementID mints a unique measurement identifier. It is lock-free:
+// the sequence number comes from an atomic counter and the suffix is a
+// splitmix64 hash of the sequence and seed (deterministic for a given seed,
+// like the seed RNG suffix was, but mintable without holding the scheduling
+// mutex).
 func (s *Scheduler) newMeasurementID() string {
-	s.nextID++
-	return fmt.Sprintf("m-%08d-%04x", s.nextID, s.rng.Uint64()&0xffff)
+	n := s.nextID.Add(1)
+	return fmt.Sprintf("m-%08d-%04x", n, splitmix64(n^(s.cfg.Seed<<17))&0xffff)
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive ID suffixes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // focusPattern returns the pattern key currently receiving concentrated
@@ -253,6 +272,7 @@ func (s *Scheduler) recordAssignment(pattern string, region geo.CountryCode) {
 		s.assignedPerRegion[pattern] = make(map[geo.CountryCode]int)
 	}
 	s.assignedPerRegion[pattern][region]++
+	s.totalAssigned.Add(1)
 }
 
 // Assignments returns how many tasks have been assigned for a pattern from a
@@ -263,17 +283,11 @@ func (s *Scheduler) Assignments(pattern string, region geo.CountryCode) int {
 	return s.assignedPerRegion[pattern][region]
 }
 
-// TotalAssignments returns the total number of tasks assigned so far.
+// TotalAssignments returns the total number of tasks assigned so far. It
+// reads an atomic counter and never takes the scheduling mutex, so monitoring
+// endpoints can poll it under load.
 func (s *Scheduler) TotalAssignments() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	for _, regions := range s.assignedPerRegion {
-		for _, n := range regions {
-			total += n
-		}
-	}
-	return total
+	return int(s.totalAssigned.Load())
 }
 
 // sortByCoverage orders pattern keys by ascending assignment count from the

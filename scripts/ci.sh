@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI gate for the Encore reproduction: formatting, vet, build, and the full
+# test suite (including the concurrent ingest soak test) under the race
+# detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
