@@ -1,14 +1,16 @@
 # Development and CI entry points for the Encore reproduction.
 #
-#   make ci       - everything CI runs: format check, vet, build, race tests
-#   make test     - fast test run (no race detector)
-#   make race     - full test suite under the race detector
-#   make bench    - the paper's evaluation benchmarks
-#   make loadgen  - concurrent ingest throughput benchmarks (-cpu=4)
+#   make ci          - everything CI runs: format check, vet, build, race tests
+#   make test        - fast test run (no race detector)
+#   make race        - full test suite under the race detector
+#   make bench       - aggregation-tier (E18) + ingest (E17) benchmarks,
+#                      recorded as BENCH_aggregate.json via scripts/bench.sh
+#   make bench-paper - the paper's full evaluation benchmark suite
+#   make loadgen     - concurrent ingest throughput benchmarks (-cpu=4)
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench loadgen
+.PHONY: ci fmt vet build test race bench bench-paper loadgen
 
 ci:
 	./scripts/ci.sh
@@ -29,6 +31,9 @@ race:
 	$(GO) test -race ./...
 
 bench:
+	./scripts/bench.sh
+
+bench-paper:
 	$(GO) test -bench=. -benchmem .
 
 loadgen:

@@ -777,6 +777,181 @@ func BenchmarkParallelCollectServerAcceptAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelIngestShardedStoreWithAggregator is the sharded-store
+// ingest workload with the incremental aggregation tier attached as the
+// store's commit observer — the per-submission cost of keeping the analysis
+// tier current at the point of arrival (E18).
+func BenchmarkParallelIngestShardedStoreWithAggregator(b *testing.B) {
+	s := results.NewStore()
+	agg := results.NewAggregator(results.AggregatorConfig{Window: 24 * time.Hour})
+	s.SetObserver(agg)
+	base := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			m := benchMeasurement(w, i)
+			m.Received = base.Add(time.Duration(i%1440) * time.Minute)
+			if err := s.Add(m); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if s.Len() != b.N {
+		b.Fatalf("stored %d, want %d", s.Len(), b.N)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E18 — the incremental aggregation tier: detection cost vs store size.
+//
+// DetectStore rescans (and defensively copies) the whole store every pass,
+// so its latency grows linearly with stored measurements; DetectIncremental
+// reads the group counters the collector maintained at ingest and recomputes
+// only dirtied patterns, so its latency tracks the number of groups — which
+// is fixed here — no matter how many measurements built them. scripts/bench.sh
+// records both trajectories in BENCH_aggregate.json.
+// ---------------------------------------------------------------------------
+
+// detectionBenchSizes are the store sizes the batch-vs-incremental crossover
+// is measured at.
+var detectionBenchSizes = []int{10_000, 100_000, 1_000_000}
+
+type detectionFixture struct {
+	store *results.Store
+	agg   *results.Aggregator
+}
+
+var (
+	detectionFixtureMu sync.Mutex
+	detectionFixtures  = map[int]*detectionFixture{}
+)
+
+// detectionStore builds, once per size, a store of n measurements spread over
+// a fixed 40-pattern × 25-region grid (1000 groups) with the incremental
+// aggregation tier attached, so every size measures the same group cardinality
+// and only the measurement count varies.
+func detectionStore(b *testing.B, n int) *detectionFixture {
+	b.Helper()
+	detectionFixtureMu.Lock()
+	defer detectionFixtureMu.Unlock()
+	if f, ok := detectionFixtures[n]; ok {
+		return f
+	}
+	store := results.NewStore()
+	agg := results.NewAggregator(results.AggregatorConfig{Window: 24 * time.Hour})
+	store.SetObserver(agg)
+	base := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+	const batchSize = 4096
+	batch := make([]results.Measurement, 0, batchSize)
+	for i := 0; i < n; i++ {
+		state := core.StateSuccess
+		switch i % 10 {
+		case 0:
+			state = core.StateInit
+		case 1, 2:
+			state = core.StateFailure
+		}
+		batch = append(batch, results.Measurement{
+			MeasurementID: "e18-" + strconv.Itoa(i),
+			PatternKey:    "domain:site" + strconv.Itoa(i%40) + ".com",
+			State:         state,
+			Region:        geo.CountryCode("R" + strconv.Itoa((i/40)%25)),
+			ClientIP:      "11.0.0." + strconv.Itoa(i%200),
+			Browser:       core.BrowserChrome,
+			Received:      base.Add(time.Duration(i%100000) * time.Second),
+		})
+		if len(batch) == batchSize || i == n-1 {
+			if _, err := store.AddBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	f := &detectionFixture{store: store, agg: agg}
+	detectionFixtures[n] = f
+	return f
+}
+
+// BenchmarkDetectionBatchRescan measures the O(store) path: every pass copies
+// the whole store and re-aggregates from scratch.
+func BenchmarkDetectionBatchRescan(b *testing.B) {
+	for _, n := range detectionBenchSizes {
+		b.Run(fmt.Sprintf("store=%d", n), func(b *testing.B) {
+			f := detectionStore(b, n)
+			detector := inference.New(inference.DefaultConfig())
+			var verdicts []inference.Verdict
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				verdicts = detector.DetectStore(f.store)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(verdicts)), "groups")
+			b.ReportMetric(float64(f.store.Len()), "stored")
+		})
+	}
+}
+
+// BenchmarkDetectionIncremental measures the O(groups) path under its
+// steady-state workload: each iteration commits one in-place upgrade
+// (dirtying exactly one group) and recomputes verdicts incrementally. The
+// store size stays constant across iterations — the dirtying commit replaces
+// the same measurement — so the reported latency is the per-pass detection
+// cost at that store size.
+func BenchmarkDetectionIncremental(b *testing.B) {
+	for _, n := range detectionBenchSizes {
+		b.Run(fmt.Sprintf("store=%d", n), func(b *testing.B) {
+			f := detectionStore(b, n)
+			detector := inference.New(inference.DefaultConfig())
+			detector.DetectIncremental(f.agg) // prime the verdict cache
+			dirty := results.Measurement{
+				MeasurementID: "e18-dirty",
+				PatternKey:    "domain:site0.com",
+				Region:        "R0",
+				Browser:       core.BrowserChrome,
+			}
+			var verdicts []inference.Verdict
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dirty.State = core.StateSuccess
+				if i%2 == 1 {
+					dirty.State = core.StateFailure
+				}
+				if err := f.store.Add(dirty); err != nil {
+					b.Fatal(err)
+				}
+				verdicts = detector.DetectIncremental(f.agg)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(verdicts)), "groups")
+			b.ReportMetric(float64(f.store.Len()), "stored")
+		})
+	}
+}
+
+// BenchmarkAggregatorBackfill measures the parallel shard-fanout cold start:
+// folding an existing store into a fresh aggregator.
+func BenchmarkAggregatorBackfill(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("store=%d", n), func(b *testing.B) {
+			f := detectionStore(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg := results.NewAggregator(results.AggregatorConfig{Window: 24 * time.Hour})
+				if folded := agg.Backfill(f.store); folded != f.store.Len() {
+					b.Fatalf("backfilled %d, want %d", folded, f.store.Len())
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(f.store.Len())/b.Elapsed().Seconds()*float64(b.N), "measurements/s")
+		})
+	}
+}
+
 // BenchmarkAblationSchedulingQuorum varies the scheduler's quorum window and
 // reports how concentrated measurements of a single pattern become within a
 // 60-second analysis window — the property §5.3 argues enables cross-region

@@ -38,6 +38,19 @@ func main() {
 		log.Fatalf("reading measurements: %v", err)
 	}
 
+	// Cold start for the incremental analysis tier: fold the loaded store
+	// into an aggregator with one parallel pass (per store shard), then run
+	// detection over the finished group counters. Skipped when nothing will
+	// read the aggregator (-tuned detection without a -window).
+	var agg *results.Aggregator
+	if !*tuned || *window > 0 {
+		agg = results.NewAggregator(results.AggregatorConfig{Window: *window})
+		backfillStart := time.Now()
+		backfilled := agg.Backfill(store)
+		fmt.Printf("backfilled %d stored measurements into %d non-control groups in %v\n",
+			backfilled, agg.GroupCount(), time.Since(backfillStart).Round(time.Millisecond))
+	}
+
 	campaign := store.Stats()
 	fmt.Printf("loaded %d measurements from %d distinct clients in %d countries\n",
 		campaign.Measurements, campaign.DistinctClients, campaign.Countries)
@@ -54,7 +67,7 @@ func main() {
 	if *tuned {
 		verdicts = inference.NewTuned(cfg, store, 0.9).DetectStore(store)
 	} else {
-		verdicts = detector.DetectStore(store)
+		verdicts = detector.DetectIncremental(agg)
 	}
 	fmt.Println()
 	fmt.Print(inference.Report(verdicts))
@@ -66,8 +79,8 @@ func main() {
 	}
 
 	if *window > 0 {
-		fmt.Printf("\nwindowed detection (%v windows):\n", *window)
-		windows := detector.DetectWindows(store, *window)
+		fmt.Printf("\nwindowed detection (%v windows, grid anchored at the Unix epoch):\n", *window)
+		windows := detector.DetectWindowsAggregated(agg, *window)
 		fmt.Print(inference.TimelineReport(windows, *minMeas))
 	}
 

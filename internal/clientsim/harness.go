@@ -23,15 +23,21 @@ import (
 // Examples, benchmarks, and integration tests build a Stack instead of wiring
 // the dozen components by hand.
 type Stack struct {
-	Web         *webgen.Web
-	Geo         *geo.Registry
-	Censor      *censor.Engine
-	Net         *netsim.Network
-	Pipeline    *pipeline.Pipeline
-	Report      *pipeline.Report
-	Scheduler   *scheduler.Scheduler
-	TaskIndex   *results.TaskIndex
-	Store       *results.Store
+	Web       *webgen.Web
+	Geo       *geo.Registry
+	Censor    *censor.Engine
+	Net       *netsim.Network
+	Pipeline  *pipeline.Pipeline
+	Report    *pipeline.Report
+	Scheduler *scheduler.Scheduler
+	TaskIndex *results.TaskIndex
+	Store     *results.Store
+	// Aggregator is the incremental aggregation tier, attached to Store as
+	// its commit observer: every measurement the collector accepts (sync or
+	// via the async ingest queue) updates its pattern×region group counters
+	// at commit time, so detection (inference.Detector.DetectIncremental)
+	// reads finished counters instead of rescanning the store.
+	Aggregator  *results.Aggregator
 	Coordinator *coordserver.Server
 	Collector   *collectserver.Server
 	Population  *Population
@@ -53,6 +59,11 @@ type StackConfig struct {
 	SchedulerConfig scheduler.Config
 	// PipelineStarted is the nominal time of the task-generation crawl.
 	PipelineStarted time.Time
+	// AggregatorWindow is the time-bucket size the incremental aggregation
+	// tier maintains for longitudinal views; zero means one week, matching
+	// the windowed analyses the examples and reports run. Negative disables
+	// windowed tracking.
+	AggregatorWindow time.Duration
 	// Infra overrides the deployment's infrastructure layout (coordinator
 	// mirrors, webmaster proxying); nil uses DefaultInfrastructure.
 	Infra *Infrastructure
@@ -103,6 +114,18 @@ func BuildStack(cfg StackConfig) *Stack {
 	index := results.NewTaskIndex()
 	store := results.NewStore()
 
+	aggWindow := cfg.AggregatorWindow
+	if aggWindow == 0 {
+		aggWindow = 7 * 24 * time.Hour
+	}
+	if aggWindow < 0 {
+		aggWindow = 0
+	}
+	agg := results.NewAggregator(results.AggregatorConfig{
+		Window: aggWindow,
+		Epoch:  cfg.PipelineStarted,
+	})
+
 	infra := DefaultInfrastructure()
 	if cfg.Infra != nil {
 		infra = *cfg.Infra
@@ -113,6 +136,7 @@ func BuildStack(cfg StackConfig) *Stack {
 	}
 	coord := coordserver.New(sched, index, g, snippet)
 	collect := collectserver.New(store, index, g)
+	collect.AttachAggregator(agg)
 	pop := New(net, g, coord, collect, infra, cfg.Seed+5)
 
 	return &Stack{
@@ -125,6 +149,7 @@ func BuildStack(cfg StackConfig) *Stack {
 		Scheduler:   sched,
 		TaskIndex:   index,
 		Store:       store,
+		Aggregator:  agg,
 		Coordinator: coord,
 		Collector:   collect,
 		Population:  pop,

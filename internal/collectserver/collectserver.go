@@ -122,6 +122,18 @@ func (s *Server) EnableAsyncIngest(cfg IngestConfig) *Ingester {
 	return s.Ingest
 }
 
+// AttachAggregator wires an incremental aggregation tier into the server's
+// store: every measurement that commits — whether through the synchronous
+// Accept path or the Ingester's batched async path — updates its
+// pattern×region group in the aggregator at the point of arrival, so
+// detection passes read finished counters instead of rescanning the store.
+// Call before the server starts handling traffic, like the other
+// configuration fields. Attaching to a store that already holds measurements
+// does not replay them; use Aggregator.Backfill first for that.
+func (s *Server) AttachAggregator(agg *results.Aggregator) {
+	s.Store.SetObserver(agg)
+}
+
 // Accept validates a submission and stores the resulting measurement. It is
 // the programmatic entry point used by the in-process client simulator; the
 // HTTP handler delegates to it. Validation, attribution, and abuse checks run

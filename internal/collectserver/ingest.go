@@ -15,7 +15,12 @@ import (
 // synchronously (so clients still see 400s for malformed or abusive
 // submissions), then enqueue the finished Measurement on a bounded channel.
 // A pool of workers drains the channel in batches and writes each batch to
-// the sharded store with one lock acquisition per touched shard.
+// the sharded store with one lock acquisition per touched shard. When an
+// incremental aggregation tier is attached (Server.AttachAggregator), each
+// batch commit also folds its measurements into their pattern×region group
+// counters — the store reports every effective insert and in-place upgrade
+// to its observer from inside the commit, so the async path keeps the
+// analysis tier current without any extra queue hop.
 
 // ErrIngesterClosed is returned by Enqueue after Close has begun.
 var ErrIngesterClosed = errors.New("collectserver: ingester closed")

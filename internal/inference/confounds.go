@@ -65,15 +65,7 @@ func CellBreakdown(ms []results.Measurement, patternKey string, region geo.Count
 			tb.Failures++
 		}
 	}
-	for _, b := range browsers {
-		byBrowser = append(byBrowser, *b)
-	}
-	for _, b := range taskTypes {
-		byTaskType = append(byTaskType, *b)
-	}
-	sort.Slice(byBrowser, func(i, j int) bool { return byBrowser[i].Label < byBrowser[j].Label })
-	sort.Slice(byTaskType, func(i, j int) bool { return byTaskType[i].Label < byTaskType[j].Label })
-	return byBrowser, byTaskType
+	return sortedBreakdowns(browsers), sortedBreakdowns(taskTypes)
 }
 
 // ConfoundWarning flags a detection whose failures look attributable to a
@@ -116,15 +108,59 @@ func DefaultConfoundConfig() ConfoundConfig {
 // CheckConfounds inspects every filtered verdict and returns warnings for
 // cells whose failures are concentrated in a single browser family or task
 // type while the rest of the cell looks healthy. Such cells deserve manual
-// review before being reported as censorship.
+// review before being reported as censorship. The breakdowns for all flagged
+// cells are tallied in one streaming pass over the store (Store.Range) —
+// no defensive copy, and no per-verdict rescans.
 func CheckConfounds(store *results.Store, verdicts []Verdict, cfg ConfoundConfig) []ConfoundWarning {
 	if cfg.MinFailureShare <= 0 {
 		cfg = DefaultConfoundConfig()
 	}
-	ms := store.All()
+	flagged := Filtered(verdicts)
+	if len(flagged) == 0 {
+		return nil
+	}
+	type cellTally struct {
+		browsers  map[core.BrowserFamily]*Breakdown
+		taskTypes map[core.TaskType]*Breakdown
+	}
+	cells := make(map[results.GroupKey]*cellTally, len(flagged))
+	for _, v := range flagged {
+		cells[results.GroupKey{PatternKey: v.PatternKey, Region: v.Region}] = &cellTally{
+			browsers:  make(map[core.BrowserFamily]*Breakdown),
+			taskTypes: make(map[core.TaskType]*Breakdown),
+		}
+	}
+	store.Range(func(m results.Measurement) bool {
+		return !m.Control && m.Completed()
+	}, func(m results.Measurement) bool {
+		tally, ok := cells[results.GroupKey{PatternKey: m.PatternKey, Region: m.Region}]
+		if !ok {
+			return true
+		}
+		bb, ok := tally.browsers[m.Browser]
+		if !ok {
+			bb = &Breakdown{Label: m.Browser.String()}
+			tally.browsers[m.Browser] = bb
+		}
+		tb, ok := tally.taskTypes[m.TaskType]
+		if !ok {
+			tb = &Breakdown{Label: m.TaskType.String()}
+			tally.taskTypes[m.TaskType] = tb
+		}
+		if m.Success() {
+			bb.Successes++
+			tb.Successes++
+		} else {
+			bb.Failures++
+			tb.Failures++
+		}
+		return true
+	})
 	var warnings []ConfoundWarning
-	for _, v := range Filtered(verdicts) {
-		byBrowser, byTaskType := CellBreakdown(ms, v.PatternKey, v.Region)
+	for _, v := range flagged {
+		tally := cells[results.GroupKey{PatternKey: v.PatternKey, Region: v.Region}]
+		byBrowser := sortedBreakdowns(tally.browsers)
+		byTaskType := sortedBreakdowns(tally.taskTypes)
 		for _, dim := range []struct {
 			name   string
 			slices []Breakdown
@@ -142,6 +178,17 @@ func CheckConfounds(store *results.Store, verdicts []Verdict, cfg ConfoundConfig
 		}
 	}
 	return warnings
+}
+
+// sortedBreakdowns flattens a breakdown map into the label-sorted slice shape
+// CellBreakdown returns.
+func sortedBreakdowns[K comparable](m map[K]*Breakdown) []Breakdown {
+	out := make([]Breakdown, 0, len(m))
+	for _, b := range m {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
 }
 
 type confoundCandidate struct {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"encore/internal/geo"
 	"encore/internal/results"
@@ -70,9 +71,21 @@ func (v Verdict) SuccessRate() float64 {
 	return float64(v.Successes) / float64(v.Completed)
 }
 
-// Detector runs the detection algorithm over aggregated measurements.
+// Detector runs the detection algorithm over aggregated measurements. A
+// single Detector may be shared: Detect is stateless, and the incremental
+// path (DetectIncremental) guards its verdict cache with its own mutex.
 type Detector struct {
 	cfg Config
+
+	// Incremental state: cached per-pattern verdicts for the aggregator most
+	// recently passed to DetectIncremental. The detection algorithm
+	// decomposes by pattern — a cell's verdict depends only on the other
+	// regions measuring the same pattern — so a dirtied group invalidates
+	// exactly its pattern's verdicts and nothing else.
+	incMu        sync.Mutex
+	incAgg       *results.Aggregator
+	incByPattern map[string][]Verdict
+	incSorted    []Verdict
 }
 
 // New creates a detector; zero-value config fields fall back to defaults.
@@ -98,59 +111,140 @@ func (d *Detector) Config() Config { return d.cfg }
 // measurements than MinMeasurements yield verdicts with Filtered=false and
 // are still included so reports can show coverage.
 func (d *Detector) Detect(groups []results.Group) []Verdict {
-	// First pass: per-cell binomial tests.
-	type cell struct {
-		group   results.Group
-		rejects bool
-		pvalue  float64
-	}
-	byPattern := make(map[string][]cell)
+	byPattern := make(map[string][]results.Group)
 	for _, g := range groups {
-		completed := g.Successes + g.Failures
-		p := d.cfg.Test.PValue(g.Successes, completed)
-		rejects := completed >= d.cfg.MinMeasurements && d.cfg.Test.Rejects(g.Successes, completed)
-		byPattern[g.Key.PatternKey] = append(byPattern[g.Key.PatternKey], cell{group: g, rejects: rejects, pvalue: p})
+		byPattern[g.Key.PatternKey] = append(byPattern[g.Key.PatternKey], g)
 	}
-
 	var verdicts []Verdict
 	for pattern, cells := range byPattern {
-		// Count regions where the resource looks accessible (enough data
-		// and the test does not reject).
-		accessibleRegions := 0
-		for _, c := range cells {
-			completed := c.group.Successes + c.group.Failures
-			if completed >= d.cfg.MinMeasurements && !c.rejects {
-				accessibleRegions++
-			}
-		}
-		for _, c := range cells {
-			completed := c.group.Successes + c.group.Failures
-			v := Verdict{
-				PatternKey:  pattern,
-				Region:      c.group.Key.Region,
-				Completed:   completed,
-				Successes:   c.group.Successes,
-				PValue:      c.pvalue,
-				RejectsNull: c.rejects,
-			}
-			v.AccessibleElsewhere = accessibleRegions >= d.cfg.MinControlRegions
-			v.Filtered = v.RejectsNull && v.AccessibleElsewhere
-			verdicts = append(verdicts, v)
-		}
+		verdicts = append(verdicts, d.detectPattern(pattern, cells)...)
 	}
+	sortVerdicts(verdicts)
+	return verdicts
+}
+
+// detectPattern evaluates all regions of one pattern: per-cell binomial
+// tests, then the cross-region accessibility confirmation. The algorithm
+// decomposes cleanly at this boundary, which is what makes per-pattern
+// incremental recomputation exact.
+func (d *Detector) detectPattern(pattern string, cells []results.Group) []Verdict {
+	verdicts := make([]Verdict, 0, len(cells))
+	// Count regions where the resource looks accessible (enough data and the
+	// test does not reject).
+	accessibleRegions := 0
+	for _, g := range cells {
+		completed := g.Successes + g.Failures
+		v := Verdict{
+			PatternKey:  pattern,
+			Region:      g.Key.Region,
+			Completed:   completed,
+			Successes:   g.Successes,
+			PValue:      d.cfg.Test.PValue(g.Successes, completed),
+			RejectsNull: completed >= d.cfg.MinMeasurements && d.cfg.Test.Rejects(g.Successes, completed),
+		}
+		if completed >= d.cfg.MinMeasurements && !v.RejectsNull {
+			accessibleRegions++
+		}
+		verdicts = append(verdicts, v)
+	}
+	for i := range verdicts {
+		verdicts[i].AccessibleElsewhere = accessibleRegions >= d.cfg.MinControlRegions
+		verdicts[i].Filtered = verdicts[i].RejectsNull && verdicts[i].AccessibleElsewhere
+	}
+	return verdicts
+}
+
+// sortVerdicts orders verdicts by pattern then region, the deterministic
+// order every detection entry point returns.
+func sortVerdicts(verdicts []Verdict) {
 	sort.Slice(verdicts, func(i, j int) bool {
 		if verdicts[i].PatternKey != verdicts[j].PatternKey {
 			return verdicts[i].PatternKey < verdicts[j].PatternKey
 		}
 		return verdicts[i].Region < verdicts[j].Region
 	})
-	return verdicts
 }
 
 // DetectStore is a convenience wrapper that aggregates a store (excluding
-// control measurements) and runs detection.
+// control measurements) and runs detection. Its cost is O(store): it makes a
+// defensive copy of every measurement and re-aggregates from scratch. Use
+// DetectIncremental over an attached Aggregator when detection runs
+// repeatedly against a growing store.
 func (d *Detector) DetectStore(store *results.Store) []Verdict {
 	return d.Detect(results.Aggregate(store.All()))
+}
+
+// DetectIncremental evaluates the detection algorithm over an incrementally
+// maintained Aggregator, recomputing verdicts only for patterns whose group
+// counters changed since the previous call (the aggregator's dirty-pattern
+// set). Unchanged patterns reuse their cached verdicts, so steady-state cost
+// is O(dirtied groups + total verdicts) and — unlike DetectStore — does not
+// grow with the number of stored measurements. The first call with a given
+// aggregator (or after switching aggregators) computes everything.
+//
+// The returned slice is identical in content and order to
+// Detect(results.Aggregate(store.All())) whenever the aggregator has observed
+// exactly the store's commits and ingest is quiescent; with writers running
+// it reflects the aggregator's current (eventually consistent) counters.
+//
+// Draining the dirty set is destructive: give each aggregator one incremental
+// consumer. A second detector calling DetectIncremental on the same
+// aggregator steals the first's dirty marks, leaving the first serving stale
+// cached verdicts (a detector's first call is always a full build, so a fresh
+// detector is never wrong — only a cache-holding one can go stale).
+func (d *Detector) DetectIncremental(agg *results.Aggregator) []Verdict {
+	d.incMu.Lock()
+	defer d.incMu.Unlock()
+	if d.incAgg != agg {
+		d.incAgg = agg
+		d.incByPattern = nil
+		d.incSorted = nil
+	}
+	dirty := agg.DrainDirtyPatterns()
+	switch {
+	case d.incByPattern == nil:
+		// Full build: every pattern currently in the aggregator.
+		d.incByPattern = make(map[string][]Verdict)
+		for pattern, cells := range groupsByPattern(agg.Groups()) {
+			d.incByPattern[pattern] = d.detectPattern(pattern, cells)
+		}
+		d.incSorted = nil
+	case len(dirty) > 0:
+		byPattern := groupsByPattern(agg.GroupsForPatterns(dirty))
+		for _, pattern := range dirty {
+			cells, ok := byPattern[pattern]
+			if !ok {
+				// Every group of the pattern was retracted away.
+				delete(d.incByPattern, pattern)
+				continue
+			}
+			d.incByPattern[pattern] = d.detectPattern(pattern, cells)
+		}
+		d.incSorted = nil
+	}
+	if d.incSorted == nil {
+		n := 0
+		for _, vs := range d.incByPattern {
+			n += len(vs)
+		}
+		d.incSorted = make([]Verdict, 0, n)
+		for _, vs := range d.incByPattern {
+			d.incSorted = append(d.incSorted, vs...)
+		}
+		sortVerdicts(d.incSorted)
+	}
+	// Hand out a copy: callers are free to mutate detection results, and the
+	// cache must survive them.
+	return append([]Verdict(nil), d.incSorted...)
+}
+
+// groupsByPattern splits sorted groups by pattern key.
+func groupsByPattern(groups []results.Group) map[string][]results.Group {
+	out := make(map[string][]results.Group)
+	for _, g := range groups {
+		out[g.Key.PatternKey] = append(out[g.Key.PatternKey], g)
+	}
+	return out
 }
 
 // Filtered returns only the verdicts flagged as filtered.

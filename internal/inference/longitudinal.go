@@ -23,7 +23,20 @@ type WindowVerdicts struct {
 // the onset or lifting of filtering appears as a transition in a pattern ×
 // region cell's verdict between consecutive windows.
 func (d *Detector) DetectWindows(store *results.Store, window time.Duration) []WindowVerdicts {
-	buckets := results.AggregateWindowed(store.All(), window)
+	return d.detectBuckets(results.AggregateWindowed(store.All(), window))
+}
+
+// DetectWindowsAggregated is DetectWindows over the incremental aggregation
+// tier's online longitudinal view: the window buckets were maintained at
+// ingest time, so no store rescan happens at all. window must equal the
+// aggregator's configured window (see Aggregator.Windowed); the grid is
+// anchored at the aggregator's epoch rather than the earliest measurement.
+func (d *Detector) DetectWindowsAggregated(agg *results.Aggregator, window time.Duration) []WindowVerdicts {
+	return d.detectBuckets(agg.Windowed(window))
+}
+
+// detectBuckets runs detection independently on each window's groups.
+func (d *Detector) detectBuckets(buckets []results.WindowedGroups) []WindowVerdicts {
 	out := make([]WindowVerdicts, 0, len(buckets))
 	for _, b := range buckets {
 		out = append(out, WindowVerdicts{Window: b.Window, Verdicts: d.Detect(b.Groups)})
@@ -119,7 +132,7 @@ func NewTuned(base Config, store *results.Store, margin float64) *TunedDetector 
 		margin = 0.9
 	}
 	det := New(base)
-	baselines := results.RegionBaselines(store.All(), det.cfg.MinMeasurements)
+	baselines := results.RegionBaselinesStore(store, det.cfg.MinMeasurements)
 	return &TunedDetector{base: det, baselines: baselines, margin: margin}
 }
 

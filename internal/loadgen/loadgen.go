@@ -13,6 +13,7 @@ import (
 
 	"encore/internal/clientsim"
 	"encore/internal/collectserver"
+	"encore/internal/inference"
 )
 
 // Config parameterizes a load-generation run.
@@ -66,13 +67,26 @@ type Result struct {
 	// AssignmentsPerSec is TasksAssigned / Elapsed, the coordination-side
 	// throughput of the same run.
 	AssignmentsPerSec float64
+	// Groups is the number of pattern×region cells the incremental
+	// aggregation tier maintained during the run (0 when the stack has no
+	// aggregator attached).
+	Groups int
+	// DetectIncremental is the latency of one filtering-detection pass over
+	// the incrementally maintained group counters after the run drained —
+	// the analysis-side number the streaming tier exists to keep flat as the
+	// store grows.
+	DetectIncremental time.Duration
 }
 
 // String renders the result as a one-line report.
 func (r Result) String() string {
-	return fmt.Sprintf("loadgen: %d clients, %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
+	s := fmt.Sprintf("loadgen: %d clients, %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
 		r.Clients, r.Visits, r.TasksAssigned, r.TasksSubmitted, r.Stored,
 		r.Elapsed.Round(time.Millisecond), r.SubmissionsPerSec, r.AssignmentsPerSec)
+	if r.Groups > 0 {
+		s += fmt.Sprintf("; incremental detection over %d groups in %v", r.Groups, r.DetectIncremental)
+	}
+	return s
 }
 
 // Run drives the stack's population with cfg.Clients concurrent streams and
@@ -119,6 +133,12 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.SubmissionsPerSec = float64(campaign.TasksSubmitted) / secs
 		res.AssignmentsPerSec = float64(campaign.TasksAssigned) / secs
+	}
+	if stack.Aggregator != nil {
+		detectStarted := time.Now()
+		verdicts := inference.New(inference.DefaultConfig()).DetectIncremental(stack.Aggregator)
+		res.DetectIncremental = time.Since(detectStarted)
+		res.Groups = len(verdicts)
 	}
 	return res
 }

@@ -279,8 +279,17 @@ func campaignSection(opts Options, stack *clientsim.Stack) string {
 		Duration: 7 * 30 * 24 * time.Hour,
 	})
 	st := stack.Store.Stats()
+	// The collector maintained group counters incrementally during the
+	// campaign, so detection reads them directly instead of rescanning the
+	// store (identical verdicts; O(groups) instead of O(store)). Hand-built
+	// stacks without an aggregator fall back to the batch rescan.
 	detector := inference.New(inference.DefaultConfig())
-	verdicts := detector.DetectStore(stack.Store)
+	var verdicts []inference.Verdict
+	if stack.Aggregator != nil {
+		verdicts = detector.DetectIncremental(stack.Aggregator)
+	} else {
+		verdicts = detector.DetectStore(stack.Store)
+	}
 	conf := inference.Score(verdicts, stack.GroundTruth(), inference.DefaultConfig().MinMeasurements)
 
 	var b strings.Builder

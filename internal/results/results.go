@@ -99,6 +99,63 @@ func (g Group) SuccessRate() float64 {
 	return float64(g.Successes) / float64(done)
 }
 
+// newGroup returns an empty group for the cell.
+func newGroup(key GroupKey) *Group {
+	return &Group{Key: key, Browsers: make(map[core.BrowserFamily]int), TaskTypes: make(map[core.TaskType]int)}
+}
+
+// apply adds (sign=+1) or retracts (sign=-1) one measurement's contribution.
+// Retraction is what lets the incremental Aggregator replace a measurement's
+// old contribution when the store upgrades it in place (init → terminal).
+func (g *Group) apply(m Measurement, sign int) {
+	g.Total += sign
+	applyCount(g.Browsers, m.Browser, sign)
+	applyCount(g.TaskTypes, m.TaskType, sign)
+	switch m.State {
+	case core.StateSuccess:
+		g.Successes += sign
+	case core.StateFailure:
+		g.Failures += sign
+	default:
+		g.InitOnly += sign
+	}
+}
+
+// applyCount adjusts a diversity counter, dropping the key at zero so an
+// incrementally-maintained group is indistinguishable from a batch-built one.
+func applyCount[K comparable](counts map[K]int, key K, sign int) {
+	counts[key] += sign
+	if counts[key] == 0 {
+		delete(counts, key)
+	}
+}
+
+// clone deep-copies the group so callers can hold it beyond the lock that
+// protected the original.
+func (g *Group) clone() Group {
+	out := *g
+	out.Browsers = make(map[core.BrowserFamily]int, len(g.Browsers))
+	for k, v := range g.Browsers {
+		out.Browsers[k] = v
+	}
+	out.TaskTypes = make(map[core.TaskType]int, len(g.TaskTypes))
+	for k, v := range g.TaskTypes {
+		out.TaskTypes[k] = v
+	}
+	return out
+}
+
+// sortGroups orders groups by pattern then region, the deterministic order
+// every aggregation entry point returns.
+func sortGroups(out []Group) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.PatternKey != out[j].Key.PatternKey {
+			return out[i].Key.PatternKey < out[j].Key.PatternKey
+		}
+		return out[i].Key.Region < out[j].Key.Region
+	})
+}
+
 // Aggregate groups the measurements by pattern and region, excluding control
 // measurements. The result is sorted by pattern then region for
 // deterministic iteration.
@@ -111,31 +168,16 @@ func Aggregate(ms []Measurement) []Group {
 		key := GroupKey{PatternKey: m.PatternKey, Region: m.Region}
 		g, ok := cells[key]
 		if !ok {
-			g = &Group{Key: key, Browsers: make(map[core.BrowserFamily]int), TaskTypes: make(map[core.TaskType]int)}
+			g = newGroup(key)
 			cells[key] = g
 		}
-		g.Total++
-		g.Browsers[m.Browser]++
-		g.TaskTypes[m.TaskType]++
-		switch m.State {
-		case core.StateSuccess:
-			g.Successes++
-		case core.StateFailure:
-			g.Failures++
-		default:
-			g.InitOnly++
-		}
+		g.apply(m, 1)
 	}
 	out := make([]Group, 0, len(cells))
 	for _, g := range cells {
 		out = append(out, *g)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Key.PatternKey != out[j].Key.PatternKey {
-			return out[i].Key.PatternKey < out[j].Key.PatternKey
-		}
-		return out[i].Key.Region < out[j].Key.Region
-	})
+	sortGroups(out)
 	return out
 }
 

@@ -34,6 +34,18 @@ type storeShard struct {
 	entries []storeEntry
 }
 
+// CommitObserver receives every effective store mutation. Commit is called
+// with prev == nil for a first insert and with the replaced record for an
+// in-place upgrade; ignored downgrades (terminal → init) produce no call.
+// The store invokes Commit synchronously under the shard lock that serialized
+// the mutation, so for any one measurement ID the observer sees transitions
+// in exactly the order the store applied them — the property the incremental
+// Aggregator's retract-then-add accounting relies on. Implementations must be
+// fast, must not block, and must not call back into the store.
+type CommitObserver interface {
+	Commit(prev *Measurement, cur Measurement)
+}
+
 // Store is an in-memory, concurrency-safe measurement store with JSON-lines
 // import/export. Internally it is sharded by measurement ID: each shard has
 // its own lock, so concurrent Add/Get calls for different measurements do not
@@ -49,6 +61,10 @@ type Store struct {
 	// numbers. Both are atomics so Len and ordering never take shard locks.
 	count atomic.Int64
 	seq   atomic.Uint64
+	// obs, when set, is notified of every effective insert or upgrade. It is
+	// written once before the store sees concurrent traffic (SetObserver) and
+	// read on every commit without further synchronization.
+	obs CommitObserver
 }
 
 // NewStore returns an empty store with the default shard count.
@@ -107,18 +123,32 @@ func (s *Store) Add(m Measurement) error {
 	return nil
 }
 
+// SetObserver attaches a commit observer that will be notified of every
+// subsequent insert and in-place upgrade. It must be called before the store
+// handles concurrent traffic (like the collectserver configuration fields);
+// attaching an observer to a store that already holds measurements does not
+// replay them — use Aggregator.Backfill for that.
+func (s *Store) SetObserver(obs CommitObserver) { s.obs = obs }
+
 // addLocked inserts or upgrades one measurement; sh.mu must be held.
 func (s *Store) addLocked(sh *storeShard, m Measurement) {
 	if idx, ok := sh.byID[m.MeasurementID]; ok {
 		if sh.entries[idx].m.Completed() && m.State == core.StateInit {
 			return // never downgrade a terminal state
 		}
+		prev := sh.entries[idx].m
 		sh.entries[idx].m = m
+		if s.obs != nil {
+			s.obs.Commit(&prev, m)
+		}
 		return
 	}
 	sh.byID[m.MeasurementID] = len(sh.entries)
 	sh.entries = append(sh.entries, storeEntry{seq: s.seq.Add(1), m: m})
 	s.count.Add(1)
+	if s.obs != nil {
+		s.obs.Commit(nil, m)
+	}
 }
 
 // AddBatch stores a batch of measurements, taking each shard lock at most
@@ -219,6 +249,32 @@ func (s *Store) Filter(pred func(Measurement) bool) []Measurement {
 		}
 	}
 	return out
+}
+
+// Range streams every measurement matching pred to fn without the defensive
+// copy All and Filter make, so read-only consumers (backfill, baseline
+// estimation, confound checks) can walk an arbitrarily large store in O(1)
+// extra memory. A nil pred matches everything; fn returning false stops the
+// iteration early. Iteration visits shards one at a time under their read
+// locks — within a shard measurements appear in insertion order, but the
+// order across shards is unspecified (use All/WriteJSONL when global
+// insertion order matters). fn is invoked under a shard read lock and must
+// not call back into the store or block.
+func (s *Store) Range(pred func(Measurement) bool, fn func(Measurement) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if pred != nil && !pred(e.m) {
+				continue
+			}
+			if !fn(e.m) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // DistinctClients returns the number of distinct client IPs.

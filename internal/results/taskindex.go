@@ -2,6 +2,7 @@ package results
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"encore/internal/core"
 )
@@ -10,15 +11,35 @@ import (
 // coordination server registers every task it hands out; the collection
 // server consults the index to attribute incoming submissions (which carry
 // only the measurement ID) to the pattern, target, and task type they
-// measured. It is safe for concurrent use.
+// measured. It sits on the per-submission attribution hot path, so like the
+// Store it is sharded by measurement-ID hash: registrations and lookups for
+// different measurements take different locks and never contend, and Len
+// reads an atomic counter without blocking behind writers. It is safe for
+// concurrent use.
 type TaskIndex struct {
+	shards []taskIndexShard
+	mask   uint32
+	count  atomic.Int64
+}
+
+// taskIndexShard holds the tasks whose measurement IDs hash to it.
+type taskIndexShard struct {
 	mu    sync.RWMutex
 	tasks map[string]core.Task
 }
 
-// NewTaskIndex returns an empty index.
+// NewTaskIndex returns an empty index with the default shard count.
 func NewTaskIndex() *TaskIndex {
-	return &TaskIndex{tasks: make(map[string]core.Task)}
+	ti := &TaskIndex{shards: make([]taskIndexShard, defaultShardCount), mask: defaultShardCount - 1}
+	for i := range ti.shards {
+		ti.shards[i].tasks = make(map[string]core.Task)
+	}
+	return ti
+}
+
+// shardFor hashes a measurement ID to its shard.
+func (ti *TaskIndex) shardFor(id string) *taskIndexShard {
+	return &ti.shards[ShardHash(id)&ti.mask]
 }
 
 // Register records a task under its measurement ID. Registering a task with
@@ -27,22 +48,23 @@ func (ti *TaskIndex) Register(t core.Task) {
 	if t.MeasurementID == "" {
 		return
 	}
-	ti.mu.Lock()
-	defer ti.mu.Unlock()
-	ti.tasks[t.MeasurementID] = t
+	sh := ti.shardFor(t.MeasurementID)
+	sh.mu.Lock()
+	if _, exists := sh.tasks[t.MeasurementID]; !exists {
+		ti.count.Add(1)
+	}
+	sh.tasks[t.MeasurementID] = t
+	sh.mu.Unlock()
 }
 
 // Lookup returns the task registered under the measurement ID.
 func (ti *TaskIndex) Lookup(measurementID string) (core.Task, bool) {
-	ti.mu.RLock()
-	defer ti.mu.RUnlock()
-	t, ok := ti.tasks[measurementID]
+	sh := ti.shardFor(measurementID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tasks[measurementID]
 	return t, ok
 }
 
-// Len returns the number of registered tasks.
-func (ti *TaskIndex) Len() int {
-	ti.mu.RLock()
-	defer ti.mu.RUnlock()
-	return len(ti.tasks)
-}
+// Len returns the number of registered tasks without taking any shard lock.
+func (ti *TaskIndex) Len() int { return int(ti.count.Load()) }

@@ -24,50 +24,107 @@ type WindowedGroups struct {
 	Groups []Group
 }
 
+// windowIndex maps a timestamp to its bucket on the window grid anchored at
+// epoch, flooring so times before the epoch land on negative indices. Both
+// the batch windowed aggregation and the incremental Aggregator use this one
+// function, so the two tiers bucket identically. The timestamp must be within
+// ±292 years of the epoch (the range of time.Duration).
+func windowIndex(t, epoch time.Time, window time.Duration) int64 {
+	d := t.Sub(epoch)
+	idx := int64(d / window)
+	if d%window < 0 {
+		idx--
+	}
+	return idx
+}
+
 // AggregateWindowed buckets measurements into fixed-size time windows by
 // their Received timestamps and aggregates each bucket by pattern and region.
 // Measurements without a timestamp are ignored; control measurements are
-// excluded as in Aggregate. Windows are aligned to the earliest measurement
-// and returned in chronological order; empty windows are included so
-// longitudinal plots have a continuous time axis.
+// excluded as in Aggregate. Windows are aligned to the earliest non-control
+// measurement and returned in chronological order; empty windows are included
+// so longitudinal plots have a continuous time axis.
 func AggregateWindowed(ms []Measurement, window time.Duration) []WindowedGroups {
-	if window <= 0 || len(ms) == 0 {
+	if window <= 0 {
 		return nil
 	}
-	var first, last time.Time
+	// Alignment depends on the global minimum timestamp, so it must be known
+	// before bucketing; this pre-scan is the only extra pass — the bucketing
+	// pass below aggregates directly, with no intermediate per-bucket copies.
+	var first time.Time
 	for _, m := range ms {
-		if m.Received.IsZero() {
+		if m.Received.IsZero() || m.Control {
 			continue
 		}
 		if first.IsZero() || m.Received.Before(first) {
 			first = m.Received
 		}
-		if last.IsZero() || m.Received.After(last) {
-			last = m.Received
-		}
 	}
 	if first.IsZero() {
 		return nil
 	}
-	buckets := int(last.Sub(first)/window) + 1
-	byBucket := make([][]Measurement, buckets)
-	for _, m := range ms {
-		if m.Received.IsZero() {
-			continue
-		}
-		idx := int(m.Received.Sub(first) / window)
-		if idx < 0 || idx >= buckets {
-			continue
-		}
-		byBucket[idx] = append(byBucket[idx], m)
+	return AggregateWindowedAt(ms, window, first)
+}
+
+// AggregateWindowedAt is AggregateWindowed with an explicit window-grid
+// anchor: buckets cover [epoch+k·window, epoch+(k+1)·window). Because the
+// anchor is fixed up front, it aggregates in a single pass over ms — each
+// measurement is folded straight into its bucket's group cell, with no
+// min/max pre-scan and no intermediate per-bucket measurement slices. The
+// returned windows span the occupied range (empty interior windows included).
+// This is the batch counterpart of the incremental Aggregator's Windowed
+// view: both bucket via the same grid function, so an Aggregator configured
+// with the same window and epoch reproduces this output exactly.
+func AggregateWindowedAt(ms []Measurement, window time.Duration, epoch time.Time) []WindowedGroups {
+	if window <= 0 {
+		return nil
 	}
-	out := make([]WindowedGroups, 0, buckets)
-	for i := 0; i < buckets; i++ {
-		start := first.Add(time.Duration(i) * window)
-		out = append(out, WindowedGroups{
-			Window: Window{Start: start, End: start.Add(window)},
-			Groups: Aggregate(byBucket[i]),
-		})
+	type bucket struct {
+		cells map[GroupKey]*Group
+	}
+	buckets := make(map[int64]*bucket)
+	var minIdx, maxIdx int64
+	seen := false
+	for _, m := range ms {
+		if m.Received.IsZero() || m.Control {
+			continue
+		}
+		idx := windowIndex(m.Received, epoch, window)
+		if !seen || idx < minIdx {
+			minIdx = idx
+		}
+		if !seen || idx > maxIdx {
+			maxIdx = idx
+		}
+		seen = true
+		b, ok := buckets[idx]
+		if !ok {
+			b = &bucket{cells: make(map[GroupKey]*Group)}
+			buckets[idx] = b
+		}
+		key := GroupKey{PatternKey: m.PatternKey, Region: m.Region}
+		g, ok := b.cells[key]
+		if !ok {
+			g = newGroup(key)
+			b.cells[key] = g
+		}
+		g.apply(m, 1)
+	}
+	if !seen {
+		return nil
+	}
+	out := make([]WindowedGroups, 0, maxIdx-minIdx+1)
+	for idx := minIdx; idx <= maxIdx; idx++ {
+		start := epoch.Add(time.Duration(idx) * window)
+		wg := WindowedGroups{Window: Window{Start: start, End: start.Add(window)}}
+		if b, ok := buckets[idx]; ok {
+			wg.Groups = make([]Group, 0, len(b.cells))
+			for _, g := range b.cells {
+				wg.Groups = append(wg.Groups, *g)
+			}
+			sortGroups(wg.Groups)
+		}
+		out = append(out, wg)
 	}
 	return out
 }
@@ -109,27 +166,59 @@ func SuccessRateByRegion(ms []Measurement, patternKey string) map[geo.CountryCod
 // network quality rather than censorship as long as most patterns are not
 // filtered.
 func RegionBaselines(ms []Measurement, minPerPattern int) map[geo.CountryCode]float64 {
-	type cell struct{ success, completed int }
-	perRegionPattern := make(map[geo.CountryCode]map[string]*cell)
+	acc := newBaselineAccumulator()
 	for _, m := range ms {
-		if m.Control || !m.Completed() || m.Region == "" {
-			continue
-		}
-		if perRegionPattern[m.Region] == nil {
-			perRegionPattern[m.Region] = make(map[string]*cell)
-		}
-		c, ok := perRegionPattern[m.Region][m.PatternKey]
-		if !ok {
-			c = &cell{}
-			perRegionPattern[m.Region][m.PatternKey] = c
-		}
-		c.completed++
-		if m.Success() {
-			c.success++
-		}
+		acc.observe(m)
 	}
-	out := make(map[geo.CountryCode]float64, len(perRegionPattern))
-	for region, patterns := range perRegionPattern {
+	return acc.finish(minPerPattern)
+}
+
+// RegionBaselinesStore is RegionBaselines computed by streaming the store
+// (Store.Range) instead of materializing a full defensive copy first, so
+// tuned-detector construction over a large live store allocates O(cells)
+// rather than O(measurements).
+func RegionBaselinesStore(store *Store, minPerPattern int) map[geo.CountryCode]float64 {
+	acc := newBaselineAccumulator()
+	store.Range(nil, func(m Measurement) bool {
+		acc.observe(m)
+		return true
+	})
+	return acc.finish(minPerPattern)
+}
+
+// baselineAccumulator is the shared per-region, per-pattern tally behind both
+// RegionBaselines entry points.
+type baselineAccumulator struct {
+	perRegionPattern map[geo.CountryCode]map[string]*baselineCell
+}
+
+type baselineCell struct{ success, completed int }
+
+func newBaselineAccumulator() *baselineAccumulator {
+	return &baselineAccumulator{perRegionPattern: make(map[geo.CountryCode]map[string]*baselineCell)}
+}
+
+func (a *baselineAccumulator) observe(m Measurement) {
+	if m.Control || !m.Completed() || m.Region == "" {
+		return
+	}
+	if a.perRegionPattern[m.Region] == nil {
+		a.perRegionPattern[m.Region] = make(map[string]*baselineCell)
+	}
+	c, ok := a.perRegionPattern[m.Region][m.PatternKey]
+	if !ok {
+		c = &baselineCell{}
+		a.perRegionPattern[m.Region][m.PatternKey] = c
+	}
+	c.completed++
+	if m.Success() {
+		c.success++
+	}
+}
+
+func (a *baselineAccumulator) finish(minPerPattern int) map[geo.CountryCode]float64 {
+	out := make(map[geo.CountryCode]float64, len(a.perRegionPattern))
+	for region, patterns := range a.perRegionPattern {
 		var rates []float64
 		for _, c := range patterns {
 			if c.completed >= minPerPattern {

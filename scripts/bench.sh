@@ -1,0 +1,39 @@
+#!/bin/sh
+# Aggregation-tier benchmark runner: measures the batch-vs-incremental
+# detection trajectory (E18: DetectStore rescans grow with store size,
+# DetectIncremental stays flat) alongside the E17 parallel-ingest benchmarks,
+# and records every benchmark line as structured JSON in BENCH_aggregate.json
+# so successive runs can be compared numerically.
+#
+# Usage: scripts/bench.sh [extra go-test flags, e.g. -benchtime=5x]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect'
+OUT=BENCH_aggregate.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -timeout 60m "$@" . | tee "$TMP"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^Benchmark/ {
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s", $1, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_\/%.-]/, "", unit)
+        entry = entry sprintf(", \"%s\": %s", unit, $i)
+    }
+    entries[n++] = entry "}"
+}
+END {
+    printf("{\n  \"generated\": \"%s\",\n  \"goos\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, goos, cpu)
+    for (i = 0; i < n; i++) printf("%s%s\n", entries[i], i < n - 1 ? "," : "")
+    printf("  ]\n}\n")
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
