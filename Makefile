@@ -3,14 +3,18 @@
 #   make ci          - everything CI runs: format check, vet, build, race tests
 #   make test        - fast test run (no race detector)
 #   make race        - full test suite under the race detector
-#   make bench       - aggregation-tier (E18) + ingest (E17) benchmarks,
-#                      recorded as BENCH_aggregate.json via scripts/bench.sh
+#   make bench       - aggregation-tier (E18), ingest (E17), and WAL
+#                      durability (E19) benchmarks, recorded as
+#                      BENCH_aggregate.json via scripts/bench.sh
+#   make docs-check  - verify the docs suite: README/architecture/example
+#                      docs exist, every package carries a package comment,
+#                      and the commands the README names actually build
 #   make bench-paper - the paper's full evaluation benchmark suite
 #   make loadgen     - concurrent ingest throughput benchmarks (-cpu=4)
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-paper loadgen
+.PHONY: ci fmt vet build test race bench bench-paper loadgen docs-check
 
 ci:
 	./scripts/ci.sh
@@ -38,3 +42,6 @@ bench-paper:
 
 loadgen:
 	$(GO) test -run xxx -bench 'ParallelIngest|ParallelCollect' -cpu 4 .
+
+docs-check:
+	./scripts/docs_check.sh

@@ -952,6 +952,141 @@ func BenchmarkAggregatorBackfill(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E19 — durable ingest: the cost of the write-ahead log.
+//
+// The WAL makes the store crash-safe by appending every commit to a
+// per-shard segmented log from inside the commit's shard lock. These
+// benchmarks run the E17 parallel-ingest workload with the WAL attached
+// under each fsync policy, so BENCH_aggregate.json records the durability
+// overhead against BenchmarkParallelIngestShardedStore (the WAL-off
+// baseline). The acceptance budget is ≤25% for the non-fsync-per-record
+// policies; SyncAlways pays an fsync per commit and is benchmarked to
+// quantify, not to pass, that budget.
+// ---------------------------------------------------------------------------
+
+// benchmarkParallelIngestWAL runs the sharded-store parallel ingest workload
+// with a WAL attached under the given fsync policy. The final Sync is inside
+// the timed window: a run's durability cost includes making its tail durable.
+func benchmarkParallelIngestWAL(b *testing.B, policy results.SyncPolicy) {
+	wal, err := results.OpenWAL(results.WALConfig{Dir: b.TempDir(), Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := results.NewStore()
+	s.AddObserver(wal)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			if err := s.Add(benchMeasurement(w, i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := wal.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	st := wal.Stats()
+	b.ReportMetric(float64(st.Bytes)/float64(b.N), "wal-bytes/op")
+	b.ReportMetric(float64(st.Segments), "segments")
+	if err := wal.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if s.Len() != b.N {
+		b.Fatalf("stored %d, want %d", s.Len(), b.N)
+	}
+}
+
+// BenchmarkParallelIngestWALOffBaseline is the same workload with no WAL —
+// the E19 baseline. It duplicates BenchmarkParallelIngestShardedStore, but
+// deliberately runs adjacent to the WAL benchmarks: by this point in a full
+// suite run the E18 fixtures (over a million live measurements) burden the
+// heap, and the durability overhead must be computed against a baseline
+// measured under the same conditions.
+func BenchmarkParallelIngestWALOffBaseline(b *testing.B) {
+	s := results.NewStore()
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			if err := s.Add(benchMeasurement(w, i)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if s.Len() != b.N {
+		b.Fatalf("stored %d, want %d", s.Len(), b.N)
+	}
+}
+
+// BenchmarkParallelIngestWALSyncNone measures ingest with the WAL buffering
+// to the OS only (background flush, fsync on rotation and close).
+func BenchmarkParallelIngestWALSyncNone(b *testing.B) {
+	benchmarkParallelIngestWAL(b, results.SyncNone)
+}
+
+// BenchmarkParallelIngestWALSyncInterval measures ingest with the default
+// periodic-fsync policy — the production configuration.
+func BenchmarkParallelIngestWALSyncInterval(b *testing.B) {
+	benchmarkParallelIngestWAL(b, results.SyncInterval)
+}
+
+// BenchmarkParallelIngestWALSyncAlways measures ingest with an fsync per
+// committed record — zero loss, worst-case cost.
+func BenchmarkParallelIngestWALSyncAlways(b *testing.B) {
+	benchmarkParallelIngestWAL(b, results.SyncAlways)
+}
+
+// BenchmarkWALRecovery measures OpenStoreFromWAL replay throughput over the
+// E18 fixture stores — the restart-latency side of the durability trade.
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, n := range []int{100_000} {
+		b.Run(fmt.Sprintf("store=%d", n), func(b *testing.B) {
+			f := detectionStore(b, n)
+			dir := b.TempDir()
+			wal, err := results.OpenWAL(results.WALConfig{Dir: dir, Policy: results.SyncNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Rebuild the fixture through a WAL-attached store once to
+			// produce the log to recover from.
+			src := results.NewStore()
+			src.AddObserver(wal)
+			f.store.Range(nil, func(m results.Measurement) bool {
+				if err := src.Add(m); err != nil {
+					b.Error(err)
+				}
+				return true
+			})
+			if err := wal.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recovered, _, err := results.OpenStoreFromWAL(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if recovered.Len() != src.Len() {
+					b.Fatalf("recovered %d, want %d", recovered.Len(), src.Len())
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(src.Len())*float64(b.N)/b.Elapsed().Seconds(), "measurements/s")
+		})
+	}
+}
+
 // BenchmarkAblationSchedulingQuorum varies the scheduler's quorum window and
 // reports how concentrated measurements of a single pattern become within a
 // 60-second analysis window — the property §5.3 argues enables cross-region

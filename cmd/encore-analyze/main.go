@@ -1,5 +1,7 @@
-// Command encore-analyze runs the filtering detection algorithm (§7.2) over a
-// JSON-lines measurement file produced by encore-collector or encore-sim and
+// Command encore-analyze runs the filtering detection algorithm (§7.2) over
+// measurements produced by encore-collector or encore-sim — either a
+// JSON-lines checkpoint file (-in) or a collector's write-ahead log directory
+// (-wal), which it replays exactly as a restarted collector would — and
 // prints the filtering report.
 package main
 
@@ -18,6 +20,7 @@ import (
 func main() {
 	var (
 		inPath    = flag.String("in", "measurements.jsonl", "measurement file (JSON lines)")
+		walPath   = flag.String("wal", "", "recover measurements from a collector WAL directory instead of -in")
 		p         = flag.Float64("p", 0.7, "null-hypothesis per-measurement success probability")
 		alpha     = flag.Float64("alpha", 0.05, "significance level")
 		minMeas   = flag.Int("min-measurements", 5, "minimum completed measurements per region before it can be flagged")
@@ -28,14 +31,26 @@ func main() {
 	)
 	flag.Parse()
 
-	f, err := os.Open(*inPath)
-	if err != nil {
-		log.Fatalf("opening measurements: %v", err)
-	}
-	defer f.Close()
-	store := results.NewStore()
-	if err := store.ReadJSONL(f); err != nil {
-		log.Fatalf("reading measurements: %v", err)
+	var store *results.Store
+	if *walPath != "" {
+		recovered, stats, err := results.OpenStoreFromWAL(*walPath)
+		if err != nil {
+			log.Fatalf("recovering store from WAL: %v", err)
+		}
+		fmt.Printf("recovered %d measurements from %d WAL segments (%d torn tails dropped)\n",
+			recovered.Len(), stats.Segments, stats.TornSegments)
+		store = recovered
+	} else {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatalf("opening measurements: %v", err)
+		}
+		store = results.NewStore()
+		err = store.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading measurements: %v", err)
+		}
 	}
 
 	// Cold start for the incremental analysis tier: fold the loaded store

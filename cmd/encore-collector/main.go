@@ -1,7 +1,10 @@
 // Command encore-collector runs Encore's collection server (§5.5): it accepts
 // measurement submissions at /submit, geolocates and stores them, and can
-// periodically checkpoint the measurement store to a JSON-lines file for
-// later analysis with encore-analyze.
+// persist the measurement store two ways — periodic JSON-lines checkpoints
+// for later analysis with encore-analyze, and (with -wal-dir) a segmented
+// write-ahead log that makes the store durable across crashes: on startup the
+// collector replays the log and resumes with the exact store it had when it
+// died, torn tail dropped.
 //
 // Because submissions are attributed through the task index that the
 // coordination server populates, a standalone collector accepts any
@@ -34,13 +37,59 @@ func main() {
 		checkpoint = flag.Duration("checkpoint", time.Minute, "how often to write the measurement store to disk")
 		seed       = flag.Uint64("seed", 1, "seed for the synthetic GeoIP registry")
 		openTasks  = flag.Bool("accept-any", false, "register unknown measurement IDs on the fly instead of rejecting them (useful for manual testing with curl)")
+
+		asyncIngest = flag.Bool("async", false, "route submissions through the batched async ingest queue instead of writing to the store inline")
+
+		walDir     = flag.String("wal-dir", "", "directory for the durable write-ahead log; empty disables persistence beyond JSONL checkpoints")
+		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy: always (no loss), interval (bounded loss), none (OS decides)")
+		walEvery   = flag.Duration("wal-sync-interval", 200*time.Millisecond, "flush period for the interval/none policies")
+		walSegment = flag.Int64("wal-segment-bytes", 16<<20, "segment rotation threshold")
+		walCompact = flag.Duration("wal-compact-interval", 10*time.Minute, "how often to compact the WAL (drops records superseded by in-place upgrades; appends to a shard stall while it compacts, so keep this much coarser than -checkpoint); 0 disables")
 	)
 	flag.Parse()
 
-	store := results.NewStore()
+	// With a WAL configured, boot by replaying it: a restarted collector
+	// resumes with the exact store the crashed one had committed.
+	var (
+		store *results.Store
+		wal   *results.WAL
+	)
+	if *walDir != "" {
+		policy, err := results.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered, stats, err := results.OpenStoreFromWAL(*walDir)
+		if err != nil {
+			log.Fatalf("recovering store from WAL: %v", err)
+		}
+		if stats.Records > 0 || stats.TornSegments > 0 {
+			log.Printf("recovered %d measurements from %d WAL segments (%d torn tails dropped)",
+				recovered.Len(), stats.Segments, stats.TornSegments)
+		}
+		store = recovered
+		wal, err = results.OpenWAL(results.WALConfig{
+			Dir:          *walDir,
+			Policy:       policy,
+			Interval:     *walEvery,
+			SegmentBytes: *walSegment,
+		})
+		if err != nil {
+			log.Fatalf("opening WAL: %v", err)
+		}
+	} else {
+		store = results.NewStore()
+	}
+
 	index := results.NewTaskIndex()
 	g := geo.NewRegistry(*seed)
 	server := collectserver.New(store, index, g)
+	if wal != nil {
+		server.AttachWAL(wal)
+	}
+	if *asyncIngest {
+		server.EnableAsyncIngest(collectserver.IngestConfig{})
+	}
 
 	var handler http.Handler = server
 	if *openTasks {
@@ -57,17 +106,49 @@ func main() {
 
 	ticker := time.NewTicker(*checkpoint)
 	defer ticker.Stop()
+	var compactC <-chan time.Time
+	if wal != nil && *walCompact > 0 {
+		compactTicker := time.NewTicker(*walCompact)
+		defer compactTicker.Stop()
+		compactC = compactTicker.C
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	for {
 		select {
 		case <-ticker.C:
 			writeStore(store, *outPath)
+			if wal != nil {
+				if err := wal.Sync(); err != nil {
+					log.Printf("WAL: %v", err)
+				}
+			}
+		case <-compactC:
+			if err := wal.Compact(); err != nil {
+				log.Printf("WAL compaction: %v", err)
+			} else {
+				st := wal.Stats()
+				log.Printf("WAL: %d records, %d segments on disk after compaction", st.Records, st.Segments)
+			}
 		case <-ctx.Done():
-			writeStore(store, *outPath)
+			// Orderly shutdown, in dependency order: stop accepting HTTP
+			// submissions first (in-flight handlers finish against the still-
+			// open write path), then drain the async queue and fsync the WAL,
+			// then checkpoint, and only then close the log. Closing the
+			// persistence path before the listener would let late submissions
+			// be acknowledged and silently dropped.
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = srv.Shutdown(shutdownCtx)
+			if err := server.Close(); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+			writeStore(store, *outPath)
+			if wal != nil {
+				if err := wal.Close(); err != nil {
+					log.Printf("closing WAL: %v", err)
+				}
+			}
 			return
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"encore/internal/clientsim"
 	"encore/internal/inference"
 	"encore/internal/loadgen"
+	"encore/internal/results"
 	"encore/internal/targets"
 )
 
@@ -30,8 +31,20 @@ func main() {
 		loadgenMode    = flag.Bool("loadgen", false, "drive the campaign with concurrent clients and report ingest throughput")
 		loadgenClients = flag.Int("loadgen-clients", 8, "concurrent client streams in -loadgen mode")
 		loadgenSync    = flag.Bool("loadgen-sync", false, "disable the batched async ingest queue in -loadgen mode (for before/after comparisons)")
+
+		walDir  = flag.String("wal-dir", "", "attach a durable write-ahead log to the simulated collector (for WAL-on vs WAL-off throughput comparisons)")
+		walSync = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
 	)
 	flag.Parse()
+
+	var walCfg *results.WALConfig
+	if *walDir != "" {
+		policy, err := results.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walCfg = &results.WALConfig{Dir: *walDir, Policy: policy}
+	}
 
 	var targetList *targets.List
 	switch *list {
@@ -48,7 +61,13 @@ func main() {
 		Seed:    *seed,
 		Censor:  censor.PaperPolicies(),
 		Targets: targetList,
+		WAL:     walCfg,
 	})
+	defer func() {
+		if err := stack.Close(); err != nil {
+			log.Printf("closing stack: %v", err)
+		}
+	}()
 	fmt.Printf("pipeline: %s\n", stack.Report.Summary())
 	fmt.Printf("censorship ground truth:\n%s\n", stack.Censor.Summary())
 

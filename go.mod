@@ -1,3 +1,3 @@
 module encore
 
-go 1.21
+go 1.24

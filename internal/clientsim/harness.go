@@ -37,11 +37,29 @@ type Stack struct {
 	// via the async ingest queue) updates its pattern×region group counters
 	// at commit time, so detection (inference.Detector.DetectIncremental)
 	// reads finished counters instead of rescanning the store.
-	Aggregator  *results.Aggregator
+	Aggregator *results.Aggregator
+	// WAL is the durable commit log attached to Store when StackConfig.WAL
+	// was set; nil otherwise. Call Stack.Close when done so the log is
+	// synced and its files closed.
+	WAL         *results.WAL
 	Coordinator *coordserver.Server
 	Collector   *collectserver.Server
 	Population  *Population
 	Infra       Infrastructure
+}
+
+// Close releases the stack's durable resources: it closes the collector's
+// write path (draining any async ingest queue, syncing the WAL) and then
+// closes the WAL itself. Stacks built without a WAL need not be closed, but
+// calling Close is always safe.
+func (s *Stack) Close() error {
+	err := s.Collector.Close()
+	if s.WAL != nil {
+		if cerr := s.WAL.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // StackConfig parameterizes BuildStack.
@@ -67,6 +85,11 @@ type StackConfig struct {
 	// Infra overrides the deployment's infrastructure layout (coordinator
 	// mirrors, webmaster proxying); nil uses DefaultInfrastructure.
 	Infra *Infrastructure
+	// WAL, when non-nil, attaches a durable write-ahead log to the stack's
+	// store (results.OpenWAL with this configuration) so the simulated
+	// collector persists every committed measurement like a production one
+	// would. The caller should Stack.Close when done.
+	WAL *results.WALConfig
 }
 
 // BuildStack assembles a full deployment. The pipeline is run as part of the
@@ -137,6 +160,15 @@ func BuildStack(cfg StackConfig) *Stack {
 	coord := coordserver.New(sched, index, g, snippet)
 	collect := collectserver.New(store, index, g)
 	collect.AttachAggregator(agg)
+	var wal *results.WAL
+	if cfg.WAL != nil {
+		var err error
+		wal, err = results.OpenWAL(*cfg.WAL)
+		if err != nil {
+			panic("clientsim: opening WAL: " + err.Error())
+		}
+		collect.AttachWAL(wal)
+	}
 	pop := New(net, g, coord, collect, infra, cfg.Seed+5)
 
 	return &Stack{
@@ -150,6 +182,7 @@ func BuildStack(cfg StackConfig) *Stack {
 		TaskIndex:   index,
 		Store:       store,
 		Aggregator:  agg,
+		WAL:         wal,
 		Coordinator: coord,
 		Collector:   collect,
 		Population:  pop,

@@ -6,6 +6,15 @@
 // request). The server geolocates the submitting address, parses the
 // browser family from the User-Agent, joins the submission with the task
 // metadata registered by the coordination server, and stores a Measurement.
+//
+// The write path scales and persists through three optional tiers, all
+// attached before traffic starts: EnableAsyncIngest routes accepted
+// submissions through a bounded batched write queue so the §5.5 beacon
+// returns without waiting on store locks; AttachAggregator keeps the
+// incremental analysis tier current at the point of arrival; AttachWAL makes
+// every committed measurement durable. Close shuts the path down in
+// crash-consistent order (drain the queue, then sync the log). An AbuseGuard
+// applies the §8 anti-poisoning defences inline.
 package collectserver
 
 import (
@@ -46,6 +55,11 @@ type Server struct {
 	// EnableAsyncIngest; stored counts become visible as workers drain the
 	// queue (Ingest.Close drains fully).
 	Ingest *Ingester
+	// WAL, when non-nil (AttachWAL), is the durability tier behind Store:
+	// every committed measurement is appended to its segmented log, and
+	// Close syncs it after draining the ingest queue so a clean shutdown
+	// leaves everything the server acknowledged on stable storage.
+	WAL *results.WAL
 }
 
 // New creates a collection server backed by the given store and task index.
@@ -131,7 +145,37 @@ func (s *Server) EnableAsyncIngest(cfg IngestConfig) *Ingester {
 // configuration fields. Attaching to a store that already holds measurements
 // does not replay them; use Aggregator.Backfill first for that.
 func (s *Server) AttachAggregator(agg *results.Aggregator) {
-	s.Store.SetObserver(agg)
+	s.Store.AddObserver(agg)
+}
+
+// AttachWAL wires a write-ahead log into the server's store: every
+// measurement that commits — through either write path — is appended to the
+// durable log at commit time, alongside any attached aggregator. Call before
+// the server starts handling traffic, like the other configuration fields.
+// The caller owns the WAL's lifecycle (the server's Close syncs it but does
+// not close it); recover a crashed collector's store with
+// results.OpenStoreFromWAL before attaching a reopened WAL.
+func (s *Server) AttachWAL(w *results.WAL) {
+	s.WAL = w
+	s.Store.AddObserver(w)
+}
+
+// Close shuts the server's write path down cleanly: it drains and closes the
+// async ingest queue (if enabled), then syncs the WAL (if attached) so every
+// acknowledged submission is on stable storage. The crash-consistency
+// contract under the batched async path is exactly this ordering — queue
+// drain first, fsync second; a submission the queue had not yet committed at
+// a crash was never observable in the store either, so recovery stays
+// consistent with what analysis could have seen. Safe to call more than
+// once.
+func (s *Server) Close() error {
+	if s.Ingest != nil {
+		s.Ingest.Close()
+	}
+	if s.WAL != nil {
+		return s.WAL.Sync()
+	}
+	return nil
 }
 
 // Accept validates a submission and stores the resulting measurement. It is

@@ -1,0 +1,100 @@
+package collectserver
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encore/internal/core"
+	"encore/internal/results"
+)
+
+// TestWALSeesBothWritePaths checks that a WAL attached with AttachWAL records
+// every commit from both the synchronous Accept path and the batched async
+// ingest path, and that the recovered store matches the live one bit-for-bit
+// after Server.Close has drained and synced.
+func TestWALSeesBothWritePaths(t *testing.T) {
+	dir := t.TempDir()
+	s, store, index, _ := testServer(t)
+	wal, err := results.OpenWAL(results.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachWAL(wal)
+
+	// Synchronous path.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("sync-%d", i)
+		registerTask(index, id, false)
+		if err := s.Accept(core.Submission{MeasurementID: id, State: core.StateSuccess, ClientIP: "9.0.0.1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batched async path, including init → terminal upgrades. One worker
+	// keeps the init → terminal order deterministic: with several workers the
+	// two submissions of an ID may commit reversed, in which case the ignored
+	// downgrade is (correctly) never logged and the record count below would
+	// be off by one.
+	s.EnableAsyncIngest(IngestConfig{Workers: 1, QueueSize: 64, BatchSize: 8})
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("async-%d", i)
+		registerTask(index, id, false)
+		if err := s.Accept(core.Submission{MeasurementID: id, State: core.StateInit, ClientIP: "9.0.0.2"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Accept(core.Submission{MeasurementID: id, State: core.StateFailure, ClientIP: "9.0.0.2"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Close drains the queue and syncs the WAL — the clean-shutdown half of
+	// the crash-consistency contract.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 60 {
+		t.Fatalf("store holds %d measurements, want 60", store.Len())
+	}
+
+	recovered, stats, err := results.OpenStoreFromWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Len() != store.Len() {
+		t.Fatalf("recovered %d measurements, want %d", recovered.Len(), store.Len())
+	}
+	// 20 sync inserts + 40 async inserts + 40 async upgrades.
+	if stats.Records != 100 {
+		t.Fatalf("WAL replayed %d records, want 100", stats.Records)
+	}
+	var live, replayed bytes.Buffer
+	if err := store.WriteJSONL(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.WriteJSONL(&replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), replayed.Bytes()) {
+		t.Fatal("recovered snapshot differs from live store")
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCloseIdempotent checks Close can be called repeatedly and without
+// optional tiers attached.
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _, _, _ := testServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableAsyncIngest(IngestConfig{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,15 @@
 // the test (i.e. remains accessible) somewhere else. The cross-region
 // requirement is what separates "this site is down or broken" from "this
 // site is blocked here".
+//
+// Detection runs in two modes with identical output: DetectStore batch-scans
+// a results.Store, while DetectIncremental reads the group counters a
+// results.Aggregator maintained at ingest and recomputes only patterns whose
+// counters changed — O(groups) per pass instead of O(store), which is what
+// keeps detection latency flat as a campaign accumulates measurements.
+// DetectWindows/DetectWindowsAggregated are the longitudinal counterparts,
+// and CheckConfounds flags detections whose failures concentrate in one
+// browser or task type.
 package inference
 
 import (

@@ -14,6 +14,7 @@ import (
 	"encore/internal/clientsim"
 	"encore/internal/collectserver"
 	"encore/internal/inference"
+	"encore/internal/results"
 )
 
 // Config parameterizes a load-generation run.
@@ -76,6 +77,15 @@ type Result struct {
 	// the analysis-side number the streaming tier exists to keep flat as the
 	// store grows.
 	DetectIncremental time.Duration
+	// WALAttached reports whether the stack persisted the run through a
+	// write-ahead log; WAL then holds the log's counters after the final
+	// sync, so a run with the WAL on can be compared against one with it off
+	// (the E19 durability-overhead question). WALErr is the log's sticky
+	// error, if any — non-nil means the counters describe a log that stopped
+	// recording mid-run and the throughput comparison is invalid.
+	WALAttached bool
+	WAL         results.WALStats
+	WALErr      error
 }
 
 // String renders the result as a one-line report.
@@ -85,6 +95,13 @@ func (r Result) String() string {
 		r.Elapsed.Round(time.Millisecond), r.SubmissionsPerSec, r.AssignmentsPerSec)
 	if r.Groups > 0 {
 		s += fmt.Sprintf("; incremental detection over %d groups in %v", r.Groups, r.DetectIncremental)
+	}
+	if r.WALAttached {
+		s += fmt.Sprintf("; WAL %d records / %.1f MiB / %d segments / %d fsyncs",
+			r.WAL.Records, float64(r.WAL.Bytes)/(1<<20), r.WAL.Segments, r.WAL.Fsyncs)
+		if r.WALErr != nil {
+			s += fmt.Sprintf(" [WAL FAILED: %v]", r.WALErr)
+		}
 	}
 	return s
 }
@@ -120,6 +137,12 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 		ingester.Close()
 		stack.Collector.Ingest = nil
 	}
+	var walErr error
+	if stack.WAL != nil {
+		// The durability cost belongs in the measured window: sync before
+		// stopping the clock, exactly as a collector shutting down would.
+		walErr = stack.WAL.Sync()
+	}
 	elapsed := time.Since(started)
 
 	res := Result{
@@ -133,6 +156,11 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.SubmissionsPerSec = float64(campaign.TasksSubmitted) / secs
 		res.AssignmentsPerSec = float64(campaign.TasksAssigned) / secs
+	}
+	if stack.WAL != nil {
+		res.WALAttached = true
+		res.WAL = stack.WAL.Stats()
+		res.WALErr = walErr
 	}
 	if stack.Aggregator != nil {
 		detectStarted := time.Now()

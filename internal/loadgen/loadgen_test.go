@@ -7,6 +7,7 @@ import (
 
 	"encore/internal/censor"
 	"encore/internal/clientsim"
+	"encore/internal/results"
 )
 
 // TestRunDrivesConcurrentClients runs a small concurrent load campaign through
@@ -60,5 +61,43 @@ func TestRunSyncPath(t *testing.T) {
 	}
 	if res.Stored != stack.Store.Len() {
 		t.Fatalf("Stored=%d disagrees with store Len=%d", res.Stored, stack.Store.Len())
+	}
+}
+
+// TestRunWithWALAttached drives a load run against a stack persisting through
+// the write-ahead log and checks the result reports the durability tier's
+// counters and that the log holds the whole run.
+func TestRunWithWALAttached(t *testing.T) {
+	dir := t.TempDir()
+	stack := clientsim.BuildStack(clientsim.StackConfig{
+		Seed:   11,
+		Censor: censor.PaperPolicies(),
+		WAL:    &results.WALConfig{Dir: dir},
+	})
+	res := Run(stack, Config{
+		Clients:           4,
+		Visits:            120,
+		Start:             time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		SimulatedDuration: time.Hour,
+		AsyncIngest:       true,
+	})
+	if !res.WALAttached {
+		t.Fatal("result does not report the attached WAL")
+	}
+	if res.WAL.Records == 0 || res.WAL.Bytes == 0 {
+		t.Fatalf("WAL counters empty: %+v", res.WAL)
+	}
+	if !strings.Contains(res.String(), "WAL") {
+		t.Fatalf("String() omits WAL stats: %s", res)
+	}
+	if err := stack.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _, err := results.OpenStoreFromWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Len() != stack.Store.Len() {
+		t.Fatalf("recovered %d measurements, want %d", recovered.Len(), stack.Store.Len())
 	}
 }

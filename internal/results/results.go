@@ -1,8 +1,17 @@
 // Package results defines the measurement records Encore's collection server
-// stores (§5.5) and the stores and aggregations the detection algorithm
-// consumes (§7.2). A Measurement joins the client-side submission with the
-// server-side metadata (receiving time, client address, geolocated region)
-// and the task it answers.
+// stores (§5.5) and the storage and aggregation tiers the detection
+// algorithm consumes (§7.2). A Measurement joins the client-side submission
+// with the server-side metadata (receiving time, client address, geolocated
+// region) and the task it answers.
+//
+// Three tiers share one commit: Store is the sharded in-memory system of
+// record; Aggregator is the online analysis tier, fed every effective insert
+// and in-place upgrade through the CommitObserver hook; and WAL is the
+// durability tier, an append-only segmented log fed through the same hook
+// (with insertion sequence numbers, via CommitSeqObserver) whose replay —
+// OpenStoreFromWAL — rebuilds a bit-for-bit identical store after a crash.
+// The observer contract the two downstream tiers rely on is documented on
+// CommitObserver and in docs/ARCHITECTURE.md.
 package results
 
 import (

@@ -39,11 +39,27 @@ type storeShard struct {
 // in-place upgrade; ignored downgrades (terminal → init) produce no call.
 // The store invokes Commit synchronously under the shard lock that serialized
 // the mutation, so for any one measurement ID the observer sees transitions
-// in exactly the order the store applied them — the property the incremental
-// Aggregator's retract-then-add accounting relies on. Implementations must be
-// fast, must not block, and must not call back into the store.
+// in exactly the order the store applied them — the property both the
+// incremental Aggregator's retract-then-add accounting and the WAL's replay
+// ordering rely on. Implementations must be fast, must not block, and must
+// not call back into the store. See docs/ARCHITECTURE.md for the full
+// observer contract.
 type CommitObserver interface {
 	Commit(prev *Measurement, cur Measurement)
+}
+
+// CommitSeqObserver is an optional CommitObserver extension for observers
+// that also need the record's insertion sequence number — the global position
+// the measurement occupies in the store's snapshot order. An in-place upgrade
+// keeps the sequence number of the insert it replaces. The WAL persists the
+// sequence so OpenStoreFromWAL rebuilds a store whose All/WriteJSONL output
+// is bit-for-bit identical to the live store's. Observers implementing this
+// interface receive CommitWithSeq instead of Commit; the same contract
+// (called under the shard lock, must be fast, must not re-enter the store)
+// applies.
+type CommitSeqObserver interface {
+	CommitObserver
+	CommitWithSeq(seq uint64, prev *Measurement, cur Measurement)
 }
 
 // Store is an in-memory, concurrency-safe measurement store with JSON-lines
@@ -61,10 +77,19 @@ type Store struct {
 	// numbers. Both are atomics so Len and ordering never take shard locks.
 	count atomic.Int64
 	seq   atomic.Uint64
-	// obs, when set, is notified of every effective insert or upgrade. It is
-	// written once before the store sees concurrent traffic (SetObserver) and
-	// read on every commit without further synchronization.
-	obs CommitObserver
+	// observers are notified of every effective insert or upgrade. The slice
+	// is written only before the store sees concurrent traffic
+	// (SetObserver/AddObserver) and read on every commit without further
+	// synchronization.
+	observers []storeObserver
+}
+
+// storeObserver is one attached observer with its resolved dispatch: seq is
+// non-nil when the observer wants the insertion sequence number alongside the
+// transition (CommitSeqObserver).
+type storeObserver struct {
+	plain CommitObserver
+	seq   CommitSeqObserver
 }
 
 // NewStore returns an empty store with the default shard count.
@@ -124,11 +149,44 @@ func (s *Store) Add(m Measurement) error {
 }
 
 // SetObserver attaches a commit observer that will be notified of every
-// subsequent insert and in-place upgrade. It must be called before the store
-// handles concurrent traffic (like the collectserver configuration fields);
-// attaching an observer to a store that already holds measurements does not
-// replay them — use Aggregator.Backfill for that.
-func (s *Store) SetObserver(obs CommitObserver) { s.obs = obs }
+// subsequent insert and in-place upgrade, replacing any observers attached
+// before it. It must be called before the store handles concurrent traffic
+// (like the collectserver configuration fields); attaching an observer to a
+// store that already holds measurements does not replay them — use
+// Aggregator.Backfill for that.
+func (s *Store) SetObserver(obs CommitObserver) {
+	s.observers = s.observers[:0]
+	s.AddObserver(obs)
+}
+
+// AddObserver attaches one more commit observer alongside any already
+// attached — the collection server runs the incremental Aggregator and the
+// durability WAL side by side this way. Observers are notified in attachment
+// order. Like SetObserver it must be called before the store handles
+// concurrent traffic. Observers implementing CommitSeqObserver receive
+// CommitWithSeq instead of Commit.
+func (s *Store) AddObserver(obs CommitObserver) {
+	if obs == nil {
+		return
+	}
+	so := storeObserver{plain: obs}
+	if seq, ok := obs.(CommitSeqObserver); ok {
+		so.seq = seq
+	}
+	s.observers = append(s.observers, so)
+}
+
+// notify dispatches one committed transition to every attached observer;
+// called under the shard lock that serialized the commit.
+func (s *Store) notify(seq uint64, prev *Measurement, cur Measurement) {
+	for i := range s.observers {
+		if o := &s.observers[i]; o.seq != nil {
+			o.seq.CommitWithSeq(seq, prev, cur)
+		} else {
+			o.plain.Commit(prev, cur)
+		}
+	}
+}
 
 // addLocked inserts or upgrades one measurement; sh.mu must be held.
 func (s *Store) addLocked(sh *storeShard, m Measurement) {
@@ -138,17 +196,37 @@ func (s *Store) addLocked(sh *storeShard, m Measurement) {
 		}
 		prev := sh.entries[idx].m
 		sh.entries[idx].m = m
-		if s.obs != nil {
-			s.obs.Commit(&prev, m)
-		}
+		s.notify(sh.entries[idx].seq, &prev, m)
+		return
+	}
+	seq := s.seq.Add(1)
+	sh.byID[m.MeasurementID] = len(sh.entries)
+	sh.entries = append(sh.entries, storeEntry{seq: seq, m: m})
+	s.count.Add(1)
+	s.notify(seq, nil, m)
+}
+
+// replay applies one recovered WAL record, preserving its original insertion
+// sequence number so the rebuilt store's snapshot order matches the store
+// that wrote the log. It is the recovery path's insert primitive: observers
+// are not notified (recovery attaches them afterwards, and the analysis tier
+// cold-starts via Aggregator.Backfill), validation is skipped (the records
+// were validated before they were committed and logged), and the caller is
+// responsible for advancing the store's sequence counter past every replayed
+// seq (see OpenStoreFromWAL). Safe for concurrent use by the per-WAL-shard
+// replay goroutines: records of one measurement ID must be (and are) replayed
+// in log order by a single goroutine.
+func (s *Store) replay(seq uint64, m Measurement) {
+	sh := s.shardFor(m.MeasurementID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if idx, ok := sh.byID[m.MeasurementID]; ok {
+		sh.entries[idx].m = m // upgrades keep the insert's sequence number
 		return
 	}
 	sh.byID[m.MeasurementID] = len(sh.entries)
-	sh.entries = append(sh.entries, storeEntry{seq: s.seq.Add(1), m: m})
+	sh.entries = append(sh.entries, storeEntry{seq: seq, m: m})
 	s.count.Add(1)
-	if s.obs != nil {
-		s.obs.Commit(nil, m)
-	}
 }
 
 // AddBatch stores a batch of measurements, taking each shard lock at most

@@ -1,0 +1,988 @@
+package results
+
+// The durable store tier. Encore's longitudinal views (§7.2) are built over
+// weeks of measurements, so the collection server must retain its store
+// across restarts; the WAL is the persistence backend behind the in-memory
+// sharded Store. It attaches through the commit-observer hook: every
+// effective insert and in-place upgrade the store commits — from either
+// collectserver write path — is appended to a per-shard segmented log, and
+// OpenStoreFromWAL replays the segments into a fresh store whose snapshot
+// output is bit-for-bit identical to the store that wrote them. Upgrades
+// retract the record they replace, so Compact rewrites each shard down to
+// only the latest record per measurement ID. See docs/ARCHITECTURE.md for
+// the durability trade-offs of the three fsync policies.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+)
+
+// SyncPolicy selects how aggressively the WAL pushes appended records to
+// stable storage. The trade-off is the classic one: SyncAlways bounds data
+// loss to zero committed records at a large per-append cost; SyncInterval
+// bounds loss to one flush interval at near-zero cost; SyncNone leaves
+// durability to the operating system's page cache.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) flushes and fsyncs every shard on a
+	// background ticker (WALConfig.Interval); a crash loses at most the last
+	// interval's worth of commits.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways flushes and fsyncs after every committed record; a crash
+	// loses nothing the store acknowledged, at the cost of one fsync per
+	// commit.
+	SyncAlways
+	// SyncNone never fsyncs (buffers are still flushed to the OS on the
+	// background ticker, on rotation, and on Close); a machine crash can lose
+	// whatever the kernel had not written back.
+	SyncNone
+)
+
+// String returns the flag-friendly name of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses a flag-friendly policy name ("always", "interval",
+// "none").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncInterval, fmt.Errorf("results: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// WALConfig parameterizes a write-ahead log.
+type WALConfig struct {
+	// Dir is the directory segment files live in; it is created if missing.
+	Dir string
+	// SegmentBytes is the size threshold past which a shard rotates to a new
+	// segment file (default 16 MiB). Rotation seals and fsyncs the finished
+	// segment, so under SyncNone a rotated segment is durable even though
+	// individual appends are not.
+	SegmentBytes int64
+	// Shards is the number of independent segment writers (rounded up to a
+	// power of two; < 1 means the default of 8). Records shard by measurement
+	// ID with the same hash as the Store, so all records of one measurement
+	// land in one shard's log in commit order — the property replay relies
+	// on. Because that invariant must also hold across restarts, the shard
+	// count of a directory is pinned in a wal-meta.json file on first open;
+	// reopening with a different Shards value adopts the pinned count (the
+	// on-disk layout wins). Fewer shards than the store's suffice: appends
+	// are microseconds, not lock-hold-dominated.
+	Shards int
+	// Policy is the fsync policy; the zero value is SyncInterval.
+	Policy SyncPolicy
+	// Interval is the background flush period for SyncInterval and SyncNone
+	// (default 200ms).
+	Interval time.Duration
+}
+
+const (
+	defaultWALShards    = 8
+	defaultSegmentBytes = 16 << 20
+	defaultSyncInterval = 200 * time.Millisecond
+
+	// walVersion is the record-format version byte; bump when the payload
+	// encoding changes.
+	walVersion = 1
+	// walFrameHeader is the per-record framing overhead: a uint32 payload
+	// length and a uint32 CRC of the payload.
+	walFrameHeader = 8
+	// maxWALRecord bounds a decoded payload length; a frame claiming more is
+	// treated as tail corruption.
+	maxWALRecord = 16 << 20
+)
+
+// walShard is one independent segment writer.
+type walShard struct {
+	id    int // this shard's index, fixed at OpenWAL
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	size  int64
+	next  uint64 // index the next opened segment receives
+	dirty bool   // bytes flushed to the file but not yet fsynced
+	buf   []byte // scratch encode buffer, reused under mu
+}
+
+// WAL is a segmented append-only write-ahead log recording every effective
+// store commit. Attach it with Store.AddObserver (it implements
+// CommitSeqObserver, so the store hands it the insertion sequence number each
+// record needs for order-preserving replay); recover with OpenStoreFromWAL.
+// All methods are safe for concurrent use. Append errors are sticky: the
+// first I/O failure stops further appends and is reported by Err, so a
+// collector can surface a broken disk instead of silently logging nothing.
+type WAL struct {
+	cfg  WALConfig
+	mask uint32
+
+	shards []walShard
+
+	records   atomic.Uint64
+	bytes     atomic.Uint64
+	fsyncs    atomic.Uint64
+	rotations atomic.Uint64
+	compacts  atomic.Uint64
+
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenWAL opens (creating the directory if needed) a write-ahead log for
+// appending. Existing segments are left untouched: each shard continues
+// numbering after the highest segment already on disk, so reopening after a
+// crash or restart never overwrites a sealed segment. Stray temporary files
+// from an interrupted compaction are removed.
+func OpenWAL(cfg WALConfig) (*WAL, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("results: WALConfig.Dir is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = defaultWALShards
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = defaultSyncInterval
+	}
+	size := 1
+	for size < cfg.Shards {
+		size <<= 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: creating WAL dir: %w", err)
+	}
+	if tmps, err := filepath.Glob(filepath.Join(cfg.Dir, "*.seg.tmp")); err == nil {
+		for _, t := range tmps {
+			_ = os.Remove(t)
+		}
+	}
+	size, err := pinShardCount(cfg.Dir, size)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = size
+	w := &WAL{
+		cfg:       cfg,
+		mask:      uint32(size - 1),
+		shards:    make([]walShard, size),
+		stopFlush: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	for i := range w.shards {
+		w.shards[i].id = i
+	}
+	segs, err := walSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for shard, files := range segs {
+		if int(shard) < len(w.shards) && len(files) > 0 {
+			w.shards[shard].next = files[len(files)-1].index + 1
+		}
+	}
+	if cfg.Policy == SyncAlways {
+		close(w.flushDone) // no background flusher to wait for
+	} else {
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// Dir returns the directory the WAL writes to.
+func (w *WAL) Dir() string { return w.cfg.Dir }
+
+// Config returns the WAL's effective configuration.
+func (w *WAL) Config() WALConfig { return w.cfg }
+
+// segmentName returns the file name of segment index for shard.
+func segmentName(shard int, index uint64) string {
+	return fmt.Sprintf("wal-%03d-%08d.seg", shard, index)
+}
+
+// walMetaName pins a WAL directory's shard layout. Records shard by
+// measurement-ID hash, so the same ID must keep landing in the same shard
+// log across restarts — otherwise an upgrade could end up in a different
+// shard than its insert and parallel replay would apply the two in arbitrary
+// order.
+const walMetaName = "wal-meta.json"
+
+// walMeta is the persisted directory metadata.
+type walMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// pinShardCount returns the directory's pinned shard count, writing the
+// requested count (atomically) on first open. A pinned count always wins
+// over the requested one: the on-disk layout is authoritative.
+func pinShardCount(dir string, requested int) (int, error) {
+	metaPath := filepath.Join(dir, walMetaName)
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var meta walMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return 0, fmt.Errorf("results: corrupt %s: %w", walMetaName, err)
+		}
+		if meta.Shards < 1 || meta.Shards&(meta.Shards-1) != 0 {
+			return 0, fmt.Errorf("results: %s pins invalid shard count %d", walMetaName, meta.Shards)
+		}
+		return meta.Shards, nil
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	data, err := json.Marshal(walMeta{Version: walVersion, Shards: requested})
+	if err != nil {
+		return 0, err
+	}
+	tmp := metaPath + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, metaPath); err != nil {
+		return 0, err
+	}
+	syncDir(dir)
+	return requested, nil
+}
+
+// walSegFile is one discovered segment file.
+type walSegFile struct {
+	path  string
+	index uint64
+}
+
+// walSegments scans dir for segment files, grouped by shard and sorted by
+// index.
+func walSegments(dir string) (map[int][]walSegFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "wal-*-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]walSegFile)
+	for _, p := range paths {
+		var shard int
+		var index uint64
+		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%03d-%08d.seg", &shard, &index); err != nil {
+			continue // not ours
+		}
+		out[shard] = append(out[shard], walSegFile{path: p, index: index})
+	}
+	for shard := range out {
+		files := out[shard]
+		sort.Slice(files, func(i, j int) bool { return files[i].index < files[j].index })
+		out[shard] = files
+	}
+	return out, nil
+}
+
+// Commit implements CommitObserver for interface completeness only. The
+// store always dispatches the sequence-aware CommitWithSeq to observers
+// implementing CommitSeqObserver; a WAL fed through the sequence-less path
+// could not reconstruct snapshot order, so this panics rather than corrupt
+// the log silently.
+func (w *WAL) Commit(prev *Measurement, cur Measurement) {
+	panic("results: WAL must be attached via Store.AddObserver/SetObserver, which dispatch CommitWithSeq")
+}
+
+// CommitWithSeq implements CommitSeqObserver: it appends the committed record
+// to the shard log of its measurement ID. Called by the store under the shard
+// lock that serialized the commit, so records of one measurement are appended
+// in commit order. The replaced record (prev) is not logged — replaying
+// commits in order reproduces every upgrade — and append failures are
+// recorded (Err) rather than propagated, because the commit has already
+// happened.
+func (w *WAL) CommitWithSeq(seq uint64, prev *Measurement, cur Measurement) {
+	if w.closed.Load() || w.failed.Load() {
+		return
+	}
+	sh := &w.shards[ShardHash(cur.MeasurementID)&w.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if w.closed.Load() {
+		return
+	}
+	// Encode the payload after an 8-byte hole for the frame header, so
+	// header + payload go to the buffered writer as one Write.
+	if cap(sh.buf) < walFrameHeader {
+		sh.buf = make([]byte, walFrameHeader, 256)
+	}
+	frame, err := appendWALRecord(sh.buf[:walFrameHeader], seq, &cur)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	sh.buf = frame // keep the grown buffer
+	if err := w.writeFrameLocked(sh, frame); err != nil {
+		w.fail(err)
+	}
+}
+
+// fillFrameHeader writes the payload-length and CRC32 frame header into the
+// walFrameHeader bytes reserved at the front of frame. It is the single
+// definition of the on-disk framing, shared by the append path and
+// compaction.
+func fillFrameHeader(frame []byte) {
+	payload := frame[walFrameHeader:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// writeFrameLocked fills in the frame header (whose walFrameHeader bytes the
+// caller reserved at the front of frame) and writes the frame to the shard's
+// current segment, rotating first when the segment is full; sh.mu held.
+func (w *WAL) writeFrameLocked(sh *walShard, frame []byte) error {
+	fillFrameHeader(frame)
+	frameLen := int64(len(frame))
+	if sh.f != nil && sh.size > 0 && sh.size+frameLen > w.cfg.SegmentBytes {
+		if err := w.rotateLocked(sh); err != nil {
+			return err
+		}
+	}
+	if sh.f == nil {
+		if err := w.openSegmentLocked(sh); err != nil {
+			return err
+		}
+	}
+	if _, err := sh.w.Write(frame); err != nil {
+		return err
+	}
+	sh.size += frameLen
+	sh.dirty = true
+	w.records.Add(1)
+	w.bytes.Add(uint64(frameLen))
+	if w.cfg.Policy == SyncAlways {
+		if err := sh.w.Flush(); err != nil {
+			return err
+		}
+		if err := sh.f.Sync(); err != nil {
+			return err
+		}
+		sh.dirty = false
+		w.fsyncs.Add(1)
+	}
+	return nil
+}
+
+// openSegmentLocked opens the shard's next segment file; sh.mu held.
+// Segments are opened lazily on first append so untouched shards create no
+// files.
+func (w *WAL) openSegmentLocked(sh *walShard) error {
+	name := filepath.Join(w.cfg.Dir, segmentName(sh.id, sh.next))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("results: opening WAL segment: %w", err)
+	}
+	sh.f = f
+	if sh.w == nil {
+		sh.w = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		sh.w.Reset(f)
+	}
+	sh.size = 0
+	sh.dirty = false
+	sh.next++
+	return nil
+}
+
+// rotateLocked seals the current segment (flush + fsync + close); the next
+// append opens a fresh one. sh.mu held.
+func (w *WAL) rotateLocked(sh *walShard) error {
+	if sh.f == nil {
+		return nil
+	}
+	if err := sh.w.Flush(); err != nil {
+		return err
+	}
+	if err := sh.f.Sync(); err != nil {
+		return err
+	}
+	if err := sh.f.Close(); err != nil {
+		return err
+	}
+	sh.f = nil
+	sh.dirty = false
+	w.fsyncs.Add(1)
+	w.rotations.Add(1)
+	return nil
+}
+
+// fail records the WAL's first error and stops further appends.
+func (w *WAL) fail(err error) {
+	w.errMu.Lock()
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+	w.errMu.Unlock()
+	w.failed.Store(true)
+}
+
+// Err returns the first append/flush error the WAL hit, if any. Once an
+// error is recorded the WAL stops appending; operators should treat it as a
+// failed disk, not a transient.
+func (w *WAL) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.firstErr
+}
+
+// flushLoop is the SyncInterval/SyncNone background flusher.
+func (w *WAL) flushLoop() {
+	defer close(w.flushDone)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopFlush:
+			return
+		case <-ticker.C:
+			w.flushAll(w.cfg.Policy == SyncInterval)
+		}
+	}
+}
+
+// flushAll flushes every shard's buffer to its file, fsyncing dirty shards
+// when sync is set.
+func (w *WAL) flushAll(sync bool) {
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.w.Flush(); err != nil {
+				w.fail(err)
+			} else if sync && sh.dirty {
+				if err := sh.f.Sync(); err != nil {
+					w.fail(err)
+				} else {
+					sh.dirty = false
+					w.fsyncs.Add(1)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Sync flushes and fsyncs every shard. Collectors call it at shutdown (after
+// draining the async ingest queue) and around checkpoints so everything the
+// store acknowledged is on stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.flushAll(true)
+	return w.Err()
+}
+
+// Close stops the background flusher, flushes and fsyncs every shard, and
+// closes the segment files. Appends after Close are dropped. Close is
+// idempotent; it returns the WAL's sticky error, if any.
+func (w *WAL) Close() error {
+	w.closeOnce.Do(func() {
+		w.closed.Store(true)
+		if w.cfg.Policy != SyncAlways {
+			close(w.stopFlush)
+			<-w.flushDone
+		}
+		w.flushAll(true)
+		for i := range w.shards {
+			sh := &w.shards[i]
+			sh.mu.Lock()
+			if sh.f != nil {
+				if err := sh.f.Close(); err != nil {
+					w.fail(err)
+				}
+				sh.f = nil
+			}
+			sh.mu.Unlock()
+		}
+	})
+	return w.Err()
+}
+
+// WALStats is a point-in-time snapshot of the WAL's lifetime counters.
+type WALStats struct {
+	// Records and Bytes count framed records appended (Bytes includes
+	// framing).
+	Records uint64
+	Bytes   uint64
+	// Fsyncs counts fsync calls (per-record under SyncAlways, per dirty
+	// interval under SyncInterval, rotations and Sync/Close always).
+	Fsyncs uint64
+	// Rotations counts sealed segments; Compactions counts Compact passes.
+	Rotations   uint64
+	Compactions uint64
+	// Segments is the number of segment files currently on disk.
+	Segments int
+}
+
+// Stats returns the WAL's lifetime counters and current on-disk segment
+// count.
+func (w *WAL) Stats() WALStats {
+	st := WALStats{
+		Records:     w.records.Load(),
+		Bytes:       w.bytes.Load(),
+		Fsyncs:      w.fsyncs.Load(),
+		Rotations:   w.rotations.Load(),
+		Compactions: w.compacts.Load(),
+	}
+	if segs, err := walSegments(w.cfg.Dir); err == nil {
+		for _, files := range segs {
+			st.Segments += len(files)
+		}
+	}
+	return st
+}
+
+// Compact rewrites each shard's log down to the latest record per
+// measurement ID: upgrades retract the records they replaced, so a
+// long-running collector's log stays proportional to its live store rather
+// than its commit history. Per shard it seals the active segment, folds every
+// segment oldest-to-newest (later records of an ID supersede earlier ones),
+// writes the survivors — ordered by insertion sequence — to a temporary file,
+// fsyncs it, atomically renames it over the newest segment, and only then
+// deletes the older segments. A crash at any point leaves a replayable log:
+// before the rename the original segments are untouched; after it, replaying
+// leftover older segments before the compacted one converges to the same
+// store because replay applies records of an ID in order. Appends to a shard
+// block while that shard compacts.
+//
+// A failed compaction is returned but is not sticky: the uncompacted log on
+// disk remains valid and appendable, so a transient rewrite failure (disk
+// briefly full, one unreadable old segment) must not stop the WAL from
+// recording further commits. Only a failure while sealing the active segment
+// — a flush/fsync error on data the store already acknowledged — poisons the
+// append path, as any append-side error does.
+func (w *WAL) Compact() error {
+	for i := range w.shards {
+		if err := w.compactShard(i); err != nil {
+			return err
+		}
+	}
+	w.compacts.Add(1)
+	return nil
+}
+
+// compactShard compacts one shard; see Compact.
+func (w *WAL) compactShard(shard int) error {
+	sh := &w.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := w.rotateLocked(sh); err != nil {
+		w.fail(err) // sealing failure = acknowledged data not durable
+		return err
+	}
+	segs, err := walSegments(w.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	files := segs[shard]
+	if len(files) == 0 {
+		return nil
+	}
+	type liveRec struct {
+		seq uint64
+		m   Measurement
+	}
+	live := make(map[string]liveRec)
+	for _, f := range files {
+		_, _, err := readWALSegment(f.path, func(seq uint64, m Measurement) {
+			live[m.MeasurementID] = liveRec{seq: seq, m: m}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	recs := make([]liveRec, 0, len(live))
+	for _, r := range live {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+
+	last := files[len(files)-1]
+	tmpPath := last.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	scratch := make([]byte, walFrameHeader, 256)
+	for _, r := range recs {
+		frame, err := appendWALRecord(scratch[:walFrameHeader], r.seq, &r.m)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		scratch = frame
+		fillFrameHeader(frame)
+		if _, err := bw.Write(frame); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, last.path); err != nil {
+		return err
+	}
+	// Make the rename durable before unlinking the older segments: if the
+	// removes reached disk first and the machine died, the directory would
+	// hold neither the old records nor the compacted file that replaces
+	// them.
+	syncDir(w.cfg.Dir)
+	for _, f := range files[:len(files)-1] {
+		if err := os.Remove(f.path); err != nil {
+			return err
+		}
+	}
+	syncDir(w.cfg.Dir)
+	sh.next = last.index + 1
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals are durable;
+// best-effort (some platforms disallow it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// WALRecoveryStats reports what OpenStoreFromWAL found.
+type WALRecoveryStats struct {
+	// Segments is the number of segment files replayed; Records the framed
+	// records applied.
+	Segments int
+	Records  int
+	// TornSegments counts segments whose tail held a truncated or
+	// CRC-corrupted frame — the expected artifact of a crash mid-append. The
+	// torn tail is dropped; everything before it is recovered.
+	TornSegments int
+	// MaxSeq is the highest insertion sequence number recovered; the rebuilt
+	// store continues numbering after it.
+	MaxSeq uint64
+}
+
+// OpenStoreFromWAL replays every WAL segment under dir into a fresh store.
+// Records of one measurement ID all live in one WAL shard in commit order, so
+// shards replay in parallel (one goroutine each) while each shard's segments
+// replay sequentially oldest-to-newest; insertion sequence numbers persisted
+// with each record put every measurement back at its original snapshot
+// position, so All/Filter/WriteJSONL on the recovered store are bit-for-bit
+// identical to the store that wrote the log. A missing or empty directory
+// recovers an empty store. After recovery, cold-start the analysis tier with
+// Aggregator.Backfill and attach the aggregator and a reopened WAL as
+// observers before accepting traffic.
+func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
+	store := NewStore()
+	var stats WALRecoveryStats
+	segs, err := walSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(segs) == 0 {
+		return store, stats, nil
+	}
+	type shardResult struct {
+		segments, records, torn int
+		maxSeq                  uint64
+		err                     error
+	}
+	shardIDs := make([]int, 0, len(segs))
+	for shard := range segs {
+		shardIDs = append(shardIDs, shard)
+	}
+	results := make([]shardResult, len(shardIDs))
+	var wg sync.WaitGroup
+	for i, shard := range shardIDs {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			res := &results[i]
+			for _, f := range segs[shard] {
+				n, torn, err := readWALSegment(f.path, func(seq uint64, m Measurement) {
+					store.replay(seq, m)
+					if seq > res.maxSeq {
+						res.maxSeq = seq
+					}
+				})
+				res.segments++
+				res.records += n
+				if torn {
+					res.torn++
+				}
+				if err != nil {
+					res.err = err
+					return
+				}
+			}
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			return nil, stats, res.err
+		}
+		stats.Segments += res.segments
+		stats.Records += res.records
+		stats.TornSegments += res.torn
+		if res.maxSeq > stats.MaxSeq {
+			stats.MaxSeq = res.maxSeq
+		}
+	}
+	// Continue insertion numbering after the recovered records.
+	if cur := store.seq.Load(); stats.MaxSeq > cur {
+		store.seq.Store(stats.MaxSeq)
+	}
+	return store, stats, nil
+}
+
+// readWALSegment streams the framed records of one segment to fn in file
+// order. A truncated or CRC-corrupted frame is treated as a torn tail (the
+// crash artifact fsync policies other than SyncAlways permit): reading stops
+// there and torn is reported true. A record that passes its CRC but fails to
+// decode is a real format error and is returned as err.
+func readWALSegment(path string, fn func(seq uint64, m Measurement)) (records int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [walFrameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return records, false, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, true, nil
+			}
+			return records, false, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxWALRecord {
+			return records, true, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, true, nil
+			}
+			return records, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, true, nil
+		}
+		seq, m, err := decodeWALRecord(payload)
+		if err != nil {
+			return records, false, fmt.Errorf("results: %s: %w", filepath.Base(path), err)
+		}
+		fn(seq, m)
+		records++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding.
+//
+// The payload is a compact hand-rolled binary encoding rather than JSON: the
+// append sits on the ingest hot path (it runs under the store's shard lock),
+// and encoding/json costs more than the entire in-memory commit. Strings are
+// uvarint-length-prefixed bytes; the timestamp uses time.Time.MarshalBinary,
+// which preserves wall clock and zone offset so a recovered measurement
+// marshals to the exact JSON the live one does (the bit-for-bit snapshot
+// guarantee). TestWALAndJSONLRoundTripAgree pins the two persistence formats
+// to each other so they cannot drift.
+// ---------------------------------------------------------------------------
+
+// appendWALRecord appends the encoded record to buf and returns it.
+func appendWALRecord(buf []byte, seq uint64, m *Measurement) ([]byte, error) {
+	buf = append(buf, walVersion)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = appendWALString(buf, m.MeasurementID)
+	buf = appendWALString(buf, m.PatternKey)
+	buf = appendWALString(buf, m.TargetURL)
+	buf = binary.AppendVarint(buf, int64(m.TaskType))
+	buf = appendWALString(buf, string(m.State))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.DurationMillis))
+	buf = appendWALString(buf, m.ClientIP)
+	buf = appendWALString(buf, string(m.Region))
+	buf = binary.AppendVarint(buf, int64(m.Browser))
+	buf = appendWALString(buf, m.OriginSite)
+	if m.Control {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	// Reserve one byte for the timestamp length (time's binary encoding is
+	// 15–16 bytes, always a single-byte uvarint) and append in place — no
+	// per-record allocation.
+	mark := len(buf)
+	buf = append(buf, 0)
+	buf, err := m.Received.AppendBinary(buf)
+	if err != nil {
+		return nil, fmt.Errorf("results: encoding WAL timestamp: %w", err)
+	}
+	tlen := len(buf) - mark - 1
+	if tlen > 0x7f {
+		return nil, fmt.Errorf("results: encoding WAL timestamp: %d-byte encoding", tlen)
+	}
+	buf[mark] = byte(tlen)
+	return buf, nil
+}
+
+// appendWALString appends a uvarint-length-prefixed string.
+func appendWALString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// errWALRecord is returned for structurally invalid (but CRC-clean) records.
+var errWALRecord = errors.New("invalid WAL record")
+
+// decodeWALRecord decodes one payload produced by appendWALRecord.
+func decodeWALRecord(p []byte) (uint64, Measurement, error) {
+	var m Measurement
+	if len(p) == 0 || p[0] != walVersion {
+		return 0, m, fmt.Errorf("%w: unsupported version", errWALRecord)
+	}
+	p = p[1:]
+	seq, p, ok := takeUvarint(p)
+	var s string
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.MeasurementID = s
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.PatternKey = s
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.TargetURL = s
+	}
+	var v int64
+	if v, p, ok = takeVarint(p, ok); ok {
+		m.TaskType = core.TaskType(v)
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.State = core.State(s)
+	}
+	if ok && len(p) >= 8 {
+		m.DurationMillis = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	} else {
+		ok = false
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.ClientIP = s
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.Region = geo.CountryCode(s)
+	}
+	if v, p, ok = takeVarint(p, ok); ok {
+		m.Browser = core.BrowserFamily(v)
+	}
+	if s, p, ok = takeWALString(p, ok); ok {
+		m.OriginSite = s
+	}
+	if ok && len(p) >= 1 {
+		m.Control = p[0] == 1
+		p = p[1:]
+	} else {
+		ok = false
+	}
+	if !ok {
+		return 0, m, errWALRecord
+	}
+	tlen, p, ok := takeUvarint(p)
+	if !ok || uint64(len(p)) != tlen {
+		return 0, m, errWALRecord
+	}
+	if err := m.Received.UnmarshalBinary(p); err != nil {
+		return 0, m, fmt.Errorf("%w: timestamp: %v", errWALRecord, err)
+	}
+	return seq, m, nil
+}
+
+// takeUvarint consumes a uvarint from p.
+func takeUvarint(p []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+// takeVarint consumes a signed varint from p; ok threads the running decode
+// state.
+func takeVarint(p []byte, ok bool) (int64, []byte, bool) {
+	if !ok {
+		return 0, p, false
+	}
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+// takeWALString consumes a length-prefixed string from p; ok threads the
+// running decode state so a malformed record short-circuits.
+func takeWALString(p []byte, ok bool) (string, []byte, bool) {
+	if !ok {
+		return "", p, false
+	}
+	n, rest, ok := takeUvarint(p)
+	if !ok || uint64(len(rest)) < n {
+		return "", p, false
+	}
+	return string(rest[:n]), rest[n:], true
+}
+
+var _ CommitSeqObserver = (*WAL)(nil)

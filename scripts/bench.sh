@@ -1,16 +1,18 @@
 #!/bin/sh
-# Aggregation-tier benchmark runner: measures the batch-vs-incremental
-# detection trajectory (E18: DetectStore rescans grow with store size,
-# DetectIncremental stays flat) alongside the E17 parallel-ingest benchmarks,
-# and records every benchmark line as structured JSON in BENCH_aggregate.json
-# so successive runs can be compared numerically.
+# Scale benchmark runner: measures the batch-vs-incremental detection
+# trajectory (E18: DetectStore rescans grow with store size,
+# DetectIncremental stays flat) alongside the E17 parallel-ingest benchmarks
+# and the E19 durability benchmarks (WAL-attached ingest under each fsync
+# policy vs the in-memory baseline, plus WAL recovery replay throughput), and
+# records every benchmark line as structured JSON in BENCH_aggregate.json so
+# successive runs can be compared numerically.
 #
 # Usage: scripts/bench.sh [extra go-test flags, e.g. -benchtime=5x]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect'
+BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect|WALRecovery'
 OUT=BENCH_aggregate.json
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI gate for the Encore reproduction: formatting, vet, build, and the full
-# test suite (including the concurrent ingest soak test) under the race
-# detector.
+# CI gate for the Encore reproduction: formatting, vet, build, the docs
+# suite (scripts/docs_check.sh: required docs present, package comments on
+# every package, README-referenced commands build), and the full test suite
+# (including the concurrent ingest soak and WAL kill-and-restart tests)
+# under the race detector.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +21,9 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== docs check =="
+./scripts/docs_check.sh
 
 echo "== go test -race =="
 go test -race ./...
