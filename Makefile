@@ -3,9 +3,11 @@
 #   make ci          - everything CI runs: format check, vet, build, race tests
 #   make test        - fast test run (no race detector)
 #   make race        - full test suite under the race detector
-#   make bench       - aggregation-tier (E18), ingest (E17), and WAL
-#                      durability (E19) benchmarks, recorded as
-#                      BENCH_aggregate.json via scripts/bench.sh
+#   make bench       - aggregation-tier (E18), ingest (E17), WAL durability
+#                      (E19), and scheduler assignment (E20) benchmarks,
+#                      recorded as BENCH_aggregate.json via scripts/bench.sh
+#   make bench-sched - only the E20 scheduler benchmarks, merged into
+#                      BENCH_aggregate.json without touching E17-E19 entries
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
 #                      and the commands the README names actually build
@@ -14,7 +16,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-paper loadgen docs-check
+.PHONY: ci fmt vet build test race bench bench-sched bench-paper loadgen docs-check
 
 ci:
 	./scripts/ci.sh
@@ -36,6 +38,9 @@ race:
 
 bench:
 	./scripts/bench.sh
+
+bench-sched:
+	./scripts/bench.sh -only sched
 
 bench-paper:
 	$(GO) test -bench=. -benchmem .

@@ -13,6 +13,7 @@ package encore
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -1085,6 +1086,242 @@ func BenchmarkWALRecovery(b *testing.B) {
 			b.ReportMetric(float64(src.Len())*float64(b.N)/b.Elapsed().Seconds(), "measurements/s")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E20 — assignment throughput: the sharded lock-free assignment tier vs the
+// seed's single-mutex scheduler. The baseline below replicates the seed
+// implementation exactly: one mutex serializing every client, a per-pick
+// copy + insertion sort of all pattern keys for coverage balancing, and a
+// per-pick linear compatibility filter with its two transient slices.
+// Run at ≥8 goroutines (b.SetParallelism pads to 8 when GOMAXPROCS is low)
+// over 1, 8, and 64 simulated client regions:
+//
+//	go test -bench='ParallelAssign|SchedulerPick' -benchmem .
+// ---------------------------------------------------------------------------
+
+// mutexScheduler is the seed scheduler, preserved as the E20 baseline.
+type mutexScheduler struct {
+	cfg    scheduler.Config
+	nextID atomic.Uint64
+
+	mu                sync.Mutex
+	rng               *stats.RNG
+	tasks             *pipeline.TaskSet
+	patternKeys       []string
+	focusIndex        int
+	focusSince        time.Time
+	assignedPerRegion map[string]map[geo.CountryCode]int
+}
+
+func newMutexScheduler(tasks *pipeline.TaskSet, cfg scheduler.Config) *mutexScheduler {
+	return &mutexScheduler{
+		cfg:               cfg,
+		rng:               stats.NewRNG(cfg.Seed),
+		tasks:             tasks,
+		patternKeys:       tasks.PatternKeys(),
+		assignedPerRegion: make(map[string]map[geo.CountryCode]int),
+	}
+}
+
+func (s *mutexScheduler) focusPattern(now time.Time) string {
+	if len(s.patternKeys) == 0 {
+		return ""
+	}
+	if s.focusSince.IsZero() || now.Sub(s.focusSince) >= s.cfg.QuorumWindow {
+		if !s.focusSince.IsZero() {
+			s.focusIndex = (s.focusIndex + 1) % len(s.patternKeys)
+		}
+		s.focusSince = now
+	}
+	return s.patternKeys[s.focusIndex]
+}
+
+func (s *mutexScheduler) Assign(client scheduler.ClientInfo, now time.Time) []core.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	budget := 1
+	if client.ExpectedDwellSeconds > s.cfg.SecondsPerTask {
+		budget = int(client.ExpectedDwellSeconds / s.cfg.SecondsPerTask)
+	}
+	if budget > s.cfg.MaxTasksPerClient {
+		budget = s.cfg.MaxTasksPerClient
+	}
+	if s.tasks == nil || s.tasks.Len() == 0 {
+		return nil
+	}
+
+	var assigned []core.Task
+	seenTargets := make(map[string]bool)
+	for len(assigned) < budget {
+		cand := s.pickCandidate(client, now)
+		if cand == nil {
+			break
+		}
+		if seenTargets[cand.Type.String()+cand.TargetURL] {
+			break
+		}
+		seenTargets[cand.Type.String()+cand.TargetURL] = true
+		n := s.nextID.Add(1)
+		task := cand.Task(fmt.Sprintf("bm-%08d", n), false)
+		task.Created = now
+		task.TimeoutMillis = int(s.cfg.SecondsPerTask * 1000 * 3)
+		assigned = append(assigned, task)
+		if s.assignedPerRegion[cand.PatternKey] == nil {
+			s.assignedPerRegion[cand.PatternKey] = make(map[geo.CountryCode]int)
+		}
+		s.assignedPerRegion[cand.PatternKey][client.Region]++
+	}
+	return assigned
+}
+
+func (s *mutexScheduler) pickCandidate(client scheduler.ClientInfo, now time.Time) *pipeline.Candidate {
+	focus := s.focusPattern(now)
+	order := make([]string, 0, len(s.patternKeys))
+	if focus != "" {
+		order = append(order, focus)
+	}
+	rest := append([]string(nil), s.patternKeys...)
+	region := client.Region
+	count := func(k string) int {
+		if s.assignedPerRegion[k] == nil {
+			return 0
+		}
+		return s.assignedPerRegion[k][region]
+	}
+	for i := 1; i < len(rest); i++ {
+		for j := i; j > 0; j-- {
+			ci, cj := count(rest[j]), count(rest[j-1])
+			if ci < cj || (ci == cj && rest[j] < rest[j-1]) {
+				rest[j], rest[j-1] = rest[j-1], rest[j]
+			} else {
+				break
+			}
+		}
+	}
+	order = append(order, rest...)
+
+	for _, key := range order {
+		var compatible, strict []pipeline.Candidate
+		for _, c := range s.tasks.Candidates(key) {
+			if client.Browser.SupportsTask(c.Type) {
+				compatible = append(compatible, c)
+				if c.Strict {
+					strict = append(strict, c)
+				}
+			}
+		}
+		pool := compatible
+		if len(strict) > 0 {
+			pool = strict
+		}
+		if len(pool) > 0 {
+			pick := pool[s.rng.Intn(len(pool))]
+			return &pick
+		}
+	}
+	return nil
+}
+
+// benchSchedTaskSet builds `patterns` patterns with an image, a script, and
+// an iframe candidate each — the shape the pipeline emits for the scheduler.
+func benchSchedTaskSet(patterns int) *pipeline.TaskSet {
+	ts := pipeline.NewTaskSet()
+	for i := 0; i < patterns; i++ {
+		d := fmt.Sprintf("site%03d.bench.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskScript,
+			TargetURL: "http://" + d + "/app.js", Strict: true})
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskIFrame,
+			TargetURL: "http://" + d + "/page.html", CachedImageURL: "http://" + d + "/logo.png", Strict: true})
+	}
+	return ts
+}
+
+// benchSchedRegions are the E20 region-count axis: 1 (every client contends
+// on one coverage shard), 8, and 64 (region-sharded steady state).
+var benchSchedRegions = []int{1, 8, 64}
+
+// assignBencher abstracts the two scheduler implementations under test.
+type assignBencher interface {
+	Assign(client scheduler.ClientInfo, now time.Time) []core.Task
+}
+
+// benchmarkParallelAssign drives 8+ concurrent goroutines of single-task page
+// views (dwell below SecondsPerTask) spread over `regions` client regions.
+func benchmarkParallelAssign(b *testing.B, s assignBencher, regions int) {
+	families := core.BrowserFamilies()
+	codes := make([]geo.CountryCode, regions)
+	for i := range codes {
+		codes[i] = geo.CountryCode(fmt.Sprintf("R%02d", i))
+	}
+	if p := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0); p > 1 {
+		b.SetParallelism(p)
+	}
+	now := time.Unix(1_000_000, 0)
+	var total atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := benchWorkerSeq.Add(1)
+		client := scheduler.ClientInfo{
+			Region:               codes[int(w)%regions],
+			Browser:              families[int(w)%len(families)],
+			ExpectedDwellSeconds: 5,
+		}
+		n := 0
+		for pb.Next() {
+			tasks := s.Assign(client, now)
+			if len(tasks) == 0 {
+				b.Error("no task assigned")
+				return
+			}
+			n += len(tasks)
+		}
+		total.Add(int64(n))
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(total.Load())/b.Elapsed().Seconds(), "assignments/s")
+}
+
+// BenchmarkParallelAssignMutexBaseline measures concurrent task assignment
+// against the seed's single-mutex scheduler.
+func BenchmarkParallelAssignMutexBaseline(b *testing.B) {
+	for _, regions := range benchSchedRegions {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			benchmarkParallelAssign(b, newMutexScheduler(benchSchedTaskSet(200), scheduler.DefaultConfig()), regions)
+		})
+	}
+}
+
+// BenchmarkParallelAssignSharded measures the same workload against the
+// sharded assignment tier.
+func BenchmarkParallelAssignSharded(b *testing.B) {
+	for _, regions := range benchSchedRegions {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			benchmarkParallelAssign(b, scheduler.New(benchSchedTaskSet(200), scheduler.DefaultConfig()), regions)
+		})
+	}
+}
+
+// BenchmarkSchedulerPickSteadyState measures the bare candidate-pick path —
+// focus lookup, compiled-pool indexing, coverage record — via the scheduler's
+// pick probe. The acceptance bar is 0 allocs/op: the steady-state pick must
+// not touch the heap.
+func BenchmarkSchedulerPickSteadyState(b *testing.B) {
+	s := scheduler.New(benchSchedTaskSet(200), scheduler.DefaultConfig())
+	client := scheduler.ClientInfo{Region: "PK", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}
+	now := time.Unix(1_000_000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.PickCandidate(client, now); !ok {
+			b.Fatal("pick failed")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "picks/s")
 }
 
 // BenchmarkAblationSchedulingQuorum varies the scheduler's quorum window and

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -39,8 +40,21 @@ func main() {
 		coordURL     = flag.String("self", "//localhost:8080", "this server's public base URL (used in the embed snippet)")
 		targetsPath  = flag.String("targets", "", "path to a target list file; defaults to the built-in YouTube/Twitter/Facebook list")
 		seed         = flag.Uint64("seed", 1, "seed for the synthetic Web and scheduling randomness")
+		pprofAddr    = flag.String("pprof", "", "optional side-port listen address for net/http/pprof (e.g. localhost:6060), for profiling scheduler contention under load")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux; the
+		// profiling listener serves that mux on a side port so profiles never
+		// share a listener with client traffic.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	list := targets.MeasurementStudyList()
 	if *targetsPath != "" {

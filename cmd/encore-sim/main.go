@@ -103,6 +103,18 @@ func main() {
 		fmt.Printf("  %s: %d measurements\n", country, stats.ByCountry[country])
 	}
 
+	// Scheduling-side view of the same campaign: the per-region coverage
+	// shards the assignment tier balanced on.
+	coverage := stack.Scheduler.CoverageSnapshot()
+	maxSpread := 0
+	for _, rc := range coverage {
+		if spread := rc.Max - rc.Min; spread > maxSpread {
+			maxSpread = spread
+		}
+	}
+	fmt.Printf("scheduler: %d tasks assigned, coverage balanced across %d regions (largest per-region spread %d)\n",
+		stack.Scheduler.TotalAssignments(), len(coverage), maxSpread)
+
 	// Detection reads the incremental aggregation tier the collector
 	// maintained during ingest (O(groups)); a batch pass over the full store
 	// (O(store)) runs alongside it to show the crossover on this run.

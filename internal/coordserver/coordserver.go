@@ -8,6 +8,7 @@
 package coordserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -64,7 +65,7 @@ func (s *Server) TasksServed() uint64 { return atomic.LoadUint64(&s.served) }
 // reads never contend with scheduling.
 func (s *Server) TasksAssigned() uint64 { return uint64(s.Scheduler.TotalAssignments()) }
 
-// ServeHTTP routes /task.js, /frame.html, and /healthz.
+// ServeHTTP routes /task.js, /frame.html, /healthz, and /coverage.json.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Access-Control-Allow-Origin", "*")
 	switch {
@@ -75,8 +76,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasSuffix(r.URL.Path, "/healthz"):
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintf(w, "ok: %d task responses served, %d tasks assigned\n", s.TasksServed(), s.TasksAssigned())
+	case strings.HasSuffix(r.URL.Path, "/coverage.json"):
+		s.handleCoverage(w, r)
 	default:
 		http.NotFound(w, r)
+	}
+}
+
+// handleCoverage serves the scheduler's per-region coverage snapshot for
+// monitoring dashboards: how many assignments each pattern has received from
+// each region, plus the min/max balance the per-region least-covered index
+// maintains. Snapshotting locks each region shard only long enough to copy
+// its counters, so polling this endpoint never stalls assignment.
+func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	payload := struct {
+		TasksServed   uint64                     `json:"tasksServed"`
+		TasksAssigned uint64                     `json:"tasksAssigned"`
+		Focus         string                     `json:"focus"`
+		Regions       []scheduler.RegionCoverage `json:"regions"`
+	}{
+		TasksServed:   s.TasksServed(),
+		TasksAssigned: s.TasksAssigned(),
+		Focus:         s.Scheduler.FocusPattern(s.Now()),
+		Regions:       s.Scheduler.CoverageSnapshot(),
+	}
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -1,6 +1,7 @@
 package coordserver
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -223,5 +224,68 @@ func TestTaskJSWithEmptyScheduler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "no measurement tasks") {
 		t.Fatalf("empty scheduler should serve a harmless comment, got %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestCoverageEndpoint drives a few assignments and checks /coverage.json
+// reports them per region with the focus pattern and counters.
+func TestCoverageEndpoint(t *testing.T) {
+	s, _, g := testCoordinator(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	ip, _ := g.RandomIP("PK")
+	for i := 0; i < 5; i++ {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/task.js", nil)
+		req.Header.Set("User-Agent", "Mozilla/5.0 Chrome/39.0 Safari/537.36")
+		req.Header.Set("X-Forwarded-For", ip.String())
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/coverage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type=%q", ct)
+	}
+	var payload struct {
+		TasksServed   uint64 `json:"tasksServed"`
+		TasksAssigned uint64 `json:"tasksAssigned"`
+		Focus         string `json:"focus"`
+		Regions       []struct {
+			Region   string         `json:"region"`
+			Assigned map[string]int `json:"assigned"`
+			Min      int            `json:"min"`
+			Max      int            `json:"max"`
+		} `json:"regions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.TasksServed != 5 {
+		t.Fatalf("tasksServed=%d, want 5", payload.TasksServed)
+	}
+	if payload.TasksAssigned == 0 || payload.Focus == "" {
+		t.Fatalf("missing assigned/focus: %+v", payload)
+	}
+	if len(payload.Regions) != 1 || payload.Regions[0].Region != "PK" {
+		t.Fatalf("regions=%+v, want exactly PK", payload.Regions)
+	}
+	sum := 0
+	for _, n := range payload.Regions[0].Assigned {
+		sum += n
+	}
+	if sum != int(payload.TasksAssigned) {
+		t.Fatalf("region counts sum to %d, tasksAssigned=%d", sum, payload.TasksAssigned)
+	}
+	if payload.Regions[0].Max < payload.Regions[0].Min {
+		t.Fatalf("max < min in %+v", payload.Regions[0])
 	}
 }

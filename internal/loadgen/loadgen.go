@@ -66,8 +66,16 @@ type Result struct {
 	// throughput.
 	SubmissionsPerSec float64
 	// AssignmentsPerSec is TasksAssigned / Elapsed, the coordination-side
-	// throughput of the same run.
+	// throughput of the same run — the number the sharded assignment tier
+	// (per-region coverage shards, compiled candidate pools) is measured by
+	// end to end.
 	AssignmentsPerSec float64
+	// CoverageRegions is how many distinct client regions the scheduler
+	// balanced coverage for during the run, and CoverageSpread the largest
+	// per-region max−min assignment spread across schedulable patterns, both
+	// read from Scheduler.CoverageSnapshot after the drive.
+	CoverageRegions int
+	CoverageSpread  int
 	// Groups is the number of pattern×region cells the incremental
 	// aggregation tier maintained during the run (0 when the stack has no
 	// aggregator attached).
@@ -93,6 +101,9 @@ func (r Result) String() string {
 	s := fmt.Sprintf("loadgen: %d clients, %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
 		r.Clients, r.Visits, r.TasksAssigned, r.TasksSubmitted, r.Stored,
 		r.Elapsed.Round(time.Millisecond), r.SubmissionsPerSec, r.AssignmentsPerSec)
+	if r.CoverageRegions > 0 {
+		s += fmt.Sprintf("; coverage over %d regions (max spread %d)", r.CoverageRegions, r.CoverageSpread)
+	}
 	if r.Groups > 0 {
 		s += fmt.Sprintf("; incremental detection over %d groups in %v", r.Groups, r.DetectIncremental)
 	}
@@ -161,6 +172,15 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 		res.WALAttached = true
 		res.WAL = stack.WAL.Stats()
 		res.WALErr = walErr
+	}
+	if stack.Scheduler != nil {
+		coverage := stack.Scheduler.CoverageSnapshot()
+		res.CoverageRegions = len(coverage)
+		for _, rc := range coverage {
+			if spread := rc.Max - rc.Min; spread > res.CoverageSpread {
+				res.CoverageSpread = spread
+			}
+		}
 	}
 	if stack.Aggregator != nil {
 		detectStarted := time.Now()

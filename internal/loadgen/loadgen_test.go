@@ -48,6 +48,13 @@ func TestRunDrivesConcurrentClients(t *testing.T) {
 	if s := res.String(); !strings.Contains(s, "submissions/s") {
 		t.Fatalf("report missing throughput: %s", s)
 	}
+	// The scheduler's coverage shards must have seen the run's regions.
+	if res.CoverageRegions == 0 {
+		t.Fatal("result reports no scheduler coverage regions")
+	}
+	if !strings.Contains(res.String(), "coverage over") {
+		t.Fatalf("report missing coverage summary: %s", res)
+	}
 }
 
 // TestRunSyncPath exercises the synchronous (no queue) path for comparison

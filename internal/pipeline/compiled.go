@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"sort"
+
+	"encore/internal/core"
+)
+
+// CompiledTaskSet is an immutable, pick-optimized index over a TaskSet,
+// built once when a task set is installed into the scheduler. For every
+// (pattern, browser family) cell it precomputes the exact candidate pool the
+// scheduler would otherwise derive per pick — the browser-compatible
+// candidates, narrowed to the strict (smallest-overhead) subset when one
+// exists — so the per-assignment hot path is an index into a prebuilt slice
+// instead of a linear filter plus two transient slice allocations.
+//
+// A CompiledTaskSet is safe for concurrent use by construction: nothing
+// mutates it after Compile returns. Callers that need to change the
+// underlying tasks compile a new set and swap the pointer.
+type CompiledTaskSet struct {
+	keys     []string
+	index    map[string]int
+	families int
+	// pools is indexed [pattern*families + family]; each entry is the pool
+	// Compile derived for that cell (nil when the pattern has no candidate
+	// the family can run).
+	pools [][]Candidate
+	total int
+}
+
+// Compile builds the pick-optimized index of a task set.
+func Compile(ts *TaskSet) *CompiledTaskSet {
+	families := len(core.BrowserFamilies())
+	keys := ts.PatternKeys()
+	c := &CompiledTaskSet{
+		keys:     keys,
+		index:    make(map[string]int, len(keys)),
+		families: families,
+		pools:    make([][]Candidate, len(keys)*families),
+	}
+	for p, key := range keys {
+		c.index[key] = p
+		cands := ts.Candidates(key)
+		c.total += len(cands)
+		for f := 0; f < families; f++ {
+			family := core.BrowserFamily(f)
+			var compatible, strict []Candidate
+			for _, cand := range cands {
+				if !family.SupportsTask(cand.Type) {
+					continue
+				}
+				compatible = append(compatible, cand)
+				if cand.Strict {
+					strict = append(strict, cand)
+				}
+			}
+			pool := compatible
+			if len(strict) > 0 {
+				pool = strict
+			}
+			c.pools[p*families+f] = pool
+		}
+	}
+	return c
+}
+
+// NumPatterns returns how many patterns the set indexes.
+func (c *CompiledTaskSet) NumPatterns() int { return len(c.keys) }
+
+// Len returns the total number of candidates across all patterns.
+func (c *CompiledTaskSet) Len() int { return c.total }
+
+// PatternKeys returns the pattern keys in first-seen order.
+func (c *CompiledTaskSet) PatternKeys() []string {
+	return append([]string(nil), c.keys...)
+}
+
+// PatternKey returns the key of pattern index p.
+func (c *CompiledTaskSet) PatternKey(p int) string { return c.keys[p] }
+
+// PatternIndex returns the index of a pattern key.
+func (c *CompiledTaskSet) PatternIndex(key string) (int, bool) {
+	p, ok := c.index[key]
+	return p, ok
+}
+
+// FamilyIndex clamps a browser family to the modelled range; unknown
+// families behave like BrowserOther, matching BrowserFamily.String and
+// SupportsTask. Everything indexing per-family structures derived from a
+// CompiledTaskSet (its pools, the scheduler's heaps) must clamp through this
+// one function so the indices can never diverge.
+func FamilyIndex(family core.BrowserFamily) int {
+	f := int(family)
+	if f < 0 || f >= len(core.BrowserFamilies()) {
+		return int(core.BrowserOther)
+	}
+	return f
+}
+
+// Pool returns the precompiled candidate pool for a pattern index and browser
+// family: the compatible candidates, narrowed to the strict subset when any
+// strict candidate exists. The returned slice is shared and must not be
+// mutated. An empty pool means the family cannot measure this pattern.
+func (c *CompiledTaskSet) Pool(p int, family core.BrowserFamily) []Candidate {
+	return c.pools[p*c.families+FamilyIndex(family)]
+}
+
+// LexRanks returns, for each pattern index, the rank of its key in
+// lexicographic order — the deterministic tie-break the scheduler's coverage
+// balancing uses.
+func (c *CompiledTaskSet) LexRanks() []int32 {
+	order := make([]int, len(c.keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return c.keys[order[a]] < c.keys[order[b]] })
+	ranks := make([]int32, len(c.keys))
+	for rank, p := range order {
+		ranks[p] = int32(rank)
+	}
+	return ranks
+}
+
+// FamilyMembers returns, for each browser family, the pattern indices with a
+// non-empty pool for that family, ordered by the given per-pattern ranks
+// (ascending). The scheduler seeds each region shard's least-covered heaps
+// from this: with all counts zero, a rank-ordered slice is already a valid
+// min-heap.
+func (c *CompiledTaskSet) FamilyMembers(ranks []int32) [][]int32 {
+	members := make([][]int32, c.families)
+	for f := 0; f < c.families; f++ {
+		var m []int32
+		for p := 0; p < len(c.keys); p++ {
+			if len(c.pools[p*c.families+f]) > 0 {
+				m = append(m, int32(p))
+			}
+		}
+		sort.Slice(m, func(a, b int) bool { return ranks[m[a]] < ranks[m[b]] })
+		members[f] = m
+	}
+	return members
+}

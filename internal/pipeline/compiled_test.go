@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"testing"
+
+	"encore/internal/core"
+)
+
+func compiledFixture() *TaskSet {
+	ts := NewTaskSet()
+	ts.Add(Candidate{PatternKey: "domain:b.com", Type: core.TaskImage, TargetURL: "http://b.com/i.png", Strict: true})
+	ts.Add(Candidate{PatternKey: "domain:b.com", Type: core.TaskImage, TargetURL: "http://b.com/big.png"})
+	ts.Add(Candidate{PatternKey: "domain:b.com", Type: core.TaskScript, TargetURL: "http://b.com/app.js", Strict: true})
+	ts.Add(Candidate{PatternKey: "domain:a.com", Type: core.TaskScript, TargetURL: "http://a.com/app.js"})
+	return ts
+}
+
+// TestCompilePools checks that each (pattern, family) cell holds exactly the
+// pool the scheduler's per-pick filter used to derive: browser-compatible
+// candidates, narrowed to the strict subset when one exists.
+func TestCompilePools(t *testing.T) {
+	c := Compile(compiledFixture())
+	if c.NumPatterns() != 2 || c.Len() != 4 {
+		t.Fatalf("NumPatterns=%d Len=%d, want 2 and 4", c.NumPatterns(), c.Len())
+	}
+	if keys := c.PatternKeys(); keys[0] != "domain:b.com" || keys[1] != "domain:a.com" {
+		t.Fatalf("pattern keys not in first-seen order: %v", keys)
+	}
+	b, ok := c.PatternIndex("domain:b.com")
+	if !ok {
+		t.Fatal("missing index for domain:b.com")
+	}
+	// Chrome on b.com: strict candidates exist (strict image + strict
+	// script), so the pool is the strict subset.
+	chromePool := c.Pool(b, core.BrowserChrome)
+	if len(chromePool) != 2 {
+		t.Fatalf("chrome pool size %d, want 2 (strict image + strict script)", len(chromePool))
+	}
+	for _, cand := range chromePool {
+		if !cand.Strict {
+			t.Fatalf("non-strict candidate %v in strict-preferring pool", cand.TargetURL)
+		}
+	}
+	// Firefox on b.com: the script candidates drop out, strict image remains.
+	ffPool := c.Pool(b, core.BrowserFirefox)
+	if len(ffPool) != 1 || ffPool[0].TargetURL != "http://b.com/i.png" {
+		t.Fatalf("firefox pool %v, want only the strict image", ffPool)
+	}
+	// a.com has only a script candidate: empty pool for everyone but Chrome,
+	// and an unknown family clamps to BrowserOther (also empty).
+	a, _ := c.PatternIndex("domain:a.com")
+	if got := c.Pool(a, core.BrowserFirefox); len(got) != 0 {
+		t.Fatalf("firefox should have no pool for a script-only pattern, got %v", got)
+	}
+	if got := c.Pool(a, core.BrowserFamily(99)); len(got) != 0 {
+		t.Fatalf("unknown family should clamp to BrowserOther's empty pool, got %v", got)
+	}
+	if got := c.Pool(a, core.BrowserChrome); len(got) != 1 {
+		t.Fatalf("chrome pool for a.com %v, want the script candidate", got)
+	}
+}
+
+// TestCompileRanksAndMembers checks the derived coverage-balancing inputs:
+// lexicographic ranks and per-family heap seeds.
+func TestCompileRanksAndMembers(t *testing.T) {
+	c := Compile(compiledFixture())
+	ranks := c.LexRanks()
+	// First-seen order is [b.com, a.com]; lexicographic rank must invert it.
+	if ranks[0] != 1 || ranks[1] != 0 {
+		t.Fatalf("lex ranks %v, want [1 0]", ranks)
+	}
+	members := c.FamilyMembers(ranks)
+	if len(members) != len(core.BrowserFamilies()) {
+		t.Fatalf("families %d, want %d", len(members), len(core.BrowserFamilies()))
+	}
+	// Chrome can measure both patterns, ordered by rank: a.com (index 1)
+	// before b.com (index 0).
+	chrome := members[int(core.BrowserChrome)]
+	if len(chrome) != 2 || chrome[0] != 1 || chrome[1] != 0 {
+		t.Fatalf("chrome members %v, want [1 0]", chrome)
+	}
+	// Firefox can only measure b.com.
+	ff := members[int(core.BrowserFirefox)]
+	if len(ff) != 1 || ff[0] != 0 {
+		t.Fatalf("firefox members %v, want [0]", ff)
+	}
+}

@@ -1,0 +1,265 @@
+package scheduler
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/pipeline"
+)
+
+// fanInTaskSet builds a task set with `patterns` patterns, each carrying an
+// image (strict), a script, and an iframe candidate.
+func fanInTaskSet(patterns int) *pipeline.TaskSet {
+	ts := pipeline.NewTaskSet()
+	for i := 0; i < patterns; i++ {
+		d := fmt.Sprintf("site%03d.example.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskScript,
+			TargetURL: "http://" + d + "/app.js", Strict: true})
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskIFrame,
+			TargetURL: "http://" + d + "/page.html", CachedImageURL: "http://" + d + "/logo.png", Strict: true})
+	}
+	return ts
+}
+
+// TestConcurrentAssignAcrossRegions fans 8 goroutines into one scheduler —
+// some regions private to a goroutine, some shared — while a ninth goroutine
+// swaps control task sets and a tenth polls the monitoring surface. Run under
+// -race (scripts/ci.sh does), it checks the lock-free assignment tier for
+// data races, duplicate measurement IDs, and counter drift.
+func TestConcurrentAssignAcrossRegions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuorumWindow = 50 * time.Millisecond
+	s := New(fanInTaskSet(40), cfg)
+
+	const workers = 8
+	const perWorker = 500
+	regions := []geo.CountryCode{"US", "CN", "PK", "IR", "SHARED", "SHARED", "SHARED", "SHARED"}
+	families := core.BrowserFamilies()
+
+	var (
+		mu       sync.Mutex
+		seenIDs  = make(map[string]bool)
+		byRegion = make(map[geo.CountryCode]map[string]int)
+		total    int
+	)
+	var wg sync.WaitGroup
+	start := time.Unix(1_000_000, 0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			region := regions[w%len(regions)]
+			var buf []core.Task
+			localIDs := make([]string, 0, perWorker)
+			localPatterns := make(map[string]int)
+			for i := 0; i < perWorker; i++ {
+				client := ClientInfo{
+					Region:               region,
+					Browser:              families[(w+i)%len(families)],
+					ExpectedDwellSeconds: float64((i % 30) * 5),
+				}
+				buf = s.AssignInto(client, start.Add(time.Duration(i)*time.Millisecond), buf[:0])
+				for _, task := range buf {
+					if err := task.Validate(); err != nil {
+						t.Errorf("invalid task: %v", err)
+						return
+					}
+					if !client.Browser.SupportsTask(task.Type) {
+						t.Errorf("%v assigned unsupported %v", client.Browser, task.Type)
+						return
+					}
+					localIDs = append(localIDs, task.MeasurementID)
+					if !task.Control {
+						localPatterns[task.PatternKey]++
+					}
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range localIDs {
+				if seenIDs[id] {
+					t.Errorf("measurement ID %s minted twice", id)
+				}
+				seenIDs[id] = true
+			}
+			if byRegion[region] == nil {
+				byRegion[region] = make(map[string]int)
+			}
+			for pattern, n := range localPatterns {
+				byRegion[region][pattern] += n
+			}
+			total += len(localIDs)
+		}(w)
+	}
+	// Concurrent control-set swaps and monitoring reads must not race with
+	// assignment.
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		// Control patterns must not overlap the regular set here: overlapping
+		// control picks are recorded into regular coverage (matching the seed
+		// scheduler), which would skew this test's per-pattern accounting.
+		control := pipeline.NewTaskSet()
+		for i := 0; i < 3; i++ {
+			d := fmt.Sprintf("testbed%d.encore-test.org", i)
+			control.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+				TargetURL: "http://" + d + "/pixel.png", Strict: true})
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.SetControlTasks(control, float64(i%2)*0.2)
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.TotalAssignments()
+			_ = s.CoverageSnapshot()
+			_ = s.FocusPattern(time.Now())
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	if got := s.TotalAssignments(); got != total {
+		t.Fatalf("TotalAssignments=%d, want %d", got, total)
+	}
+	// Per-region coverage counts must equal what the workers observed.
+	for region, patterns := range byRegion {
+		for pattern, want := range patterns {
+			if got := s.Assignments(pattern, region); got != want {
+				t.Fatalf("Assignments(%s, %s)=%d, want %d", pattern, region, got, want)
+			}
+		}
+	}
+	snapshot := s.CoverageSnapshot()
+	if len(snapshot) == 0 {
+		t.Fatal("coverage snapshot empty after concurrent run")
+	}
+	snapTotal := 0
+	for _, rc := range snapshot {
+		for _, n := range rc.Assigned {
+			snapTotal += n
+		}
+	}
+	if snapTotal != total {
+		t.Fatalf("coverage snapshot sums to %d assignments, want %d", snapTotal, total)
+	}
+}
+
+// TestConcurrentCoverageBalanceSameRegion hammers one region's fallback path
+// from 8 goroutines (the focus pattern is script-only, clients are Firefox,
+// so every pick goes through coverage balancing) and checks the max−min ≤ 1
+// spread invariant survives concurrency — the shard picks and records under
+// one lock acquisition, so no two in-flight picks can both land on the same
+// least-covered pattern.
+func TestConcurrentCoverageBalanceSameRegion(t *testing.T) {
+	const patterns = 7
+	ts := pipeline.NewTaskSet()
+	ts.Add(pipeline.Candidate{PatternKey: "domain:aaa-script-only.org", Type: core.TaskScript,
+		TargetURL: "http://aaa-script-only.org/app.js", Strict: true})
+	for i := 1; i < patterns; i++ {
+		d := fmt.Sprintf("balance%02d.example.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+	}
+	cfg := DefaultConfig()
+	cfg.QuorumWindow = 1000 * time.Hour
+	s := New(ts, cfg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ClientInfo{Region: "PK", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}
+			for i := 0; i < 300; i++ {
+				if tasks := s.Assign(client, time.Unix(7_000_000, 0)); len(tasks) != 1 {
+					t.Errorf("got %d tasks, want 1", len(tasks))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	min, max := -1, -1
+	for i := 1; i < patterns; i++ {
+		n := s.Assignments(fmt.Sprintf("domain:balance%02d.example.org", i), "PK")
+		if min == -1 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("concurrent fallback picks spread coverage by %d (min=%d max=%d), want ≤ 1", max-min, min, max)
+	}
+	if got := s.TotalAssignments(); got != 8*300 {
+		t.Fatalf("TotalAssignments=%d, want %d", got, 8*300)
+	}
+}
+
+// TestZeroTaskClientsLeaveNoCoverageShard checks that clients that receive
+// nothing (no compatible pattern for their browser) do not register phantom
+// regions in the coverage snapshot.
+func TestZeroTaskClientsLeaveNoCoverageShard(t *testing.T) {
+	ts := pipeline.NewTaskSet()
+	ts.Add(pipeline.Candidate{PatternKey: "domain:script-only.org", Type: core.TaskScript,
+		TargetURL: "http://script-only.org/app.js", Strict: true})
+	s := New(ts, DefaultConfig())
+	client := ClientInfo{Region: "ZZ", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 60}
+	if tasks := s.Assign(client, time.Unix(8_000_000, 0)); tasks != nil {
+		t.Fatalf("firefox got %d tasks from a script-only set", len(tasks))
+	}
+	if cov := s.CoverageSnapshot(); len(cov) != 0 {
+		t.Fatalf("zero-task client left phantom coverage regions: %+v", cov)
+	}
+}
+
+// TestPickCandidateMatchesAssignAccounting checks that the exported pick-path
+// probe records coverage and totals exactly like Assign does.
+func TestPickCandidateMatchesAssignAccounting(t *testing.T) {
+	s := New(fanInTaskSet(5), DefaultConfig())
+	client := ClientInfo{Region: "BR", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}
+	now := time.Unix(2_000_000, 0)
+	for i := 0; i < 10; i++ {
+		if _, ok := s.PickCandidate(client, now); !ok {
+			t.Fatal("pick failed with a non-empty task set")
+		}
+	}
+	if got := s.TotalAssignments(); got != 10 {
+		t.Fatalf("TotalAssignments=%d after 10 picks, want 10", got)
+	}
+	sum := 0
+	for _, rc := range s.CoverageSnapshot() {
+		if rc.Region != "BR" {
+			t.Fatalf("unexpected region %s in snapshot", rc.Region)
+		}
+		for _, n := range rc.Assigned {
+			sum += n
+		}
+	}
+	if sum != 10 {
+		t.Fatalf("coverage records %d picks, want 10", sum)
+	}
+}

@@ -34,7 +34,7 @@ func taskSet() *pipeline.TaskSet {
 	return ts
 }
 
-func controlSet() *pipeline.TaskSet {
+func controlTaskSet() *pipeline.TaskSet {
 	ts := pipeline.NewTaskSet()
 	ts.Add(pipeline.Candidate{
 		PatternKey: "domain:testbed.encore-test.org",
@@ -183,7 +183,7 @@ func TestNonChromeNeverReceivesScriptTasks(t *testing.T) {
 
 func TestControlFractionDivertsClients(t *testing.T) {
 	s := New(taskSet(), DefaultConfig())
-	s.SetControlTasks(controlSet(), 0.3)
+	s.SetControlTasks(controlTaskSet(), 0.3)
 	control, regular := 0, 0
 	for i := 0; i < 1000; i++ {
 		tasks := s.Assign(ClientInfo{Region: "BR", Browser: core.BrowserChrome, ExpectedDwellSeconds: 5}, time.Unix(int64(50_000+i), 0))

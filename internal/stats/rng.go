@@ -22,6 +22,14 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// RNGFrom returns a generator seeded with seed, by value. Hot paths that mint
+// a short-lived generator per call (the scheduler derives one per assignment
+// from an atomic counter) declare it on the stack this way so drawing
+// randomness never allocates.
+func RNGFrom(seed uint64) RNG {
+	return RNG{state: seed}
+}
+
 // Fork derives a new independent generator from the current one. The parent
 // advances by one step, so repeated forks yield distinct children.
 func (r *RNG) Fork() *RNG {

@@ -1,41 +1,83 @@
 #!/bin/sh
 # Scale benchmark runner: measures the batch-vs-incremental detection
 # trajectory (E18: DetectStore rescans grow with store size,
-# DetectIncremental stays flat) alongside the E17 parallel-ingest benchmarks
-# and the E19 durability benchmarks (WAL-attached ingest under each fsync
-# policy vs the in-memory baseline, plus WAL recovery replay throughput), and
-# records every benchmark line as structured JSON in BENCH_aggregate.json so
-# successive runs can be compared numerically.
+# DetectIncremental stays flat) alongside the E17 parallel-ingest benchmarks,
+# the E19 durability benchmarks (WAL-attached ingest under each fsync policy
+# vs the in-memory baseline, plus WAL recovery replay throughput), and the
+# E20 assignment benchmarks (sharded lock-free scheduler vs the seed's
+# single-mutex baseline over 1/8/64 regions, plus the zero-alloc pick path),
+# and records every benchmark line as structured JSON in BENCH_aggregate.json
+# so successive runs can be compared numerically.
 #
-# Usage: scripts/bench.sh [extra go-test flags, e.g. -benchtime=5x]
+# Results are MERGED into BENCH_aggregate.json by exact benchmark name:
+# entries for benchmarks not re-run by this invocation (for example E17-E19
+# when running `-only sched`) are retained from the existing file, so partial
+# runs never clobber the rest of the suite's numbers.
+#
+# Usage: scripts/bench.sh [-only sched] [extra go-test flags, e.g. -benchtime=5x]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect|WALRecovery'
+BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect|WALRecovery|ParallelAssign|SchedulerPick'
+if [ "${1:-}" = "-only" ]; then
+    case "${2:-}" in
+        sched) BENCH='ParallelAssign|SchedulerPick' ;;
+        *) echo "usage: scripts/bench.sh [-only sched] [go-test flags]" >&2; exit 2 ;;
+    esac
+    shift 2
+fi
+
 OUT=BENCH_aggregate.json
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' -bench "$BENCH" -benchmem -timeout 60m "$@" . | tee "$TMP"
+# No pipe here: a tee pipeline would mask go test's exit status and let the
+# merge below relabel stale numbers as a fresh run.
+if ! go test -run '^$' -bench "$BENCH" -benchmem -timeout 60m "$@" . > "$TMP" 2>&1; then
+    cat "$TMP" >&2
+    echo "benchmark run failed; $OUT left untouched" >&2
+    exit 1
+fi
+cat "$TMP"
+
+OLD=$OUT
+[ -f "$OLD" ] || OLD=/dev/null
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-/^goos:/ { goos = $2 }
-/^Benchmark/ {
+FNR == 1 { file++ }
+# First input: the fresh benchmark output.
+file == 1 && /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+file == 1 && /^goos:/ { goos = $2 }
+file == 1 && /^Benchmark/ {
     entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s", $1, $2)
     for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
         gsub(/[^A-Za-z0-9_\/%.-]/, "", unit)
         entry = entry sprintf(", \"%s\": %s", unit, $i)
     }
-    entries[n++] = entry "}"
+    fresh[$1] = 1
+    newent[nn++] = entry "}"
+}
+# Second input: the previous BENCH_aggregate.json; keep entries this run did
+# not regenerate.
+file == 2 && /^    \{"name": / {
+    line = $0
+    sub(/,$/, "", line)
+    name = line
+    sub(/^    \{"name": "/, "", name)
+    sub(/".*/, "", name)
+    if (!(name in fresh)) kept[nk++] = line
 }
 END {
     printf("{\n  \"generated\": \"%s\",\n  \"goos\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, goos, cpu)
-    for (i = 0; i < n; i++) printf("%s%s\n", entries[i], i < n - 1 ? "," : "")
+    total = nk + nn
+    k = 0
+    for (i = 0; i < nk; i++) { k++; printf("%s%s\n", kept[i], k < total ? "," : "") }
+    for (i = 0; i < nn; i++) { k++; printf("%s%s\n", newent[i], k < total ? "," : "") }
     printf("  ]\n}\n")
 }
-' "$TMP" > "$OUT"
+' "$TMP" "$OLD" > "$OUT.new"
+mv "$OUT.new" "$OUT"
 
 echo "wrote $OUT"
