@@ -8,6 +8,9 @@
 #                      recorded as BENCH_aggregate.json via scripts/bench.sh
 #   make bench-sched - only the E20 scheduler benchmarks, merged into
 #                      BENCH_aggregate.json without touching E17-E19 entries
+#   make bench-api   - only the E21 API-transport benchmarks (v1 beacon vs
+#                      v2 batch over loopback HTTP, federation forwarder),
+#                      merged into BENCH_aggregate.json the same way
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
 #                      and the commands the README names actually build
@@ -16,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-paper loadgen docs-check
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-paper loadgen docs-check
 
 ci:
 	./scripts/ci.sh
@@ -41,6 +44,9 @@ bench:
 
 bench-sched:
 	./scripts/bench.sh -only sched
+
+bench-api:
+	./scripts/bench.sh -only api
 
 bench-paper:
 	$(GO) test -bench=. -benchmem .

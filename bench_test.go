@@ -12,7 +12,9 @@
 package encore
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"strconv"
 	"sync"
@@ -21,6 +23,9 @@ import (
 	"time"
 
 	"encore/internal/analytics"
+	"encore/internal/api"
+	apiclient "encore/internal/api/client"
+	"encore/internal/api/federation"
 	"encore/internal/baseline"
 	"encore/internal/browser"
 	"encore/internal/censor"
@@ -1377,5 +1382,137 @@ func BenchmarkAblationSchedulingQuorum(b *testing.B) {
 	}
 	if len(rows) >= 3 {
 		b.ReportMetric(rows[2].concentration, "concentration-60s-window")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E21: API transport benchmarks — the beacon-era v1 surface (one GET per
+// submission) versus the v2 batch surface (one JSON POST carrying many),
+// both over real loopback HTTP through the client SDK, plus the federation
+// forwarder path an edge collector uses to stream commits upstream. The v2
+// batch path must clear 2x the beacon's submissions/s at batch size >= 64;
+// scripts/bench.sh records every line in BENCH_aggregate.json.
+// ---------------------------------------------------------------------------
+
+// benchAPIPool is the measurement-ID pool size the transport benchmarks
+// cycle through; repeated terminal submissions of the same state upgrade in
+// place, which keeps the pool bounded without tripping the conflict guard.
+const benchAPIPool = 4096
+
+// benchAPICollector serves a collection server (open-throttle guard, pool of
+// registered tasks) over a loopback listener.
+func benchAPICollector(b *testing.B) (*collectserver.Server, *httptest.Server) {
+	b.Helper()
+	srv, _, index := benchCollector()
+	for i := 0; i < benchAPIPool; i++ {
+		index.Register(core.Task{
+			MeasurementID: "api-" + strconv.Itoa(i), Type: core.TaskImage,
+			TargetURL: "http://bench.com/favicon.ico", PatternKey: "domain:bench.com",
+		})
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// BenchmarkAPISubmitBeaconGET measures the v1 path end to end: one
+// image-beacon GET per submission through the SDK over a reused connection.
+func BenchmarkAPISubmitBeaconGET(b *testing.B) {
+	_, ts := benchAPICollector(b)
+	c := apiclient.New(ts.URL)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := "api-" + strconv.Itoa(i%benchAPIPool)
+		if err := c.SubmitBeacon(ctx, id, "success", 100, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+}
+
+// BenchmarkAPISubmitBatchPOST measures the v2 path end to end at several
+// batch sizes: one JSON POST per b.N/size submissions, each decoded,
+// attributed, guard-checked, and committed server-side exactly like a
+// beacon. The reported submissions/s counts individual submissions, so the
+// numbers compare directly against BenchmarkAPISubmitBeaconGET.
+func BenchmarkAPISubmitBatchPOST(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			_, ts := benchAPICollector(b)
+			c := apiclient.New(ts.URL)
+			ctx := context.Background()
+			batch := make([]api.SubmitRequest, size)
+			b.ResetTimer()
+			sent := 0
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = api.SubmitRequest{
+						MeasurementID: "api-" + strconv.Itoa((sent+j)%benchAPIPool),
+						Result:        "success",
+						ElapsedMillis: 100,
+					}
+				}
+				resp, err := c.SubmitBatch(ctx, batch, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Rejected) != 0 {
+					b.Fatalf("batch rejected %d members: %+v", len(resp.Rejected), resp.Rejected[0])
+				}
+				sent += size
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "submissions/s")
+		})
+	}
+}
+
+// BenchmarkAPIFederationForward measures the distributed-collectors path: an
+// edge store's commits stream through the federation forwarder into an
+// upstream aggregation-tier instance (AllowAttributed) over batched v2
+// POSTs; the timing covers commit through upstream acknowledgement,
+// including the final drain.
+func BenchmarkAPIFederationForward(b *testing.B) {
+	upStore := results.NewStore()
+	upAgg := results.NewAggregator(results.AggregatorConfig{})
+	upStore.AddObserver(upAgg)
+	up := collectserver.New(upStore, results.NewTaskIndex(), geo.NewRegistry(17))
+	up.Guard = nil
+	up.AllowAttributed = true
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+
+	f, err := federation.NewForwarder(federation.ForwarderConfig{
+		Upstream: ts.URL, MaxBatch: 256, FlushInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge := results.NewStore()
+	edge.AddObserver(f)
+	base := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := results.Measurement{
+			MeasurementID: "fed-" + strconv.Itoa(i),
+			PatternKey:    "domain:bench.com",
+			State:         core.StateSuccess,
+			Region:        "US",
+			ClientIP:      "11.0.3." + strconv.Itoa(i%200),
+			Received:      base.Add(time.Duration(i) * time.Millisecond),
+		}
+		if err := edge.Add(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if upStore.Len() != b.N {
+		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), b.N)
 	}
 }

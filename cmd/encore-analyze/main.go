@@ -1,17 +1,20 @@
 // Command encore-analyze runs the filtering detection algorithm (§7.2) over
-// measurements produced by encore-collector or encore-sim — either a
-// JSON-lines checkpoint file (-in) or a collector's write-ahead log directory
-// (-wal), which it replays exactly as a restarted collector would — and
+// measurements produced by encore-collector or encore-sim — a JSON-lines
+// checkpoint file (-in), a collector's write-ahead log directory (-wal),
+// which it replays exactly as a restarted collector would, or a live
+// collector's measurement export (-url), streamed over the v2 API — and
 // prints the filtering report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	apiclient "encore/internal/api/client"
 	"encore/internal/inference"
 	"encore/internal/results"
 	"encore/internal/stats"
@@ -21,6 +24,7 @@ func main() {
 	var (
 		inPath    = flag.String("in", "measurements.jsonl", "measurement file (JSON lines)")
 		walPath   = flag.String("wal", "", "recover measurements from a collector WAL directory instead of -in")
+		urlBase   = flag.String("url", "", "stream measurements from a running collector's GET /v2/measurements export instead of -in")
 		p         = flag.Float64("p", 0.7, "null-hypothesis per-measurement success probability")
 		alpha     = flag.Float64("alpha", 0.05, "significance level")
 		minMeas   = flag.Int("min-measurements", 5, "minimum completed measurements per region before it can be flagged")
@@ -32,7 +36,19 @@ func main() {
 	flag.Parse()
 
 	var store *results.Store
-	if *walPath != "" {
+	if *urlBase != "" {
+		store = results.NewStore()
+		client := apiclient.New(*urlBase)
+		loaded := 0
+		err := client.Measurements(context.Background(), func(m results.Measurement) error {
+			loaded++
+			return store.Add(m)
+		})
+		if err != nil {
+			log.Fatalf("streaming measurements from %s: %v", *urlBase, err)
+		}
+		fmt.Printf("streamed %d measurements from %s\n", loaded, *urlBase)
+	} else if *walPath != "" {
 		recovered, stats, err := results.OpenStoreFromWAL(*walPath)
 		if err != nil {
 			log.Fatalf("recovering store from WAL: %v", err)

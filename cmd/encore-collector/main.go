@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"time"
 
+	"encore/internal/api/federation"
 	"encore/internal/collectserver"
 	"encore/internal/core"
 	"encore/internal/geo"
@@ -39,6 +40,11 @@ func main() {
 		openTasks  = flag.Bool("accept-any", false, "register unknown measurement IDs on the fly instead of rejecting them (useful for manual testing with curl)")
 
 		asyncIngest = flag.Bool("async", false, "route submissions through the batched async ingest queue instead of writing to the store inline")
+
+		forwardTo    = flag.String("forward-to", "", "base URL of an upstream aggregation-tier collector; this instance becomes a federation edge and streams every committed measurement there in batched POST /v2/submissions calls")
+		forwardBatch = flag.Int("forward-batch", 128, "measurements per federation batch")
+		forwardFlush = flag.Duration("forward-flush", 200*time.Millisecond, "how often buffered commits are forwarded upstream")
+		allowAttr    = flag.Bool("allow-attributed", false, "accept pre-attributed measurement batches on /v2/submissions (run this on the aggregation-tier instance edge collectors forward to; it bypasses task attribution and the abuse guard, so never expose it to untrusted clients)")
 
 		walDir     = flag.String("wal-dir", "", "directory for the durable write-ahead log; empty disables persistence beyond JSONL checkpoints")
 		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy: always (no loss), interval (bounded loss), none (OS decides)")
@@ -84,8 +90,28 @@ func main() {
 	index := results.NewTaskIndex()
 	g := geo.NewRegistry(*seed)
 	server := collectserver.New(store, index, g)
+	server.AllowAttributed = *allowAttr
 	if wal != nil {
 		server.AttachWAL(wal)
+	}
+
+	// Federation edge: stream every committed measurement (including WAL-
+	// recovered traffic committed from here on) to the upstream aggregation
+	// tier over the v2 batch API.
+	var forwarder *federation.Forwarder
+	if *forwardTo != "" {
+		var err error
+		forwarder, err = federation.NewForwarder(federation.ForwarderConfig{
+			Upstream:      *forwardTo,
+			MaxBatch:      *forwardBatch,
+			FlushInterval: *forwardFlush,
+		})
+		if err != nil {
+			log.Fatalf("starting federation forwarder: %v", err)
+		}
+		store.AddObserver(forwarder)
+		log.Printf("federation edge: forwarding commits to %s (batch %d, flush %v)",
+			*forwardTo, *forwardBatch, *forwardFlush)
 	}
 	if *asyncIngest {
 		server.EnableAsyncIngest(collectserver.IngestConfig{})
@@ -142,6 +168,17 @@ func main() {
 			_ = srv.Shutdown(shutdownCtx)
 			if err := server.Close(); err != nil {
 				log.Printf("shutdown: %v", err)
+			}
+			if forwarder != nil {
+				// After the queue drain every commit is in the forwarder's
+				// buffer; push the tail upstream before exiting.
+				if err := forwarder.Close(); err != nil {
+					log.Printf("federation drain: %v", err)
+				} else {
+					st := forwarder.Stats()
+					log.Printf("federation: forwarded %d measurements in %d batches (%d dropped)",
+						st.Forwarded, st.Batches, st.Dropped)
+				}
 			}
 			writeStore(store, *outPath)
 			if wal != nil {

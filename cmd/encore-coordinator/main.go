@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"time"
 
+	"encore/internal/api"
 	"encore/internal/browser"
 	"encore/internal/censor"
 	"encore/internal/coordserver"
@@ -93,6 +94,9 @@ func main() {
 	server := coordserver.New(sched, index, g, snippet)
 
 	log.Printf("webmasters embed: %s", core.EmbedSnippet(snippet))
+	log.Printf("API: v1 %s %s %s %s | v2 %s %s",
+		api.V1TaskJSPath, api.V1FramePath, api.V1HealthPath, api.V1CoveragePath,
+		api.V2TasksPath, api.V2HealthPath)
 	runServer(*addr, server, "coordination server")
 }
 

@@ -28,9 +28,10 @@ func main() {
 		outPath = flag.String("out", "", "optional path to write measurements (JSON lines)")
 		list    = flag.String("targets", "study", "target list: 'study' (YouTube/Twitter/Facebook) or 'herdict' (full high-value list, low-sensitivity entries only)")
 
-		loadgenMode    = flag.Bool("loadgen", false, "drive the campaign with concurrent clients and report ingest throughput")
-		loadgenClients = flag.Int("loadgen-clients", 8, "concurrent client streams in -loadgen mode")
-		loadgenSync    = flag.Bool("loadgen-sync", false, "disable the batched async ingest queue in -loadgen mode (for before/after comparisons)")
+		loadgenMode      = flag.Bool("loadgen", false, "drive the campaign with concurrent clients and report ingest throughput")
+		loadgenClients   = flag.Int("loadgen-clients", 8, "concurrent client streams in -loadgen mode")
+		loadgenSync      = flag.Bool("loadgen-sync", false, "disable the batched async ingest queue in -loadgen mode (for before/after comparisons)")
+		loadgenTransport = flag.String("loadgen-transport", "", "submission transport in -loadgen mode: '' (in-process), 'beacon' (v1 GET over loopback HTTP), or 'v2' (JSON POST over loopback HTTP)")
 
 		walDir  = flag.String("wal-dir", "", "attach a durable write-ahead log to the simulated collector (for WAL-on vs WAL-off throughput comparisons)")
 		walSync = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
@@ -78,12 +79,19 @@ func main() {
 		if clients < 1 {
 			clients = 1
 		}
+		transport := loadgen.Transport(*loadgenTransport)
+		switch transport {
+		case loadgen.TransportInProcess, loadgen.TransportBeacon, loadgen.TransportV2:
+		default:
+			log.Fatalf("unknown -loadgen-transport %q", *loadgenTransport)
+		}
 		res := loadgen.Run(stack, loadgen.Config{
 			Clients:           clients,
 			Visits:            *visits,
 			Start:             campaignStart,
 			SimulatedDuration: campaignSpan,
 			AsyncIngest:       !*loadgenSync,
+			Transport:         transport,
 		})
 		fmt.Println(res)
 	} else {

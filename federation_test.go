@@ -1,0 +1,209 @@
+package encore
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"encore/internal/api/federation"
+	"encore/internal/censor"
+	"encore/internal/clientsim"
+	"encore/internal/collectserver"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/inference"
+	"encore/internal/results"
+)
+
+// edgeSplitter routes each submission to one of several edge collectors by
+// measurement-ID hash, modelling a population whose beacon traffic lands on
+// different collection servers (DNS round robin, regional anycast). Hashing
+// by ID keeps a measurement's init and terminal submissions on one edge,
+// like a browser re-resolving within one page view would.
+type edgeSplitter struct {
+	edges []clientsim.SubmissionServer
+}
+
+func (s *edgeSplitter) Accept(sub core.Submission) error {
+	return s.edges[int(results.ShardHash(sub.MeasurementID))%len(s.edges)].Accept(sub)
+}
+
+// buildUpstream assembles an aggregation-tier instance: a collection server
+// that accepts the federation lane, with an incremental aggregator attached.
+func buildUpstream(t *testing.T, g *geo.Registry) (*results.Store, *results.Aggregator, *httptest.Server) {
+	t.Helper()
+	store := results.NewStore()
+	agg := results.NewAggregator(results.AggregatorConfig{})
+	store.AddObserver(agg)
+	server := collectserver.New(store, results.NewTaskIndex(), g)
+	server.Guard = nil
+	server.AllowAttributed = true
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	return store, agg, srv
+}
+
+// federationCampaign is the campaign both topologies run; identical seeds
+// make the two runs submit identical measurement streams.
+func federationCampaign(visits int) clientsim.CampaignConfig {
+	return clientsim.CampaignConfig{
+		Visits:   visits,
+		Start:    time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 14 * 24 * time.Hour,
+	}
+}
+
+// TestFederatedCollectorsMatchSingleCollector is the federation acceptance
+// test: the same campaign ingested by (a) one collector and (b) two edge
+// collectors forwarding over the v2 API into one aggregation tier must
+// produce identical DetectIncremental verdicts.
+func TestFederatedCollectorsMatchSingleCollector(t *testing.T) {
+	const seed, visits = 977, 400
+
+	// Baseline: a single collector ingests everything. The abuse guard is
+	// disabled on every topology so rate state (per-collector in the
+	// federated run) cannot skew the comparison.
+	baseline := clientsim.BuildStack(clientsim.StackConfig{Seed: seed, Censor: censor.PaperPolicies()})
+	baseline.Collector.Guard = nil
+	baseline.Population.RunCampaign(federationCampaign(visits))
+	baseVerdicts := inference.New(inference.DefaultConfig()).DetectIncremental(baseline.Aggregator)
+	if baseline.Store.Len() == 0 || len(baseVerdicts) == 0 {
+		t.Fatalf("baseline campaign produced nothing: %d stored, %d verdicts", baseline.Store.Len(), len(baseVerdicts))
+	}
+
+	// Federated: an identically seeded deployment, with the population's
+	// submissions split across two edge collectors that forward upstream.
+	fed := clientsim.BuildStack(clientsim.StackConfig{Seed: seed, Censor: censor.PaperPolicies()})
+	fed.Collector.Guard = nil
+	upStore, upAgg, upSrv := buildUpstream(t, fed.Geo)
+
+	edge1 := fed.Collector // shares the stack's task index
+	edge2 := collectserver.New(results.NewStore(), fed.TaskIndex, fed.Geo)
+	edge2.Guard = nil
+
+	var forwarders []*federation.Forwarder
+	for _, store := range []*results.Store{edge1.Store, edge2.Store} {
+		f, err := federation.NewForwarder(federation.ForwarderConfig{
+			Upstream:      upSrv.URL,
+			MaxBatch:      64,
+			FlushInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.AddObserver(f)
+		forwarders = append(forwarders, f)
+	}
+	fed.Population.Collector = &edgeSplitter{edges: []clientsim.SubmissionServer{edge1, edge2}}
+
+	fed.Population.RunCampaign(federationCampaign(visits))
+	for _, f := range forwarders {
+		if err := f.Close(); err != nil {
+			t.Fatalf("forwarder close: %v", err)
+		}
+		st := f.Stats()
+		if st.Dropped != 0 || st.Rejected != 0 || st.Pending != 0 {
+			t.Fatalf("forwarder lost records: %+v", st)
+		}
+	}
+
+	// Both edges saw traffic; their union reached the aggregation tier.
+	if edge1.Store.Len() == 0 || edge2.Store.Len() == 0 {
+		t.Fatalf("splitter did not spread traffic: edge1=%d edge2=%d", edge1.Store.Len(), edge2.Store.Len())
+	}
+	if got, want := upStore.Len(), edge1.Store.Len()+edge2.Store.Len(); got != want {
+		t.Fatalf("upstream has %d records, edges committed %d", got, want)
+	}
+	if got, want := upStore.Len(), baseline.Store.Len(); got != want {
+		t.Fatalf("federated tier has %d records, single collector stored %d", got, want)
+	}
+
+	// The acceptance criterion: verdict-for-verdict equality.
+	fedVerdicts := inference.New(inference.DefaultConfig()).DetectIncremental(upAgg)
+	if len(fedVerdicts) != len(baseVerdicts) {
+		t.Fatalf("federated detection produced %d verdicts, baseline %d", len(fedVerdicts), len(baseVerdicts))
+	}
+	for i := range baseVerdicts {
+		if fedVerdicts[i] != baseVerdicts[i] {
+			t.Fatalf("verdict %d diverged:\n  single: %+v\nfederated: %+v", i, baseVerdicts[i], fedVerdicts[i])
+		}
+	}
+}
+
+// TestFederationSurvivesCollectorLoss kills one of two edge collectors
+// mid-deployment: its forwarder drains what that edge had committed, the
+// remaining edge absorbs all subsequent traffic, and the aggregation tier
+// ends holding exactly the union of what the two edges committed — the
+// failure mode a distributed-collectors deployment must shrug off.
+func TestFederationSurvivesCollectorLoss(t *testing.T) {
+	const seed, phaseVisits = 978, 200
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: seed, Censor: censor.PaperPolicies()})
+	stack.Collector.Guard = nil
+	upStore, upAgg, upSrv := buildUpstream(t, stack.Geo)
+
+	edge1 := stack.Collector
+	edge2 := collectserver.New(results.NewStore(), stack.TaskIndex, stack.Geo)
+	edge2.Guard = nil
+	newForwarder := func(store *results.Store) *federation.Forwarder {
+		f, err := federation.NewForwarder(federation.ForwarderConfig{
+			Upstream:      upSrv.URL,
+			MaxBatch:      32,
+			FlushInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.AddObserver(f)
+		return f
+	}
+	f1 := newForwarder(edge1.Store)
+	f2 := newForwarder(edge2.Store)
+
+	// Phase 1: both edges share the traffic.
+	stack.Population.Collector = &edgeSplitter{edges: []clientsim.SubmissionServer{edge1, edge2}}
+	cfg := federationCampaign(phaseVisits)
+	stack.Population.RunCampaign(cfg)
+
+	// Edge 2 dies: drain its forwarder (an orderly loss; a crash-loss would
+	// be bounded by the forwarder's flush interval) and reroute everything
+	// to edge 1.
+	if err := f2.Close(); err != nil {
+		t.Fatalf("edge2 drain: %v", err)
+	}
+	edge2Committed := edge2.Store.Len()
+	if edge2Committed == 0 {
+		t.Fatal("edge2 saw no traffic before dying")
+	}
+	stack.Population.Collector = edge1
+
+	// Phase 2: the survivor carries the rest of the campaign.
+	cfg.Start = cfg.Start.Add(cfg.Duration)
+	stack.Population.RunCampaign(cfg)
+	if err := f1.Close(); err != nil {
+		t.Fatalf("edge1 drain: %v", err)
+	}
+
+	if got, want := upStore.Len(), edge1.Store.Len()+edge2Committed; got != want {
+		t.Fatalf("aggregation tier has %d records, edges committed %d", got, want)
+	}
+	// Every record either edge committed is upstream, final state intact.
+	for _, edgeStore := range []*results.Store{edge1.Store, edge2.Store} {
+		edgeStore.Range(nil, func(m results.Measurement) bool {
+			up, ok := upStore.Get(m.MeasurementID)
+			if !ok {
+				t.Errorf("measurement %s missing upstream", m.MeasurementID)
+				return false
+			}
+			if up.State != m.State {
+				t.Errorf("measurement %s state %s upstream, %s at edge", m.MeasurementID, up.State, m.State)
+				return false
+			}
+			return true
+		})
+	}
+	// The merged tier is analyzable end to end.
+	verdicts := inference.New(inference.DefaultConfig()).DetectIncremental(upAgg)
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts over the merged aggregation tier")
+	}
+}

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"encore/internal/api"
+)
+
+// ErrBatcherClosed is returned by Add after Close has begun.
+var ErrBatcherClosed = errors.New("client: batcher closed")
+
+// BatcherConfig parameterizes a Batcher. Zero fields fall back to defaults.
+type BatcherConfig struct {
+	// MaxBatch flushes when this many submissions are buffered (default 64).
+	MaxBatch int
+	// FlushInterval flushes whatever is buffered this often, so a trickle
+	// of submissions never waits indefinitely (default 200ms; negative
+	// disables timed flushes).
+	FlushInterval time.Duration
+	// Meta is the client identity attached to every flushed batch.
+	Meta *ClientMeta
+	// OnError observes flush failures (after the client's own retries);
+	// nil drops them into Stats only.
+	OnError func(error)
+}
+
+// Batcher coalesces individual v2 submissions into batched POSTs: callers
+// Add single results as they happen (the beacon cadence) and the batcher
+// ships them MaxBatch at a time, or on a timer, over one reused connection.
+// It is safe for concurrent use.
+type Batcher struct {
+	client *Client
+	cfg    BatcherConfig
+
+	mu      sync.Mutex
+	pending []api.SubmitRequest
+	closed  bool
+
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	statsMu  sync.Mutex
+	sent     uint64
+	rejected uint64
+	failed   uint64
+}
+
+// BatcherStats reports a batcher's lifetime counters.
+type BatcherStats struct {
+	// Sent counts submissions the upstream accepted.
+	Sent uint64
+	// Rejected counts submissions the upstream refused individually.
+	Rejected uint64
+	// Failed counts submissions dropped because a whole batch POST failed
+	// after retries.
+	Failed uint64
+	// Pending counts submissions buffered but not yet flushed.
+	Pending int
+}
+
+// NewBatcher creates a running batcher on top of an SDK client.
+func (c *Client) NewBatcher(cfg BatcherConfig) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 200 * time.Millisecond
+	}
+	b := &Batcher{
+		client:  c,
+		cfg:     cfg,
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Add buffers one submission, flushing in the background once MaxBatch are
+// pending.
+func (b *Batcher) Add(sub api.SubmitRequest) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	b.pending = append(b.pending, sub)
+	full := len(b.pending) >= b.cfg.MaxBatch
+	b.mu.Unlock()
+	if full {
+		select {
+		case b.flushCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// run drives timed and size-triggered flushes until Close.
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	var tick <-chan time.Time
+	if b.cfg.FlushInterval > 0 {
+		t := time.NewTicker(b.cfg.FlushInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-b.flushCh:
+		case <-tick:
+		}
+		b.Flush(context.Background())
+	}
+}
+
+// Flush sends everything currently buffered and blocks until the POST
+// completes. A failed batch (after the client's retries) is dropped and
+// counted in Stats.Failed.
+func (b *Batcher) Flush(ctx context.Context) {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > b.cfg.MaxBatch {
+			n = b.cfg.MaxBatch
+		}
+		chunk := batch[:n]
+		batch = batch[n:]
+		resp, err := b.client.SubmitBatch(ctx, chunk, b.cfg.Meta)
+		b.statsMu.Lock()
+		if err != nil {
+			b.failed += uint64(len(chunk))
+		} else {
+			b.sent += uint64(resp.Accepted)
+			b.rejected += uint64(len(resp.Rejected))
+		}
+		b.statsMu.Unlock()
+		if err != nil && b.cfg.OnError != nil {
+			b.cfg.OnError(err)
+		}
+	}
+}
+
+// Close stops the background goroutine — waiting out any flush it has in
+// flight, so no chunk can be mid-POST and unaccounted — then drains the
+// remaining buffer.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.done)
+	b.wg.Wait()
+	b.Flush(context.Background())
+}
+
+// Stats returns the batcher's lifetime counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	b.mu.Lock()
+	pending := len(b.pending)
+	b.mu.Unlock()
+	return BatcherStats{Sent: b.sent, Rejected: b.rejected, Failed: b.failed, Pending: pending}
+}

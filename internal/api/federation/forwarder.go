@@ -1,0 +1,341 @@
+// Package federation implements Encore's distributed-collectors topology:
+// N edge collection servers each ingest their region's beacon traffic
+// locally, and a Forwarder on each edge drains the store's commit-observer
+// stream into batched POST /v2/submissions calls against one upstream
+// aggregation-tier instance. The upstream (a collection server started with
+// AllowAttributed) feeds its own store and incremental Aggregator, so the
+// merged tier reaches the same DetectIncremental verdicts a single
+// collector ingesting all the traffic would — the ROADMAP's
+// distributed-collectors open item, built on the v2 API instead of a
+// bespoke replication channel.
+//
+// The forwarder attaches to the edge store exactly like the Aggregator and
+// WAL tiers do (results.Store.AddObserver), so both collectserver write
+// paths — synchronous Accept and the batched async Ingester — feed it
+// automatically. Commit buffers under a private mutex and never blocks the
+// shard lock; a background sender ships batches with the SDK's retry and
+// keeps unsent records queued across upstream outages.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	apiclient "encore/internal/api/client"
+	"encore/internal/results"
+)
+
+// ErrForwarderClosed is returned by Flush after Close has completed.
+var ErrForwarderClosed = errors.New("federation: forwarder closed")
+
+// ForwarderConfig parameterizes a Forwarder. Zero fields fall back to
+// defaults.
+type ForwarderConfig struct {
+	// Upstream is the aggregation-tier base URL (required unless Client is
+	// set).
+	Upstream string
+	// Client overrides the SDK client used for upstream calls; nil builds
+	// one from Upstream with default retry configuration.
+	Client *apiclient.Client
+	// MaxBatch caps measurements per POST (default 128).
+	MaxBatch int
+	// FlushInterval is how often buffered commits are shipped (default
+	// 200ms). The interval, not the batch size, bounds edge-to-upstream
+	// latency under light traffic.
+	FlushInterval time.Duration
+	// MaxBuffer bounds the in-memory commit buffer (default 1<<18 records).
+	// When the upstream is down long enough to fill it, the oldest records
+	// are dropped — in chunks of MaxBuffer/8, so eviction cost amortizes to
+	// O(1) per commit — and counted in Stats.Dropped; an edge collector's
+	// own store (and WAL, if attached) still has them, so a full resync
+	// remains possible out of band.
+	MaxBuffer int
+}
+
+// ForwarderStats reports a forwarder's lifetime counters.
+type ForwarderStats struct {
+	// Observed counts commits received from the store.
+	Observed uint64
+	// Forwarded counts records the upstream accepted.
+	Forwarded uint64
+	// Rejected counts records the upstream refused individually.
+	Rejected uint64
+	// Dropped counts records evicted from a full buffer during an upstream
+	// outage.
+	Dropped uint64
+	// Batches counts successful upstream POSTs.
+	Batches uint64
+	// Pending counts records buffered but not yet acknowledged upstream.
+	Pending int
+	// LastError is the most recent upstream failure, nil after a success.
+	LastError error
+}
+
+// Forwarder streams an edge collector's committed measurements to an
+// upstream aggregation tier. It implements results.CommitObserver.
+type Forwarder struct {
+	client *apiclient.Client
+	cfg    ForwarderConfig
+
+	mu      sync.Mutex
+	pending []results.Measurement
+	// closing is set at the top of Close (so a concurrent Close cannot
+	// close(done) twice); closed only once the final drain finished and
+	// commits are refused.
+	closing bool
+	closed  bool
+
+	// sendMu serializes flushOnce calls (the background sender and explicit
+	// Flush callers), so batches reach the upstream in buffer order and a
+	// measurement's insert can never overtake its upgrade.
+	sendMu sync.Mutex
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// observed and dropped are bumped from Commit, which runs under the
+	// store shard lock on the ingest hot path — atomics, so a commit never
+	// takes a second mutex (or contends with a Stats poll) there. The
+	// sender-side counters below are only touched by flushOnce and Stats.
+	observed atomic.Uint64
+	dropped  atomic.Uint64
+
+	statsMu   sync.Mutex
+	forwarded uint64
+	rejected  uint64
+	batches   uint64
+	lastErr   error
+}
+
+// NewForwarder creates a running forwarder.
+func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
+	if cfg.Client == nil {
+		if cfg.Upstream == "" {
+			return nil, errors.New("federation: ForwarderConfig needs Upstream or Client")
+		}
+		cfg.Client = apiclient.New(cfg.Upstream)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 128
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Millisecond
+	}
+	if cfg.MaxBuffer <= 0 {
+		cfg.MaxBuffer = 1 << 18
+	}
+	f := &Forwarder{
+		client: cfg.Client,
+		cfg:    cfg,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// Commit implements results.CommitObserver: it records the committed
+// measurement for forwarding. It runs under the store shard lock that
+// serialized the commit, so it only appends to the buffer — never blocks,
+// never performs I/O. In-place upgrades forward the upgraded record; the
+// upstream store applies the same terminal-state-wins merge rule the edge
+// applied, so replaying both the insert and the upgrade converges to the
+// edge's final state regardless of batch boundaries.
+func (f *Forwarder) Commit(_ *results.Measurement, cur results.Measurement) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	var dropped int
+	if len(f.pending) >= f.cfg.MaxBuffer {
+		// Evict the oldest records rather than stall the ingest path.
+		// Eviction is chunked — one compaction sheds many records — so its
+		// cost amortizes to O(1) per commit instead of an O(MaxBuffer)
+		// memmove under the shard lock on every commit of a long outage.
+		dropped = f.cfg.MaxBuffer / 8
+		if dropped < 1 {
+			dropped = 1
+		}
+		if dropped > len(f.pending) {
+			dropped = len(f.pending)
+		}
+		n := copy(f.pending, f.pending[dropped:])
+		f.pending = f.pending[:n]
+	}
+	f.pending = append(f.pending, cur)
+	full := len(f.pending) >= f.cfg.MaxBatch
+	f.mu.Unlock()
+
+	f.observed.Add(1)
+	if dropped > 0 {
+		f.dropped.Add(uint64(dropped))
+	}
+
+	if full {
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run ships batches on size kicks and the flush timer until Close.
+func (f *Forwarder) run() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-f.kick:
+		case <-ticker.C:
+		}
+		_ = f.flushOnce(context.Background())
+	}
+}
+
+// flushOnce ships up to MaxBatch buffered records. On failure (after the
+// SDK's retries) the records return to the head of the buffer, preserving
+// per-measurement commit order, and the error is recorded — the next tick
+// tries again, which is what rides out an upstream restart.
+func (f *Forwarder) flushOnce(ctx context.Context) error {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	f.mu.Lock()
+	if len(f.pending) == 0 {
+		f.mu.Unlock()
+		return nil
+	}
+	n := len(f.pending)
+	if n > f.cfg.MaxBatch {
+		n = f.cfg.MaxBatch
+	}
+	batch := make([]results.Measurement, n)
+	copy(batch, f.pending[:n])
+	f.pending = f.pending[:copy(f.pending, f.pending[n:])]
+	f.mu.Unlock()
+
+	resp, err := f.client.ForwardMeasurements(ctx, batch)
+
+	f.statsMu.Lock()
+	if err != nil {
+		f.lastErr = err
+	} else {
+		f.lastErr = nil
+		f.batches++
+		f.forwarded += uint64(resp.Accepted)
+		f.rejected += uint64(len(resp.Rejected))
+	}
+	f.statsMu.Unlock()
+
+	if err != nil {
+		// Put the batch back at the head so commit order per measurement
+		// survives the outage.
+		f.mu.Lock()
+		f.pending = append(batch, f.pending...)
+		f.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// drained reports whether the buffer is empty with no batch in flight: it
+// waits for any ongoing send (sendMu) before reading the buffer, and a
+// failed send re-queues its batch before releasing sendMu, so a true result
+// means every observed commit was acknowledged upstream.
+func (f *Forwarder) drained() (empty, closed bool) {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending) == 0, f.closed
+}
+
+// Flush synchronously ships everything buffered (including any batch a
+// background send had in flight), returning the first upstream error.
+// Callers that need the upstream current (tests, orderly shutdown) use it;
+// steady-state forwarding never needs it.
+func (f *Forwarder) Flush(ctx context.Context) error {
+	for {
+		empty, closed := f.drained()
+		if closed {
+			return ErrForwarderClosed
+		}
+		if empty {
+			return nil
+		}
+		if err := f.flushOnce(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// Close stops the background sender and attempts one final drain with the
+// given timeout budget per batch; records that still cannot reach the
+// upstream are reported via the returned error and remain counted in
+// Stats.Pending.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	if f.closing {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closing = true
+	f.mu.Unlock()
+
+	close(f.done)
+	f.wg.Wait()
+
+	// Final drain, then refuse further commits.
+	var err error
+	for {
+		empty, _ := f.drained()
+		if empty {
+			break
+		}
+		if err = f.flushOnce(context.Background()); err != nil {
+			break
+		}
+	}
+	f.mu.Lock()
+	f.closed = true
+	remaining := len(f.pending)
+	f.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("federation: close left %d records unforwarded: %w", remaining, err)
+	}
+	if remaining > 0 {
+		// A commit raced the final drain: it landed after the last empty
+		// check but before closed was set, and the sender is already
+		// stopped. Report it rather than silently stranding it (the edge's
+		// own store still has the record).
+		return fmt.Errorf("federation: close left %d records unforwarded (committed during shutdown)", remaining)
+	}
+	return nil
+}
+
+// Stats returns the forwarder's lifetime counters.
+func (f *Forwarder) Stats() ForwarderStats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	f.mu.Lock()
+	pending := len(f.pending)
+	f.mu.Unlock()
+	return ForwarderStats{
+		Observed:  f.observed.Load(),
+		Forwarded: f.forwarded,
+		Rejected:  f.rejected,
+		Dropped:   f.dropped.Load(),
+		Batches:   f.batches,
+		Pending:   pending,
+		LastError: f.lastErr,
+	}
+}

@@ -1,0 +1,122 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Router is a minimal exact-match HTTP router for the API tier. It replaces
+// the servers' original strings.HasSuffix dispatch, which matched any path
+// ending in a known suffix ("/anything/healthz") and served every method.
+// The router matches method + exact path, answers 404 for unknown paths and
+// 405 (with an Allow header) for known paths with the wrong method, and —
+// when CORS is enabled — emits Access-Control-Allow-* headers on every
+// response and answers OPTIONS preflight requests itself, so cross-origin
+// AJAX submissions (§5.5) pass browser preflight checks.
+//
+// Routes are registered before the router serves traffic; ServeHTTP never
+// mutates router state, so a configured router is safe for concurrent use.
+type Router struct {
+	routes map[string]map[string]http.Handler // path -> method -> handler
+	// notFound answers requests for unregistered paths; defaults to
+	// http.NotFound, whose body v1 clients already observe.
+	notFound http.Handler
+	// cors enables Access-Control-Allow-* headers and OPTIONS preflight
+	// handling on every registered path.
+	cors bool
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{
+		routes:   make(map[string]map[string]http.Handler),
+		notFound: http.HandlerFunc(http.NotFound),
+	}
+}
+
+// EnableCORS turns on cross-origin headers and OPTIONS preflight handling.
+func (rt *Router) EnableCORS() { rt.cors = true }
+
+// Handle registers a handler for an exact method and path.
+func (rt *Router) Handle(method, path string, h http.Handler) {
+	byMethod, ok := rt.routes[path]
+	if !ok {
+		byMethod = make(map[string]http.Handler)
+		rt.routes[path] = byMethod
+	}
+	byMethod[method] = h
+}
+
+// HandleFunc registers a handler function for an exact method and path.
+func (rt *Router) HandleFunc(method, path string, h http.HandlerFunc) {
+	rt.Handle(method, path, h)
+}
+
+// Alias makes requests for path serve exactly like the canonical path, for
+// every method registered there. This is the compat shim that keeps the bare
+// beacon-era spellings (/submit, /task.js) working alongside the explicit
+// /v1/ prefix.
+func (rt *Router) Alias(path, canonical string) {
+	rt.routes[path] = rt.routes[canonical]
+}
+
+// NotFound overrides the handler for unregistered paths.
+func (rt *Router) NotFound(h http.Handler) { rt.notFound = h }
+
+// allowHeader lists the methods registered for a path, sorted, with OPTIONS
+// appended when the router answers preflights itself.
+func (rt *Router) allowHeader(byMethod map[string]http.Handler) string {
+	methods := make([]string, 0, len(byMethod)+1)
+	for m := range byMethod {
+		methods = append(methods, m)
+	}
+	if rt.cors {
+		methods = append(methods, http.MethodOptions)
+	}
+	sort.Strings(methods)
+	return strings.Join(methods, ", ")
+}
+
+// isV2 reports whether a request path belongs to the JSON surface, whose
+// error responses carry typed JSON bodies; everything else answers in the
+// v1 plain-text style deployed beacon clients already observe.
+func isV2(path string) bool { return strings.HasPrefix(path, "/v2/") }
+
+// ServeHTTP dispatches by exact path, then method.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if rt.cors {
+		w.Header().Set("Access-Control-Allow-Origin", "*")
+	}
+	byMethod, ok := rt.routes[r.URL.Path]
+	if !ok || len(byMethod) == 0 {
+		if isV2(r.URL.Path) {
+			WriteError(w, &Error{Code: CodeNotFound})
+			return
+		}
+		rt.notFound.ServeHTTP(w, r)
+		return
+	}
+	if rt.cors && r.Method == http.MethodOptions {
+		// Preflight: advertise the methods this path accepts and the headers
+		// batch submissions send (JSON bodies, optionally gzip-compressed).
+		h := w.Header()
+		h.Set("Access-Control-Allow-Methods", rt.allowHeader(byMethod))
+		h.Set("Access-Control-Allow-Headers", "Content-Type, Content-Encoding")
+		h.Set("Access-Control-Max-Age", "86400")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	h, ok := byMethod[r.Method]
+	if !ok {
+		w.Header().Set("Allow", rt.allowHeader(byMethod))
+		e := &Error{Code: CodeMethodNotAllowed}
+		if isV2(r.URL.Path) {
+			WriteError(w, e)
+		} else {
+			WriteErrorV1(w, e)
+		}
+		return
+	}
+	h.ServeHTTP(w, r)
+}

@@ -1,0 +1,146 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRouter(cors bool) *Router {
+	rt := NewRouter()
+	if cors {
+		rt.EnableCORS()
+	}
+	rt.HandleFunc(http.MethodGet, V1SubmitPath, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "submit")
+	})
+	rt.HandleFunc(http.MethodPost, V2SubmissionsPath, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "batch")
+	})
+	rt.HandleFunc(http.MethodGet, V1HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	rt.Alias("/v1/submit", V1SubmitPath)
+	return rt
+}
+
+func do(rt *Router, method, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec
+}
+
+func TestRouterExactPathOnly(t *testing.T) {
+	rt := testRouter(false)
+	if rec := do(rt, http.MethodGet, "/submit"); rec.Code != http.StatusOK || rec.Body.String() != "submit" {
+		t.Fatalf("exact path: %d %q", rec.Code, rec.Body.String())
+	}
+	// The seed servers' HasSuffix dispatch matched these; the router must not.
+	for _, path := range []string{"/anything/submit", "/anything/healthz", "/x/v2/submissions", "/submit/"} {
+		if rec := do(rt, http.MethodGet, path); rec.Code != http.StatusNotFound {
+			t.Fatalf("suffix path %s: status %d, want 404", path, rec.Code)
+		}
+	}
+	if rec := do(rt, http.MethodGet, "/missing"); rec.Body.String() != "404 page not found\n" {
+		t.Fatalf("default 404 body changed: %q", rec.Body.String())
+	}
+}
+
+func TestRouterMethodNotAllowed(t *testing.T) {
+	rt := testRouter(false)
+	rec := do(rt, http.MethodPost, "/submit")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status=%d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != "GET" {
+		t.Fatalf("Allow=%q", allow)
+	}
+	if strings.TrimSpace(rec.Body.String()) != CodeMethodNotAllowed {
+		t.Fatalf("body=%q", rec.Body.String())
+	}
+	if rec := do(rt, http.MethodGet, V2SubmissionsPath); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST-only path: %d", rec.Code)
+	}
+}
+
+// TestRouterV2ErrorsAreJSON pins the v2 error contract: 404/405 on /v2/*
+// paths carry typed JSON bodies, while the v1 surface keeps its plain text.
+func TestRouterV2ErrorsAreJSON(t *testing.T) {
+	rt := testRouter(false)
+
+	rec := do(rt, http.MethodGet, "/v2/nonexistent")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("v2 404 status=%d", rec.Code)
+	}
+	var e Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != CodeNotFound {
+		t.Fatalf("v2 404 body=%q err=%v", rec.Body.String(), err)
+	}
+
+	rec = do(rt, http.MethodGet, V2SubmissionsPath)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("v2 405 status=%d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != CodeMethodNotAllowed {
+		t.Fatalf("v2 405 body=%q err=%v", rec.Body.String(), err)
+	}
+
+	// v1 surfaces stay plain text.
+	if rec := do(rt, http.MethodGet, "/missing"); rec.Body.String() != "404 page not found\n" {
+		t.Fatalf("v1 404 body=%q", rec.Body.String())
+	}
+	if rec := do(rt, http.MethodPost, V1SubmitPath); strings.TrimSpace(rec.Body.String()) != CodeMethodNotAllowed {
+		t.Fatalf("v1 405 body=%q", rec.Body.String())
+	}
+}
+
+func TestRouterAlias(t *testing.T) {
+	rt := testRouter(false)
+	rec := do(rt, http.MethodGet, "/v1/submit")
+	if rec.Code != http.StatusOK || rec.Body.String() != "submit" {
+		t.Fatalf("alias: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := do(rt, http.MethodPost, "/v1/submit"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("alias method filtering: %d", rec.Code)
+	}
+}
+
+func TestRouterCORSPreflight(t *testing.T) {
+	rt := testRouter(true)
+	rec := do(rt, http.MethodOptions, V2SubmissionsPath)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("preflight status=%d", rec.Code)
+	}
+	h := rec.Header()
+	if h.Get("Access-Control-Allow-Origin") != "*" {
+		t.Fatal("missing Allow-Origin")
+	}
+	if methods := h.Get("Access-Control-Allow-Methods"); !strings.Contains(methods, "POST") || !strings.Contains(methods, "OPTIONS") {
+		t.Fatalf("Allow-Methods=%q", methods)
+	}
+	if headers := h.Get("Access-Control-Allow-Headers"); !strings.Contains(headers, "Content-Type") || !strings.Contains(headers, "Content-Encoding") {
+		t.Fatalf("Allow-Headers=%q", headers)
+	}
+	// Ordinary responses carry the origin header too.
+	if rec := do(rt, http.MethodGet, "/submit"); rec.Header().Get("Access-Control-Allow-Origin") != "*" {
+		t.Fatal("GET response missing Allow-Origin")
+	}
+	// Preflight for an unregistered path is a plain 404.
+	if rec := do(rt, http.MethodOptions, "/missing"); rec.Code != http.StatusNotFound {
+		t.Fatalf("preflight on unknown path: %d", rec.Code)
+	}
+}
+
+func TestRouterWithoutCORSRejectsOptions(t *testing.T) {
+	rt := testRouter(false)
+	rec := do(rt, http.MethodOptions, "/submit")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("OPTIONS without CORS: %d, want 405", rec.Code)
+	}
+	if rec.Header().Get("Access-Control-Allow-Origin") != "" {
+		t.Fatal("CORS header emitted while disabled")
+	}
+}

@@ -17,9 +17,8 @@ import (
 	"sync"
 	"time"
 
+	"encore/internal/api"
 	"encore/internal/browser"
-	"encore/internal/collectserver"
-	"encore/internal/coordserver"
 	"encore/internal/core"
 	"encore/internal/geo"
 	"encore/internal/netsim"
@@ -62,12 +61,29 @@ func DefaultInfrastructure() Infrastructure {
 	}
 }
 
+// TaskServer is the coordination-side interface the simulator drives: hand
+// a client measurement tasks and register them for attribution. The
+// in-process *coordserver.Server implements it; an HTTP-backed adapter over
+// the client SDK can stand in to exercise the real wire path.
+type TaskServer interface {
+	AssignAndRegister(client scheduler.ClientInfo, now time.Time) []core.Task
+}
+
+// SubmissionServer is the collection-side interface the simulator submits
+// results to. The in-process *collectserver.Server implements it;
+// RemoteCollector adapts the API tier's client SDK to it, and federation
+// tests use it to split one population's traffic across several edge
+// collectors.
+type SubmissionServer interface {
+	Accept(sub core.Submission) error
+}
+
 // Population drives simulated clients through the full Encore stack.
 type Population struct {
 	Net         *netsim.Network
 	Geo         *geo.Registry
-	Coordinator *coordserver.Server
-	Collector   *collectserver.Server
+	Coordinator TaskServer
+	Collector   SubmissionServer
 	Infra       Infrastructure
 
 	rng *stats.RNG
@@ -79,7 +95,7 @@ type Population struct {
 // New creates a population simulator and registers the Encore infrastructure
 // domains with the network simulator so their reachability is subject to the
 // censor.
-func New(net *netsim.Network, g *geo.Registry, coord *coordserver.Server, collect *collectserver.Server, infra Infrastructure, seed uint64) *Population {
+func New(net *netsim.Network, g *geo.Registry, coord TaskServer, collect SubmissionServer, infra Infrastructure, seed uint64) *Population {
 	p := &Population{
 		Net:                net,
 		Geo:                g,
@@ -168,7 +184,7 @@ func (p *Population) SimulateVisit(region geo.CountryCode, now time.Time) (Visit
 		out.ReachedCoordinator = true
 	} else {
 		for _, domain := range append([]string{p.Infra.CoordinatorDomain}, p.Infra.CoordinatorMirrors...) {
-			taskJS := "http://" + domain + "/task.js"
+			taskJS := api.TaskJSURL("http://" + domain)
 			if p.Net.Fetch(client, taskJS, false).Succeeded() {
 				out.ReachedCoordinator = true
 				break
@@ -192,7 +208,7 @@ func (p *Population) SimulateVisit(region geo.CountryCode, now time.Time) (Visit
 	}
 
 	// Submitting results requires reaching the collector.
-	collectorURL := "http://" + p.Infra.CollectorDomain + "/submit"
+	collectorURL := "http://" + p.Infra.CollectorDomain + api.V1SubmitPath
 	collectorReachable := p.Net.Fetch(client, collectorURL, false).Succeeded()
 	out.ReachedCollector = collectorReachable
 

@@ -1,0 +1,49 @@
+package clientsim
+
+import (
+	"context"
+
+	"encore/internal/api"
+	apiclient "encore/internal/api/client"
+	"encore/internal/core"
+)
+
+// RemoteCollector adapts the API tier's client SDK to the simulator's
+// SubmissionServer interface, so a Population can submit over the real HTTP
+// wire (v1 beacon GETs or v2 JSON POSTs) instead of calling the collection
+// server in process. The load generator uses it to measure the full
+// transport path; each simulated client's identity travels in the headers a
+// reverse proxy would forward (X-Forwarded-For, User-Agent, Referer).
+type RemoteCollector struct {
+	// Client is the SDK client aimed at the collector base URL.
+	Client *apiclient.Client
+	// UseV2 submits through POST /v2/submissions instead of the v1 beacon.
+	UseV2 bool
+}
+
+// Accept implements SubmissionServer over HTTP. The v2 path carries the
+// submission's simulated observation time (so campaign timelines survive
+// the wire); the v1 beacon format cannot express a timestamp, so beacon
+// submissions are stamped on arrival by the server — wall-clock time, not
+// campaign time — exactly as the paper's deployment behaves. Time-window
+// analyses over a beacon-transport run therefore collapse into the run's
+// real duration; use the v2 transport when the timeline matters.
+func (r *RemoteCollector) Accept(sub core.Submission) error {
+	meta := &apiclient.ClientMeta{IP: sub.ClientIP, UserAgent: sub.UserAgent}
+	if sub.OriginSite != "" {
+		meta.Referer = "http://" + sub.OriginSite + "/"
+	}
+	ctx := context.Background()
+	if r.UseV2 {
+		req := api.SubmitRequest{
+			MeasurementID: sub.MeasurementID,
+			Result:        string(sub.State),
+			ElapsedMillis: sub.DurationMillis,
+		}
+		if !sub.Received.IsZero() {
+			req.ReceivedUnixMillis = sub.Received.UnixMilli()
+		}
+		return r.Client.Submit(ctx, req, meta)
+	}
+	return r.Client.SubmitBeacon(ctx, sub.MeasurementID, string(sub.State), sub.DurationMillis, meta)
+}

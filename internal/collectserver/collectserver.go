@@ -18,18 +18,27 @@
 package collectserver
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"encore/internal/api"
 	"encore/internal/core"
 	"encore/internal/geo"
 	"encore/internal/results"
 	"encore/internal/urlpattern"
 )
+
+// ErrUnknownMeasurement is returned (wrapped, with the offending ID) when a
+// submission names a measurement ID the task index never registered — most
+// likely crawler noise or a poisoning attempt (§8). On the wire it maps to
+// 404 unknown_measurement.
+var ErrUnknownMeasurement = errors.New("collectserver: unknown measurement id")
 
 // Server is the collection server. It implements http.Handler.
 type Server struct {
@@ -60,6 +69,20 @@ type Server struct {
 	// Close syncs it after draining the ingest queue so a clean shutdown
 	// leaves everything the server acknowledged on stable storage.
 	WAL *results.WAL
+	// AllowAttributed accepts pre-attributed measurement records on the
+	// batch endpoint's federation lane (BatchSubmitRequest.Measurements).
+	// Only an aggregation-tier upstream fed by trusted edge collectors
+	// should enable it: attributed records bypass task attribution and the
+	// abuse guard, so accepting them from arbitrary clients would hand §8
+	// poisoning attackers a direct line into the store. Set it before the
+	// server starts handling requests, like the other configuration fields.
+	AllowAttributed bool
+
+	// router dispatches HTTP requests; built lazily on the first request
+	// from the configuration fields above (all of which must be set before
+	// traffic starts, per their doc comments).
+	routerOnce sync.Once
+	router     *api.Router
 }
 
 // New creates a collection server backed by the given store and task index.
@@ -74,23 +97,56 @@ func New(store *results.Store, tasks *results.TaskIndex, g *geo.Registry) *Serve
 	}
 }
 
-// ServeHTTP handles /submit requests and a /healthz endpoint.
+// ServeHTTP dispatches through the versioned API router: the v1 beacon
+// surface (/submit, /healthz, plus /v1/ aliases) answered exactly as the
+// seed server did, and the v2 JSON surface (/v2/submissions, /v2/healthz,
+// /v2/measurements). The router is built from the configuration fields on
+// the first request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.routerOnce.Do(func() { s.router = s.buildRouter() })
+	s.router.ServeHTTP(w, r)
+}
+
+// buildRouter mounts the v1 and v2 endpoints.
+func (s *Server) buildRouter() *api.Router {
+	rt := api.NewRouter()
 	if s.AllowCrossOrigin {
-		w.Header().Set("Access-Control-Allow-Origin", "*")
+		rt.EnableCORS()
 	}
+	rt.HandleFunc(http.MethodGet, api.V1SubmitPath, s.handleSubmit)
+	rt.HandleFunc(http.MethodGet, api.V1HealthPath, s.handleHealth)
+	rt.Alias("/v1"+api.V1SubmitPath, api.V1SubmitPath)
+	rt.Alias("/v1"+api.V1HealthPath, api.V1HealthPath)
+	rt.HandleFunc(http.MethodPost, api.V2SubmissionsPath, s.handleSubmitBatch)
+	rt.HandleFunc(http.MethodGet, api.V2HealthPath, s.handleHealthV2)
+	rt.HandleFunc(http.MethodGet, api.V2MeasurementsPath, s.handleMeasurements)
+	return rt
+}
+
+// handleHealth answers the v1 plain-text health check.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok: %d measurements\n", s.Store.Len())
+}
+
+// submissionError maps an Accept rejection to its typed API error. The
+// mapping is the satellite fix for the seed behaviour of leaking raw
+// err.Error() strings as HTTP 400 bodies: guard rejections become 429/409,
+// unknown measurement IDs 404, and everything else a generic 400.
+func submissionError(err error) *api.Error {
 	switch {
-	case strings.HasSuffix(r.URL.Path, "/healthz"):
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintf(w, "ok: %d measurements\n", s.Store.Len())
-	case strings.HasSuffix(r.URL.Path, "/submit"):
-		s.handleSubmit(w, r)
+	case errors.Is(err, ErrRateLimited):
+		return &api.Error{Code: api.CodeRateLimited, Message: "submission rate limit exceeded"}
+	case errors.Is(err, ErrConflictingData):
+		return &api.Error{Code: api.CodeConflictingResult, Message: "conflicting terminal state already recorded"}
+	case errors.Is(err, ErrUnknownMeasurement):
+		return &api.Error{Code: api.CodeUnknownMeasurement, Message: "measurement id not registered"}
 	default:
-		http.NotFound(w, r)
+		return &api.Error{Code: api.CodeInvalidSubmission, Message: "malformed submission"}
 	}
 }
 
-// handleSubmit parses one submission.
+// handleSubmit parses one v1 beacon submission.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	sub := core.Submission{
@@ -107,7 +163,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.Accept(sub); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		api.WriteErrorV1(w, submissionError(err))
 		return
 	}
 	// Respond with a 1x1 transparent GIF so image-beacon submissions render
@@ -197,8 +253,19 @@ func (s *Server) Accept(sub core.Submission) error {
 
 // prepare validates a submission, attributes it to its registered task,
 // applies the abuse guard, and geolocates the client, producing the
-// Measurement to store.
+// Measurement to store. The guard's rate window runs over the submission's
+// Received time, which on every v1 path is the server clock.
 func (s *Server) prepare(sub core.Submission) (results.Measurement, error) {
+	return s.prepareGuardAt(sub, time.Time{})
+}
+
+// prepareGuardAt is prepare with the abuse guard's clock pinned to guardAt
+// (zero means the submission's Received time). The v2 batch path uses it to
+// honour a client-carried observation timestamp in the stored record while
+// still rate-limiting over server arrival time — windowing the §8 guard
+// over a client-controlled clock would let one address reset its rate
+// bucket at will by spacing backdated timestamps a window apart.
+func (s *Server) prepareGuardAt(sub core.Submission, guardAt time.Time) (results.Measurement, error) {
 	if err := sub.Validate(); err != nil {
 		return results.Measurement{}, err
 	}
@@ -206,14 +273,18 @@ func (s *Server) prepare(sub core.Submission) (results.Measurement, error) {
 	if !known {
 		// Unknown measurement IDs are most likely crawler noise or
 		// poisoning attempts (§8); reject them.
-		return results.Measurement{}, fmt.Errorf("collectserver: unknown measurement id %q", sub.MeasurementID)
+		return results.Measurement{}, fmt.Errorf("%w %q", ErrUnknownMeasurement, sub.MeasurementID)
 	}
 	received := sub.Received
 	if received.IsZero() {
 		received = s.Now()
 	}
 	if s.Guard != nil {
-		if err := s.Guard.Check(sub.ClientIP, sub.MeasurementID, string(sub.State), received); err != nil {
+		at := guardAt
+		if at.IsZero() {
+			at = received
+		}
+		if err := s.Guard.Check(sub.ClientIP, sub.MeasurementID, string(sub.State), at); err != nil {
 			return results.Measurement{}, err
 		}
 	}
@@ -276,7 +347,5 @@ func ParseBrowserFamily(userAgent string) core.BrowserFamily {
 // given collector base URL, measurement ID and state; exposed so tests and
 // the client simulator construct exactly what the JavaScript does.
 func SubmitURL(collectorBase, measurementID string, state core.State, elapsedMillis float64) string {
-	base := strings.TrimSuffix(collectorBase, "/")
-	return fmt.Sprintf("%s/submit?cmh-id=%s&cmh-result=%s&cmh-elapsed=%.0f",
-		base, measurementID, state, elapsedMillis)
+	return api.BeaconURL(collectorBase, measurementID, string(state), elapsedMillis)
 }

@@ -114,6 +114,23 @@ func (in *Ingester) Enqueue(m results.Measurement) error {
 	return nil
 }
 
+// EnqueueBatch queues a batch of measurements for storage, holding the
+// closed-check lock once for the whole batch. Like Enqueue it blocks while
+// the queue is full and returns ErrIngesterClosed once Close has begun
+// (measurements sent before the error are still queued and will be stored).
+func (in *Ingester) EnqueueBatch(ms []results.Measurement) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrIngesterClosed
+	}
+	for _, m := range ms {
+		in.ch <- m
+	}
+	in.enqueued.Add(uint64(len(ms)))
+	return nil
+}
+
 // worker drains the queue: it blocks for one measurement, then opportunistically
 // gathers up to BatchSize-1 more without blocking, and writes the batch.
 func (in *Ingester) worker() {

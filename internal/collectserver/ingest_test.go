@@ -109,14 +109,15 @@ func TestServerAsyncIngestHTTP(t *testing.T) {
 			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
 		}
 	}
-	// An unknown measurement ID must still be rejected synchronously.
+	// An unknown measurement ID must still be rejected synchronously, with
+	// the typed 404 the API tier maps it to.
 	resp, err := http.Get(SubmitURL(ts.URL, "bogus", core.StateSuccess, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown ID: status %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ID: status %d, want 404", resp.StatusCode)
 	}
 
 	ingester.Close()

@@ -1,0 +1,161 @@
+package collectserver
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"encore/internal/api"
+	"encore/internal/core"
+	"encore/internal/results"
+	"encore/internal/urlpattern"
+)
+
+// The v2 collection surface: batched JSON submissions, JSON health, and a
+// JSONL measurement export. The batch endpoint is the API the federation
+// forwarder and the client SDK's batching path speak — one POST carries what
+// would otherwise be dozens of beacon GETs, and the decoded batch feeds the
+// sharded store (or the async ingest queue) with one call instead of one
+// lock round-trip per submission.
+
+// maxBatchBody bounds a decoded v2 submission body; a batch larger than this
+// is a misbehaving client, not a bigger beacon.
+const maxBatchBody = 32 << 20
+
+// handleSubmitBatch accepts POST /v2/submissions: a BatchSubmitRequest whose
+// body may be gzip-compressed (Content-Encoding: gzip). Raw submissions are
+// validated, attributed, and guard-checked exactly like v1 beacons — the
+// batch shares the caller's transport identity (remote address, User-Agent),
+// so it carries one client's submissions. Attributed measurement records
+// (the federation lane) are accepted only when the server was configured as
+// an aggregation-tier upstream (AllowAttributed).
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	body := io.Reader(r.Body)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(r.Body)
+		if err != nil {
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "bad gzip body"))
+			return
+		}
+		defer gz.Close()
+		body = gz
+	}
+	var req api.BatchSubmitRequest
+	dec := json.NewDecoder(io.LimitReader(body, maxBatchBody))
+	if err := dec.Decode(&req); err != nil {
+		api.WriteError(w, api.Errorf(api.CodeBadRequest, "bad JSON body"))
+		return
+	}
+	if len(req.Measurements) > 0 && !s.AllowAttributed {
+		api.WriteError(w, api.Errorf(api.CodeAttributionNotAllowed,
+			"this collector does not accept pre-attributed measurements"))
+		return
+	}
+
+	resp := api.BatchSubmitResponse{}
+	accepted := make([]results.Measurement, 0, len(req.Submissions)+len(req.Measurements))
+
+	// Raw-submission lane: the transport supplies the client identity once
+	// for the whole batch, exactly as it would for a run of beacons.
+	ip := clientIP(r)
+	ua := r.UserAgent()
+	referer := urlpattern.DomainOf(r.Referer())
+	arrival := s.Now()
+	for i, sub := range req.Submissions {
+		// Normalize the body-supplied origin exactly like the v1 path
+		// normalizes the Referer header, so per-origin analysis over a
+		// mixed v1/v2 store keys one site one way: URLs reduce to their
+		// host, bare domains are case/dot-normalized.
+		origin := sub.OriginSite
+		if origin != "" {
+			if d := urlpattern.DomainOf(origin); d != "" {
+				origin = d
+			} else {
+				origin = urlpattern.NormalizeHost(origin)
+			}
+		} else {
+			origin = referer
+		}
+		// Honour the client-side observation time when carried (late-
+		// uploaded batches keep their timeline), clamped to arrival time so
+		// nothing lands in the future. The §8 rate guard deliberately does
+		// NOT window over this client-controlled clock — prepareGuardAt
+		// pins it to arrival time, so backdating cannot reset rate buckets.
+		received := arrival
+		if sub.ReceivedUnixMillis > 0 {
+			if t := time.UnixMilli(sub.ReceivedUnixMillis).UTC(); t.Before(received) {
+				received = t
+			}
+		}
+		m, err := s.prepareGuardAt(core.Submission{
+			MeasurementID:  sub.MeasurementID,
+			State:          core.State(sub.Result),
+			DurationMillis: sub.ElapsedMillis,
+			ClientIP:       ip,
+			UserAgent:      ua,
+			OriginSite:     origin,
+			Received:       received,
+		}, arrival)
+		if err != nil {
+			e := submissionError(err)
+			resp.Rejected = append(resp.Rejected, api.RejectedSubmission{
+				Index: i, MeasurementID: sub.MeasurementID, Code: e.Code, Message: e.Message,
+			})
+			continue
+		}
+		accepted = append(accepted, m)
+	}
+
+	// Federation lane: records were attributed, guarded, and geolocated at
+	// the edge collector that committed them; only validity is re-checked.
+	for i, m := range req.Measurements {
+		if err := m.Validate(); err != nil {
+			resp.Rejected = append(resp.Rejected, api.RejectedSubmission{
+				Index: i, MeasurementID: m.MeasurementID,
+				Code: api.CodeInvalidSubmission, Message: "invalid measurement record",
+			})
+			continue
+		}
+		accepted = append(accepted, m)
+	}
+
+	if err := s.storeBatch(accepted); err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "write path closed"))
+		return
+	}
+	resp.Accepted = len(accepted)
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// storeBatch commits prepared measurements through whichever write path the
+// server runs: the batched async ingest queue when enabled, otherwise one
+// grouped store write.
+func (s *Server) storeBatch(ms []results.Measurement) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	if s.Ingest != nil {
+		return s.Ingest.EnqueueBatch(ms)
+	}
+	_, err := s.Store.AddBatch(ms)
+	return err
+}
+
+// handleHealthV2 answers GET /v2/healthz with structured health.
+func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
+		Status:       "ok",
+		Measurements: s.Store.Len(),
+	})
+}
+
+// handleMeasurements streams the store as JSON lines (GET /v2/measurements),
+// the export encore-analyze pulls from a live collector. The stream is the
+// same format WriteJSONL persists, in insertion order.
+func (s *Server) handleMeasurements(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = s.Store.WriteJSONL(w)
+}

@@ -1,0 +1,239 @@
+package coordserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"encore/internal/api"
+)
+
+// TestV1GoldenCompat pins the coordination server's v1 surface through the
+// new router: exact paths, the /v1/ aliases, the CORS header on every
+// response, and byte-stable bodies where the seed's were deterministic.
+func TestV1GoldenCompat(t *testing.T) {
+	s, _, g := testCoordinator(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	get := func(path string, headers map[string]string) (*http.Response, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	// /healthz before any traffic: exact seed text.
+	resp, body := get("/healthz", nil)
+	if resp.StatusCode != http.StatusOK || body != "ok: 0 task responses served, 0 tasks assigned\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Access-Control-Allow-Origin") != "*" {
+		t.Fatal("healthz lost the CORS header")
+	}
+
+	// /frame.html: fully deterministic given the snippet.
+	resp, body = get("/frame.html", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frame status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Type") != "text/html" {
+		t.Fatalf("frame Content-Type %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "<!DOCTYPE html><html><head><title>encore</title></head><body>") ||
+		!strings.Contains(body, "//coordinator.encore-test.org/task.js") {
+		t.Fatalf("frame body diverged: %q", body)
+	}
+
+	// /task.js (and the /v1 alias): same headers and comment banner as the
+	// seed, with executable task JavaScript.
+	ip, _ := g.RandomIP("CN")
+	headers := map[string]string{
+		"User-Agent":      "Mozilla/5.0 Chrome/39.0 Safari/537.36",
+		"X-Forwarded-For": ip.String(),
+	}
+	for _, path := range []string{"/task.js", "/v1/task.js"} {
+		resp, body = get(path, headers)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Content-Type") != "application/javascript" {
+			t.Fatalf("%s Content-Type %q", path, resp.Header.Get("Content-Type"))
+		}
+		if resp.Header.Get("Cache-Control") != "no-store" {
+			t.Fatalf("%s Cache-Control %q", path, resp.Header.Get("Cache-Control"))
+		}
+		if !strings.HasPrefix(body, "// encore measurement tasks\n") {
+			t.Fatalf("%s banner diverged: %q", path, body[:40])
+		}
+	}
+
+	// Suffix matching is dead; the stock 404 body survives.
+	resp, body = get("/nested/task.js", nil)
+	if resp.StatusCode != http.StatusNotFound || body != "404 page not found\n" {
+		t.Fatalf("suffix path: %d %q", resp.StatusCode, body)
+	}
+	// Unknown methods are refused.
+	postResp, err := http.Post(srv.URL+"/task.js", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /task.js: %d, want 405", postResp.StatusCode)
+	}
+}
+
+// TestV2Tasks drives GET /v2/tasks: structured task JSON, dwell and script
+// parameters, task-index registration, and agreement with what /task.js
+// would have rendered for the same assignment.
+func TestV2Tasks(t *testing.T) {
+	s, index, g := testCoordinator(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	ip, _ := g.RandomIP("IR")
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+api.V2TasksPath+"?dwell-seconds=120&script=1", nil)
+	req.Header.Set("User-Agent", "Mozilla/5.0 Chrome/39.0 Safari/537.36")
+	req.Header.Set("X-Forwarded-For", ip.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("Content-Type %q", resp.Header.Get("Content-Type"))
+	}
+	var out api.TaskResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) == 0 {
+		t.Fatal("no tasks assigned")
+	}
+	if out.CollectorURL != "//collector.encore-test.org" {
+		t.Fatalf("collector URL %q", out.CollectorURL)
+	}
+	for _, task := range out.Tasks {
+		if task.MeasurementID == "" || task.PatternKey == "" || task.TargetURL == "" || task.Type == "" {
+			t.Fatalf("incomplete task %+v", task)
+		}
+		// Every v2 task is registered for attribution, like a v1 one.
+		registered, ok := index.Lookup(task.MeasurementID)
+		if !ok {
+			t.Fatalf("task %s not registered", task.MeasurementID)
+		}
+		if registered.PatternKey != task.PatternKey {
+			t.Fatalf("registered pattern %q != %q", registered.PatternKey, task.PatternKey)
+		}
+		// ?script=1: the rendered JavaScript is the v1 view of this task.
+		if task.Script == "" {
+			t.Fatal("script requested but absent")
+		}
+		if !strings.Contains(task.Script, task.MeasurementID) {
+			t.Fatalf("script does not carry its measurement ID:\n%s", task.Script)
+		}
+	}
+	if s.TasksServed() != 1 {
+		t.Fatalf("TasksServed=%d", s.TasksServed())
+	}
+
+	// Without ?script the scripts stay home.
+	resp2, err := http.Get(srv.URL + api.V2TasksPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 api.TaskResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	for _, task := range out2.Tasks {
+		if task.Script != "" {
+			t.Fatal("script present without ?script=1")
+		}
+	}
+}
+
+// TestV2Health checks the coordination server's JSON health counters.
+func TestV2Health(t *testing.T) {
+	s, _, _ := testCoordinator(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// One assignment bumps the counters.
+	resp, err := http.Get(srv.URL + api.V2TasksPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + api.V2HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.TasksServed != 1 || health.TasksAssigned == 0 {
+		t.Fatalf("health %+v", health)
+	}
+}
+
+// TestV2TasksDwellBudget checks the dwell-seconds hint reaches the
+// scheduler's per-client task budget: a one-second dwell gets the minimum
+// single task, a long dwell gets more.
+func TestV2TasksDwellBudget(t *testing.T) {
+	s, _, _ := testCoordinator(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	get := func(query string) api.TaskResponse {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+api.V2TasksPath+query, nil)
+		req.Header.Set("User-Agent", "Mozilla/5.0 Chrome/39.0 Safari/537.36")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out api.TaskResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// A one-second dwell caps the budget at the single-task minimum; a long
+	// dwell allows more. Single picks are randomized (the focus pool stops
+	// at the first repeated target), so compare totals over many requests.
+	shortTotal, longTotal := 0, 0
+	for i := 0; i < 50; i++ {
+		shortTotal += len(get("?dwell-seconds=1").Tasks)
+		longTotal += len(get("?dwell-seconds=600").Tasks)
+	}
+	if shortTotal != 50 {
+		t.Fatalf("one-second dwell assigned %d tasks over 50 requests, want exactly the minimum 50", shortTotal)
+	}
+	if longTotal <= shortTotal {
+		t.Fatalf("long dwell assigned %d tasks over 50 requests, short dwell %d; budget hint ignored", longTotal, shortTotal)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"encore/internal/api"
 	"encore/internal/collectserver"
 	"encore/internal/core"
 	"encore/internal/geo"
@@ -42,6 +44,12 @@ type Server struct {
 	Obfuscate bool
 
 	served uint64
+
+	// router dispatches HTTP requests; built lazily on the first request
+	// from the configuration fields above (all of which must be set before
+	// traffic starts, per their doc comments).
+	routerOnce sync.Once
+	router     *api.Router
 }
 
 // New creates a coordination server.
@@ -65,22 +73,85 @@ func (s *Server) TasksServed() uint64 { return atomic.LoadUint64(&s.served) }
 // reads never contend with scheduling.
 func (s *Server) TasksAssigned() uint64 { return uint64(s.Scheduler.TotalAssignments()) }
 
-// ServeHTTP routes /task.js, /frame.html, /healthz, and /coverage.json.
+// ServeHTTP dispatches through the versioned API router: the v1 surface
+// (/task.js, /frame.html, /healthz, /coverage.json, plus /v1/ aliases)
+// answered exactly as the seed server did, and the v2 JSON surface
+// (/v2/tasks, /v2/healthz). The router is built from the configuration
+// fields on the first request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Access-Control-Allow-Origin", "*")
-	switch {
-	case strings.HasSuffix(r.URL.Path, "/task.js"):
-		s.handleTaskJS(w, r)
-	case strings.HasSuffix(r.URL.Path, "/frame.html"):
-		s.handleFrame(w, r)
-	case strings.HasSuffix(r.URL.Path, "/healthz"):
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintf(w, "ok: %d task responses served, %d tasks assigned\n", s.TasksServed(), s.TasksAssigned())
-	case strings.HasSuffix(r.URL.Path, "/coverage.json"):
-		s.handleCoverage(w, r)
-	default:
-		http.NotFound(w, r)
+	s.routerOnce.Do(func() { s.router = s.buildRouter() })
+	s.router.ServeHTTP(w, r)
+}
+
+// buildRouter mounts the v1 and v2 endpoints. The coordination server always
+// answers cross-origin (the embed snippet loads task.js from arbitrary
+// origin pages), so CORS is unconditionally on.
+func (s *Server) buildRouter() *api.Router {
+	rt := api.NewRouter()
+	rt.EnableCORS()
+	rt.HandleFunc(http.MethodGet, api.V1TaskJSPath, s.handleTaskJS)
+	rt.HandleFunc(http.MethodGet, api.V1FramePath, s.handleFrame)
+	rt.HandleFunc(http.MethodGet, api.V1HealthPath, s.handleHealth)
+	rt.HandleFunc(http.MethodGet, api.V1CoveragePath, s.handleCoverage)
+	rt.Alias("/v1"+api.V1TaskJSPath, api.V1TaskJSPath)
+	rt.Alias("/v1"+api.V1FramePath, api.V1FramePath)
+	rt.Alias("/v1"+api.V1HealthPath, api.V1HealthPath)
+	rt.Alias("/v1"+api.V1CoveragePath, api.V1CoveragePath)
+	rt.HandleFunc(http.MethodGet, api.V2TasksPath, s.handleTasksV2)
+	rt.HandleFunc(http.MethodGet, api.V2HealthPath, s.handleHealthV2)
+	return rt
+}
+
+// handleHealth answers the v1 plain-text health check.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok: %d task responses served, %d tasks assigned\n", s.TasksServed(), s.TasksAssigned())
+}
+
+// handleHealthV2 answers GET /v2/healthz with structured health.
+func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
+		Status:        "ok",
+		TasksServed:   s.TasksServed(),
+		TasksAssigned: s.TasksAssigned(),
+	})
+}
+
+// handleTasksV2 answers GET /v2/tasks with the structured form of the same
+// assignment /task.js renders as JavaScript: the scheduler picks tasks for
+// the requesting client (browser family from the User-Agent, region by
+// geolocation, dwell from the dwell-seconds parameter), the task index
+// registers them for attribution, and the response carries one Task object
+// per assignment. With ?script=1 each task also carries its rendered v1
+// JavaScript, pinning down that the beacon script is one rendering of this
+// response.
+func (s *Server) handleTasksV2(w http.ResponseWriter, r *http.Request) {
+	req := api.ParseTaskRequest(r)
+	client := s.ClientFromRequest(r)
+	if req.DwellSeconds > 0 {
+		client.ExpectedDwellSeconds = req.DwellSeconds
 	}
+	tasks := s.AssignAndRegister(client, s.Now())
+	resp := api.TaskResponse{
+		Tasks:        make([]api.Task, 0, len(tasks)),
+		CollectorURL: s.Snippet.CollectorURL,
+	}
+	for _, t := range tasks {
+		out := api.Task{
+			MeasurementID:  t.MeasurementID,
+			Type:           t.Type.String(),
+			TargetURL:      t.TargetURL,
+			CachedImageURL: t.CachedImageURL,
+			PatternKey:     t.PatternKey,
+			TimeoutMillis:  t.TimeoutMillis,
+			Control:        t.Control,
+		}
+		if req.IncludeScript {
+			out.Script = s.renderTask(t)
+		}
+		resp.Tasks = append(resp.Tasks, out)
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleCoverage serves the scheduler's per-region coverage snapshot for

@@ -9,12 +9,35 @@ package loadgen
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"time"
 
+	apiclient "encore/internal/api/client"
 	"encore/internal/clientsim"
 	"encore/internal/collectserver"
 	"encore/internal/inference"
 	"encore/internal/results"
+)
+
+// Transport selects how simulated clients deliver submissions to the
+// collection server.
+type Transport string
+
+const (
+	// TransportInProcess submits through the collector's programmatic
+	// Accept entry point — no HTTP on the submission path (the seed
+	// behaviour, and the ceiling the wire transports are compared against).
+	TransportInProcess Transport = ""
+	// TransportBeacon submits over real loopback HTTP with one v1
+	// image-beacon GET per submission, via the API client SDK. The beacon
+	// format carries no timestamp, so the collector stamps submissions on
+	// arrival — wall-clock time, not the campaign's simulated time; runs
+	// that feed time-window analyses should use TransportV2.
+	TransportBeacon Transport = "beacon"
+	// TransportV2 submits over real loopback HTTP with one v2 JSON POST per
+	// submission, via the API client SDK; the simulated observation time
+	// travels in the request, so campaign timelines survive the wire.
+	TransportV2 Transport = "v2"
 )
 
 // Config parameterizes a load-generation run.
@@ -37,6 +60,10 @@ type Config struct {
 	// Ingest configures the async queue when AsyncIngest is set; zero fields
 	// fall back to collectserver defaults.
 	Ingest collectserver.IngestConfig
+	// Transport selects the submission path: in-process Accept calls
+	// (default), or real loopback HTTP through the API client SDK
+	// (TransportBeacon / TransportV2).
+	Transport Transport
 }
 
 // DefaultConfig returns a short, CI-sized load run.
@@ -52,7 +79,9 @@ func DefaultConfig() Config {
 
 // Result reports what a load run achieved.
 type Result struct {
-	Clients        int
+	Clients int
+	// Transport is the submission path the run used.
+	Transport      Transport
 	Visits         int
 	TasksAssigned  int
 	TasksSubmitted int
@@ -98,8 +127,12 @@ type Result struct {
 
 // String renders the result as a one-line report.
 func (r Result) String() string {
-	s := fmt.Sprintf("loadgen: %d clients, %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
-		r.Clients, r.Visits, r.TasksAssigned, r.TasksSubmitted, r.Stored,
+	transport := "in-process"
+	if r.Transport != TransportInProcess {
+		transport = "http/" + string(r.Transport)
+	}
+	s := fmt.Sprintf("loadgen: %d clients (%s), %d visits, %d assigned, %d submitted, %d stored in %v (%.0f submissions/s, %.0f assignments/s)",
+		r.Clients, transport, r.Visits, r.TasksAssigned, r.TasksSubmitted, r.Stored,
 		r.Elapsed.Round(time.Millisecond), r.SubmissionsPerSec, r.AssignmentsPerSec)
 	if r.CoverageRegions > 0 {
 		s += fmt.Sprintf("; coverage over %d regions (max spread %d)", r.CoverageRegions, r.CoverageSpread)
@@ -138,6 +171,20 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 		ingester = stack.Collector.EnableAsyncIngest(cfg.Ingest)
 	}
 
+	// Wire transports: serve the collector on a loopback listener and point
+	// the population's submissions at it through the SDK, so the measured
+	// path includes HTTP parsing, routing, and response writing.
+	if cfg.Transport != TransportInProcess {
+		srv := httptest.NewServer(stack.Collector)
+		defer srv.Close()
+		prev := stack.Population.Collector
+		stack.Population.Collector = &clientsim.RemoteCollector{
+			Client: apiclient.New(srv.URL),
+			UseV2:  cfg.Transport == TransportV2,
+		}
+		defer func() { stack.Population.Collector = prev }()
+	}
+
 	started := time.Now()
 	campaign := stack.Population.RunCampaignConcurrent(clientsim.CampaignConfig{
 		Visits:   cfg.Visits,
@@ -158,6 +205,7 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 
 	res := Result{
 		Clients:        cfg.Clients,
+		Transport:      cfg.Transport,
 		Visits:         campaign.Visits,
 		TasksAssigned:  campaign.TasksAssigned,
 		TasksSubmitted: campaign.TasksSubmitted,

@@ -71,6 +71,37 @@ func TestRunSyncPath(t *testing.T) {
 	}
 }
 
+// TestRunHTTPTransports drives the same small campaign over both wire
+// transports — v1 beacon GETs and v2 JSON POSTs through the client SDK
+// against a real loopback listener — and checks the submissions land and
+// the report names the path.
+func TestRunHTTPTransports(t *testing.T) {
+	for _, transport := range []Transport{TransportBeacon, TransportV2} {
+		stack := clientsim.BuildStack(clientsim.StackConfig{Seed: 12, Censor: censor.PaperPolicies()})
+		res := Run(stack, Config{
+			Clients:           4,
+			Visits:            80,
+			Start:             time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+			SimulatedDuration: time.Hour,
+			AsyncIngest:       true,
+			Transport:         transport,
+		})
+		if res.TasksSubmitted == 0 {
+			t.Fatalf("%s: no submissions over HTTP", transport)
+		}
+		if res.Stored != stack.Store.Len() || res.Stored == 0 {
+			t.Fatalf("%s: Stored=%d store=%d", transport, res.Stored, stack.Store.Len())
+		}
+		if !strings.Contains(res.String(), "http/"+string(transport)) {
+			t.Fatalf("%s: report omits transport: %s", transport, res)
+		}
+		// The wire path must restore the in-process collector afterwards.
+		if _, ok := stack.Population.Collector.(*clientsim.RemoteCollector); ok {
+			t.Fatalf("%s: Run left the HTTP adapter installed", transport)
+		}
+	}
+}
+
 // TestRunWithWALAttached drives a load run against a stack persisting through
 // the write-ahead log and checks the result reports the durability tier's
 // counters and that the log holds the whole run.

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"strings"
 
+	"encore/internal/api"
 	"encore/internal/censor"
 	"encore/internal/core"
 	"encore/internal/netsim"
@@ -149,7 +150,7 @@ func (tb *Testbed) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/html")
 		fmt.Fprintf(w, "<!DOCTYPE html><html><body><img src=%q/></body></html>\n", pixelPath)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(api.V1HealthPath, func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux

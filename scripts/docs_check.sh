@@ -18,6 +18,7 @@ echo "== required docs =="
 for doc in \
     README.md \
     docs/ARCHITECTURE.md \
+    docs/API.md \
     examples/README.md \
     examples/quickstart/README.md \
     examples/pilotstudy/README.md \
