@@ -11,6 +11,9 @@
 #   make bench-api   - only the E21 API-transport benchmarks (v1 beacon vs
 #                      v2 batch over loopback HTTP, federation forwarder),
 #                      merged into BENCH_aggregate.json the same way
+#   make bench-fed   - only the E22 lossless-federation benchmarks (WAL-tail
+#                      forwarder throughput vs the in-memory baseline, plus
+#                      the recovery-resume replay rate), merged the same way
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
 #                      and the commands the README names actually build
@@ -19,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-paper loadgen docs-check
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-paper loadgen docs-check
 
 ci:
 	./scripts/ci.sh
@@ -47,6 +50,9 @@ bench-sched:
 
 bench-api:
 	./scripts/bench.sh -only api
+
+bench-fed:
+	./scripts/bench.sh -only fed
 
 bench-paper:
 	$(GO) test -bench=. -benchmem .

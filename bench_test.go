@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -1515,4 +1517,135 @@ func BenchmarkAPIFederationForward(b *testing.B) {
 	if upStore.Len() != b.N {
 		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), b.N)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E22: lossless-federation benchmarks — the WAL-resumable forwarder against
+// the in-memory baseline above (BenchmarkAPIFederationForward), and the
+// recovery-resume path: how fast a restarted forwarder replays a WAL backlog
+// from its persisted cursor into the upstream. scripts/bench.sh folds both
+// into BENCH_aggregate.json via the APIFederation pattern (make bench-fed).
+// ---------------------------------------------------------------------------
+
+// benchFedUpstream builds an aggregation-tier instance over loopback HTTP.
+func benchFedUpstream(b *testing.B) (*results.Store, *httptest.Server) {
+	b.Helper()
+	upStore := results.NewStore()
+	up := collectserver.New(upStore, results.NewTaskIndex(), geo.NewRegistry(17))
+	up.Guard = nil
+	up.AllowAttributed = true
+	ts := httptest.NewServer(up)
+	b.Cleanup(ts.Close)
+	return upStore, ts
+}
+
+// benchFedMeasurement is one synthetic edge commit.
+func benchFedMeasurement(i int) results.Measurement {
+	return results.Measurement{
+		MeasurementID: "fed-" + strconv.Itoa(i),
+		PatternKey:    "domain:bench.com",
+		State:         core.StateSuccess,
+		Region:        "US",
+		ClientIP:      "11.0.3." + strconv.Itoa(i%200),
+		Received:      time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Millisecond),
+	}
+}
+
+// BenchmarkAPIFederationWALForward is BenchmarkAPIFederationForward with the
+// durable pipeline attached: every commit is WAL-logged (interval fsync) and
+// position-tracked, the forwarder persists its acked cursor per batch, and
+// the timing still covers commit through upstream acknowledgement — the
+// price of lossless forwarding over the in-memory baseline.
+func BenchmarkAPIFederationWALForward(b *testing.B) {
+	upStore, ts := benchFedUpstream(b)
+	wal, err := results.OpenWAL(results.WALConfig{Dir: b.TempDir(), Policy: results.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+	edge := results.NewStore()
+	edge.AddObserver(wal)
+	f, err := federation.NewForwarder(federation.ForwarderConfig{
+		Upstream: ts.URL, MaxBatch: 256, FlushInterval: 5 * time.Millisecond, WAL: wal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge.AddObserver(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := edge.Add(benchFedMeasurement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	if upStore.Len() != b.N {
+		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), b.N)
+	}
+	if st := f.Stats(); st.Dropped != 0 {
+		b.Fatalf("WAL-backed forwarder dropped %d records", st.Dropped)
+	}
+}
+
+// BenchmarkAPIFederationWALResume measures the recovery-resume rate: a
+// restarted edge's forwarder finds a WAL backlog its crashed predecessor
+// never shipped (cursor at zero) and replays it into the upstream. The
+// timing covers forwarder construction through the catch-up drain — the
+// window after a restart during which the upstream is stale.
+func BenchmarkAPIFederationWALResume(b *testing.B) {
+	// The backlog is built once, untimed; each iteration resumes into a
+	// fresh upstream from a fresh cursor (the file is deleted between runs).
+	const backlog = 4096
+	dir := b.TempDir()
+	wal, err := results.OpenWAL(results.WALConfig{Dir: dir, Policy: results.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edge := results.NewStore()
+	edge.AddObserver(wal)
+	for i := 0; i < backlog; i++ {
+		if err := edge.Add(benchFedMeasurement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := wal.Close(); err != nil {
+		b.Fatal(err)
+	}
+	wal, err = results.OpenWAL(results.WALConfig{Dir: dir, Policy: results.SyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+
+	cursorPath := filepath.Join(dir, "forward-cursor.json")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		upStore, ts := benchFedUpstream(b)
+		os.Remove(cursorPath)
+		b.StartTimer()
+		f, err := federation.NewForwarder(federation.ForwarderConfig{
+			Upstream: ts.URL, MaxBatch: 256, FlushInterval: 5 * time.Millisecond,
+			WAL: wal, CursorPath: cursorPath,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Flush(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		f.Stop()
+		if upStore.Len() != backlog {
+			b.Fatalf("resume replayed %d of %d backlog records", upStore.Len(), backlog)
+		}
+		ts.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*backlog/b.Elapsed().Seconds(), "resumed-records/s")
 }

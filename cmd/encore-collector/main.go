@@ -22,8 +22,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
+	apiclient "encore/internal/api/client"
 	"encore/internal/api/federation"
 	"encore/internal/collectserver"
 	"encore/internal/core"
@@ -41,10 +43,13 @@ func main() {
 
 		asyncIngest = flag.Bool("async", false, "route submissions through the batched async ingest queue instead of writing to the store inline")
 
-		forwardTo    = flag.String("forward-to", "", "base URL of an upstream aggregation-tier collector; this instance becomes a federation edge and streams every committed measurement there in batched POST /v2/submissions calls")
-		forwardBatch = flag.Int("forward-batch", 128, "measurements per federation batch")
-		forwardFlush = flag.Duration("forward-flush", 200*time.Millisecond, "how often buffered commits are forwarded upstream")
-		allowAttr    = flag.Bool("allow-attributed", false, "accept pre-attributed measurement batches on /v2/submissions (run this on the aggregation-tier instance edge collectors forward to; it bypasses task attribution and the abuse guard, so never expose it to untrusted clients)")
+		forwardTo     = flag.String("forward-to", "", "base URL of an upstream aggregation-tier collector; this instance becomes a federation edge and streams every committed measurement there in batched POST /v2/submissions calls")
+		forwardBatch  = flag.Int("forward-batch", 128, "measurements per federation batch")
+		forwardFlush  = flag.Duration("forward-flush", 200*time.Millisecond, "how often buffered commits are forwarded upstream (the floor of a dynamic window the upstream's load signal can widen)")
+		forwardToken  = flag.String("forward-token", "", "bearer token presented to the upstream's attributed lane (set when the upstream runs with -attributed-token)")
+		forwardCursor = flag.String("forward-cursor", "", "path of the forwarder's durable acked-cursor file (default: forward-cursor.json inside -wal-dir); requires -wal-dir for resumable, lossless forwarding")
+		allowAttr     = flag.Bool("allow-attributed", false, "accept pre-attributed measurement batches on /v2/submissions (run this on the aggregation-tier instance edge collectors forward to; it bypasses task attribution and the abuse guard, so never expose it to untrusted clients)")
+		attrToken     = flag.String("attributed-token", "", "shared-secret bearer token the attributed lane requires; batches without it are rejected with the typed 403 (requires -allow-attributed)")
 
 		walDir     = flag.String("wal-dir", "", "directory for the durable write-ahead log; empty disables persistence beyond JSONL checkpoints")
 		walSync    = flag.String("wal-sync", "interval", "WAL fsync policy: always (no loss), interval (bounded loss), none (OS decides)")
@@ -91,27 +96,47 @@ func main() {
 	g := geo.NewRegistry(*seed)
 	server := collectserver.New(store, index, g)
 	server.AllowAttributed = *allowAttr
+	server.AttributedToken = *attrToken
+	if *attrToken != "" && !*allowAttr {
+		log.Fatal("-attributed-token requires -allow-attributed")
+	}
 	if wal != nil {
+		// Attach the WAL before the forwarder so a commit is durable by the
+		// time the forwarder can ship it.
 		server.AttachWAL(wal)
 	}
 
 	// Federation edge: stream every committed measurement (including WAL-
 	// recovered traffic committed from here on) to the upstream aggregation
-	// tier over the v2 batch API.
+	// tier over the v2 batch API. With a WAL the forwarder is lossless and
+	// resumable: it persists its acked cursor beside the WAL and replays the
+	// log from the cursor on startup, covering everything a previous run
+	// committed but never shipped.
 	var forwarder *federation.Forwarder
 	if *forwardTo != "" {
-		var err error
-		forwarder, err = federation.NewForwarder(federation.ForwarderConfig{
+		fcfg := federation.ForwarderConfig{
 			Upstream:      *forwardTo,
 			MaxBatch:      *forwardBatch,
 			FlushInterval: *forwardFlush,
-		})
+			WAL:           wal,
+			CursorPath:    *forwardCursor,
+		}
+		if *forwardToken != "" {
+			fcfg.Client = apiclient.NewWithConfig(*forwardTo, apiclient.Config{AuthToken: *forwardToken})
+		}
+		var err error
+		forwarder, err = federation.NewForwarder(fcfg)
 		if err != nil {
 			log.Fatalf("starting federation forwarder: %v", err)
 		}
 		store.AddObserver(forwarder)
-		log.Printf("federation edge: forwarding commits to %s (batch %d, flush %v)",
-			*forwardTo, *forwardBatch, *forwardFlush)
+		server.Forwarder = forwarder
+		mode := "in-memory buffer"
+		if wal != nil {
+			mode = "WAL-resumable (cursor at " + "position " + strconv.FormatUint(forwarder.Stats().AckedCursor, 10) + ")"
+		}
+		log.Printf("federation edge: forwarding commits to %s (batch %d, flush %v, %s)",
+			*forwardTo, *forwardBatch, *forwardFlush, mode)
 	}
 	if *asyncIngest {
 		server.EnableAsyncIngest(collectserver.IngestConfig{})
@@ -150,6 +175,14 @@ func main() {
 				}
 			}
 		case <-compactC:
+			if forwarder != nil && forwarder.Stats().CatchingUp {
+				// The forwarder is tailing the WAL to catch up after an
+				// outage; compacting now would only churn segments it is
+				// mid-read on (retention keeps the unacked records safe
+				// either way). Skip this round.
+				log.Printf("WAL: skipping compaction while the forwarder catches up")
+				continue
+			}
 			if err := wal.Compact(); err != nil {
 				log.Printf("WAL compaction: %v", err)
 			} else {
@@ -159,10 +192,12 @@ func main() {
 		case <-ctx.Done():
 			// Orderly shutdown, in dependency order: stop accepting HTTP
 			// submissions first (in-flight handlers finish against the still-
-			// open write path), then drain the async queue and fsync the WAL,
-			// then checkpoint, and only then close the log. Closing the
-			// persistence path before the listener would let late submissions
-			// be acknowledged and silently dropped.
+			// open write path); then server.Close runs the crash-consistent
+			// sequence — drain the async queue (every accepted submission
+			// commits, reaching the forwarder), flush the forwarder to its
+			// acked cursor, fsync the WAL; then checkpoint, and only then
+			// close the log. Reordering any pair can acknowledge-and-drop a
+			// late submission or strand the forwarder's in-flight batch.
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = srv.Shutdown(shutdownCtx)
@@ -170,15 +205,9 @@ func main() {
 				log.Printf("shutdown: %v", err)
 			}
 			if forwarder != nil {
-				// After the queue drain every commit is in the forwarder's
-				// buffer; push the tail upstream before exiting.
-				if err := forwarder.Close(); err != nil {
-					log.Printf("federation drain: %v", err)
-				} else {
-					st := forwarder.Stats()
-					log.Printf("federation: forwarded %d measurements in %d batches (%d dropped)",
-						st.Forwarded, st.Batches, st.Dropped)
-				}
+				st := forwarder.Stats()
+				log.Printf("federation: forwarded %d measurements in %d batches (%d rejected, %d dropped, cursor %d)",
+					st.Forwarded, st.Batches, st.Rejected, st.Dropped, st.AckedCursor)
 			}
 			writeStore(store, *outPath)
 			if wal != nil {

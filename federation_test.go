@@ -1,10 +1,14 @@
 package encore
 
 import (
+	"context"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	apiclient "encore/internal/api/client"
 	"encore/internal/api/federation"
 	"encore/internal/censor"
 	"encore/internal/clientsim"
@@ -205,5 +209,153 @@ func TestFederationSurvivesCollectorLoss(t *testing.T) {
 	verdicts := inference.New(inference.DefaultConfig()).DetectIncremental(upAgg)
 	if len(verdicts) == 0 {
 		t.Fatal("no verdicts over the merged aggregation tier")
+	}
+}
+
+// TestFederationSurvivesEdgeCrashAndRestart is the lossless-federation
+// acceptance test: an edge collector ingests under a WAL while its upstream
+// is unreachable, crashes (no drain, no cursor advance), restarts by
+// replaying the WAL, and its forwarder resumes from the persisted cursor.
+// The upstream must end with the aggregation tier a never-partitioned
+// single collector would have produced — verdict-for-verdict — with zero
+// records dropped.
+func TestFederationSurvivesEdgeCrashAndRestart(t *testing.T) {
+	const seed, phaseVisits = 979, 200
+
+	// Baseline: one collector ingests both phases directly.
+	baseline := clientsim.BuildStack(clientsim.StackConfig{Seed: seed, Censor: censor.PaperPolicies()})
+	baseline.Collector.Guard = nil
+	baseCfg := federationCampaign(phaseVisits)
+	baseline.Population.RunCampaign(baseCfg)
+	baseCfg.Start = baseCfg.Start.Add(baseCfg.Duration)
+	baseline.Population.RunCampaign(baseCfg)
+	baseVerdicts := inference.New(inference.DefaultConfig()).DetectIncremental(baseline.Aggregator)
+	if baseline.Store.Len() == 0 || len(baseVerdicts) == 0 {
+		t.Fatalf("baseline produced nothing: %d stored, %d verdicts", baseline.Store.Len(), len(baseVerdicts))
+	}
+
+	// Federated: an identically seeded deployment with one WAL-backed edge
+	// forwarding through a gate that simulates the upstream outage.
+	stack := clientsim.BuildStack(clientsim.StackConfig{Seed: seed, Censor: censor.PaperPolicies()})
+	stack.Collector.Guard = nil
+	upStore, upAgg, upSrv := buildUpstream(t, stack.Geo)
+	var down atomic.Bool
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "upstream down", http.StatusServiceUnavailable)
+			return
+		}
+		upSrv.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(gate.Close)
+
+	walDir := t.TempDir()
+	wal, err := results.OpenWAL(results.WALConfig{Dir: walDir, Policy: results.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := stack.Collector
+	edge.AttachWAL(wal) // WAL observes first: commits are durable before the forwarder sees them
+	newForwarder := func(w *results.WAL) *federation.Forwarder {
+		f, err := federation.NewForwarder(federation.ForwarderConfig{
+			Client: apiclient.NewWithConfig(gate.URL, apiclient.Config{
+				Retries: 1, RetryBackoff: time.Millisecond,
+			}),
+			MaxBatch:      32,
+			FlushInterval: 5 * time.Millisecond,
+			MaxBuffer:     64, // small enough that the outage forces a spill to the WAL tail
+			WAL:           w,
+			Logf:          t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f1 := newForwarder(wal)
+	edge.Store.AddObserver(f1)
+
+	// Phase 1: upstream reachable; the cursor advances past acknowledged
+	// traffic.
+	cfg := federationCampaign(phaseVisits)
+	stack.Population.RunCampaign(cfg)
+	if err := f1.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Stats().AckedCursor == 0 {
+		t.Fatal("cursor did not advance during the healthy phase")
+	}
+
+	// Phase 2: upstream down; the edge keeps ingesting under the WAL.
+	down.Store(true)
+	cfg.Start = cfg.Start.Add(cfg.Duration)
+	stack.Population.RunCampaign(cfg)
+	st := f1.Stats()
+	if st.Spilled == 0 {
+		t.Fatalf("outage did not spill the %d-slot buffer to the WAL tail: %+v", 64, st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("WAL-backed edge dropped %d records during the outage", st.Dropped)
+	}
+
+	// Crash: no drain, no final cursor write; the WAL closes like a dead
+	// process's file descriptors would.
+	f1.Stop()
+	edgeCommitted := edge.Store.Len()
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if upStore.Len() >= edgeCommitted {
+		t.Fatalf("upstream already complete (%d of %d) — the outage never bit", upStore.Len(), edgeCommitted)
+	}
+
+	// Restart: replay the WAL, reopen it, and let a fresh forwarder resume
+	// from the cursor file persisted beside it.
+	recovered, _, err := results.OpenStoreFromWAL(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Len() != edgeCommitted {
+		t.Fatalf("recovered store has %d records, crashed edge had %d", recovered.Len(), edgeCommitted)
+	}
+	wal2, err := results.OpenWAL(results.WALConfig{Dir: walDir, Policy: results.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	recovered.AddObserver(wal2)
+	down.Store(false)
+	f2 := newForwarder(wal2)
+	recovered.AddObserver(f2)
+	if err := f2.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero loss: the upstream holds exactly what the edge committed, which
+	// is exactly what the never-partitioned baseline stored.
+	if upStore.Len() != edgeCommitted {
+		t.Fatalf("upstream has %d records after resume, edge committed %d", upStore.Len(), edgeCommitted)
+	}
+	if upStore.Len() != baseline.Store.Len() {
+		t.Fatalf("federated tier has %d records, baseline stored %d", upStore.Len(), baseline.Store.Len())
+	}
+	for _, f := range []*federation.Forwarder{f1, f2} {
+		if st := f.Stats(); st.Dropped != 0 {
+			t.Fatalf("forwarder dropped %d records: %+v", st.Dropped, st)
+		}
+	}
+
+	// Bit-for-bit verdict equality with the single-collector run.
+	fedVerdicts := inference.New(inference.DefaultConfig()).DetectIncremental(upAgg)
+	if len(fedVerdicts) != len(baseVerdicts) {
+		t.Fatalf("federated detection produced %d verdicts, baseline %d", len(fedVerdicts), len(baseVerdicts))
+	}
+	for i := range baseVerdicts {
+		if fedVerdicts[i] != baseVerdicts[i] {
+			t.Fatalf("verdict %d diverged after crash-restart:\n baseline: %+v\nfederated: %+v", i, baseVerdicts[i], fedVerdicts[i])
+		}
 	}
 }

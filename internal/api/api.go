@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"encore/internal/results"
 )
@@ -52,6 +53,7 @@ const (
 	CodeConflictingResult     = "conflicting_result"      // 409
 	CodeRateLimited           = "rate_limited"            // 429
 	CodeAttributionNotAllowed = "attribution_not_allowed" // 403
+	CodeOverloaded            = "overloaded"              // 503 (ingest queue saturated; retry later)
 	CodeInternal              = "internal"                // 500
 )
 
@@ -68,6 +70,8 @@ func StatusForCode(code string) int {
 		return http.StatusTooManyRequests
 	case CodeAttributionNotAllowed:
 		return http.StatusForbidden
+	case CodeOverloaded:
+		return http.StatusServiceUnavailable
 	case CodeInternal:
 		return http.StatusInternalServerError
 	default:
@@ -81,6 +85,10 @@ func StatusForCode(code string) int {
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message,omitempty"`
+	// RetryAfter is the server's Retry-After hint, filled in by the client
+	// SDK when decoding a 503 (or any response carrying the header). It
+	// rides outside the JSON body — the header is the wire representation.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -166,12 +174,30 @@ type RejectedSubmission struct {
 	Message       string `json:"message,omitempty"`
 }
 
+// LoadSignal is the upstream's explicit backpressure advice, carried on
+// every POST /v2/submissions response. Instead of silently shedding when its
+// async ingest queue saturates, the server tells submitters how loaded it is
+// and how often it would like to hear from them; the federation forwarder
+// honors SuggestedFlushMillis by widening its batch/flush window, so a slow
+// upstream slows its edges down before anything has to be dropped or 503'd.
+type LoadSignal struct {
+	// QueueDepth and QueueCapacity describe the ingest queue at response
+	// time; a synchronous (unqueued) server reports zeros.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity,omitempty"`
+	// SuggestedFlushMillis is the flush interval the server asks batching
+	// submitters to use; zero means "no advice, keep your own schedule".
+	SuggestedFlushMillis int `json:"suggested_flush_millis,omitempty"`
+}
+
 // BatchSubmitResponse reports what POST /v2/submissions did with the batch.
 // Partial rejection is not an HTTP error: the response is 200 whenever the
 // batch itself was well-formed, and Rejected itemizes refused members.
 type BatchSubmitResponse struct {
 	Accepted int                  `json:"accepted"`
 	Rejected []RejectedSubmission `json:"rejected,omitempty"`
+	// Load is the server's backpressure advice; see LoadSignal.
+	Load *LoadSignal `json:"load,omitempty"`
 }
 
 // TaskRequest carries the client hints GET /v2/tasks accepts as query
@@ -237,6 +263,19 @@ type HealthResponse struct {
 	// TasksServed / TasksAssigned are coordination-side counters.
 	TasksServed   uint64 `json:"tasks_served,omitempty"`
 	TasksAssigned uint64 `json:"tasks_assigned,omitempty"`
+}
+
+// BearerToken extracts the shared-secret token from an Authorization header
+// of the form "Bearer <token>"; it returns "" when the header is absent or
+// not a bearer credential. The attributed federation lane authenticates with
+// it — see docs/API.md.
+func BearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return strings.TrimSpace(h[len(prefix):])
+	}
+	return ""
 }
 
 // BeaconURL builds the v1 image-beacon submission URL for a collector base

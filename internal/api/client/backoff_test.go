@@ -1,0 +1,121 @@
+package client
+
+// Tests for the retry-storm fixes in the SDK: the capped, jittered backoff
+// (the old implementation left-shifted without bound — attempt 64 wrapped to
+// a zero backoff and the client hammered a down server in a tight loop),
+// Retry-After honoring, and the bearer-token header.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"encore/internal/api"
+)
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	c := NewWithConfig("http://example.invalid", Config{
+		RetryBackoff:    50 * time.Millisecond,
+		RetryBackoffMax: time.Second,
+	})
+	// Early attempts stay inside the doubled-then-jittered window.
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := 50 * time.Millisecond << (attempt - 1)
+		for i := 0; i < 50; i++ {
+			b := c.backoffFor(attempt, nil)
+			if b < base/2 || b > base {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, b, base/2, base)
+			}
+		}
+	}
+	// Deep attempts — including shift counts that would overflow a left
+	// shift — stay positive and capped.
+	for _, attempt := range []int{10, 63, 64, 65, 1 << 20} {
+		for i := 0; i < 50; i++ {
+			b := c.backoffFor(attempt, nil)
+			if b <= 0 || b > time.Second {
+				t.Fatalf("attempt %d: backoff %v outside (0, 1s]", attempt, b)
+			}
+		}
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	c := NewWithConfig("http://example.invalid", Config{
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffMax: 10 * time.Millisecond,
+	})
+	err := &api.Error{Code: api.CodeOverloaded, RetryAfter: 3 * time.Second}
+	if b := c.backoffFor(1, err); b != 3*time.Second {
+		t.Fatalf("backoff = %v, want the server's Retry-After of 3s", b)
+	}
+	// A Retry-After smaller than the computed backoff does not shrink it.
+	c2 := NewWithConfig("http://example.invalid", Config{
+		RetryBackoff:    4 * time.Second,
+		RetryBackoffMax: 8 * time.Second,
+	})
+	if b := c2.backoffFor(1, &api.Error{RetryAfter: time.Millisecond}); b < 2*time.Second {
+		t.Fatalf("tiny Retry-After shrank backoff to %v", b)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// HTTP-date form: a date in the future parses to roughly the gap.
+	date := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(date); got < 20*time.Second || got > 31*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~30s", date, got)
+	}
+}
+
+func TestRetryAfterReachesTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		api.WriteError(w, api.Errorf(api.CodeOverloaded, "queue full"))
+	}))
+	defer srv.Close()
+
+	c := NewWithConfig(srv.URL, Config{Retries: 1})
+	_, err := c.SubmitBatch(t.Context(), nil, nil)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *api.Error, got %v", err)
+	}
+	if apiErr.Code != api.CodeOverloaded || apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("got code %q RetryAfter %v, want %q 7s", apiErr.Code, apiErr.RetryAfter, api.CodeOverloaded)
+	}
+}
+
+func TestAuthTokenHeader(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("Authorization")
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.BatchSubmitResponse{})
+	}))
+	defer srv.Close()
+
+	c := NewWithConfig(srv.URL, Config{AuthToken: "edge-secret"})
+	if _, err := c.SubmitBatch(t.Context(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got != "Bearer edge-secret" {
+		t.Fatalf("Authorization = %q, want %q", got, "Bearer edge-secret")
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,8 +39,16 @@ type Config struct {
 	// Retries is the maximum number of attempts per request (default 3).
 	Retries int
 	// RetryBackoff is the delay before the first retry; it doubles per
-	// attempt (default 50ms).
+	// attempt (default 50ms) up to RetryBackoffMax, with jitter — see do.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubled backoff (default 5s). Without the
+	// cap, the former unchecked `RetryBackoff << attempt` shift overflowed
+	// into absurd (or, past 63 shifts, negative) waits at high retry counts.
+	RetryBackoffMax time.Duration
+	// AuthToken, when set, is sent as an "Authorization: Bearer" header with
+	// every request. The attributed federation lane requires it when the
+	// upstream was started with an attributed-lane token.
+	AuthToken string
 	// GzipThreshold is the body size in bytes above which POST bodies are
 	// gzip-compressed (default 4096; negative disables compression).
 	GzipThreshold int
@@ -68,6 +78,9 @@ func NewWithConfig(base string, cfg Config) *Client {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
 	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 5 * time.Second
+	}
 	if cfg.GzipThreshold == 0 {
 		cfg.GzipThreshold = 4096
 	}
@@ -91,6 +104,9 @@ type ClientMeta struct {
 func (c *Client) apply(req *http.Request, meta *ClientMeta) {
 	if c.cfg.UserAgent != "" {
 		req.Header.Set("User-Agent", c.cfg.UserAgent)
+	}
+	if c.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.AuthToken)
 	}
 	if meta == nil {
 		return
@@ -118,17 +134,43 @@ func retryable(status int, err error) bool {
 	return status >= 500
 }
 
+// backoffFor computes the pre-attempt delay: exponential doubling with a
+// capped shift (so the former unbounded `<<` can neither overflow nor grow
+// past RetryBackoffMax), full jitter on the upper half of the window (so a
+// fleet of edges recovering from one upstream outage spreads out instead of
+// retrying in lockstep), and the server's Retry-After when the previous
+// failure carried one and asked for longer than we would have waited.
+func (c *Client) backoffFor(attempt int, lastErr error) time.Duration {
+	backoff := c.cfg.RetryBackoff
+	if shift := attempt - 1; shift > 0 {
+		if shift > 20 {
+			shift = 20
+		}
+		backoff <<= shift
+	}
+	if backoff > c.cfg.RetryBackoffMax || backoff <= 0 {
+		backoff = c.cfg.RetryBackoffMax
+	}
+	if half := int64(backoff / 2); half > 0 {
+		backoff = backoff/2 + time.Duration(rand.Int64N(half+1))
+	}
+	var apiErr *api.Error
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > backoff {
+		backoff = apiErr.RetryAfter
+	}
+	return backoff
+}
+
 // do issues a request built by build, retrying transient failures. The
 // builder runs once per attempt so request bodies replay cleanly.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			backoff := c.cfg.RetryBackoff << (attempt - 1)
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(c.backoffFor(attempt, lastErr)):
 			}
 		}
 		req, err := build()
@@ -153,17 +195,40 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 }
 
 // decodeError turns a non-2xx response into an error, preferring the typed
-// v2 JSON body and falling back to the terse v1 text.
+// v2 JSON body and falling back to the terse v1 text. A Retry-After header
+// rides along on the typed error so retry scheduling can honor it.
 func decodeError(resp *http.Response) error {
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var apiErr api.Error
 	if json.Unmarshal(body, &apiErr) == nil && apiErr.Code != "" {
+		apiErr.RetryAfter = retryAfter
 		return &apiErr
 	}
 	if code := strings.TrimSpace(string(body)); code != "" {
-		return &api.Error{Code: code}
+		return &api.Error{Code: code, RetryAfter: retryAfter}
 	}
 	return fmt.Errorf("client: HTTP %d", resp.StatusCode)
+}
+
+// parseRetryAfter parses a Retry-After header value: delay-seconds or an
+// HTTP date. Unparseable or absent values yield zero.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // checkStatus consumes a response expected to be 2xx, returning the typed

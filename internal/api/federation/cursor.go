@@ -1,0 +1,119 @@
+package federation
+
+// The forward cursor: the durable record of how far up the edge store's
+// commit stream the upstream has acknowledged. It is the piece that makes
+// forwarding resumable — after a crash the forwarder replays the WAL from
+// the cursor instead of starting from an empty in-memory buffer, so an edge
+// outage of any length loses nothing the WAL kept.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// cursorFileVersion is the on-disk cursor format version.
+const cursorFileVersion = 1
+
+// cursorFile is the JSON persisted beside the WAL. It is deliberately tiny:
+// one acknowledged commit-stream position, rewritten (atomically, fsynced)
+// each time the contiguous acknowledged prefix advances.
+type cursorFile struct {
+	Version int    `json:"version"`
+	Acked   uint64 `json:"acked_commit_seq"`
+}
+
+// loadCursor reads the persisted cursor; a missing file is position zero
+// (nothing acknowledged yet), which is the correct cold-start value.
+func loadCursor(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var c cursorFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return 0, fmt.Errorf("federation: corrupt cursor file %s: %w", path, err)
+	}
+	return c.Acked, nil
+}
+
+// saveCursor persists the cursor with the standard tmp + fsync + rename
+// dance, so a crash mid-save leaves either the old cursor or the new one,
+// never a torn file. A stale (old) cursor is always safe: resuming from it
+// re-forwards records the upstream already merged idempotently.
+func saveCursor(path string, acked uint64) error {
+	data, err := json.Marshal(cursorFile{Version: cursorFileVersion, Acked: acked})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ackTracker maintains the contiguous acknowledged prefix of the commit
+// stream. Commit-stream positions are dense (the store assigns them from one
+// counter), but acknowledgments arrive slightly out of order: positions are
+// assigned under per-shard store locks, so a commit on one shard can be
+// buffered, shipped, and acked before a numerically earlier commit on
+// another shard even reaches the buffer — and a catch-up pass reads WAL
+// shards sequentially, scattering positions further. The tracker therefore
+// advances a low-water mark only through positions actually acknowledged,
+// holding the out-of-order remainder in a set; the cursor never jumps over a
+// position that might still be unsent.
+type ackTracker struct {
+	lwm   uint64 // every position <= lwm is acknowledged
+	above map[uint64]struct{}
+}
+
+func newAckTracker(lwm uint64) *ackTracker {
+	return &ackTracker{lwm: lwm, above: make(map[uint64]struct{})}
+}
+
+// ack records position cseq as acknowledged and reports whether the
+// contiguous low-water mark advanced.
+func (t *ackTracker) ack(cseq uint64) bool {
+	if cseq <= t.lwm {
+		return false
+	}
+	t.above[cseq] = struct{}{}
+	advanced := false
+	for {
+		if _, ok := t.above[t.lwm+1]; !ok {
+			break
+		}
+		delete(t.above, t.lwm+1)
+		t.lwm++
+		advanced = true
+	}
+	return advanced
+}
+
+// acked reports whether position cseq has been acknowledged.
+func (t *ackTracker) acked(cseq uint64) bool {
+	if cseq <= t.lwm {
+		return true
+	}
+	_, ok := t.above[cseq]
+	return ok
+}
+
+// cursor returns the contiguous acknowledged prefix's upper bound.
+func (t *ackTracker) cursor() uint64 { return t.lwm }

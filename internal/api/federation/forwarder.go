@@ -12,19 +12,28 @@
 // The forwarder attaches to the edge store exactly like the Aggregator and
 // WAL tiers do (results.Store.AddObserver), so both collectserver write
 // paths — synchronous Accept and the batched async Ingester — feed it
-// automatically. Commit buffers under a private mutex and never blocks the
-// shard lock; a background sender ships batches with the SDK's retry and
-// keeps unsent records queued across upstream outages.
+// automatically. With a WAL attached (ForwarderConfig.WAL) forwarding is
+// lossless and resumable: the forwarder persists the highest contiguously
+// acknowledged commit-stream position in a tiny fsynced cursor file beside
+// the WAL, falls back to tailing the WAL whenever its in-memory buffer
+// cannot hold an outage, and on restart resumes from the cursor — an edge
+// crash or an arbitrarily long upstream outage loses nothing. It also
+// honors the upstream's explicit backpressure (api.LoadSignal and
+// Retry-After), widening its flush window when the upstream is loaded
+// instead of hammering it in lockstep with every other edge.
 package federation
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"encore/internal/api"
 	apiclient "encore/internal/api/client"
 	"encore/internal/results"
 )
@@ -45,15 +54,48 @@ type ForwarderConfig struct {
 	MaxBatch int
 	// FlushInterval is how often buffered commits are shipped (default
 	// 200ms). The interval, not the batch size, bounds edge-to-upstream
-	// latency under light traffic.
+	// latency under light traffic. It is the floor of a dynamic window: the
+	// upstream's load signal and send failures widen the effective interval
+	// up to MaxFlushInterval, and a healthy unloaded response snaps it back.
 	FlushInterval time.Duration
+	// MaxFlushInterval caps the widened flush window (default 10× the
+	// flush interval).
+	MaxFlushInterval time.Duration
 	// MaxBuffer bounds the in-memory commit buffer (default 1<<18 records).
-	// When the upstream is down long enough to fill it, the oldest records
+	// What happens when an outage fills it depends on WAL: with a WAL
+	// attached the buffer spills — the forwarder switches to tailing the
+	// WAL, which still has every record past the cursor, so nothing is lost
+	// (Stats.Spilled counts the hand-off). Without a WAL the oldest records
 	// are dropped — in chunks of MaxBuffer/8, so eviction cost amortizes to
-	// O(1) per commit — and counted in Stats.Dropped; an edge collector's
-	// own store (and WAL, if attached) still has them, so a full resync
-	// remains possible out of band.
+	// O(1) per commit — and counted in Stats.Dropped.
 	MaxBuffer int
+	// WAL, when set, makes forwarding lossless and resumable: the forwarder
+	// tracks its progress as a commit-stream position, persists it in a
+	// cursor file beside the WAL (CursorPath), replays the WAL from the
+	// cursor on restart, and registers a compaction-retention floor so
+	// Compact never folds away a record the upstream has not acknowledged.
+	// Attach the WAL to the store before the forwarder, and the forwarder
+	// via AddObserver (it implements results.CommitStreamObserver, so the
+	// store hands it each commit's stream position).
+	WAL *results.WAL
+	// CursorPath overrides where the cursor file lives (default
+	// forward-cursor.json inside the WAL directory). Ignored without WAL.
+	CursorPath string
+	// DeadLetterLimit bounds the ring of most recent permanently rejected
+	// records kept for inspection via DeadLetters (default 64).
+	DeadLetterLimit int
+	// Logf receives operational log lines (dead-letter batches, cursor
+	// persistence failures); nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// DeadLetter is one record the upstream permanently rejected. The forwarder
+// acknowledges it (the ordered stream moves on — one poison record must not
+// wedge forwarding forever) and parks it here instead of re-queueing it.
+type DeadLetter struct {
+	Measurement results.Measurement
+	Code        string
+	Message     string
 }
 
 // ForwarderStats reports a forwarder's lifetime counters.
@@ -62,57 +104,97 @@ type ForwarderStats struct {
 	Observed uint64
 	// Forwarded counts records the upstream accepted.
 	Forwarded uint64
-	// Rejected counts records the upstream refused individually.
-	Rejected uint64
+	// Rejected counts records the upstream refused individually; they are
+	// dead-lettered, not re-queued. RejectedByCode breaks them down by typed
+	// error code.
+	Rejected       uint64
+	RejectedByCode map[string]uint64
 	// Dropped counts records evicted from a full buffer during an upstream
-	// outage.
+	// outage with no WAL to fall back on. With a WAL attached it stays zero.
 	Dropped uint64
+	// Spilled counts records handed off from the in-memory buffer to the
+	// WAL-tailing catch-up path when the buffer filled. Unlike Dropped they
+	// are not lost — the catch-up pass re-reads them from the WAL.
+	Spilled uint64
 	// Batches counts successful upstream POSTs.
 	Batches uint64
 	// Pending counts records buffered but not yet acknowledged upstream.
 	Pending int
+	// AckedCursor is the highest contiguously acknowledged commit-stream
+	// position (zero without a WAL).
+	AckedCursor uint64
+	// CatchingUp reports whether the forwarder is in WAL-tailing catch-up
+	// mode rather than live buffer mode.
+	CatchingUp bool
+	// FlushInterval is the current (possibly widened) flush window.
+	FlushInterval time.Duration
 	// LastError is the most recent upstream failure, nil after a success.
 	LastError error
 }
 
+// entry is one buffered commit: the measurement plus its commit-stream
+// position (zero for commits observed without position, e.g. via the plain
+// CommitObserver path in WAL-less mode).
+type entry struct {
+	cseq uint64
+	m    results.Measurement
+}
+
 // Forwarder streams an edge collector's committed measurements to an
-// upstream aggregation tier. It implements results.CommitObserver.
+// upstream aggregation tier. It implements results.CommitStreamObserver
+// (and the plain CommitObserver for WAL-less use).
 type Forwarder struct {
-	client *apiclient.Client
-	cfg    ForwarderConfig
+	client     *apiclient.Client
+	cfg        ForwarderConfig
+	cursorPath string
 
 	mu      sync.Mutex
-	pending []results.Measurement
+	pending []entry
+	// catchingUp: the buffer overflowed (or the forwarder just started with
+	// a WAL behind its cursor) and the WAL tail, not the buffer, is the
+	// source of records to ship. While set, positioned commits are not
+	// buffered — the WAL already has them and the next tail pass reads them.
+	catchingUp bool
 	// closing is set at the top of Close (so a concurrent Close cannot
 	// close(done) twice); closed only once the final drain finished and
 	// commits are refused.
 	closing bool
 	closed  bool
 
-	// sendMu serializes flushOnce calls (the background sender and explicit
-	// Flush callers), so batches reach the upstream in buffer order and a
-	// measurement's insert can never overtake its upgrade.
+	// sendMu serializes the send paths (background sender, explicit Flush,
+	// catch-up passes), so batches reach the upstream in order and a
+	// measurement's insert can never overtake its upgrade. acks is guarded
+	// by it: all acknowledgment happens on the send side.
 	sendMu sync.Mutex
+	acks   *ackTracker
 
 	kick chan struct{}
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	// observed and dropped are bumped from Commit, which runs under the
-	// store shard lock on the ingest hot path — atomics, so a commit never
-	// takes a second mutex (or contends with a Stats poll) there. The
-	// sender-side counters below are only touched by flushOnce and Stats.
-	observed atomic.Uint64
-	dropped  atomic.Uint64
+	// observed/dropped/spilled are bumped from the commit path, which runs
+	// under the store shard lock on the ingest hot path — atomics, so a
+	// commit never takes a second mutex there. ackedCursor mirrors
+	// acks.cursor() for lock-free reads (Stats, the WAL retention floor).
+	// interval is the current flush window in nanoseconds.
+	observed    atomic.Uint64
+	dropped     atomic.Uint64
+	spilled     atomic.Uint64
+	ackedCursor atomic.Uint64
+	interval    atomic.Int64
 
-	statsMu   sync.Mutex
-	forwarded uint64
-	rejected  uint64
-	batches   uint64
-	lastErr   error
+	statsMu        sync.Mutex
+	forwarded      uint64
+	rejected       uint64
+	batches        uint64
+	rejectedByCode map[string]uint64
+	deadLetters    []DeadLetter
+	lastErr        error
 }
 
-// NewForwarder creates a running forwarder.
+// NewForwarder creates a running forwarder. With cfg.WAL set it loads the
+// persisted cursor and starts in catch-up mode, immediately replaying any
+// records a previous run committed but never got acknowledged.
 func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.Client == nil {
 		if cfg.Upstream == "" {
@@ -126,8 +208,17 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 200 * time.Millisecond
 	}
+	if cfg.MaxFlushInterval <= 0 {
+		cfg.MaxFlushInterval = 10 * cfg.FlushInterval
+	}
+	if cfg.MaxFlushInterval < cfg.FlushInterval {
+		cfg.MaxFlushInterval = cfg.FlushInterval
+	}
 	if cfg.MaxBuffer <= 0 {
 		cfg.MaxBuffer = 1 << 18
+	}
+	if cfg.DeadLetterLimit <= 0 {
+		cfg.DeadLetterLimit = 64
 	}
 	f := &Forwarder{
 		client: cfg.Client,
@@ -135,30 +226,100 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 		kick:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
+	f.interval.Store(int64(cfg.FlushInterval))
+	cursor := uint64(0)
+	if cfg.WAL != nil {
+		f.cursorPath = cfg.CursorPath
+		if f.cursorPath == "" {
+			f.cursorPath = filepath.Join(cfg.WAL.Dir(), "forward-cursor.json")
+		}
+		var err error
+		cursor, err = loadCursor(f.cursorPath)
+		if err != nil {
+			return nil, err
+		}
+		// Catch up from the cursor before going live: a previous run may
+		// have committed records it never shipped. An empty WAL makes this a
+		// no-op pass.
+		f.catchingUp = true
+		f.kick <- struct{}{}
+	}
+	f.acks = newAckTracker(cursor)
+	f.ackedCursor.Store(cursor)
+	if cfg.WAL != nil {
+		// Compaction must not fold away records the upstream has not
+		// acknowledged; the floor follows the cursor.
+		cfg.WAL.SetRetention(f.ackedCursor.Load)
+	}
 	f.wg.Add(1)
 	go f.run()
 	return f, nil
 }
 
-// Commit implements results.CommitObserver: it records the committed
-// measurement for forwarding. It runs under the store shard lock that
-// serialized the commit, so it only appends to the buffer — never blocks,
-// never performs I/O. In-place upgrades forward the upgraded record; the
-// upstream store applies the same terminal-state-wins merge rule the edge
-// applied, so replaying both the insert and the upgrade converges to the
-// edge's final state regardless of batch boundaries.
+// Commit implements the plain results.CommitObserver: the WAL-less path,
+// where commits carry no stream position and durability is best-effort
+// (Stats.Dropped counts outage losses). A store dispatches CommitStream
+// instead when the forwarder is attached via AddObserver.
 func (f *Forwarder) Commit(_ *results.Measurement, cur results.Measurement) {
+	f.enqueue(0, cur)
+}
+
+// CommitStream implements results.CommitStreamObserver: it records the
+// committed measurement, tagged with its commit-stream position, for
+// forwarding. It runs under the store shard lock that serialized the commit,
+// so it only appends to the buffer — never blocks, never performs I/O.
+// In-place upgrades forward the upgraded record; the upstream store applies
+// the same terminal-state-wins merge rule the edge applied, so replaying
+// both the insert and the upgrade — or re-forwarding either after a crash —
+// converges to the edge's final state regardless of batch boundaries.
+func (f *Forwarder) CommitStream(commitSeq, _ uint64, _ *results.Measurement, cur results.Measurement) {
+	f.enqueue(commitSeq, cur)
+}
+
+// enqueue buffers one commit (or, in catch-up mode with a WAL holding the
+// record, deliberately doesn't).
+func (f *Forwarder) enqueue(cseq uint64, cur results.Measurement) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return
 	}
-	var dropped int
+	if f.catchingUp && cseq != 0 {
+		// The WAL has this record past the cursor; the tail pass ships it.
+		f.mu.Unlock()
+		f.observed.Add(1)
+		return
+	}
+	var dropped, spilled int
 	if len(f.pending) >= f.cfg.MaxBuffer {
-		// Evict the oldest records rather than stall the ingest path.
-		// Eviction is chunked — one compaction sheds many records — so its
-		// cost amortizes to O(1) per commit instead of an O(MaxBuffer)
-		// memmove under the shard lock on every commit of a long outage.
+		if f.cfg.WAL != nil && cseq != 0 {
+			// Spill to the WAL tail: every positioned record in the buffer
+			// (and this one) is already durable past the cursor, so hand the
+			// whole backlog to catch-up mode instead of dropping anything.
+			kept := f.pending[:0]
+			for _, e := range f.pending {
+				if e.cseq == 0 {
+					kept = append(kept, e) // not WAL-backed; must stay
+				} else {
+					spilled++
+				}
+			}
+			f.pending = kept
+			f.catchingUp = true
+			f.mu.Unlock()
+			f.observed.Add(1)
+			f.spilled.Add(uint64(spilled + 1)) // +1: the record being committed
+			select {
+			case f.kick <- struct{}{}:
+			default:
+			}
+			return
+		}
+		// No WAL to fall back on: evict the oldest records rather than
+		// stall the ingest path. Eviction is chunked — one compaction sheds
+		// many records — so its cost amortizes to O(1) per commit instead of
+		// an O(MaxBuffer) memmove under the shard lock on every commit of a
+		// long outage.
 		dropped = f.cfg.MaxBuffer / 8
 		if dropped < 1 {
 			dropped = 1
@@ -169,7 +330,7 @@ func (f *Forwarder) Commit(_ *results.Measurement, cur results.Measurement) {
 		n := copy(f.pending, f.pending[dropped:])
 		f.pending = f.pending[:n]
 	}
-	f.pending = append(f.pending, cur)
+	f.pending = append(f.pending, entry{cseq: cseq, m: cur})
 	full := len(f.pending) >= f.cfg.MaxBatch
 	f.mu.Unlock()
 
@@ -186,26 +347,159 @@ func (f *Forwarder) Commit(_ *results.Measurement, cur results.Measurement) {
 	}
 }
 
-// run ships batches on size kicks and the flush timer until Close.
+// curInterval returns the current (possibly widened) flush window.
+func (f *Forwarder) curInterval() time.Duration {
+	return time.Duration(f.interval.Load())
+}
+
+// noteLoad resets the flush window after a successful batch: back to the
+// configured floor, or up to the upstream's suggested interval when its load
+// signal asks the edge to slow down.
+func (f *Forwarder) noteLoad(load *api.LoadSignal) {
+	next := f.cfg.FlushInterval
+	if load != nil && load.SuggestedFlushMillis > 0 {
+		if s := time.Duration(load.SuggestedFlushMillis) * time.Millisecond; s > next {
+			next = s
+		}
+	}
+	if next > f.cfg.MaxFlushInterval {
+		next = f.cfg.MaxFlushInterval
+	}
+	f.interval.Store(int64(next))
+}
+
+// widenInterval doubles the flush window after a failed send, up to the cap
+// — the edge-side half of riding out an upstream outage without a retry
+// storm (the SDK's per-request jittered backoff is the other half).
+func (f *Forwarder) widenInterval() {
+	next := 2 * f.curInterval()
+	if next > f.cfg.MaxFlushInterval {
+		next = f.cfg.MaxFlushInterval
+	}
+	f.interval.Store(int64(next))
+}
+
+// run ships batches on size kicks and the flush timer until Close. The
+// timer re-arms with the current dynamic window, so upstream load advice and
+// failure backoff take effect on the next cycle.
 func (f *Forwarder) run() {
 	defer f.wg.Done()
-	ticker := time.NewTicker(f.cfg.FlushInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(f.curInterval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-f.done:
 			return
 		case <-f.kick:
-		case <-ticker.C:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
 		}
-		_ = f.flushOnce(context.Background())
+		_ = f.step(context.Background())
+		timer.Reset(f.curInterval())
 	}
+}
+
+// step performs one unit of forwarding work: a catch-up round when tailing
+// the WAL, one batch flush otherwise. Failures widen the flush window.
+func (f *Forwarder) step(ctx context.Context) error {
+	f.mu.Lock()
+	cu := f.catchingUp
+	f.mu.Unlock()
+	var err error
+	if cu {
+		err = f.catchUp(ctx)
+	} else {
+		err = f.flushOnce(ctx)
+	}
+	if err != nil {
+		f.widenInterval()
+	}
+	return err
+}
+
+// sendBatch ships one batch upstream and, on success, acknowledges every
+// record in it — including per-index rejections, which are dead-lettered
+// (counted, logged once per batch, kept in a bounded ring) rather than
+// re-queued, so one poison record cannot wedge the ordered stream. Callers
+// hold sendMu.
+func (f *Forwarder) sendBatch(ctx context.Context, batch []entry) error {
+	ms := make([]results.Measurement, len(batch))
+	for i, e := range batch {
+		ms[i] = e.m
+	}
+	resp, err := f.client.ForwardMeasurements(ctx, ms)
+	if err != nil {
+		f.statsMu.Lock()
+		f.lastErr = err
+		f.statsMu.Unlock()
+		return err
+	}
+
+	f.statsMu.Lock()
+	f.lastErr = nil
+	f.batches++
+	f.forwarded += uint64(resp.Accepted)
+	f.rejected += uint64(len(resp.Rejected))
+	var rejSummary map[string]int
+	if len(resp.Rejected) > 0 {
+		rejSummary = make(map[string]int)
+		if f.rejectedByCode == nil {
+			f.rejectedByCode = make(map[string]uint64)
+		}
+		for _, rej := range resp.Rejected {
+			f.rejectedByCode[rej.Code]++
+			rejSummary[rej.Code]++
+			dl := DeadLetter{Code: rej.Code, Message: rej.Message}
+			if rej.Index >= 0 && rej.Index < len(batch) {
+				dl.Measurement = batch[rej.Index].m
+			}
+			f.deadLetters = append(f.deadLetters, dl)
+			if len(f.deadLetters) > f.cfg.DeadLetterLimit {
+				f.deadLetters = f.deadLetters[len(f.deadLetters)-f.cfg.DeadLetterLimit:]
+			}
+		}
+	}
+	f.statsMu.Unlock()
+	if rejSummary != nil {
+		f.logf("federation: upstream rejected %d of %d records (by code: %v); dead-lettered, not re-queued",
+			len(resp.Rejected), len(batch), rejSummary)
+	}
+
+	// Acknowledge the whole batch (rejected records included: they are
+	// terminally disposed of) and persist the cursor when the contiguous
+	// prefix advanced.
+	advanced := false
+	for _, e := range batch {
+		if e.cseq != 0 && f.acks.ack(e.cseq) {
+			advanced = true
+		}
+	}
+	if advanced {
+		cur := f.acks.cursor()
+		f.ackedCursor.Store(cur)
+		if f.cursorPath != "" {
+			if err := saveCursor(f.cursorPath, cur); err != nil {
+				// Not fatal: a stale cursor only means re-forwarding work
+				// the upstream merges idempotently. But say so — a cursor
+				// that never persists degrades every restart to a full
+				// replay.
+				f.logf("federation: persisting forward cursor: %v", err)
+			}
+		}
+	}
+	f.noteLoad(resp.Load)
+	return nil
 }
 
 // flushOnce ships up to MaxBatch buffered records. On failure (after the
 // SDK's retries) the records return to the head of the buffer, preserving
-// per-measurement commit order, and the error is recorded — the next tick
-// tries again, which is what rides out an upstream restart.
+// per-measurement commit order, and the error is recorded — the next (now
+// widened) tick tries again, which is what rides out an upstream restart.
 func (f *Forwarder) flushOnce(ctx context.Context) error {
 	f.sendMu.Lock()
 	defer f.sendMu.Unlock()
@@ -218,29 +512,80 @@ func (f *Forwarder) flushOnce(ctx context.Context) error {
 	if n > f.cfg.MaxBatch {
 		n = f.cfg.MaxBatch
 	}
-	batch := make([]results.Measurement, n)
+	batch := make([]entry, n)
 	copy(batch, f.pending[:n])
 	f.pending = f.pending[:copy(f.pending, f.pending[n:])]
 	f.mu.Unlock()
 
-	resp, err := f.client.ForwardMeasurements(ctx, batch)
-
-	f.statsMu.Lock()
-	if err != nil {
-		f.lastErr = err
-	} else {
-		f.lastErr = nil
-		f.batches++
-		f.forwarded += uint64(resp.Accepted)
-		f.rejected += uint64(len(resp.Rejected))
-	}
-	f.statsMu.Unlock()
-
-	if err != nil {
+	if err := f.sendBatch(ctx, batch); err != nil {
 		// Put the batch back at the head so commit order per measurement
 		// survives the outage.
 		f.mu.Lock()
 		f.pending = append(batch, f.pending...)
+		f.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// tailPass runs one point-in-time pass over the WAL tail, shipping every
+// record past the cursor that is not yet acknowledged, in MaxBatch batches.
+// It returns how many records it shipped. Caller holds sendMu.
+func (f *Forwarder) tailPass(ctx context.Context) (int, error) {
+	batch := make([]entry, 0, f.cfg.MaxBatch)
+	shipped := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := f.sendBatch(ctx, batch); err != nil {
+			return err
+		}
+		shipped += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	err := f.cfg.WAL.ReadRecords(f.acks.cursor(), func(cseq uint64, m results.Measurement) error {
+		if f.acks.acked(cseq) {
+			return nil // acked out of order above the cursor on an earlier pass
+		}
+		batch = append(batch, entry{cseq: cseq, m: m})
+		if len(batch) >= f.cfg.MaxBatch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return shipped, err
+	}
+	return shipped, flush()
+}
+
+// catchUp drains the WAL tail until a pass finds nothing new, then flips
+// back to live buffering. The flip happens before one final verification
+// pass: a commit landing between the empty pass and the flip is appended to
+// the WAL but not the buffer, and the final pass is what picks it up (a
+// commit after the flip is buffered normally; if the final pass reads it too
+// the upstream's idempotent merge absorbs the duplicate). If the final pass
+// fails, catch-up mode resumes so the records stay WAL-covered.
+func (f *Forwarder) catchUp(ctx context.Context) error {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	for {
+		n, err := f.tailPass(ctx)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	f.mu.Lock()
+	f.catchingUp = false
+	f.mu.Unlock()
+	if _, err := f.tailPass(ctx); err != nil {
+		f.mu.Lock()
+		f.catchingUp = true
 		f.mu.Unlock()
 		return err
 	}
@@ -256,15 +601,28 @@ func (f *Forwarder) drained() (empty, closed bool) {
 	defer f.sendMu.Unlock()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.pending) == 0, f.closed
+	return len(f.pending) == 0 && !f.catchingUp, f.closed
 }
 
-// Flush synchronously ships everything buffered (including any batch a
-// background send had in flight), returning the first upstream error.
-// Callers that need the upstream current (tests, orderly shutdown) use it;
-// steady-state forwarding never needs it.
+// Flush synchronously ships everything outstanding — completing any WAL
+// catch-up, then draining the buffer (including any batch a background send
+// had in flight) — returning the first upstream error. Callers that need
+// the upstream current (tests, orderly shutdown) use it; steady-state
+// forwarding never needs it.
 func (f *Forwarder) Flush(ctx context.Context) error {
 	for {
+		f.mu.Lock()
+		cu, closed := f.catchingUp, f.closed
+		f.mu.Unlock()
+		if closed {
+			return ErrForwarderClosed
+		}
+		if cu {
+			if err := f.catchUp(ctx); err != nil {
+				return err
+			}
+			continue
+		}
 		empty, closed := f.drained()
 		if closed {
 			return ErrForwarderClosed
@@ -278,10 +636,10 @@ func (f *Forwarder) Flush(ctx context.Context) error {
 	}
 }
 
-// Close stops the background sender and attempts one final drain with the
-// given timeout budget per batch; records that still cannot reach the
-// upstream are reported via the returned error and remain counted in
-// Stats.Pending.
+// Close stops the background sender and attempts one final drain; records
+// that still cannot reach the upstream are reported via the returned error
+// and remain counted in Stats.Pending — and, with a WAL attached, remain
+// past the persisted cursor, so the next run's catch-up forwards them.
 func (f *Forwarder) Close() error {
 	f.mu.Lock()
 	if f.closing {
@@ -297,6 +655,15 @@ func (f *Forwarder) Close() error {
 	// Final drain, then refuse further commits.
 	var err error
 	for {
+		f.mu.Lock()
+		cu := f.catchingUp
+		f.mu.Unlock()
+		if cu {
+			if err = f.catchUp(context.Background()); err != nil {
+				break
+			}
+			continue
+		}
 		empty, _ := f.drained()
 		if empty {
 			break
@@ -308,34 +675,90 @@ func (f *Forwarder) Close() error {
 	f.mu.Lock()
 	f.closed = true
 	remaining := len(f.pending)
+	cu := f.catchingUp
 	f.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("federation: close left %d records unforwarded: %w", remaining, err)
 	}
-	if remaining > 0 {
+	if remaining > 0 || cu {
 		// A commit raced the final drain: it landed after the last empty
 		// check but before closed was set, and the sender is already
 		// stopped. Report it rather than silently stranding it (the edge's
-		// own store still has the record).
+		// own store still has the record, and a WAL-backed forwarder
+		// resumes it from the cursor on the next run).
 		return fmt.Errorf("federation: close left %d records unforwarded (committed during shutdown)", remaining)
 	}
 	return nil
 }
 
+// Stop halts the forwarder immediately, without the final drain Close
+// performs: nothing further is sent or acknowledged, and the cursor file
+// stays wherever the last acknowledged batch put it. It is the crash
+// simulation hook for kill-and-restart tests — everything past the cursor
+// must survive in the WAL for the next run to resume from.
+func (f *Forwarder) Stop() {
+	f.mu.Lock()
+	if f.closing {
+		f.mu.Unlock()
+		return
+	}
+	f.closing = true
+	f.closed = true
+	f.mu.Unlock()
+	close(f.done)
+	f.wg.Wait()
+}
+
+// logf routes an operational log line.
+func (f *Forwarder) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// DeadLetters returns a copy of the most recent permanently rejected
+// records (bounded by ForwarderConfig.DeadLetterLimit).
+func (f *Forwarder) DeadLetters() []DeadLetter {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	out := make([]DeadLetter, len(f.deadLetters))
+	copy(out, f.deadLetters)
+	return out
+}
+
 // Stats returns the forwarder's lifetime counters.
 func (f *Forwarder) Stats() ForwarderStats {
 	f.statsMu.Lock()
-	defer f.statsMu.Unlock()
-	f.mu.Lock()
-	pending := len(f.pending)
-	f.mu.Unlock()
-	return ForwarderStats{
-		Observed:  f.observed.Load(),
-		Forwarded: f.forwarded,
-		Rejected:  f.rejected,
-		Dropped:   f.dropped.Load(),
-		Batches:   f.batches,
-		Pending:   pending,
-		LastError: f.lastErr,
+	var byCode map[string]uint64
+	if len(f.rejectedByCode) > 0 {
+		byCode = make(map[string]uint64, len(f.rejectedByCode))
+		for k, v := range f.rejectedByCode {
+			byCode[k] = v
+		}
 	}
+	st := ForwarderStats{
+		Forwarded:      f.forwarded,
+		Rejected:       f.rejected,
+		RejectedByCode: byCode,
+		Batches:        f.batches,
+		LastError:      f.lastErr,
+	}
+	f.statsMu.Unlock()
+	f.mu.Lock()
+	st.Pending = len(f.pending)
+	st.CatchingUp = f.catchingUp
+	f.mu.Unlock()
+	st.Observed = f.observed.Load()
+	st.Dropped = f.dropped.Load()
+	st.Spilled = f.spilled.Load()
+	st.AckedCursor = f.ackedCursor.Load()
+	st.FlushInterval = f.curInterval()
+	return st
 }
+
+var (
+	_ results.CommitObserver       = (*Forwarder)(nil)
+	_ results.CommitStreamObserver = (*Forwarder)(nil)
+)

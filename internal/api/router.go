@@ -102,7 +102,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// batch submissions send (JSON bodies, optionally gzip-compressed).
 		h := w.Header()
 		h.Set("Access-Control-Allow-Methods", rt.allowHeader(byMethod))
-		h.Set("Access-Control-Allow-Headers", "Content-Type, Content-Encoding")
+		h.Set("Access-Control-Allow-Headers", "Content-Type, Content-Encoding, Authorization")
 		h.Set("Access-Control-Max-Age", "86400")
 		w.WriteHeader(http.StatusNoContent)
 		return

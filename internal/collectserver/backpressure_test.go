@@ -1,0 +1,232 @@
+package collectserver
+
+// Tests for the v2 batch endpoint's backpressure surface (load signal,
+// shedding), the attributed lane's bearer-token auth, and the shutdown
+// ordering regression: the async ingest queue must drain before the
+// federation forwarder closes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"encore/internal/api"
+	"encore/internal/core"
+	"encore/internal/results"
+)
+
+// attributedRecord is a valid pre-attributed measurement for the federation
+// lane.
+func attributedRecord(id string) results.Measurement {
+	return results.Measurement{
+		MeasurementID: id,
+		PatternKey:    "domain:youtube.com",
+		TargetURL:     "http://youtube.com/favicon.ico",
+		TaskType:      core.TaskImage,
+		State:         core.StateFailure,
+		ClientIP:      "203.0.113.9",
+		Region:        "PK",
+		Browser:       core.BrowserChrome,
+		Received:      time.Date(2014, 8, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// postAttributed posts one attributed record with an optional bearer token.
+func postAttributed(t *testing.T, url, token string, rec results.Measurement) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(api.BatchSubmitRequest{Measurements: []results.Measurement{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+api.V2SubmissionsPath, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestV2BatchLoadSignalAndShed(t *testing.T) {
+	s, store, _, _ := testServer(t)
+	s.AllowAttributed = true
+	depth, capacity := 0, 1000
+	s.LoadProbe = func() (int, int) { return depth, capacity }
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	submit := func(id string) (*http.Response, api.BatchSubmitResponse) {
+		t.Helper()
+		resp := postAttributed(t, srv.URL, "", attributedRecord(id))
+		var out api.BatchSubmitResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		return resp, out
+	}
+
+	// Light load: accepted, load signal present, no advice.
+	resp, out := submit("edge-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("light load: status %d", resp.StatusCode)
+	}
+	if out.Load == nil || out.Load.QueueCapacity != capacity {
+		t.Fatalf("light load: missing load signal: %+v", out.Load)
+	}
+	if out.Load.SuggestedFlushMillis != 0 {
+		t.Fatalf("light load advised %dms", out.Load.SuggestedFlushMillis)
+	}
+
+	// Loaded past the advice threshold but below shedding: accepted, with a
+	// positive suggested flush interval.
+	depth = 700
+	resp, out = submit("edge-2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loaded: status %d", resp.StatusCode)
+	}
+	if out.Load == nil || out.Load.SuggestedFlushMillis <= 0 {
+		t.Fatalf("loaded: no flush advice: %+v", out.Load)
+	}
+	if out.Load.QueueDepth != depth {
+		t.Fatalf("loaded: QueueDepth = %d, want %d", out.Load.QueueDepth, depth)
+	}
+
+	// Saturated: shed with 503 + Retry-After + typed code, nothing stored.
+	depth = 950
+	before := store.Len()
+	resp = postAttributed(t, srv.URL, "", attributedRecord("edge-3"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("saturated: no Retry-After header")
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != api.CodeOverloaded {
+		t.Fatalf("saturated: code %q, want %q", apiErr.Code, api.CodeOverloaded)
+	}
+	if store.Len() != before {
+		t.Fatal("shed request was stored anyway")
+	}
+}
+
+func TestV2AttributedLaneAuth(t *testing.T) {
+	s, store, index, _ := testServer(t)
+	s.Guard = nil
+	s.AllowAttributed = true
+	s.AttributedToken = "s3cret-token"
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	expect403 := func(resp *http.Response, label string) {
+		t.Helper()
+		defer resp.Body.Close()
+		var apiErr api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusForbidden || apiErr.Code != api.CodeAttributionNotAllowed {
+			t.Fatalf("%s: got %d %q, want 403 %q", label, resp.StatusCode, apiErr.Code, api.CodeAttributionNotAllowed)
+		}
+	}
+
+	expect403(postAttributed(t, srv.URL, "", attributedRecord("edge-1")), "no token")
+	expect403(postAttributed(t, srv.URL, "wrong-token", attributedRecord("edge-1")), "wrong token")
+	if store.Len() != 0 {
+		t.Fatal("unauthenticated attributed records were stored")
+	}
+
+	resp := postAttributed(t, srv.URL, "s3cret-token", attributedRecord("edge-1"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: status %d, want 200", resp.StatusCode)
+	}
+	if _, ok := store.Get("edge-1"); !ok {
+		t.Fatal("authenticated attributed record not stored")
+	}
+
+	// The raw-submission lane carries no pre-attributed records and must not
+	// require the token: it is the public side of the same endpoint.
+	registerTask(index, "cmh-public", false)
+	body, _ := json.Marshal(api.BatchSubmitRequest{Submissions: []api.SubmitRequest{
+		{MeasurementID: "cmh-public", Result: string(core.StateSuccess)},
+	}})
+	rawResp, err := http.Post(srv.URL+api.V2SubmissionsPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawResp.Body.Close()
+	var out api.BatchSubmitResponse
+	if err := json.NewDecoder(rawResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if rawResp.StatusCode != http.StatusOK || out.Accepted != 1 {
+		t.Fatalf("raw lane with auth enabled: %d %+v", rawResp.StatusCode, out)
+	}
+}
+
+// drainRecorder stands in for the federation forwarder: it observes commits
+// and snapshots how many it had seen when Close ran.
+type drainRecorder struct {
+	seen        int
+	seenAtClose int
+}
+
+func (d *drainRecorder) Commit(_ *results.Measurement, _ results.Measurement) { d.seen++ }
+func (d *drainRecorder) Close() error {
+	d.seenAtClose = d.seen
+	return nil
+}
+
+// TestCloseDrainsIngestBeforeForwarder is the shutdown-ordering regression
+// test: Server.Close must drain the async ingest queue (so every accepted
+// submission commits and reaches the forwarder) before closing the
+// forwarder. Closing the forwarder first would strand the queue's tail until
+// the next run's WAL catch-up — or lose it outright without a WAL.
+func TestCloseDrainsIngestBeforeForwarder(t *testing.T) {
+	s, store, _, _ := testServer(t)
+	s.Guard = nil
+	s.AllowAttributed = true
+	rec := &drainRecorder{}
+	// Observer registration order mirrors production: forwarder after WAL.
+	store.AddObserver(rec)
+	s.Forwarder = rec
+	// One slow worker and a deep queue make the race real: at Close time the
+	// queue still holds most of the batch.
+	s.EnableAsyncIngest(IngestConfig{Workers: 1, QueueSize: 4096, BatchSize: 8})
+
+	const n = 500
+	ms := make([]results.Measurement, n)
+	for i := range ms {
+		ms[i] = attributedRecord(fmt.Sprintf("edge-%d", i))
+	}
+	if err := s.storeBatch(ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.seenAtClose != n {
+		t.Fatalf("forwarder closed after observing %d of %d commits; ingest queue was not drained first", rec.seenAtClose, n)
+	}
+	if store.Len() != n {
+		t.Fatalf("store has %d records after Close, want %d", store.Len(), n)
+	}
+}

@@ -77,6 +77,26 @@ type Server struct {
 	// poisoning attackers a direct line into the store. Set it before the
 	// server starts handling requests, like the other configuration fields.
 	AllowAttributed bool
+	// AttributedToken, when non-empty, requires every batch carrying the
+	// federation lane to present it as an "Authorization: Bearer" shared
+	// secret; batches without it (or with the wrong token) are rejected with
+	// the typed 403, exactly like a lane the server never allowed. It
+	// hardens AllowAttributed: the attributed lane bypasses task attribution
+	// and the abuse guard, so an aggregation tier reachable beyond its own
+	// edges needs more than a config bit between it and §8 poisoning.
+	AttributedToken string
+	// Forwarder, when non-nil, is closed by Close between draining the
+	// ingest queue and syncing the WAL — the one ordering in which a clean
+	// shutdown loses nothing: drain first so every accepted submission has
+	// committed (and reached the forwarder's buffer), flush the forwarder
+	// next so the upstream acknowledges them, sync the WAL last so the
+	// cursor's view of the log is on stable storage.
+	Forwarder interface{ Close() error }
+	// LoadProbe overrides where the v2 batch endpoint reads its queue
+	// depth/capacity from (default: the attached Ingester, or zeros without
+	// one). Tests use it to exercise the load signal and 503 shedding
+	// deterministically.
+	LoadProbe func() (depth, capacity int)
 
 	// router dispatches HTTP requests; built lazily on the first request
 	// from the configuration fields above (all of which must be set before
@@ -216,22 +236,35 @@ func (s *Server) AttachWAL(w *results.WAL) {
 	s.Store.AddObserver(w)
 }
 
-// Close shuts the server's write path down cleanly: it drains and closes the
-// async ingest queue (if enabled), then syncs the WAL (if attached) so every
-// acknowledged submission is on stable storage. The crash-consistency
-// contract under the batched async path is exactly this ordering — queue
-// drain first, fsync second; a submission the queue had not yet committed at
-// a crash was never observable in the store either, so recovery stays
-// consistent with what analysis could have seen. Safe to call more than
-// once.
+// Close shuts the server's write path down cleanly, in crash-consistent
+// order: it drains and closes the async ingest queue (if enabled) so every
+// accepted submission has committed to the store — and therefore reached
+// every commit observer; then closes the attached Forwarder (if any), whose
+// final flush ships those commits upstream and persists the acked cursor;
+// then syncs the WAL (if attached) so everything the server acknowledged is
+// on stable storage. Reversing the first two steps is the shutdown bug this
+// ordering exists to prevent: a forwarder closed before the queue drains
+// never sees the queue's tail, and a clean SIGTERM would strand those
+// records until the next run's catch-up. A submission the queue had not yet
+// committed at a crash was never observable in the store either, so
+// recovery stays consistent with what analysis could have seen. Safe to
+// call more than once. A forwarder close error (records that could not
+// reach the upstream) is reported after the WAL sync still ran — durability
+// first, then the error.
 func (s *Server) Close() error {
 	if s.Ingest != nil {
 		s.Ingest.Close()
 	}
-	if s.WAL != nil {
-		return s.WAL.Sync()
+	var fwdErr error
+	if s.Forwarder != nil {
+		fwdErr = s.Forwarder.Close()
 	}
-	return nil
+	if s.WAL != nil {
+		if err := s.WAL.Sync(); err != nil {
+			return err
+		}
+	}
+	return fwdErr
 }
 
 // Accept validates a submission and stores the resulting measurement. It is

@@ -190,3 +190,7 @@ func (in *Ingester) Stats() IngestStats {
 
 // Pending reports how many measurements are queued but not yet written.
 func (in *Ingester) Pending() int { return len(in.ch) }
+
+// Capacity returns the queue's bound, the denominator of the utilization the
+// v2 batch endpoint reports as its load signal.
+func (in *Ingester) Capacity() int { return in.cfg.QueueSize }

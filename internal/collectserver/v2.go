@@ -2,9 +2,11 @@ package collectserver
 
 import (
 	"compress/gzip"
+	"crypto/subtle"
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"encore/internal/api"
@@ -24,14 +26,70 @@ import (
 // is a misbehaving client, not a bigger beacon.
 const maxBatchBody = 32 << 20
 
+// Backpressure tuning for the v2 batch endpoint. Advice starts at half
+// queue utilization and ramps the suggested flush interval linearly to
+// loadMaxAdviceMillis at saturation; past shedUtilization the endpoint stops
+// accepting and answers 503 + Retry-After instead. Advising well before
+// shedding is the point: a submitter that honors the load signal slows down
+// while the queue can still absorb it, and never sees the 503.
+const (
+	loadAdviceUtilization = 0.5
+	loadMaxAdviceMillis   = 2000
+	shedUtilization       = 0.9
+	shedRetryAfterSeconds = 1
+)
+
+// queueLoad reads the ingest queue's depth and capacity: from LoadProbe when
+// overridden, from the attached Ingester otherwise, zeros for a synchronous
+// (unqueued) server.
+func (s *Server) queueLoad() (depth, capacity int) {
+	if s.LoadProbe != nil {
+		return s.LoadProbe()
+	}
+	if s.Ingest != nil {
+		return s.Ingest.Pending(), s.Ingest.Capacity()
+	}
+	return 0, 0
+}
+
+// loadSignal builds the backpressure advice for one response, and reports
+// whether the queue is past the shedding threshold.
+func (s *Server) loadSignal() (sig api.LoadSignal, shed bool) {
+	depth, capacity := s.queueLoad()
+	sig.QueueDepth = depth
+	sig.QueueCapacity = capacity
+	if capacity <= 0 {
+		return sig, false
+	}
+	util := float64(depth) / float64(capacity)
+	if util > loadAdviceUtilization {
+		ramp := (util - loadAdviceUtilization) / (1 - loadAdviceUtilization)
+		if ramp > 1 {
+			ramp = 1
+		}
+		sig.SuggestedFlushMillis = int(ramp * loadMaxAdviceMillis)
+	}
+	return sig, util >= shedUtilization
+}
+
 // handleSubmitBatch accepts POST /v2/submissions: a BatchSubmitRequest whose
 // body may be gzip-compressed (Content-Encoding: gzip). Raw submissions are
 // validated, attributed, and guard-checked exactly like v1 beacons — the
 // batch shares the caller's transport identity (remote address, User-Agent),
 // so it carries one client's submissions. Attributed measurement records
 // (the federation lane) are accepted only when the server was configured as
-// an aggregation-tier upstream (AllowAttributed).
+// an aggregation-tier upstream (AllowAttributed) and, when AttributedToken
+// is set, the batch authenticated with it. Every response carries the
+// server's load signal; a saturated ingest queue sheds with 503 +
+// Retry-After before accepting work it would have to drop.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	load, shed := s.loadSignal()
+	if shed {
+		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+		api.WriteError(w, api.Errorf(api.CodeOverloaded,
+			"ingest queue at %d/%d; retry later", load.QueueDepth, load.QueueCapacity))
+		return
+	}
 	body := io.Reader(r.Body)
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		gz, err := gzip.NewReader(r.Body)
@@ -48,10 +106,20 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, api.Errorf(api.CodeBadRequest, "bad JSON body"))
 		return
 	}
-	if len(req.Measurements) > 0 && !s.AllowAttributed {
-		api.WriteError(w, api.Errorf(api.CodeAttributionNotAllowed,
-			"this collector does not accept pre-attributed measurements"))
-		return
+	if len(req.Measurements) > 0 {
+		if !s.AllowAttributed {
+			api.WriteError(w, api.Errorf(api.CodeAttributionNotAllowed,
+				"this collector does not accept pre-attributed measurements"))
+			return
+		}
+		// Constant-time comparison so the shared secret cannot be recovered
+		// byte-by-byte from response timing.
+		if s.AttributedToken != "" &&
+			subtle.ConstantTimeCompare([]byte(api.BearerToken(r)), []byte(s.AttributedToken)) != 1 {
+			api.WriteError(w, api.Errorf(api.CodeAttributionNotAllowed,
+				"attributed submissions require a valid bearer token"))
+			return
+		}
 	}
 
 	resp := api.BatchSubmitResponse{}
@@ -126,6 +194,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Accepted = len(accepted)
+	// Re-read the load after the enqueue: advice should reflect the work
+	// this batch just added.
+	sig, _ := s.loadSignal()
+	resp.Load = &sig
 	api.WriteJSON(w, http.StatusOK, resp)
 }
 

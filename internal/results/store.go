@@ -62,6 +62,25 @@ type CommitSeqObserver interface {
 	CommitWithSeq(seq uint64, prev *Measurement, cur Measurement)
 }
 
+// CommitStreamObserver is the fullest observer extension: alongside the
+// insertion sequence number it receives the commit-stream position — a dense
+// counter bumped once per effective commit, so unlike the insertion sequence
+// (which an in-place upgrade reuses) every insert AND every upgrade gets a
+// fresh, unique number. The federation forwarder keys its durable forward
+// cursor on this position ("everything at or below N has been acknowledged
+// upstream"), and the WAL persists it so a restarted forwarder can resume
+// the upstream stream exactly where the acknowledged prefix ends. Within one
+// shard the stream positions of successive commits are handed out under the
+// shard lock immediately before notification, so an observer sees one
+// measurement's positions strictly increase; across shards positions are
+// totally ordered but notifications may arrive slightly out of order (two
+// shards racing), which cursor maintenance must tolerate. The usual observer
+// contract (fast, non-blocking, no re-entry) applies.
+type CommitStreamObserver interface {
+	CommitObserver
+	CommitStream(commitSeq, insertSeq uint64, prev *Measurement, cur Measurement)
+}
+
 // Store is an in-memory, concurrency-safe measurement store with JSON-lines
 // import/export. Internally it is sharded by measurement ID: each shard has
 // its own lock, so concurrent Add/Get calls for different measurements do not
@@ -74,9 +93,12 @@ type Store struct {
 	shards []storeShard
 	mask   uint32
 	// count is the number of live records; seq hands out insertion sequence
-	// numbers. Both are atomics so Len and ordering never take shard locks.
-	count atomic.Int64
-	seq   atomic.Uint64
+	// numbers; commits hands out commit-stream positions (dense: every
+	// effective insert and upgrade gets a fresh one, where seq is reused by
+	// upgrades). All are atomics so Len and ordering never take shard locks.
+	count   atomic.Int64
+	seq     atomic.Uint64
+	commits atomic.Uint64
 	// observers are notified of every effective insert or upgrade. The slice
 	// is written only before the store sees concurrent traffic
 	// (SetObserver/AddObserver) and read on every commit without further
@@ -86,10 +108,12 @@ type Store struct {
 
 // storeObserver is one attached observer with its resolved dispatch: seq is
 // non-nil when the observer wants the insertion sequence number alongside the
-// transition (CommitSeqObserver).
+// transition (CommitSeqObserver), stream when it wants the commit-stream
+// position too (CommitStreamObserver; the richest interface wins).
 type storeObserver struct {
-	plain CommitObserver
-	seq   CommitSeqObserver
+	plain  CommitObserver
+	seq    CommitSeqObserver
+	stream CommitStreamObserver
 }
 
 // NewStore returns an empty store with the default shard count.
@@ -173,22 +197,31 @@ func (s *Store) AddObserver(obs CommitObserver) {
 	if seq, ok := obs.(CommitSeqObserver); ok {
 		so.seq = seq
 	}
+	if stream, ok := obs.(CommitStreamObserver); ok {
+		so.stream = stream
+	}
 	s.observers = append(s.observers, so)
 }
 
 // notify dispatches one committed transition to every attached observer;
 // called under the shard lock that serialized the commit.
-func (s *Store) notify(seq uint64, prev *Measurement, cur Measurement) {
+func (s *Store) notify(commitSeq, seq uint64, prev *Measurement, cur Measurement) {
 	for i := range s.observers {
-		if o := &s.observers[i]; o.seq != nil {
+		switch o := &s.observers[i]; {
+		case o.stream != nil:
+			o.stream.CommitStream(commitSeq, seq, prev, cur)
+		case o.seq != nil:
 			o.seq.CommitWithSeq(seq, prev, cur)
-		} else {
+		default:
 			o.plain.Commit(prev, cur)
 		}
 	}
 }
 
-// addLocked inserts or upgrades one measurement; sh.mu must be held.
+// addLocked inserts or upgrades one measurement; sh.mu must be held. The
+// commit-stream position is assigned here, inside the critical section and
+// immediately before notification, so within one shard positions increase in
+// exactly the order observers see the commits.
 func (s *Store) addLocked(sh *storeShard, m Measurement) {
 	if idx, ok := sh.byID[m.MeasurementID]; ok {
 		if sh.entries[idx].m.Completed() && m.State == core.StateInit {
@@ -196,14 +229,14 @@ func (s *Store) addLocked(sh *storeShard, m Measurement) {
 		}
 		prev := sh.entries[idx].m
 		sh.entries[idx].m = m
-		s.notify(sh.entries[idx].seq, &prev, m)
+		s.notify(s.commits.Add(1), sh.entries[idx].seq, &prev, m)
 		return
 	}
 	seq := s.seq.Add(1)
 	sh.byID[m.MeasurementID] = len(sh.entries)
 	sh.entries = append(sh.entries, storeEntry{seq: seq, m: m})
 	s.count.Add(1)
-	s.notify(seq, nil, m)
+	s.notify(s.commits.Add(1), seq, nil, m)
 }
 
 // replay applies one recovered WAL record, preserving its original insertion

@@ -112,8 +112,12 @@ const (
 	defaultSyncInterval = 200 * time.Millisecond
 
 	// walVersion is the record-format version byte; bump when the payload
-	// encoding changes.
-	walVersion = 1
+	// encoding changes. Version 2 added the commit-stream position (the
+	// federation forward cursor's coordinate) ahead of the insertion
+	// sequence; version-1 records are still decoded, with the insertion
+	// sequence standing in for the missing position.
+	walVersion   = 2
+	walVersionV1 = 1
 	// walFrameHeader is the per-record framing overhead: a uint32 payload
 	// length and a uint32 CRC of the payload.
 	walFrameHeader = 8
@@ -161,6 +165,10 @@ type WAL struct {
 	closeOnce sync.Once
 	stopFlush chan struct{}
 	flushDone chan struct{}
+
+	// retention, when set, provides the compaction floor: the forward
+	// cursor's commit-stream position. See SetRetention.
+	retention atomic.Value // func() uint64
 }
 
 // OpenWAL opens (creating the directory if needed) a write-ahead log for
@@ -312,22 +320,24 @@ func walSegments(dir string) (map[int][]walSegFile, error) {
 }
 
 // Commit implements CommitObserver for interface completeness only. The
-// store always dispatches the sequence-aware CommitWithSeq to observers
-// implementing CommitSeqObserver; a WAL fed through the sequence-less path
+// store always dispatches the position-aware CommitStream to observers
+// implementing CommitStreamObserver; a WAL fed through the sequence-less path
 // could not reconstruct snapshot order, so this panics rather than corrupt
 // the log silently.
 func (w *WAL) Commit(prev *Measurement, cur Measurement) {
-	panic("results: WAL must be attached via Store.AddObserver/SetObserver, which dispatch CommitWithSeq")
+	panic("results: WAL must be attached via Store.AddObserver/SetObserver, which dispatch CommitStream")
 }
 
-// CommitWithSeq implements CommitSeqObserver: it appends the committed record
-// to the shard log of its measurement ID. Called by the store under the shard
-// lock that serialized the commit, so records of one measurement are appended
-// in commit order. The replaced record (prev) is not logged — replaying
-// commits in order reproduces every upgrade — and append failures are
-// recorded (Err) rather than propagated, because the commit has already
-// happened.
-func (w *WAL) CommitWithSeq(seq uint64, prev *Measurement, cur Measurement) {
+// CommitStream implements CommitStreamObserver: it appends the committed
+// record — tagged with both its commit-stream position (the federation
+// forward cursor's coordinate) and its insertion sequence (its snapshot
+// position) — to the shard log of its measurement ID. Called by the store
+// under the shard lock that serialized the commit, so records of one
+// measurement are appended in commit order. The replaced record (prev) is
+// not logged — replaying commits in order reproduces every upgrade — and
+// append failures are recorded (Err) rather than propagated, because the
+// commit has already happened.
+func (w *WAL) CommitStream(commitSeq, seq uint64, prev *Measurement, cur Measurement) {
 	if w.closed.Load() || w.failed.Load() {
 		return
 	}
@@ -342,7 +352,7 @@ func (w *WAL) CommitWithSeq(seq uint64, prev *Measurement, cur Measurement) {
 	if cap(sh.buf) < walFrameHeader {
 		sh.buf = make([]byte, walFrameHeader, 256)
 	}
-	frame, err := appendWALRecord(sh.buf[:walFrameHeader], seq, &cur)
+	frame, err := appendWALRecord(sh.buf[:walFrameHeader], commitSeq, seq, &cur)
 	if err != nil {
 		w.fail(err)
 		return
@@ -506,6 +516,16 @@ func (w *WAL) Sync() error {
 	return w.Err()
 }
 
+// Flush pushes every shard's buffered appends to its segment file without
+// forcing them to stable storage. ReadRecords calls it so a tail read
+// observes every commit the store has acknowledged, not just the flushed
+// prefix; it is much cheaper than Sync on the SyncInterval/SyncNone
+// policies.
+func (w *WAL) Flush() error {
+	w.flushAll(false)
+	return w.Err()
+}
+
 // Close stops the background flusher, flushes and fsyncs every shard, and
 // closes the segment files. Appends after Close are dropped. Close is
 // idempotent; it returns the WAL's sticky error, if any.
@@ -566,6 +586,33 @@ func (w *WAL) Stats() WALStats {
 	return st
 }
 
+// SetRetention installs the compaction floor provider: a function returning
+// the federation forward cursor's commit-stream position (the highest
+// position the upstream has acknowledged). While set, Compact folds only
+// records at or below that position; records above it — commits a forwarder
+// still has to ship — are carried into the compacted segment verbatim, in
+// file order, even when a newer record of the same measurement supersedes
+// them. Without the guarantee, compaction could drop an unacked commit and
+// the contiguous forward cursor would stall on the gap forever. A nil fn
+// removes the floor.
+func (w *WAL) SetRetention(fn func() uint64) {
+	w.retention.Store(retentionFn{fn})
+}
+
+// retentionFn wraps the provider so atomic.Value sees one concrete type even
+// when the function is nil.
+type retentionFn struct{ fn func() uint64 }
+
+// retainAfter returns the current compaction floor: positions strictly above
+// it must survive compaction un-folded. Without a provider everything may
+// fold.
+func (w *WAL) retainAfter() uint64 {
+	if v, ok := w.retention.Load().(retentionFn); ok && v.fn != nil {
+		return v.fn()
+	}
+	return ^uint64(0)
+}
+
 // Compact rewrites each shard's log down to the latest record per
 // measurement ID: upgrades retract the records they replaced, so a
 // long-running collector's log stays proportional to its live store rather
@@ -573,7 +620,9 @@ func (w *WAL) Stats() WALStats {
 // segment oldest-to-newest (later records of an ID supersede earlier ones),
 // writes the survivors — ordered by insertion sequence — to a temporary file,
 // fsyncs it, atomically renames it over the newest segment, and only then
-// deletes the older segments. A crash at any point leaves a replayable log:
+// deletes the older segments. Records past the SetRetention floor are not
+// folded; they ride along verbatim so a resuming forwarder can still read
+// them. A crash at any point leaves a replayable log:
 // before the rename the original segments are untouched; after it, replaying
 // leftover older segments before the compacted one converges to the same
 // store because replay applies records of an ID in order. Appends to a shard
@@ -612,24 +661,40 @@ func (w *WAL) compactShard(shard int) error {
 	if len(files) == 0 {
 		return nil
 	}
+	// Fold only the acked prefix of the commit stream. Records past the
+	// retention floor are commits a forwarder has not shipped yet; they are
+	// retained verbatim in file order so a later tail read still sees every
+	// unacked commit-stream position, even one a folded record would have
+	// superseded.
+	retain := w.retainAfter()
 	type liveRec struct {
-		seq uint64
-		m   Measurement
+		cseq, seq uint64
+		m         Measurement
 	}
 	live := make(map[string]liveRec)
+	var unacked []liveRec
 	for _, f := range files {
-		_, _, err := readWALSegment(f.path, func(seq uint64, m Measurement) {
-			live[m.MeasurementID] = liveRec{seq: seq, m: m}
+		_, _, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
+			if cseq > retain {
+				unacked = append(unacked, liveRec{cseq: cseq, seq: seq, m: m})
+				return nil
+			}
+			live[m.MeasurementID] = liveRec{cseq: cseq, seq: seq, m: m}
+			return nil
 		})
 		if err != nil {
 			return err
 		}
 	}
-	recs := make([]liveRec, 0, len(live))
+	recs := make([]liveRec, 0, len(live)+len(unacked))
 	for _, r := range live {
 		recs = append(recs, r)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	// Unacked records follow the folded prefix. Commit-stream positions of
+	// one measurement increase in commit order, so any folded record of the
+	// same ID is older and replay still applies the pair in order.
+	recs = append(recs, unacked...)
 
 	last := files[len(files)-1]
 	tmpPath := last.path + ".tmp"
@@ -640,7 +705,7 @@ func (w *WAL) compactShard(shard int) error {
 	bw := bufio.NewWriterSize(tmp, 1<<16)
 	scratch := make([]byte, walFrameHeader, 256)
 	for _, r := range recs {
-		frame, err := appendWALRecord(scratch[:walFrameHeader], r.seq, &r.m)
+		frame, err := appendWALRecord(scratch[:walFrameHeader], r.cseq, r.seq, &r.m)
 		if err != nil {
 			tmp.Close()
 			return err
@@ -703,6 +768,11 @@ type WALRecoveryStats struct {
 	// MaxSeq is the highest insertion sequence number recovered; the rebuilt
 	// store continues numbering after it.
 	MaxSeq uint64
+	// MaxCommitSeq is the highest commit-stream position recovered; the
+	// rebuilt store continues its commit counter after it, so positions a
+	// forwarder's cursor already acknowledged are never reissued to new
+	// commits (which would make them invisible to a resumed tail read).
+	MaxCommitSeq uint64
 }
 
 // OpenStoreFromWAL replays every WAL segment under dir into a fresh store.
@@ -727,7 +797,7 @@ func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
 	}
 	type shardResult struct {
 		segments, records, torn int
-		maxSeq                  uint64
+		maxSeq, maxCommitSeq    uint64
 		err                     error
 	}
 	shardIDs := make([]int, 0, len(segs))
@@ -742,11 +812,15 @@ func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
 			defer wg.Done()
 			res := &results[i]
 			for _, f := range segs[shard] {
-				n, torn, err := readWALSegment(f.path, func(seq uint64, m Measurement) {
+				n, torn, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
 					store.replay(seq, m)
 					if seq > res.maxSeq {
 						res.maxSeq = seq
 					}
+					if cseq > res.maxCommitSeq {
+						res.maxCommitSeq = cseq
+					}
+					return nil
 				})
 				res.segments++
 				res.records += n
@@ -771,20 +845,74 @@ func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
 		if res.maxSeq > stats.MaxSeq {
 			stats.MaxSeq = res.maxSeq
 		}
+		if res.maxCommitSeq > stats.MaxCommitSeq {
+			stats.MaxCommitSeq = res.maxCommitSeq
+		}
 	}
-	// Continue insertion numbering after the recovered records.
+	// Continue insertion and commit-stream numbering after the recovered
+	// records.
 	if cur := store.seq.Load(); stats.MaxSeq > cur {
 		store.seq.Store(stats.MaxSeq)
 	}
+	if cur := store.commits.Load(); stats.MaxCommitSeq > cur {
+		store.commits.Store(stats.MaxCommitSeq)
+	}
 	return store, stats, nil
+}
+
+// ReadRecords streams every WAL record with a commit-stream position
+// strictly greater than after, shard by shard, to fn. It is the federation
+// forwarder's catch-up reader: the acked forward cursor goes in as after and
+// every not-yet-acknowledged commit comes back out. Buffered appends are
+// flushed first so the read observes everything the store acknowledged.
+// Within one shard records arrive in commit order; across shards positions
+// interleave arbitrarily, so callers tracking a contiguous cursor must
+// tolerate out-of-order positions. The pass is a point-in-time scan:
+// commits appended after it starts (and a live segment's torn tail, which
+// under buffered writing may end mid-frame) are simply not seen — callers
+// re-run the pass until it returns nothing new. A segment removed by
+// concurrent compaction mid-pass is skipped; its surviving records are in
+// the compacted file a re-run will read. fn returning an error aborts the
+// pass and returns that error.
+func (w *WAL) ReadRecords(after uint64, fn func(commitSeq uint64, m Measurement) error) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	segs, err := walSegments(w.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	shardIDs := make([]int, 0, len(segs))
+	for shard := range segs {
+		shardIDs = append(shardIDs, shard)
+	}
+	sort.Ints(shardIDs)
+	for _, shard := range shardIDs {
+		for _, f := range segs[shard] {
+			_, _, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
+				if cseq <= after {
+					return nil
+				}
+				return fn(cseq, m)
+			})
+			if os.IsNotExist(err) {
+				continue // compacted away mid-pass; the re-run covers it
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // readWALSegment streams the framed records of one segment to fn in file
 // order. A truncated or CRC-corrupted frame is treated as a torn tail (the
 // crash artifact fsync policies other than SyncAlways permit): reading stops
 // there and torn is reported true. A record that passes its CRC but fails to
-// decode is a real format error and is returned as err.
-func readWALSegment(path string, fn func(seq uint64, m Measurement)) (records int, torn bool, err error) {
+// decode is a real format error and is returned as err, as is any error fn
+// returns (which also aborts the walk).
+func readWALSegment(path string, fn func(commitSeq, seq uint64, m Measurement) error) (records int, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, false, err
@@ -821,11 +949,13 @@ func readWALSegment(path string, fn func(seq uint64, m Measurement)) (records in
 		if crc32.ChecksumIEEE(payload) != crc {
 			return records, true, nil
 		}
-		seq, m, err := decodeWALRecord(payload)
+		cseq, seq, m, err := decodeWALRecord(payload)
 		if err != nil {
 			return records, false, fmt.Errorf("results: %s: %w", filepath.Base(path), err)
 		}
-		fn(seq, m)
+		if err := fn(cseq, seq, m); err != nil {
+			return records, false, err
+		}
 		records++
 	}
 }
@@ -843,9 +973,11 @@ func readWALSegment(path string, fn func(seq uint64, m Measurement)) (records in
 // to each other so they cannot drift.
 // ---------------------------------------------------------------------------
 
-// appendWALRecord appends the encoded record to buf and returns it.
-func appendWALRecord(buf []byte, seq uint64, m *Measurement) ([]byte, error) {
+// appendWALRecord appends the encoded record to buf and returns it. The
+// commit-stream position precedes the insertion sequence (version 2).
+func appendWALRecord(buf []byte, commitSeq, seq uint64, m *Measurement) ([]byte, error) {
 	buf = append(buf, walVersion)
+	buf = binary.AppendUvarint(buf, commitSeq)
 	buf = binary.AppendUvarint(buf, seq)
 	buf = appendWALString(buf, m.MeasurementID)
 	buf = appendWALString(buf, m.PatternKey)
@@ -888,14 +1020,29 @@ func appendWALString(buf []byte, s string) []byte {
 // errWALRecord is returned for structurally invalid (but CRC-clean) records.
 var errWALRecord = errors.New("invalid WAL record")
 
-// decodeWALRecord decodes one payload produced by appendWALRecord.
-func decodeWALRecord(p []byte) (uint64, Measurement, error) {
+// decodeWALRecord decodes one payload produced by appendWALRecord. Version-1
+// payloads (written before the commit-stream position existed) decode with
+// the insertion sequence standing in for the position — the best available
+// lower bound, and exact for a store that never upgraded in place.
+func decodeWALRecord(p []byte) (uint64, uint64, Measurement, error) {
 	var m Measurement
-	if len(p) == 0 || p[0] != walVersion {
-		return 0, m, fmt.Errorf("%w: unsupported version", errWALRecord)
+	if len(p) == 0 || (p[0] != walVersion && p[0] != walVersionV1) {
+		return 0, 0, m, fmt.Errorf("%w: unsupported version", errWALRecord)
 	}
+	version := p[0]
 	p = p[1:]
-	seq, p, ok := takeUvarint(p)
+	var commitSeq uint64
+	ok := true
+	if version == walVersion {
+		commitSeq, p, ok = takeUvarint(p)
+	}
+	var seq uint64
+	if ok {
+		seq, p, ok = takeUvarint(p)
+	}
+	if version == walVersionV1 {
+		commitSeq = seq
+	}
 	var s string
 	if s, p, ok = takeWALString(p, ok); ok {
 		m.MeasurementID = s
@@ -938,16 +1085,16 @@ func decodeWALRecord(p []byte) (uint64, Measurement, error) {
 		ok = false
 	}
 	if !ok {
-		return 0, m, errWALRecord
+		return 0, 0, m, errWALRecord
 	}
 	tlen, p, ok := takeUvarint(p)
 	if !ok || uint64(len(p)) != tlen {
-		return 0, m, errWALRecord
+		return 0, 0, m, errWALRecord
 	}
 	if err := m.Received.UnmarshalBinary(p); err != nil {
-		return 0, m, fmt.Errorf("%w: timestamp: %v", errWALRecord, err)
+		return 0, 0, m, fmt.Errorf("%w: timestamp: %v", errWALRecord, err)
 	}
-	return seq, m, nil
+	return commitSeq, seq, m, nil
 }
 
 // takeUvarint consumes a uvarint from p.
@@ -985,4 +1132,4 @@ func takeWALString(p []byte, ok bool) (string, []byte, bool) {
 	return string(rest[:n]), rest[n:], true
 }
 
-var _ CommitSeqObserver = (*WAL)(nil)
+var _ CommitStreamObserver = (*WAL)(nil)

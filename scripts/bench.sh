@@ -8,15 +8,18 @@
 # single-mutex baseline over 1/8/64 regions, plus the zero-alloc pick path),
 # and the E21 API-transport benchmarks (v1 beacon GETs vs v2 batched JSON
 # POSTs through the client SDK over loopback HTTP, plus the federation
-# forwarder path), and records every benchmark line as structured JSON in
-# BENCH_aggregate.json so successive runs can be compared numerically.
+# forwarder path), and the E22 lossless-federation benchmarks (WAL-tailing
+# forwarder throughput vs the in-memory baseline, plus the recovery-resume
+# replay rate after an edge restart), and records every benchmark line as
+# structured JSON in BENCH_aggregate.json so successive runs can be compared
+# numerically.
 #
 # Results are MERGED into BENCH_aggregate.json by exact benchmark name:
 # entries for benchmarks not re-run by this invocation (for example E17-E19
 # when running `-only sched`) are retained from the existing file, so partial
 # runs never clobber the rest of the suite's numbers.
 #
-# Usage: scripts/bench.sh [-only sched|api] [extra go-test flags, e.g. -benchtime=5x]
+# Usage: scripts/bench.sh [-only sched|api|fed] [extra go-test flags, e.g. -benchtime=5x]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +29,8 @@ if [ "${1:-}" = "-only" ]; then
     case "${2:-}" in
         sched) BENCH='ParallelAssign|SchedulerPick' ;;
         api) BENCH='APISubmit|APIFederation' ;;
-        *) echo "usage: scripts/bench.sh [-only sched|api] [go-test flags]" >&2; exit 2 ;;
+        fed) BENCH='APIFederation' ;;
+        *) echo "usage: scripts/bench.sh [-only sched|api|fed] [go-test flags]" >&2; exit 2 ;;
     esac
     shift 2
 fi

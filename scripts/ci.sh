@@ -2,8 +2,9 @@
 # CI gate for the Encore reproduction: formatting, vet, build, the docs
 # suite (scripts/docs_check.sh: required docs present, package comments on
 # every package, README-referenced commands build), and the full test suite
-# (including the concurrent ingest soak and WAL kill-and-restart tests)
-# under the race detector.
+# (including the concurrent ingest soak, the WAL kill-and-restart tests, and
+# the federation soak — concurrent edge commits against a flapping upstream
+# with a WAL-backed forwarder) under the race detector.
 set -eu
 
 cd "$(dirname "$0")/.."
