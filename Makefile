@@ -17,12 +17,17 @@
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
 #                      and the commands the README names actually build
+#   make chaos       - the deterministic fault-injection suite at fixed seeds
+#                      under the race detector (part of make ci); failures
+#                      print the seed that replays them
+#   make chaos-soak  - the same suite plus one randomized seed, logged before
+#                      the run so any failure is replayable
 #   make bench-paper - the paper's full evaluation benchmark suite
 #   make loadgen     - concurrent ingest throughput benchmarks (-cpu=4)
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-paper loadgen docs-check
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-paper loadgen docs-check chaos chaos-soak
 
 ci:
 	./scripts/ci.sh
@@ -62,3 +67,9 @@ loadgen:
 
 docs-check:
 	./scripts/docs_check.sh
+
+chaos:
+	./scripts/chaos.sh
+
+chaos-soak:
+	./scripts/chaos.sh -soak

@@ -18,6 +18,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"encore/internal/api"
@@ -113,7 +114,7 @@ func runServer(addr string, handler http.Handler, name string) {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}()
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

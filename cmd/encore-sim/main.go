@@ -35,8 +35,15 @@ func main() {
 
 		walDir  = flag.String("wal-dir", "", "attach a durable write-ahead log to the simulated collector (for WAL-on vs WAL-off throughput comparisons)")
 		walSync = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
+
+		chaosMode = flag.Bool("chaos", false, "run the deterministic chaos suite (seeded by -seed) instead of a campaign, and exit nonzero on any invariant violation")
 	)
 	flag.Parse()
+
+	if *chaosMode {
+		runChaos(*seed)
+		return
+	}
 
 	var walCfg *results.WALConfig
 	if *walDir != "" {
@@ -157,5 +164,27 @@ func main() {
 			log.Fatalf("writing measurements: %v", err)
 		}
 		fmt.Printf("wrote %d measurements to %s\n", stack.Store.Len(), *outPath)
+	}
+}
+
+// runChaos executes the full chaos scenario registry with the given seed
+// and prints one pass/fail line per scenario. Any failure exits 1; its
+// message carries the seed that replays it.
+func runChaos(seed uint64) {
+	fmt.Printf("chaos suite: %d scenarios, seed %d\n", len(loadgen.ChaosScenarios()), seed)
+	start := time.Now()
+	failed := 0
+	for _, res := range loadgen.RunChaos(seed, nil) {
+		if res.Err != nil {
+			failed++
+			fmt.Printf("  FAIL %-22s [%s] %v\n", res.Name, res.Surface, res.Err)
+		} else {
+			fmt.Printf("  ok   %-22s [%s]\n", res.Name, res.Surface)
+		}
+	}
+	fmt.Printf("chaos suite finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		fmt.Printf("%d scenario(s) failed; replay with: encore-sim -chaos -seed %d\n", failed, seed)
+		os.Exit(1)
 	}
 }

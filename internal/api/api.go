@@ -54,7 +54,17 @@ const (
 	CodeRateLimited           = "rate_limited"            // 429
 	CodeAttributionNotAllowed = "attribution_not_allowed" // 403
 	CodeOverloaded            = "overloaded"              // 503 (ingest queue saturated; retry later)
+	CodeDegraded              = "degraded"                // 503 (durability lost; durable lane closed)
 	CodeInternal              = "internal"                // 500
+)
+
+// Health status values carried by HealthResponse.Status. A degraded server
+// is up and serving reads and its non-durable lanes, but has lost a
+// durability guarantee (a sticky WAL error, a forwarder dropping records)
+// that operators must act on.
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
 )
 
 // StatusForCode maps an error code to its HTTP status.
@@ -70,7 +80,7 @@ func StatusForCode(code string) int {
 		return http.StatusTooManyRequests
 	case CodeAttributionNotAllowed:
 		return http.StatusForbidden
-	case CodeOverloaded:
+	case CodeOverloaded, CodeDegraded:
 		return http.StatusServiceUnavailable
 	case CodeInternal:
 		return http.StatusInternalServerError
@@ -257,12 +267,29 @@ type TaskResponse struct {
 
 // HealthResponse is the body of GET /v2/healthz on either server.
 type HealthResponse struct {
+	// Status is StatusOK or StatusDegraded. A collector degrades when its
+	// WAL records a sticky error (acknowledged writes are no longer being
+	// persisted; the durable v2 submission lane is closed with
+	// CodeDegraded while the best-effort v1 lane and all reads keep
+	// serving) or when its forwarder has dropped records.
 	Status string `json:"status"`
+	// WALError is the collector WAL's sticky error, when degraded for that
+	// reason.
+	WALError string `json:"wal_error,omitempty"`
 	// Measurements is the collection store's record count (collector only).
 	Measurements int `json:"measurements,omitempty"`
 	// TasksServed / TasksAssigned are coordination-side counters.
 	TasksServed   uint64 `json:"tasks_served,omitempty"`
 	TasksAssigned uint64 `json:"tasks_assigned,omitempty"`
+	// Forwarder counters (collector only, when federation is wired).
+	// Spilled counts buffer overflows absorbed by tailing the WAL (the
+	// design working as intended, surfaced for observability); DeadLetters
+	// is the current dead-letter ring size (upstream-rejected records);
+	// Dropped counts records lost outright (> 0 only without a WAL, and
+	// itself grounds for degraded status).
+	ForwarderSpilled     uint64 `json:"forwarder_spilled,omitempty"`
+	ForwarderDeadLetters int    `json:"forwarder_dead_letters,omitempty"`
+	ForwarderDropped     uint64 `json:"forwarder_dropped,omitempty"`
 }
 
 // BearerToken extracts the shared-secret token from an Authorization header

@@ -728,6 +728,24 @@ func (f *Forwarder) DeadLetters() []DeadLetter {
 	return out
 }
 
+// SpilledCount, DroppedCount, and DeadLetterCount are the health-probe
+// accessors collectserver's /v2/healthz reads through its structural
+// ForwarderHealth interface (methods returning builtins keep collectserver
+// from importing this package). Spilled is buffer overflow absorbed by the
+// WAL tail (lossless); Dropped is records lost outright (only possible
+// without a WAL); DeadLetterCount is the current dead-letter ring size.
+func (f *Forwarder) SpilledCount() uint64 { return f.spilled.Load() }
+
+// DroppedCount returns how many records were dropped un-forwarded.
+func (f *Forwarder) DroppedCount() uint64 { return f.dropped.Load() }
+
+// DeadLetterCount returns the current size of the dead-letter ring.
+func (f *Forwarder) DeadLetterCount() int {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return len(f.deadLetters)
+}
+
 // Stats returns the forwarder's lifetime counters.
 func (f *Forwarder) Stats() ForwarderStats {
 	f.statsMu.Lock()

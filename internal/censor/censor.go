@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"encore/internal/geo"
 	"encore/internal/urlpattern"
@@ -163,6 +164,11 @@ type Policy struct {
 	// InfraMechanism is the mechanism used against measurement
 	// infrastructure; defaults to DNS NXDOMAIN when unset.
 	InfraMechanism Mechanism
+	// ThrottleDelayMillis overrides the extra delay MechanismThrottle rules
+	// inject (default 30 000 ms). Adversarial throttling-ramp scenarios
+	// install successively harsher policies to model a region squeezing
+	// bandwidth over a campaign.
+	ThrottleDelayMillis float64
 	// AllowMeasurementTraffic, when true, models the distorting adversary
 	// (§3.1 aspect 3): requests that carry measurement markers are allowed
 	// through even though ordinary user access to the same URL is filtered.
@@ -235,8 +241,14 @@ type Request struct {
 const GlobalRegion geo.CountryCode = "*"
 
 // Engine evaluates fetches against per-region policies. The zero value is an
-// engine with no policies (nothing filtered).
+// engine with no policies (nothing filtered). Policy installation and
+// evaluation are safe to interleave from different goroutines — the chaos
+// tier flips a region's policy mid-campaign (a DNS-poisoning switch, a
+// throttling ramp) while simulated clients keep fetching — but a *Policy
+// handed to SetPolicy must not be mutated afterwards: replace it with a
+// fresh Policy instead.
 type Engine struct {
+	mu       sync.RWMutex
 	policies map[geo.CountryCode]*Policy
 }
 
@@ -247,20 +259,34 @@ func NewEngine() *Engine {
 
 // SetPolicy installs (or replaces) the policy for a region.
 func (e *Engine) SetPolicy(p *Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.policies == nil {
 		e.policies = make(map[geo.CountryCode]*Policy)
 	}
 	e.policies[p.Region] = p
 }
 
-// Policy returns the policy for a region, if any.
+// RemovePolicy uninstalls a region's policy, if any.
+func (e *Engine) RemovePolicy(region geo.CountryCode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.policies, region)
+}
+
+// Policy returns the policy for a region, if any. Treat the returned policy
+// as immutable; install changes with SetPolicy.
 func (e *Engine) Policy(region geo.CountryCode) (*Policy, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p, ok := e.policies[region]
 	return p, ok
 }
 
 // Regions returns the regions that have policies installed, sorted.
 func (e *Engine) Regions() []geo.CountryCode {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var out []geo.CountryCode
 	for r := range e.policies {
 		out = append(out, r)
@@ -273,16 +299,18 @@ func (e *Engine) Regions() []geo.CountryCode {
 // policy (and outside any global-policy rule) are never filtered. The
 // client's regional policy is consulted first, then the global policy.
 func (e *Engine) Evaluate(req Request) Decision {
-	if p, ok := e.policies[req.Region]; ok && p != nil {
-		if d := evaluatePolicy(p, req); d.Filtered {
+	e.mu.RLock()
+	regional := e.policies[req.Region]
+	global := e.policies[GlobalRegion]
+	e.mu.RUnlock()
+	if regional != nil {
+		if d := evaluatePolicy(regional, req); d.Filtered {
 			return d
 		}
 	}
-	if req.Region != GlobalRegion {
-		if p, ok := e.policies[GlobalRegion]; ok && p != nil {
-			if d := evaluatePolicy(p, req); d.Filtered {
-				return d
-			}
+	if req.Region != GlobalRegion && global != nil {
+		if d := evaluatePolicy(global, req); d.Filtered {
+			return d
 		}
 	}
 	return Decision{}
@@ -299,7 +327,7 @@ func evaluatePolicy(p *Policy, req Request) Decision {
 			if mech == MechanismNone {
 				mech = MechanismDNSNXDOMAIN
 			}
-			return decisionFor(mech, "infrastructure:"+id)
+			return p.applyOverrides(decisionFor(mech, "infrastructure:"+id))
 		}
 	}
 	if p.AllowMeasurementTraffic && req.MeasurementMarker {
@@ -307,14 +335,14 @@ func evaluatePolicy(p *Policy, req Request) Decision {
 	}
 	for _, rule := range p.Rules {
 		if rule.Pattern.Matches(req.URL) {
-			return decisionFor(rule.Mechanism, rule.Pattern.String())
+			return p.applyOverrides(decisionFor(rule.Mechanism, rule.Pattern.String()))
 		}
 	}
 	if len(p.KeywordRules) > 0 {
 		lower := strings.ToLower(req.URL)
 		for _, kr := range p.KeywordRules {
 			if kr.Keyword != "" && strings.Contains(lower, kr.Keyword) {
-				return decisionFor(kr.Mechanism, "keyword:"+kr.Keyword)
+				return p.applyOverrides(decisionFor(kr.Mechanism, "keyword:"+kr.Keyword))
 			}
 		}
 	}
@@ -325,6 +353,14 @@ func evaluatePolicy(p *Policy, req Request) Decision {
 // filtered for ordinary (non-marked) traffic from the region.
 func (e *Engine) IsFiltered(region geo.CountryCode, url string) bool {
 	return e.Evaluate(Request{Region: region, URL: url}).Filtered
+}
+
+// applyOverrides adjusts a decision with the policy's tuning knobs.
+func (p *Policy) applyOverrides(d Decision) Decision {
+	if d.Filtered && d.Mechanism == MechanismThrottle && p.ThrottleDelayMillis > 0 {
+		d.ExtraDelayMillis = p.ThrottleDelayMillis
+	}
+	return d
 }
 
 func decisionFor(m Mechanism, matched string) Decision {
@@ -373,7 +409,7 @@ func PaperPolicies() *Engine {
 func (e *Engine) Summary() string {
 	var b strings.Builder
 	for _, region := range e.Regions() {
-		p := e.policies[region]
+		p, _ := e.Policy(region)
 		for _, r := range p.Rules {
 			fmt.Fprintf(&b, "%s: %s via %s (%s)\n", region, r.Pattern.String(), r.Mechanism, r.Note)
 		}

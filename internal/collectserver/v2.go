@@ -83,6 +83,17 @@ func (s *Server) loadSignal() (sig api.LoadSignal, shed bool) {
 // server's load signal; a saturated ingest queue sheds with 503 +
 // Retry-After before accepting work it would have to drop.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	// Graceful degradation: once the WAL records a sticky error, this
+	// server can no longer keep the durability promise the v2 batch lane
+	// carries (federation edges and batching SDKs rely on acknowledged
+	// meaning persisted). Refuse with a typed 503 instead of silently
+	// accepting writes that will not survive a restart; the best-effort v1
+	// beacon lane and every read path keep serving.
+	if err := s.walError(); err != nil {
+		api.WriteError(w, api.Errorf(api.CodeDegraded,
+			"collector degraded: WAL failed (%v); durable submission lane closed", err))
+		return
+	}
 	load, shed := s.loadSignal()
 	if shed {
 		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
@@ -215,12 +226,46 @@ func (s *Server) storeBatch(ms []results.Measurement) error {
 	return err
 }
 
-// handleHealthV2 answers GET /v2/healthz with structured health.
+// ForwarderHealth is the structural interface the health endpoint probes an
+// attached Forwarder through. federation.Forwarder implements it; the
+// methods return builtins so this package needs no federation import.
+type ForwarderHealth interface {
+	SpilledCount() uint64
+	DroppedCount() uint64
+	DeadLetterCount() int
+}
+
+// walError returns the attached WAL's sticky error, if any.
+func (s *Server) walError() error {
+	if s.WAL == nil {
+		return nil
+	}
+	return s.WAL.Err()
+}
+
+// handleHealthV2 answers GET /v2/healthz with structured health: "ok", or
+// "degraded" with the cause, once a sticky WAL error or forwarder record
+// loss means the collector is up but no longer keeping a durability
+// guarantee. The endpoint itself always serves — degraded health must be
+// observable, not a 5xx.
 func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
-	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
-		Status:       "ok",
+	resp := api.HealthResponse{
+		Status:       api.StatusOK,
 		Measurements: s.Store.Len(),
-	})
+	}
+	if err := s.walError(); err != nil {
+		resp.Status = api.StatusDegraded
+		resp.WALError = err.Error()
+	}
+	if fh, ok := s.Forwarder.(ForwarderHealth); ok {
+		resp.ForwarderSpilled = fh.SpilledCount()
+		resp.ForwarderDeadLetters = fh.DeadLetterCount()
+		resp.ForwarderDropped = fh.DroppedCount()
+		if resp.ForwarderDropped > 0 {
+			resp.Status = api.StatusDegraded
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleMeasurements streams the store as JSON lines (GET /v2/measurements),

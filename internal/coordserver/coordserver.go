@@ -111,7 +111,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // handleHealthV2 answers GET /v2/healthz with structured health.
 func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
 	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
-		Status:        "ok",
+		Status:        api.StatusOK,
 		TasksServed:   s.TasksServed(),
 		TasksAssigned: s.TasksAssigned(),
 	})

@@ -1,0 +1,104 @@
+// Package faultinject is the chaos tier: deterministic, seed-reproducible
+// fault injection for every I/O boundary in the system. It deliberately
+// imports nothing but the standard library so any tier can host it — the
+// results WAL writes through its FS interface (short writes, fsync
+// failures, ENOSPC, torn tails on crash), the SDK and federation forwarder
+// wrap their transport in its RoundTripper (connection resets, latency
+// spikes, 5xx storms, Retry-After floods, truncated bodies), and the
+// clientsim chaos runner drives censor/netsim adversarial grids from its
+// Schedule (throttling ramps, DNS-poisoning flips, churn). Every fault
+// decision derives from a caller-supplied seed, so a failing chaos run is
+// replayed — not chased — by re-running with the seed the failure printed.
+package faultinject
+
+import (
+	"sort"
+	"sync"
+)
+
+// RNG is a splitmix64 generator: tiny, fast, and fully determined by its
+// seed. It intentionally mirrors the simulation tier's generator rather
+// than math/rand so a fault schedule never changes because an unrelated
+// package drew from a shared global source. Not safe for concurrent use;
+// callers that share one (FaultFS, RoundTripper) serialize behind their own
+// mutex.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Event is one step of a chaos scenario: when campaign progress reaches At
+// (a fraction in [0, 1]), Apply runs once. The closure typically mutates a
+// censor policy, triggers a disk or network fault, or flips a netsim knob;
+// the schedule itself stays ignorant of what it drives so this package
+// remains a leaf.
+type Event struct {
+	// At is the campaign-progress fraction the event fires at.
+	At float64
+	// Name labels the event in chaos reports and failure messages.
+	Name string
+	// Apply performs the mutation. It runs exactly once, from the goroutine
+	// driving the campaign.
+	Apply func()
+}
+
+// Schedule is an ordered set of events applied as a campaign progresses.
+// The chaos runner calls Advance with the current progress fraction between
+// visits; each event fires exactly once, in At order, when progress first
+// reaches it. Safe for concurrent use.
+type Schedule struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+}
+
+// NewSchedule builds a schedule from events, sorting them by At (stable, so
+// equal-At events keep their given order).
+func NewSchedule(events ...Event) *Schedule {
+	s := &Schedule{events: make([]Event, len(events))}
+	copy(s.events, events)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	return s
+}
+
+// Advance fires every not-yet-fired event with At <= progress and returns
+// their names in firing order.
+func (s *Schedule) Advance(progress float64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var fired []string
+	for s.next < len(s.events) && s.events[s.next].At <= progress {
+		ev := s.events[s.next]
+		s.next++
+		if ev.Apply != nil {
+			ev.Apply()
+		}
+		fired = append(fired, ev.Name)
+	}
+	return fired
+}
+
+// Remaining reports how many events have not fired yet.
+func (s *Schedule) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events) - s.next
+}

@@ -1,0 +1,248 @@
+package faultinject
+
+// The network surface. RoundTripper wraps any http.RoundTripper with
+// deterministic fault injection: connection resets before the request
+// reaches the wire, latency spikes, synthesized 5xx storms carrying
+// Retry-After (the flood an overloaded upstream emits), and truncated
+// response bodies. Probabilistic faults draw from a seeded RNG, and a
+// consecutive-fault cap guarantees the wrapped client's bounded retry
+// budget always suffices — chaos campaigns assert exact equality with a
+// fault-free baseline, so faults must perturb the path, never the outcome.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the transport error a reset-injected request fails
+// with; clients see it exactly like a mid-flight connection reset (the
+// request never reaches the server).
+var ErrInjectedReset = fmt.Errorf("faultinject: connection reset by peer (injected)")
+
+// NetFaults parameterizes a RoundTripper. All probabilities are per
+// request; zero values inject nothing.
+type NetFaults struct {
+	// Seed drives every probabilistic decision.
+	Seed uint64
+	// ResetProb is the probability a request fails with ErrInjectedReset
+	// before reaching the server.
+	ResetProb float64
+	// LatencyProb is the probability a request is delayed by Latency
+	// before being forwarded.
+	LatencyProb float64
+	Latency     time.Duration
+	// TruncateProb is the probability a successful response's body is cut
+	// in half, surfacing to the client as an unexpected EOF mid-decode.
+	TruncateProb float64
+	// MaxConsecutive caps injected faults in a row (default 2): after that
+	// many consecutive faulted requests, the next request passes through
+	// clean. A client whose retry budget exceeds the cap can always ride a
+	// fault out, which keeps chaos outcomes equal to the fault-free
+	// baseline by construction. Storm responses requested via FailNext
+	// also count against the cap.
+	MaxConsecutive int
+}
+
+// NetStats counts the faults a RoundTripper actually injected.
+type NetStats struct {
+	// Requests counts calls through the RoundTripper.
+	Requests uint64
+	// Resets, Delays, Truncations, and StormResponses count injected
+	// faults by kind.
+	Resets         uint64
+	Delays         uint64
+	Truncations    uint64
+	StormResponses uint64
+}
+
+// RoundTripper injects faults in front of an inner http.RoundTripper. Safe
+// for concurrent use.
+type RoundTripper struct {
+	inner http.RoundTripper
+
+	mu          sync.Mutex
+	rng         *RNG
+	cfg         NetFaults
+	consecutive int
+	storm       int
+	stormStatus int
+	stormRetry  string
+	stats       NetStats
+}
+
+// NewRoundTripper wraps inner (nil means http.DefaultTransport) with the
+// given fault configuration.
+func NewRoundTripper(inner http.RoundTripper, cfg NetFaults) *RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.MaxConsecutive <= 0 {
+		cfg.MaxConsecutive = 2
+	}
+	return &RoundTripper{inner: inner, rng: NewRNG(cfg.Seed), cfg: cfg}
+}
+
+// FailNext arms a storm: the next n requests receive a synthesized
+// response with the given status (default 503) and, when retryAfter is
+// non-empty, a Retry-After header — without ever reaching the server. The
+// consecutive-fault cap still applies, so a storm longer than the cap is
+// punctured by clean pass-throughs rather than starving a bounded-retry
+// client.
+func (rt *RoundTripper) FailNext(n, status int, retryAfter string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if status == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	rt.storm = n
+	rt.stormStatus = status
+	rt.stormRetry = retryAfter
+}
+
+// Stats returns the injected-fault counters.
+func (rt *RoundTripper) Stats() NetStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// plan is one request's fault decision, taken atomically under rt.mu.
+type plan struct {
+	storm       bool
+	stormStatus int
+	stormRetry  string
+	reset       bool
+	delay       time.Duration
+	truncate    bool
+}
+
+// decide draws this request's faults. Fault kinds that fail the request
+// (storm, reset, truncate) respect and advance the consecutive-fault
+// counter; pure latency does not fail anything and is exempt.
+func (rt *RoundTripper) decide() plan {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stats.Requests++
+	var p plan
+	if rt.cfg.LatencyProb > 0 && rt.rng.Float64() < rt.cfg.LatencyProb {
+		p.delay = rt.cfg.Latency
+		rt.stats.Delays++
+	}
+	canFault := rt.consecutive < rt.cfg.MaxConsecutive
+	switch {
+	case rt.storm > 0 && canFault:
+		rt.storm--
+		rt.consecutive++
+		p.storm = true
+		p.stormStatus = rt.stormStatus
+		p.stormRetry = rt.stormRetry
+		rt.stats.StormResponses++
+	case rt.cfg.ResetProb > 0 && canFault && rt.rng.Float64() < rt.cfg.ResetProb:
+		rt.consecutive++
+		p.reset = true
+		rt.stats.Resets++
+	case rt.cfg.TruncateProb > 0 && canFault && rt.rng.Float64() < rt.cfg.TruncateProb:
+		rt.consecutive++
+		p.truncate = true
+		rt.stats.Truncations++
+	default:
+		rt.consecutive = 0
+	}
+	return p
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := rt.decide()
+	if p.delay > 0 {
+		timer := time.NewTimer(p.delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			closeRequestBody(req)
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if p.storm {
+		closeRequestBody(req)
+		return stormResponse(req, p.stormStatus, p.stormRetry), nil
+	}
+	if p.reset {
+		closeRequestBody(req)
+		return nil, ErrInjectedReset
+	}
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil || !p.truncate {
+		return resp, err
+	}
+	return truncateResponse(resp)
+}
+
+// closeRequestBody honors the RoundTripper contract: the body must be
+// closed even when the request never goes out.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		_ = req.Body.Close()
+	}
+}
+
+// stormResponse synthesizes the overloaded-upstream response a storm
+// injects. The body is the v2 typed error envelope so SDK error decoding
+// sees exactly what a real shedding collector sends.
+func stormResponse(req *http.Request, status int, retryAfter string) *http.Response {
+	body := fmt.Sprintf(`{"code":"overloaded","message":"injected %d storm"}`, status)
+	h := http.Header{"Content-Type": []string{"application/json"}}
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
+	return &http.Response{
+		Status:        strconv.Itoa(status) + " " + http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateResponse reads the full response body and hands the client only
+// the first half, ending in io.ErrUnexpectedEOF — what a connection cut
+// mid-body looks like above the transport.
+func truncateResponse(resp *http.Response) (*http.Response, error) {
+	full, err := io.ReadAll(resp.Body)
+	closeErr := resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	resp.Body = io.NopCloser(&truncatedReader{data: full[:len(full)/2]})
+	resp.ContentLength = int64(len(full))
+	return resp, nil
+}
+
+// truncatedReader serves its data then fails with io.ErrUnexpectedEOF
+// instead of a clean EOF.
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRoundTripperStorm(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	rt := NewRoundTripper(srv.Client().Transport, NetFaults{Seed: 1, MaxConsecutive: 10})
+	client := &http.Client{Transport: rt}
+	rt.FailNext(2, 0, "3")
+
+	for i := 0; i < 2; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("storm request %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("storm request %d status = %d, want 503", i, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "3" {
+			t.Fatalf("storm Retry-After = %q, want 3", ra)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if len(body) == 0 {
+			t.Fatal("storm response has empty body")
+		}
+	}
+	if served.Load() != 0 {
+		t.Fatalf("storm leaked %d requests to the server", served.Load())
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm request = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	st := rt.Stats()
+	if st.StormResponses != 2 || st.Requests != 3 {
+		t.Fatalf("stats = %+v, want 2 storm responses over 3 requests", st)
+	}
+}
+
+func TestRoundTripperMaxConsecutiveBoundsFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	// ResetProb 1.0 would fail every request forever; the cap must force a
+	// clean pass-through after 2 consecutive faults.
+	rt := NewRoundTripper(srv.Client().Transport, NetFaults{Seed: 7, ResetProb: 1.0, MaxConsecutive: 2})
+	client := &http.Client{Transport: rt}
+	var failures, successes int
+	for i := 0; i < 9; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			if !errors.Is(errors.Unwrap(err), ErrInjectedReset) && !errors.Is(err, ErrInjectedReset) {
+				// http.Client wraps transport errors in *url.Error.
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			failures++
+			continue
+		}
+		resp.Body.Close()
+		successes++
+	}
+	if failures != 6 || successes != 3 {
+		t.Fatalf("got %d failures, %d successes; want exactly 2 faults per clean pass (6/3)", failures, successes)
+	}
+}
+
+func TestRoundTripperTruncatesBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("0123456789abcdef"))
+	}))
+	defer srv.Close()
+	rt := NewRoundTripper(srv.Client().Transport, NetFaults{Seed: 3, TruncateProb: 1.0, MaxConsecutive: 1})
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading truncated body: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) != 8 {
+		t.Fatalf("truncated body carried %d bytes, want 8", len(body))
+	}
+}
+
+func TestRoundTripperLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	rt := NewRoundTripper(srv.Client().Transport, NetFaults{Seed: 5, LatencyProb: 1.0, Latency: 30 * time.Millisecond})
+	client := &http.Client{Transport: rt}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms injected latency", elapsed)
+	}
+	if st := rt.Stats(); st.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestRoundTripperDeterministicPerSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	run := func(seed uint64) []bool {
+		rt := NewRoundTripper(srv.Client().Transport, NetFaults{Seed: seed, ResetProb: 0.4, MaxConsecutive: 100})
+		client := &http.Client{Transport: rt}
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different fault sequence at request %d", i)
+		}
+	}
+}

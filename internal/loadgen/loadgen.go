@@ -9,6 +9,7 @@ package loadgen
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"time"
 
@@ -64,6 +65,10 @@ type Config struct {
 	// (default), or real loopback HTTP through the API client SDK
 	// (TransportBeacon / TransportV2).
 	Transport Transport
+	// HTTPTransport, when set with a wire Transport, is the
+	// http.RoundTripper the SDK client dials through — the seam chaos
+	// campaigns use to interpose fault injection on the submission path.
+	HTTPTransport http.RoundTripper
 }
 
 // DefaultConfig returns a short, CI-sized load run.
@@ -177,9 +182,16 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 	if cfg.Transport != TransportInProcess {
 		srv := httptest.NewServer(stack.Collector)
 		defer srv.Close()
+		var clientCfg apiclient.Config
+		if cfg.HTTPTransport != nil {
+			clientCfg.HTTPClient = &http.Client{
+				Transport: cfg.HTTPTransport,
+				Timeout:   30 * time.Second,
+			}
+		}
 		prev := stack.Population.Collector
 		stack.Population.Collector = &clientsim.RemoteCollector{
-			Client: apiclient.New(srv.URL),
+			Client: apiclient.NewWithConfig(srv.URL, clientCfg),
 			UseV2:  cfg.Transport == TransportV2,
 		}
 		defer func() { stack.Population.Collector = prev }()

@@ -125,9 +125,10 @@ type Network struct {
 	Censor *censor.Engine
 	Geo    *geo.Registry
 
-	mu    sync.Mutex
-	rng   *stats.RNG
-	hosts map[string]Host
+	mu           sync.Mutex
+	rng          *stats.RNG
+	hosts        map[string]Host
+	extraLatency map[geo.CountryCode]float64
 }
 
 // Config parameterizes a Network.
@@ -158,6 +159,31 @@ func (n *Network) RegisterHost(domain string, h Host) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.hosts[urlpattern.NormalizeHost(domain)] = h
+}
+
+// SetRegionExtraLatency adds a flat per-fetch delay (milliseconds) to every
+// fetch originating in the region — the network-path view of a regional
+// throttling ramp, distinct from the censor's per-pattern throttle mechanism.
+// Zero or negative clears the region's extra latency. Safe to call while
+// fetches are in flight; in-flight fetches see either the old or new value.
+func (n *Network) SetRegionExtraLatency(region geo.CountryCode, millis float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if millis <= 0 {
+		delete(n.extraLatency, region)
+		return
+	}
+	if n.extraLatency == nil {
+		n.extraLatency = make(map[geo.CountryCode]float64)
+	}
+	n.extraLatency[region] = millis
+}
+
+// regionExtraLatency reads the region's configured extra delay.
+func (n *Network) regionExtraLatency(region geo.CountryCode) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extraLatency[region]
 }
 
 // NewClient builds a client located in the given country, with latency,
@@ -201,10 +227,18 @@ func (n *Network) fetchWithRNG(rng *stats.RNG, c Client, url string, marker bool
 	res.GroundTruthFiltered = decision.Filtered
 	res.GroundTruthMechanism = decision.Mechanism
 
-	elapsed := 0.0
+	// A regional throttling ramp slows the whole path before any stage
+	// begins; a ramp past the client's patience turns every fetch into a
+	// timeout, which is exactly what a saturating throttle looks like.
+	elapsed := n.regionExtraLatency(c.Region)
 	patience := c.PatienceMillis
 	if patience <= 0 {
 		patience = 30_000
+	}
+	if elapsed >= patience {
+		res.Outcome = OutcomeTimeout
+		res.DurationMillis = patience
+		return res
 	}
 
 	// Spurious, censorship-unrelated failures (wireless loss, resolver

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"encore/internal/core"
+	"encore/internal/faultinject"
 	"encore/internal/geo"
 )
 
@@ -104,6 +105,11 @@ type WALConfig struct {
 	// Interval is the background flush period for SyncInterval and SyncNone
 	// (default 200ms).
 	Interval time.Duration
+	// FS is the filesystem every read and write goes through; nil means the
+	// host filesystem. The chaos tier installs a faultinject.FaultFS here to
+	// subject the WAL to fsync failures, ENOSPC, short writes, and
+	// torn-tail crashes without touching production code paths.
+	FS faultinject.FS
 }
 
 const (
@@ -130,7 +136,7 @@ const (
 type walShard struct {
 	id    int // this shard's index, fixed at OpenWAL
 	mu    sync.Mutex
-	f     *os.File
+	f     faultinject.File
 	w     *bufio.Writer
 	size  int64
 	next  uint64 // index the next opened segment receives
@@ -147,6 +153,7 @@ type walShard struct {
 // collector can surface a broken disk instead of silently logging nothing.
 type WAL struct {
 	cfg  WALConfig
+	fs   faultinject.FS
 	mask uint32
 
 	shards []walShard
@@ -189,25 +196,30 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = defaultSyncInterval
 	}
+	if cfg.FS == nil {
+		cfg.FS = faultinject.OS()
+	}
+	fs := cfg.FS
 	size := 1
 	for size < cfg.Shards {
 		size <<= 1
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := fs.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: creating WAL dir: %w", err)
 	}
-	if tmps, err := filepath.Glob(filepath.Join(cfg.Dir, "*.seg.tmp")); err == nil {
+	if tmps, err := fs.Glob(filepath.Join(cfg.Dir, "*.seg.tmp")); err == nil {
 		for _, t := range tmps {
-			_ = os.Remove(t)
+			_ = fs.Remove(t)
 		}
 	}
-	size, err := pinShardCount(cfg.Dir, size)
+	size, err := pinShardCount(fs, cfg.Dir, size)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Shards = size
 	w := &WAL{
 		cfg:       cfg,
+		fs:        fs,
 		mask:      uint32(size - 1),
 		shards:    make([]walShard, size),
 		stopFlush: make(chan struct{}),
@@ -216,7 +228,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 	for i := range w.shards {
 		w.shards[i].id = i
 	}
-	segs, err := walSegments(cfg.Dir)
+	segs, err := walSegments(fs, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -260,9 +272,9 @@ type walMeta struct {
 // pinShardCount returns the directory's pinned shard count, writing the
 // requested count (atomically) on first open. A pinned count always wins
 // over the requested one: the on-disk layout is authoritative.
-func pinShardCount(dir string, requested int) (int, error) {
+func pinShardCount(fs faultinject.FS, dir string, requested int) (int, error) {
 	metaPath := filepath.Join(dir, walMetaName)
-	if data, err := os.ReadFile(metaPath); err == nil {
+	if data, err := fs.ReadFile(metaPath); err == nil {
 		var meta walMeta
 		if err := json.Unmarshal(data, &meta); err != nil {
 			return 0, fmt.Errorf("results: corrupt %s: %w", walMetaName, err)
@@ -279,13 +291,13 @@ func pinShardCount(dir string, requested int) (int, error) {
 		return 0, err
 	}
 	tmp := metaPath + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := fs.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp, metaPath); err != nil {
+	if err := fs.Rename(tmp, metaPath); err != nil {
 		return 0, err
 	}
-	syncDir(dir)
+	syncDir(fs, dir)
 	return requested, nil
 }
 
@@ -297,8 +309,8 @@ type walSegFile struct {
 
 // walSegments scans dir for segment files, grouped by shard and sorted by
 // index.
-func walSegments(dir string) (map[int][]walSegFile, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "wal-*-*.seg"))
+func walSegments(fs faultinject.FS, dir string) (map[int][]walSegFile, error) {
+	paths, err := fs.Glob(filepath.Join(dir, "wal-*-*.seg"))
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +426,7 @@ func (w *WAL) writeFrameLocked(sh *walShard, frame []byte) error {
 // files.
 func (w *WAL) openSegmentLocked(sh *walShard) error {
 	name := filepath.Join(w.cfg.Dir, segmentName(sh.id, sh.next))
-	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("results: opening WAL segment: %w", err)
 	}
@@ -578,7 +590,7 @@ func (w *WAL) Stats() WALStats {
 		Rotations:   w.rotations.Load(),
 		Compactions: w.compacts.Load(),
 	}
-	if segs, err := walSegments(w.cfg.Dir); err == nil {
+	if segs, err := walSegments(w.fs, w.cfg.Dir); err == nil {
 		for _, files := range segs {
 			st.Segments += len(files)
 		}
@@ -653,7 +665,7 @@ func (w *WAL) compactShard(shard int) error {
 		w.fail(err) // sealing failure = acknowledged data not durable
 		return err
 	}
-	segs, err := walSegments(w.cfg.Dir)
+	segs, err := walSegments(w.fs, w.cfg.Dir)
 	if err != nil {
 		return err
 	}
@@ -674,7 +686,7 @@ func (w *WAL) compactShard(shard int) error {
 	live := make(map[string]liveRec)
 	var unacked []liveRec
 	for _, f := range files {
-		_, _, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
+		_, _, err := readWALSegment(w.fs, f.path, func(cseq, seq uint64, m Measurement) error {
 			if cseq > retain {
 				unacked = append(unacked, liveRec{cseq: cseq, seq: seq, m: m})
 				return nil
@@ -698,7 +710,7 @@ func (w *WAL) compactShard(shard int) error {
 
 	last := files[len(files)-1]
 	tmpPath := last.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	tmp, err := w.fs.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -728,28 +740,28 @@ func (w *WAL) compactShard(shard int) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, last.path); err != nil {
+	if err := w.fs.Rename(tmpPath, last.path); err != nil {
 		return err
 	}
 	// Make the rename durable before unlinking the older segments: if the
 	// removes reached disk first and the machine died, the directory would
 	// hold neither the old records nor the compacted file that replaces
 	// them.
-	syncDir(w.cfg.Dir)
+	syncDir(w.fs, w.cfg.Dir)
 	for _, f := range files[:len(files)-1] {
-		if err := os.Remove(f.path); err != nil {
+		if err := w.fs.Remove(f.path); err != nil {
 			return err
 		}
 	}
-	syncDir(w.cfg.Dir)
+	syncDir(w.fs, w.cfg.Dir)
 	sh.next = last.index + 1
 	return nil
 }
 
 // syncDir fsyncs a directory so renames and removals are durable;
 // best-effort (some platforms disallow it).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fs faultinject.FS, dir string) {
+	if d, err := fs.Open(dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}
@@ -786,9 +798,19 @@ type WALRecoveryStats struct {
 // Aggregator.Backfill and attach the aggregator and a reopened WAL as
 // observers before accepting traffic.
 func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
+	return OpenStoreFromWALFS(dir, faultinject.OS())
+}
+
+// OpenStoreFromWALFS is OpenStoreFromWAL reading through an explicit
+// filesystem; chaos tests use it to replay logs written (and crash-mangled)
+// by a faultinject.FaultFS.
+func OpenStoreFromWALFS(dir string, fs faultinject.FS) (*Store, WALRecoveryStats, error) {
+	if fs == nil {
+		fs = faultinject.OS()
+	}
 	store := NewStore()
 	var stats WALRecoveryStats
-	segs, err := walSegments(dir)
+	segs, err := walSegments(fs, dir)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -812,7 +834,7 @@ func OpenStoreFromWAL(dir string) (*Store, WALRecoveryStats, error) {
 			defer wg.Done()
 			res := &results[i]
 			for _, f := range segs[shard] {
-				n, torn, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
+				n, torn, err := readWALSegment(fs, f.path, func(cseq, seq uint64, m Measurement) error {
 					store.replay(seq, m)
 					if seq > res.maxSeq {
 						res.maxSeq = seq
@@ -878,7 +900,7 @@ func (w *WAL) ReadRecords(after uint64, fn func(commitSeq uint64, m Measurement)
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	segs, err := walSegments(w.cfg.Dir)
+	segs, err := walSegments(w.fs, w.cfg.Dir)
 	if err != nil {
 		return err
 	}
@@ -889,7 +911,7 @@ func (w *WAL) ReadRecords(after uint64, fn func(commitSeq uint64, m Measurement)
 	sort.Ints(shardIDs)
 	for _, shard := range shardIDs {
 		for _, f := range segs[shard] {
-			_, _, err := readWALSegment(f.path, func(cseq, seq uint64, m Measurement) error {
+			_, _, err := readWALSegment(w.fs, f.path, func(cseq, seq uint64, m Measurement) error {
 				if cseq <= after {
 					return nil
 				}
@@ -912,8 +934,8 @@ func (w *WAL) ReadRecords(after uint64, fn func(commitSeq uint64, m Measurement)
 // there and torn is reported true. A record that passes its CRC but fails to
 // decode is a real format error and is returned as err, as is any error fn
 // returns (which also aborts the walk).
-func readWALSegment(path string, fn func(commitSeq, seq uint64, m Measurement) error) (records int, torn bool, err error) {
-	f, err := os.Open(path)
+func readWALSegment(fs faultinject.FS, path string, fn func(commitSeq, seq uint64, m Measurement) error) (records int, torn bool, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, false, err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"encore/internal/core"
+	"encore/internal/faultinject"
 	"encore/internal/geo"
 )
 
@@ -185,7 +186,7 @@ func TestWALSegmentRotation(t *testing.T) {
 			}
 		}
 	})
-	segs, err := walSegments(dir)
+	segs, err := walSegments(faultinject.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestWALTornTailRecovery(t *testing.T) {
 			}
 		}
 	})
-	segs, err := walSegments(dir)
+	segs, err := walSegments(faultinject.OS(), dir)
 	if err != nil || len(segs[0]) == 0 {
 		t.Fatalf("expected one shard of segments, got %v (err %v)", segs, err)
 	}
@@ -349,7 +350,7 @@ func TestWALReopenContinuesSegmentNumbering(t *testing.T) {
 			}
 		}
 	})
-	before, _ := walSegments(dir)
+	before, _ := walSegments(faultinject.OS(), dir)
 
 	w, err := OpenWAL(cfg.withDir(dir))
 	if err != nil {
@@ -365,7 +366,7 @@ func TestWALReopenContinuesSegmentNumbering(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := walSegments(dir)
+	after, _ := walSegments(faultinject.OS(), dir)
 	if len(after[0]) <= len(before[0]) {
 		t.Fatalf("reopen appended no new segments (%d -> %d)", len(before[0]), len(after[0]))
 	}

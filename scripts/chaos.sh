@@ -1,0 +1,34 @@
+#!/bin/sh
+# Chaos gates for the Encore reproduction.
+#
+# Default (make chaos): the deterministic suite — every scenario in
+# internal/loadgen's chaos registry at a small set of fixed seeds, under the
+# race detector. This is what CI runs; a failure reproduces exactly with the
+# seed its message prints.
+#
+# -soak (make chaos-soak): one additional randomized seed, logged before the
+# run so any failure is replayable:
+#
+#   go test ./internal/loadgen -race -run TestChaosSuite -chaos-seed <seed>
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FIXED_SEEDS="1 7 424242"
+MODE="${1:-}"
+
+for seed in $FIXED_SEEDS; do
+    echo "== chaos suite (seed $seed, -race) =="
+    go test ./internal/loadgen -race -run 'TestChaos' -chaos-seed "$seed"
+done
+
+if [ "$MODE" = "-soak" ]; then
+    # Randomized seed for the soak lane; printed first so the run is
+    # replayable even if the machine dies mid-test.
+    seed=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+    echo "== chaos soak (randomized seed $seed, -race) =="
+    echo "   replay with: go test ./internal/loadgen -race -run TestChaosSuite -chaos-seed $seed"
+    go test ./internal/loadgen -race -run 'TestChaos' -chaos-seed "$seed"
+fi
+
+echo "CHAOS OK"

@@ -1,10 +1,11 @@
 #!/bin/sh
 # CI gate for the Encore reproduction: formatting, vet, build, the docs
 # suite (scripts/docs_check.sh: required docs present, package comments on
-# every package, README-referenced commands build), and the full test suite
+# every package, README-referenced commands build), the full test suite
 # (including the concurrent ingest soak, the WAL kill-and-restart tests, and
 # the federation soak — concurrent edge commits against a flapping upstream
-# with a WAL-backed forwarder) under the race detector.
+# with a WAL-backed forwarder) under the race detector, and the deterministic
+# chaos suite at fixed seeds (scripts/chaos.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,5 +29,8 @@ echo "== docs check =="
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== chaos suite =="
+./scripts/chaos.sh
 
 echo "CI OK"
