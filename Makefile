@@ -14,6 +14,11 @@
 #   make bench-fed   - only the E22 lossless-federation benchmarks (WAL-tail
 #                      forwarder throughput vs the in-memory baseline, plus
 #                      the recovery-resume replay rate), merged the same way
+#   make bench-wire  - the E23 binary-wire benchmarks (binary batch POSTs and
+#                      binary federation forwarding) plus the E22 federation
+#                      set, merged into BENCH_aggregate.json while keeping
+#                      the pinned E21 JSON numbers as the comparison baseline
+#   make fuzz        - the CI fuzz smoke: 10s on each internal/wire target
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
 #                      and the commands the README names actually build
@@ -27,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-paper loadgen docs-check chaos chaos-soak
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-wire bench-paper fuzz loadgen docs-check chaos chaos-soak
 
 ci:
 	./scripts/ci.sh
@@ -58,6 +63,13 @@ bench-api:
 
 bench-fed:
 	./scripts/bench.sh -only fed
+
+bench-wire:
+	./scripts/bench.sh -only wire
+
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBatchStream$$' -fuzztime 10s
 
 bench-paper:
 	$(GO) test -bench=. -benchmem .

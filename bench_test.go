@@ -1440,18 +1440,38 @@ func BenchmarkAPISubmitBeaconGET(b *testing.B) {
 // beacon. The reported submissions/s counts individual submissions, so the
 // numbers compare directly against BenchmarkAPISubmitBeaconGET.
 func BenchmarkAPISubmitBatchPOST(b *testing.B) {
+	benchmarkAPISubmitBatch(b, apiclient.Config{})
+}
+
+// BenchmarkAPISubmitBatchBinaryPOST is the same v2 batch path with the SDK's
+// binary encoding (E23): each submission travels as one CRC-framed
+// application/x-encore-records frame instead of a JSON array element, and the
+// server decodes the stream frame by frame straight into the commit path. The
+// submissions/s and allocs/op compare directly against
+// BenchmarkAPISubmitBatchPOST at the same batch size.
+func BenchmarkAPISubmitBatchBinaryPOST(b *testing.B) {
+	benchmarkAPISubmitBatch(b, apiclient.Config{BinaryEncoding: true})
+}
+
+func benchmarkAPISubmitBatch(b *testing.B, cfg apiclient.Config) {
 	for _, size := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
 			_, ts := benchAPICollector(b)
-			c := apiclient.New(ts.URL)
+			c := apiclient.NewWithConfig(ts.URL, cfg)
 			ctx := context.Background()
 			batch := make([]api.SubmitRequest, size)
+			// IDs are built outside the timed loop so the driver's string
+			// concatenation doesn't count against either transport.
+			ids := make([]string, benchAPIPool)
+			for i := range ids {
+				ids[i] = "api-" + strconv.Itoa(i)
+			}
 			b.ResetTimer()
 			sent := 0
 			for i := 0; i < b.N; i++ {
 				for j := range batch {
 					batch[j] = api.SubmitRequest{
-						MeasurementID: "api-" + strconv.Itoa((sent+j)%benchAPIPool),
+						MeasurementID: ids[(sent+j)%benchAPIPool],
 						Result:        "success",
 						ElapsedMillis: 100,
 					}
@@ -1471,11 +1491,59 @@ func BenchmarkAPISubmitBatchPOST(b *testing.B) {
 	}
 }
 
+// benchFedUnit is the fixed per-iteration unit of the federation forwarding
+// benchmarks: each b.N iteration commits this many records to the edge store
+// and flushes them through to upstream acknowledgement. A fixed unit keeps
+// per-op cost constant so the runner can scale b.N (the previous shape put
+// forwarder construction and the full drain inside one op, which pinned every
+// run at iterations:1 and made the numbers unstable single samples).
+const benchFedUnit = 256
+
+// benchmarkFederationForward drives the shared shape of the forwarding
+// benchmarks: per iteration, commit benchFedUnit edge records and Flush —
+// commit through upstream acknowledgement, batching included — with forwarder
+// construction and Close untimed. Any pre observers (a WAL) are attached
+// ahead of the forwarder, so a commit is durable before the forwarder can
+// ship it.
+func benchmarkFederationForward(b *testing.B, upStore *results.Store, f *federation.Forwarder, pre ...results.CommitObserver) {
+	b.Helper()
+	edge := results.NewStore()
+	for _, obs := range pre {
+		edge.AddObserver(obs)
+	}
+	edge.AddObserver(f)
+	ctx := context.Background()
+	sent := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchFedUnit; j++ {
+			if err := edge.Add(benchFedMeasurement(sent)); err != nil {
+				b.Fatal(err)
+			}
+			sent++
+		}
+		if err := f.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "submissions/s")
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if upStore.Len() != sent {
+		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), sent)
+	}
+	if st := f.Stats(); st.Dropped != 0 {
+		b.Fatalf("forwarder dropped %d records", st.Dropped)
+	}
+}
+
 // BenchmarkAPIFederationForward measures the distributed-collectors path: an
 // edge store's commits stream through the federation forwarder into an
 // upstream aggregation-tier instance (AllowAttributed) over batched v2
-// POSTs; the timing covers commit through upstream acknowledgement,
-// including the final drain.
+// POSTs; each iteration covers benchFedUnit commits through upstream
+// acknowledgement.
 func BenchmarkAPIFederationForward(b *testing.B) {
 	upStore := results.NewStore()
 	upAgg := results.NewAggregator(results.AggregatorConfig{})
@@ -1492,31 +1560,7 @@ func BenchmarkAPIFederationForward(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	edge := results.NewStore()
-	edge.AddObserver(f)
-	base := time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := results.Measurement{
-			MeasurementID: "fed-" + strconv.Itoa(i),
-			PatternKey:    "domain:bench.com",
-			State:         core.StateSuccess,
-			Region:        "US",
-			ClientIP:      "11.0.3." + strconv.Itoa(i%200),
-			Received:      base.Add(time.Duration(i) * time.Millisecond),
-		}
-		if err := edge.Add(m); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
-	if upStore.Len() != b.N {
-		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), b.N)
-	}
+	benchmarkFederationForward(b, upStore, f)
 }
 
 // ---------------------------------------------------------------------------
@@ -1551,44 +1595,40 @@ func benchFedMeasurement(i int) results.Measurement {
 	}
 }
 
-// BenchmarkAPIFederationWALForward is BenchmarkAPIFederationForward with the
+// benchmarkFederationWALForward is BenchmarkAPIFederationForward with the
 // durable pipeline attached: every commit is WAL-logged (interval fsync) and
 // position-tracked, the forwarder persists its acked cursor per batch, and
-// the timing still covers commit through upstream acknowledgement — the
-// price of lossless forwarding over the in-memory baseline.
-func BenchmarkAPIFederationWALForward(b *testing.B) {
+// each iteration still covers benchFedUnit commits through upstream
+// acknowledgement — the price of lossless forwarding over the in-memory
+// baseline. binary selects the SDK's frame encoding on the upstream hop.
+func benchmarkFederationWALForward(b *testing.B, binary bool) {
 	upStore, ts := benchFedUpstream(b)
 	wal, err := results.OpenWAL(results.WALConfig{Dir: b.TempDir(), Policy: results.SyncInterval})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer wal.Close()
-	edge := results.NewStore()
-	edge.AddObserver(wal)
 	f, err := federation.NewForwarder(federation.ForwarderConfig{
+		Client:   apiclient.NewWithConfig(ts.URL, apiclient.Config{BinaryEncoding: binary}),
 		Upstream: ts.URL, MaxBatch: 256, FlushInterval: 5 * time.Millisecond, WAL: wal,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	edge.AddObserver(f)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := edge.Add(benchFedMeasurement(i)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
-	if upStore.Len() != b.N {
-		b.Fatalf("upstream has %d of %d forwarded records", upStore.Len(), b.N)
-	}
-	if st := f.Stats(); st.Dropped != 0 {
-		b.Fatalf("WAL-backed forwarder dropped %d records", st.Dropped)
-	}
+	benchmarkFederationForward(b, upStore, f, wal)
+}
+
+// BenchmarkAPIFederationWALForward forwards WAL-durable commits as v2 JSON
+// batches (the E22 lossless baseline).
+func BenchmarkAPIFederationWALForward(b *testing.B) {
+	benchmarkFederationWALForward(b, false)
+}
+
+// BenchmarkAPIFederationWALForwardBinary is the same durable pipeline over
+// the application/x-encore-records lane (E23): live batches ship as encoded
+// frames, and any catch-up tail pass ships the WAL's bytes verbatim.
+func BenchmarkAPIFederationWALForwardBinary(b *testing.B) {
+	benchmarkFederationWALForward(b, true)
 }
 
 // BenchmarkAPIFederationWALResume measures the recovery-resume rate: a

@@ -49,6 +49,7 @@ func main() {
 		forwardFlush  = flag.Duration("forward-flush", 200*time.Millisecond, "how often buffered commits are forwarded upstream (the floor of a dynamic window the upstream's load signal can widen)")
 		forwardToken  = flag.String("forward-token", "", "bearer token presented to the upstream's attributed lane (set when the upstream runs with -attributed-token)")
 		forwardCursor = flag.String("forward-cursor", "", "path of the forwarder's durable acked-cursor file (default: forward-cursor.json inside -wal-dir); requires -wal-dir for resumable, lossless forwarding")
+		forwardBinary = flag.Bool("forward-binary", false, "forward over the binary application/x-encore-records encoding instead of JSON; with -wal-dir the WAL tail ships as the exact frames the log holds (zero re-encode)")
 		allowAttr     = flag.Bool("allow-attributed", false, "accept pre-attributed measurement batches on /v2/submissions (run this on the aggregation-tier instance edge collectors forward to; it bypasses task attribution and the abuse guard, so never expose it to untrusted clients)")
 		attrToken     = flag.String("attributed-token", "", "shared-secret bearer token the attributed lane requires; batches without it are rejected with the typed 403 (requires -allow-attributed)")
 
@@ -122,8 +123,11 @@ func main() {
 			WAL:           wal,
 			CursorPath:    *forwardCursor,
 		}
-		if *forwardToken != "" {
-			fcfg.Client = apiclient.NewWithConfig(*forwardTo, apiclient.Config{AuthToken: *forwardToken})
+		if *forwardToken != "" || *forwardBinary {
+			fcfg.Client = apiclient.NewWithConfig(*forwardTo, apiclient.Config{
+				AuthToken:      *forwardToken,
+				BinaryEncoding: *forwardBinary,
+			})
 		}
 		var err error
 		forwarder, err = federation.NewForwarder(fcfg)
@@ -136,8 +140,12 @@ func main() {
 		if wal != nil {
 			mode = "WAL-resumable (cursor at " + "position " + strconv.FormatUint(forwarder.Stats().AckedCursor, 10) + ")"
 		}
-		log.Printf("federation edge: forwarding commits to %s (batch %d, flush %v, %s)",
-			*forwardTo, *forwardBatch, *forwardFlush, mode)
+		encoding := "JSON"
+		if *forwardBinary {
+			encoding = "binary"
+		}
+		log.Printf("federation edge: forwarding commits to %s (batch %d, flush %v, %s encoding, %s)",
+			*forwardTo, *forwardBatch, *forwardFlush, encoding, mode)
 	}
 	if *asyncIngest {
 		server.EnableAsyncIngest(collectserver.IngestConfig{})

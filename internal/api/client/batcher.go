@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"encore/internal/api"
+	"encore/internal/wire"
 )
 
 // ErrBatcherClosed is returned by Add after Close has begun.
@@ -37,7 +38,13 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	pending []api.SubmitRequest
-	closed  bool
+	// Binary mode (the client's BinaryEncoding): submissions are encoded to
+	// frames at Add time — binBuf is the growing frame stream, binOff marks
+	// each frame's start so Flush can chunk by MaxBatch. No DTO slice, no
+	// flush-time re-encode.
+	binBuf []byte
+	binOff []int
+	closed bool
 
 	flushCh chan struct{}
 	done    chan struct{}
@@ -89,8 +96,16 @@ func (b *Batcher) Add(sub api.SubmitRequest) error {
 		b.mu.Unlock()
 		return ErrBatcherClosed
 	}
-	b.pending = append(b.pending, sub)
-	full := len(b.pending) >= b.cfg.MaxBatch
+	var full bool
+	if b.client.BinaryEncoding() {
+		b.binOff = append(b.binOff, len(b.binBuf))
+		wsub := wire.Submission(sub)
+		b.binBuf = wire.AppendSubmissionFrame(b.binBuf, &wsub)
+		full = len(b.binOff) >= b.cfg.MaxBatch
+	} else {
+		b.pending = append(b.pending, sub)
+		full = len(b.pending) >= b.cfg.MaxBatch
+	}
 	b.mu.Unlock()
 	if full {
 		select {
@@ -128,18 +143,13 @@ func (b *Batcher) Flush(ctx context.Context) {
 	b.mu.Lock()
 	batch := b.pending
 	b.pending = nil
+	frames, offsets := b.binBuf, b.binOff
+	b.binBuf, b.binOff = nil, nil
 	b.mu.Unlock()
-	for len(batch) > 0 {
-		n := len(batch)
-		if n > b.cfg.MaxBatch {
-			n = b.cfg.MaxBatch
-		}
-		chunk := batch[:n]
-		batch = batch[n:]
-		resp, err := b.client.SubmitBatch(ctx, chunk, b.cfg.Meta)
+	record := func(count int, resp *api.BatchSubmitResponse, err error) {
 		b.statsMu.Lock()
 		if err != nil {
-			b.failed += uint64(len(chunk))
+			b.failed += uint64(count)
 		} else {
 			b.sent += uint64(resp.Accepted)
 			b.rejected += uint64(len(resp.Rejected))
@@ -148,6 +158,33 @@ func (b *Batcher) Flush(ctx context.Context) {
 		if err != nil && b.cfg.OnError != nil {
 			b.cfg.OnError(err)
 		}
+	}
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > b.cfg.MaxBatch {
+			n = b.cfg.MaxBatch
+		}
+		chunk := batch[:n]
+		batch = batch[n:]
+		resp, err := b.client.SubmitBatch(ctx, chunk, b.cfg.Meta)
+		record(len(chunk), resp, err)
+	}
+	// Binary mode: the frames were encoded at Add time; ship MaxBatch-frame
+	// slices of the stream as-is. Offsets are absolute into frames, so
+	// chunking is pure slicing.
+	for len(offsets) > 0 {
+		n := len(offsets)
+		if n > b.cfg.MaxBatch {
+			n = b.cfg.MaxBatch
+		}
+		end := len(frames)
+		if n < len(offsets) {
+			end = offsets[n]
+		}
+		chunk := frames[offsets[0]:end]
+		offsets = offsets[n:]
+		resp, err := b.client.submitRecordFrames(ctx, chunk, b.cfg.Meta)
+		record(n, resp, err)
 	}
 }
 
@@ -172,7 +209,7 @@ func (b *Batcher) Stats() BatcherStats {
 	b.statsMu.Lock()
 	defer b.statsMu.Unlock()
 	b.mu.Lock()
-	pending := len(b.pending)
+	pending := len(b.pending) + len(b.binOff)
 	b.mu.Unlock()
 	return BatcherStats{Sent: b.sent, Rejected: b.rejected, Failed: b.failed, Pending: pending}
 }

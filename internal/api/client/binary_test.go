@@ -1,0 +1,176 @@
+package client
+
+// Tests for the SDK's opt-in binary transport: batch submission, the
+// batcher's frame-at-Add encoding, the raw-frame federation path, and the
+// negotiated binary measurement export — each asserted to behave exactly
+// like its JSON twin.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"encore/internal/api"
+	"encore/internal/core"
+	"encore/internal/results"
+	"encore/internal/wire"
+)
+
+func TestBinarySubmitBatch(t *testing.T) {
+	backend, store, _ := testCollector(t, 8)
+	// A recording proxy pins the wire-level contract: binary bodies carry
+	// the records content type and are never gzip-compressed.
+	var sawContentType, sawEncoding string
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawContentType = r.Header.Get("Content-Type")
+		sawEncoding = r.Header.Get("Content-Encoding")
+		backend.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	c := NewWithConfig(proxy.URL, Config{BinaryEncoding: true, GzipThreshold: 1})
+	if !c.BinaryEncoding() {
+		t.Fatal("BinaryEncoding not reported")
+	}
+	resp, err := c.SubmitBatch(context.Background(), []api.SubmitRequest{
+		{MeasurementID: "m-1", Result: "success", ElapsedMillis: 10},
+		{MeasurementID: "m-2", Result: "failure", ElapsedMillis: 20},
+		{MeasurementID: "nope", Result: "success"},
+	}, &ClientMeta{IP: "198.51.100.7", UserAgent: "Mozilla/5.0 Chrome/39.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || len(resp.Rejected) != 1 || resp.Rejected[0].Code != api.CodeUnknownMeasurement {
+		t.Fatalf("binary batch response %+v", resp)
+	}
+	if resp.Load == nil {
+		t.Fatal("binary response lost the load signal")
+	}
+	if sawContentType != wire.ContentTypeRecords {
+		t.Fatalf("Content-Type %q", sawContentType)
+	}
+	if sawEncoding != "" {
+		t.Fatalf("binary body was %s-compressed", sawEncoding)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store has %d, want 2", store.Len())
+	}
+	if m, _ := store.Get("m-1"); m.Browser != core.BrowserChrome {
+		t.Fatalf("binary submission not attributed from ClientMeta: %+v", m)
+	}
+}
+
+func TestBinaryBatcherFlushesFrames(t *testing.T) {
+	_, store, srv := testCollector(t, 256)
+	c := NewWithConfig(srv.URL, Config{BinaryEncoding: true})
+	b := c.NewBatcher(BatcherConfig{MaxBatch: 16, FlushInterval: -1})
+	const n = 16*3 + 5 // three full chunks plus a remainder
+	for i := 0; i < n; i++ {
+		if err := b.Add(api.SubmitRequest{MeasurementID: fmt.Sprintf("m-%d", i), Result: "success"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One rejected member rides along to exercise the stats split.
+	if err := b.Add(api.SubmitRequest{MeasurementID: "unregistered", Result: "success"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	stats := b.Stats()
+	if stats.Sent != n || stats.Rejected != 1 || stats.Failed != 0 || stats.Pending != 0 {
+		t.Fatalf("batcher stats %+v, want %d sent / 1 rejected", stats, n)
+	}
+	if store.Len() != n {
+		t.Fatalf("store has %d, want %d", store.Len(), n)
+	}
+}
+
+func TestBinaryForwardAndMeasurements(t *testing.T) {
+	upstream, store, srv := testCollector(t, 0)
+	upstream.AllowAttributed = true
+	c := NewWithConfig(srv.URL, Config{BinaryEncoding: true})
+	ctx := context.Background()
+
+	ms := []results.Measurement{
+		{
+			MeasurementID: "edge-1",
+			PatternKey:    "domain:youtube.com",
+			TargetURL:     "http://youtube.com/favicon.ico",
+			TaskType:      core.TaskImage,
+			State:         core.StateFailure,
+			ClientIP:      "203.0.113.9",
+			Region:        "PK",
+			Browser:       core.BrowserChrome,
+			Received:      time.Date(2014, 8, 1, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			MeasurementID: "edge-2",
+			PatternKey:    "domain:youtube.com",
+			TargetURL:     "http://youtube.com/favicon.ico",
+			TaskType:      core.TaskImage,
+			State:         core.StateSuccess,
+			ClientIP:      "203.0.113.10",
+			Region:        "PK",
+			Browser:       core.BrowserFirefox,
+			OriginSite:    "blog.example.org",
+			Received:      time.Date(2014, 8, 1, 0, 1, 0, 0, time.UTC),
+		},
+	}
+	resp, err := c.ForwardMeasurements(ctx, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || len(resp.Rejected) != 0 {
+		t.Fatalf("binary forward response %+v", resp)
+	}
+	for _, want := range ms {
+		if got, ok := store.Get(want.MeasurementID); !ok || got != want {
+			t.Fatalf("forwarded record mutated in flight:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	// The raw-frame path ships pre-framed bytes verbatim.
+	frame, err := wire.AppendRecordFrame(nil, 42, 42, (*wire.Record)(&ms[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgraded := ms[0]
+	upgraded.State = core.StateSuccess
+	frame, err = wire.AppendRecordFrame(frame, 43, 43, (*wire.Record)(&upgraded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp, err := c.ForwardRecordFrames(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Accepted != 2 {
+		t.Fatalf("raw-frame forward response %+v", fresp)
+	}
+	if got, _ := store.Get("edge-1"); got.State != core.StateSuccess {
+		t.Fatalf("raw-frame upgrade not applied: %+v", got)
+	}
+
+	// The binary export streams back exactly what the JSON export would.
+	var binary []results.Measurement
+	if err := c.Measurements(ctx, func(m results.Measurement) error {
+		binary = append(binary, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jsonClient := New(srv.URL)
+	var jsonl []results.Measurement
+	if err := jsonClient.Measurements(ctx, func(m results.Measurement) error {
+		jsonl = append(jsonl, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(binary, jsonl) {
+		t.Fatalf("binary export diverged from JSONL export:\n got %+v\nwant %+v", binary, jsonl)
+	}
+}

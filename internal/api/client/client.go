@@ -26,6 +26,7 @@ import (
 
 	"encore/internal/api"
 	"encore/internal/results"
+	"encore/internal/wire"
 )
 
 // Config parameterizes a Client. The zero value of every field falls back
@@ -55,6 +56,13 @@ type Config struct {
 	// UserAgent is sent with every request unless a per-call ClientMeta
 	// overrides it.
 	UserAgent string
+	// BinaryEncoding switches the batch lanes — SubmitBatch,
+	// ForwardMeasurements, the Batcher, and the Measurements export — from
+	// JSON to the application/x-encore-records frame stream, the same
+	// CRC-framed encoding the collector's WAL persists. Responses stay JSON;
+	// servers that predate the binary lane answer it with a 400, they do not
+	// misparse it. See binary.go.
+	BinaryEncoding bool
 }
 
 // Client speaks Encore's v1 and v2 API against one server base URL. It is
@@ -340,6 +348,9 @@ func (c *Client) Submit(ctx context.Context, sub api.SubmitRequest, meta *Client
 // client identity. Partial rejections are reported in the response, not as
 // an error.
 func (c *Client) SubmitBatch(ctx context.Context, subs []api.SubmitRequest, meta *ClientMeta) (*api.BatchSubmitResponse, error) {
+	if c.cfg.BinaryEncoding {
+		return c.submitBatchBinary(ctx, subs, meta)
+	}
 	var out api.BatchSubmitResponse
 	err := c.postJSON(ctx, api.V2SubmissionsPath, api.BatchSubmitRequest{Submissions: subs}, &out, meta)
 	if err != nil {
@@ -352,6 +363,9 @@ func (c *Client) SubmitBatch(ctx context.Context, subs []api.SubmitRequest, meta
 // batch endpoint's federation lane. The upstream must have been configured
 // with AllowAttributed.
 func (c *Client) ForwardMeasurements(ctx context.Context, ms []results.Measurement) (*api.BatchSubmitResponse, error) {
+	if c.cfg.BinaryEncoding {
+		return c.forwardMeasurementsBinary(ctx, ms)
+	}
 	var out api.BatchSubmitResponse
 	err := c.postJSON(ctx, api.V2SubmissionsPath, api.BatchSubmitRequest{Measurements: ms}, &out, nil)
 	if err != nil {
@@ -391,12 +405,16 @@ func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 
 // Measurements streams a collection server's measurement export, invoking
 // fn for each record in insertion order. fn returning an error stops the
-// stream and returns that error.
+// stream and returns that error. With BinaryEncoding set, the export is
+// negotiated (and decoded) as the binary record stream instead of JSONL.
 func (c *Client) Measurements(ctx context.Context, fn func(results.Measurement) error) error {
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodGet, c.base+api.V2MeasurementsPath, nil)
 		if err != nil {
 			return nil, err
+		}
+		if c.cfg.BinaryEncoding {
+			req.Header.Set("Accept", wire.ContentTypeRecords)
 		}
 		c.apply(req, nil)
 		return req, nil
@@ -407,6 +425,9 @@ func (c *Client) Measurements(ctx context.Context, fn func(results.Measurement) 
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		return decodeError(resp)
+	}
+	if c.cfg.BinaryEncoding {
+		return decodeRecordStream(resp.Body, fn)
 	}
 	dec := json.NewDecoder(resp.Body)
 	for {

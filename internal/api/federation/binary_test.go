@@ -1,0 +1,194 @@
+package federation
+
+// Tests for binary federation: a forwarder whose SDK client opted into
+// BinaryEncoding ships the live lane as encoded frames and the WAL tail as
+// the verbatim bytes the segment files hold — and the merged upstream tier
+// ends identical to what JSON forwarding produces.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	apiclient "encore/internal/api/client"
+	"encore/internal/core"
+	"encore/internal/results"
+	"encore/internal/wire"
+)
+
+// TestForwarderBinaryEndToEnd runs the full lossless story over the binary
+// transport: a pre-forwarder WAL backlog (shipped by the catch-up tail pass
+// as verbatim frames), live commits, a buffer spill during an upstream
+// outage, and recovery — every POST on the wire must carry the binary
+// content type, and nothing may be dropped or re-encoded through JSON.
+func TestForwarderBinaryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	upStore, _, upSrv := upstream(t)
+	var posts, jsonPosts atomic.Uint64
+	var down atomic.Bool
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+			if !strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentTypeRecords) {
+				jsonPosts.Add(1)
+			}
+		}
+		if down.Load() {
+			http.Error(w, "upstream down", http.StatusServiceUnavailable)
+			return
+		}
+		upSrv.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+
+	// Backlog: records committed under the WAL before any forwarder exists.
+	wal := openTestWAL(t, dir)
+	edge := results.NewStore()
+	edge.AddObserver(wal)
+	const backlog, live, outage = 20, 20, 30
+	for i := 0; i < backlog; i++ {
+		if err := edge.Add(edgeMeasurement(i, core.StateSuccess)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f, err := NewForwarder(ForwarderConfig{
+		Client: apiclient.NewWithConfig(gate.URL, apiclient.Config{
+			BinaryEncoding: true, Retries: 1, RetryBackoff: time.Millisecond,
+		}),
+		MaxBatch:      8,
+		FlushInterval: 2 * time.Millisecond,
+		MaxBuffer:     8, // force a spill during the outage
+		WAL:           wal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge.AddObserver(f)
+	// The catch-up pass ships the backlog as verbatim WAL frames.
+	if err := f.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if upStore.Len() != backlog {
+		t.Fatalf("upstream has %d after catch-up, want %d", upStore.Len(), backlog)
+	}
+
+	// Live commits flow through the buffered lane.
+	for i := backlog; i < backlog+live; i++ {
+		if err := edge.Add(edgeMeasurement(i, core.StateInit)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: the tiny buffer spills to the WAL tail; recovery re-ships the
+	// spilled records as frames.
+	down.Store(true)
+	for i := backlog + live; i < backlog+live+outage; i++ {
+		if err := edge.Add(edgeMeasurement(i, core.StateInit)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Upgrade some live-phase records in place during the outage too.
+	for i := backlog; i < backlog+5; i++ {
+		if err := edge.Add(edgeMeasurement(i, core.StateFailure)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Stats(); st.Spilled == 0 {
+		t.Fatalf("expected a spill with MaxBuffer=8; stats %+v", st)
+	}
+	down.Store(false)
+	if err := f.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+
+	// The upstream tier must mirror the edge exactly.
+	total := backlog + live + outage
+	if upStore.Len() != total {
+		t.Fatalf("upstream has %d records, want %d", upStore.Len(), total)
+	}
+	for _, want := range edge.All() {
+		got, ok := upStore.Get(want.MeasurementID)
+		if !ok || got != want {
+			t.Fatalf("upstream %s diverged:\n got %+v\nwant %+v", want.MeasurementID, got, want)
+		}
+	}
+	st := f.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("binary forwarder dropped %d records", st.Dropped)
+	}
+	if posts.Load() == 0 {
+		t.Fatal("gate saw no POSTs")
+	}
+	if n := jsonPosts.Load(); n != 0 {
+		t.Fatalf("%d of %d forward POSTs fell back to JSON", n, posts.Load())
+	}
+}
+
+// TestForwarderBinaryDeadLettersDecodeFrames checks the frame path's lazy
+// dead-letter decode: per-record rejections on a verbatim-frame batch still
+// park the decoded record in the ring.
+func TestForwarderBinaryDeadLettersDecodeFrames(t *testing.T) {
+	dir := t.TempDir()
+	upStore, _, upSrv := upstream(t)
+	wal := openTestWAL(t, dir)
+	defer wal.Close()
+	edge := results.NewStore()
+	edge.AddObserver(wal)
+	// Commit the backlog first so the forwarder's initial catch-up pass — the
+	// verbatim-frame path — is what ships it.
+	if err := edge.Add(edgeMeasurement(0, core.StateSuccess)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An upstream that rejects index 0 of every batch.
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			upSrv.Config.Handler.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"accepted":0,"rejected":[{"index":0,"code":"invalid_submission","message":"synthetic"}]}`))
+	}))
+	defer reject.Close()
+
+	f, err := NewForwarder(ForwarderConfig{
+		Client: apiclient.NewWithConfig(reject.URL, apiclient.Config{
+			BinaryEncoding: true, Retries: 1, RetryBackoff: time.Millisecond,
+		}),
+		FlushInterval: 2 * time.Millisecond,
+		WAL:           wal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge.AddObserver(f)
+	if err := f.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dls := f.DeadLetters()
+	if len(dls) != 1 {
+		t.Fatalf("dead letters: %d, want 1", len(dls))
+	}
+	if dls[0].Code != "invalid_submission" || dls[0].Measurement.MeasurementID != "edge-0" {
+		t.Fatalf("dead letter %+v did not decode its frame", dls[0])
+	}
+	if upStore.Len() != 0 {
+		t.Fatal("rejecting upstream stored records")
+	}
+}

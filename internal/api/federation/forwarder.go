@@ -36,6 +36,7 @@ import (
 	"encore/internal/api"
 	apiclient "encore/internal/api/client"
 	"encore/internal/results"
+	"encore/internal/wire"
 )
 
 // ErrForwarderClosed is returned by Flush after Close has completed.
@@ -439,7 +440,16 @@ func (f *Forwarder) sendBatch(ctx context.Context, batch []entry) error {
 		f.statsMu.Unlock()
 		return err
 	}
+	f.recordBatchOutcome(resp, len(batch), func(i int) results.Measurement { return batch[i].m })
+	f.ackBatch(len(batch), func(i int) uint64 { return batch[i].cseq })
+	f.noteLoad(resp.Load)
+	return nil
+}
 
+// recordBatchOutcome folds one successful POST's response into the stats and
+// dead-letter ring. mAt resolves a rejected index to its record — lazily, so
+// the zero-re-encode frame path only decodes the (rare) rejects.
+func (f *Forwarder) recordBatchOutcome(resp *api.BatchSubmitResponse, batchLen int, mAt func(int) results.Measurement) {
 	f.statsMu.Lock()
 	f.lastErr = nil
 	f.batches++
@@ -455,8 +465,8 @@ func (f *Forwarder) sendBatch(ctx context.Context, batch []entry) error {
 			f.rejectedByCode[rej.Code]++
 			rejSummary[rej.Code]++
 			dl := DeadLetter{Code: rej.Code, Message: rej.Message}
-			if rej.Index >= 0 && rej.Index < len(batch) {
-				dl.Measurement = batch[rej.Index].m
+			if rej.Index >= 0 && rej.Index < batchLen {
+				dl.Measurement = mAt(rej.Index)
 			}
 			f.deadLetters = append(f.deadLetters, dl)
 			if len(f.deadLetters) > f.cfg.DeadLetterLimit {
@@ -467,15 +477,17 @@ func (f *Forwarder) sendBatch(ctx context.Context, batch []entry) error {
 	f.statsMu.Unlock()
 	if rejSummary != nil {
 		f.logf("federation: upstream rejected %d of %d records (by code: %v); dead-lettered, not re-queued",
-			len(resp.Rejected), len(batch), rejSummary)
+			len(resp.Rejected), batchLen, rejSummary)
 	}
+}
 
-	// Acknowledge the whole batch (rejected records included: they are
-	// terminally disposed of) and persist the cursor when the contiguous
-	// prefix advanced.
+// ackBatch acknowledges a whole sent batch (rejected records included: they
+// are terminally disposed of) and persists the cursor when the contiguous
+// prefix advanced.
+func (f *Forwarder) ackBatch(n int, cseqAt func(int) uint64) {
 	advanced := false
-	for _, e := range batch {
-		if e.cseq != 0 && f.acks.ack(e.cseq) {
+	for i := 0; i < n; i++ {
+		if c := cseqAt(i); c != 0 && f.acks.ack(c) {
 			advanced = true
 		}
 	}
@@ -492,6 +504,31 @@ func (f *Forwarder) sendBatch(ctx context.Context, batch []entry) error {
 			}
 		}
 	}
+}
+
+// sendFrames is sendBatch for verbatim WAL frames: the batch is one
+// concatenated frame stream (offsets[i] marking frame i's start, cseqs[i]
+// its commit position), POSTed exactly as the segment file holds it. Dead
+// letters decode their frame lazily. Callers hold sendMu.
+func (f *Forwarder) sendFrames(ctx context.Context, frames []byte, offsets []int, cseqs []uint64) error {
+	resp, err := f.client.ForwardRecordFrames(ctx, frames)
+	if err != nil {
+		f.statsMu.Lock()
+		f.lastErr = err
+		f.statsMu.Unlock()
+		return err
+	}
+	f.recordBatchOutcome(resp, len(cseqs), func(i int) results.Measurement {
+		end := len(frames)
+		if i+1 < len(offsets) {
+			end = offsets[i+1]
+		}
+		if _, _, rec, err := wire.DecodeRecord(frames[offsets[i]+wire.FrameHeaderLen : end]); err == nil {
+			return results.Measurement(rec)
+		}
+		return results.Measurement{}
+	})
+	f.ackBatch(len(cseqs), func(i int) uint64 { return cseqs[i] })
 	f.noteLoad(resp.Load)
 	return nil
 }
@@ -530,8 +567,12 @@ func (f *Forwarder) flushOnce(ctx context.Context) error {
 
 // tailPass runs one point-in-time pass over the WAL tail, shipping every
 // record past the cursor that is not yet acknowledged, in MaxBatch batches.
-// It returns how many records it shipped. Caller holds sendMu.
+// It returns how many records it shipped. Caller holds sendMu. With a binary
+// upstream client it ships the tail as verbatim frames instead of decoding.
 func (f *Forwarder) tailPass(ctx context.Context) (int, error) {
+	if f.client.BinaryEncoding() {
+		return f.tailPassFrames(ctx)
+	}
 	batch := make([]entry, 0, f.cfg.MaxBatch)
 	shipped := 0
 	flush := func() error {
@@ -551,6 +592,49 @@ func (f *Forwarder) tailPass(ctx context.Context) (int, error) {
 		}
 		batch = append(batch, entry{cseq: cseq, m: m})
 		if len(batch) >= f.cfg.MaxBatch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return shipped, err
+	}
+	return shipped, flush()
+}
+
+// tailPassFrames is tailPass on the zero-re-encode path: the WAL tail ships
+// as the exact CRC-framed bytes the segment files hold — no decode, no
+// re-serialization, the frames the edge already paid to write are the frames
+// the upstream receives. Caller holds sendMu.
+func (f *Forwarder) tailPassFrames(ctx context.Context) (int, error) {
+	bufp := wire.GetBuffer()
+	frames := *bufp
+	defer func() {
+		*bufp = frames
+		wire.PutBuffer(bufp)
+	}()
+	offsets := make([]int, 0, f.cfg.MaxBatch)
+	cseqs := make([]uint64, 0, f.cfg.MaxBatch)
+	shipped := 0
+	flush := func() error {
+		if len(cseqs) == 0 {
+			return nil
+		}
+		if err := f.sendFrames(ctx, frames, offsets, cseqs); err != nil {
+			return err
+		}
+		shipped += len(cseqs)
+		frames, offsets, cseqs = frames[:0], offsets[:0], cseqs[:0]
+		return nil
+	}
+	err := f.cfg.WAL.ReadRecordFrames(f.acks.cursor(), func(cseq uint64, frame []byte) error {
+		if f.acks.acked(cseq) {
+			return nil // acked out of order above the cursor on an earlier pass
+		}
+		offsets = append(offsets, len(frames))
+		frames = append(frames, frame...)
+		cseqs = append(cseqs, cseq)
+		if len(cseqs) >= f.cfg.MaxBatch {
 			return flush()
 		}
 		return nil

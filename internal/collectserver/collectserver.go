@@ -361,19 +361,46 @@ func clientIP(r *http.Request) string {
 // the coarse parsing the paper's analysis needs ("Clients ran a variety of
 // Web browsers and operating systems").
 func ParseBrowserFamily(userAgent string) core.BrowserFamily {
-	ua := strings.ToLower(userAgent)
+	// Matched with ASCII case folding rather than strings.ToLower: real
+	// User-Agent values always contain upper-case letters, so ToLower would
+	// copy the string on every submission of the ingest path.
 	switch {
-	case strings.Contains(ua, "chrome") && !strings.Contains(ua, "edge"):
+	case containsFold(userAgent, "chrome") && !containsFold(userAgent, "edge"):
 		return core.BrowserChrome
-	case strings.Contains(ua, "firefox"):
+	case containsFold(userAgent, "firefox"):
 		return core.BrowserFirefox
-	case strings.Contains(ua, "safari") && !strings.Contains(ua, "chrome"):
+	case containsFold(userAgent, "safari") && !containsFold(userAgent, "chrome"):
 		return core.BrowserSafari
-	case strings.Contains(ua, "trident"), strings.Contains(ua, "msie"):
+	case containsFold(userAgent, "trident"), containsFold(userAgent, "msie"):
 		return core.BrowserIE
 	default:
 		return core.BrowserOther
 	}
+}
+
+// containsFold reports whether s contains substr under ASCII case folding.
+// substr must be lower-case ASCII (true for every browser token above).
+func containsFold(s, substr string) bool {
+	n := len(substr)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for ; j < n; j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != substr[j] {
+				break
+			}
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
 }
 
 // SubmitURL builds the submission URL a client-side task would request for a

@@ -13,6 +13,7 @@ import (
 	"encore/internal/core"
 	"encore/internal/results"
 	"encore/internal/urlpattern"
+	"encore/internal/wire"
 )
 
 // The v2 collection surface: batched JSON submissions, JSON health, and a
@@ -111,6 +112,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		defer gz.Close()
 		body = gz
 	}
+	if isRecordsContentType(r.Header.Get("Content-Type")) {
+		s.handleSubmitBatchBinary(w, r, body)
+		return
+	}
 	var req api.BatchSubmitRequest
 	dec := json.NewDecoder(io.LimitReader(body, maxBatchBody))
 	if err := dec.Decode(&req); err != nil {
@@ -143,40 +148,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	referer := urlpattern.DomainOf(r.Referer())
 	arrival := s.Now()
 	for i, sub := range req.Submissions {
-		// Normalize the body-supplied origin exactly like the v1 path
-		// normalizes the Referer header, so per-origin analysis over a
-		// mixed v1/v2 store keys one site one way: URLs reduce to their
-		// host, bare domains are case/dot-normalized.
-		origin := sub.OriginSite
-		if origin != "" {
-			if d := urlpattern.DomainOf(origin); d != "" {
-				origin = d
-			} else {
-				origin = urlpattern.NormalizeHost(origin)
-			}
-		} else {
-			origin = referer
-		}
-		// Honour the client-side observation time when carried (late-
-		// uploaded batches keep their timeline), clamped to arrival time so
-		// nothing lands in the future. The §8 rate guard deliberately does
-		// NOT window over this client-controlled clock — prepareGuardAt
-		// pins it to arrival time, so backdating cannot reset rate buckets.
-		received := arrival
-		if sub.ReceivedUnixMillis > 0 {
-			if t := time.UnixMilli(sub.ReceivedUnixMillis).UTC(); t.Before(received) {
-				received = t
-			}
-		}
-		m, err := s.prepareGuardAt(core.Submission{
-			MeasurementID:  sub.MeasurementID,
-			State:          core.State(sub.Result),
-			DurationMillis: sub.ElapsedMillis,
-			ClientIP:       ip,
-			UserAgent:      ua,
-			OriginSite:     origin,
-			Received:       received,
-		}, arrival)
+		m, err := s.prepareRawSubmission(sub, ip, ua, referer, arrival)
 		if err != nil {
 			e := submissionError(err)
 			resp.Rejected = append(resp.Rejected, api.RejectedSubmission{
@@ -210,6 +182,48 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	sig, _ := s.loadSignal()
 	resp.Load = &sig
 	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// prepareRawSubmission normalizes, attributes, and guard-checks one
+// body-supplied raw submission against the batch's shared transport identity.
+// Both the JSON and binary batch lanes call it, so the two encodings cannot
+// drift semantically: same origin normalization, same timestamp clamp, same
+// guard windowing.
+//
+// The origin is normalized exactly like the v1 path normalizes the Referer
+// header, so per-origin analysis over a mixed v1/v2 store keys one site one
+// way: URLs reduce to their host, bare domains are case/dot-normalized. The
+// client-side observation time is honoured when carried (late-uploaded
+// batches keep their timeline), clamped to arrival time so nothing lands in
+// the future; the §8 rate guard deliberately does NOT window over this
+// client-controlled clock — prepareGuardAt pins it to arrival time, so
+// backdating cannot reset rate buckets.
+func (s *Server) prepareRawSubmission(sub api.SubmitRequest, ip, ua, referer string, arrival time.Time) (results.Measurement, error) {
+	origin := sub.OriginSite
+	if origin != "" {
+		if d := urlpattern.DomainOf(origin); d != "" {
+			origin = d
+		} else {
+			origin = urlpattern.NormalizeHost(origin)
+		}
+	} else {
+		origin = referer
+	}
+	received := arrival
+	if sub.ReceivedUnixMillis > 0 {
+		if t := time.UnixMilli(sub.ReceivedUnixMillis).UTC(); t.Before(received) {
+			received = t
+		}
+	}
+	return s.prepareGuardAt(core.Submission{
+		MeasurementID:  sub.MeasurementID,
+		State:          core.State(sub.Result),
+		DurationMillis: sub.ElapsedMillis,
+		ClientIP:       ip,
+		UserAgent:      ua,
+		OriginSite:     origin,
+		Received:       received,
+	}, arrival)
 }
 
 // storeBatch commits prepared measurements through whichever write path the
@@ -268,10 +282,18 @@ func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
 	api.WriteJSON(w, http.StatusOK, resp)
 }
 
-// handleMeasurements streams the store as JSON lines (GET /v2/measurements),
-// the export encore-analyze pulls from a live collector. The stream is the
-// same format WriteJSONL persists, in insertion order.
-func (s *Server) handleMeasurements(w http.ResponseWriter, _ *http.Request) {
+// handleMeasurements streams the store (GET /v2/measurements), the export
+// encore-analyze pulls from a live collector. The default body is JSON lines
+// — the same format WriteJSONL persists, in insertion order; a client whose
+// Accept header names application/x-encore-records gets the binary frame
+// stream instead (same records, same order, WAL wire format).
+func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
+	if acceptsRecords(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", wire.ContentTypeRecords)
+		w.WriteHeader(http.StatusOK)
+		_ = s.Store.WriteWire(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	_ = s.Store.WriteJSONL(w)

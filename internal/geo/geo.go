@@ -228,13 +228,76 @@ func (r *Registry) Lookup(ip net.IP) (CountryCode, error) {
 	return code, nil
 }
 
-// LookupString resolves a textual IPv4 address.
+// LookupString resolves a textual IPv4 address. It sits on the collector's
+// per-submission ingest path, so the dotted-quad form is parsed in place and
+// a miss returns the bare ErrUnknownCountry sentinel — both callers discard
+// the error, and formatting one per unallocated address (every loopback or
+// RFC1918 client) would put two allocations on the hot path for nothing.
 func (r *Registry) LookupString(addr string) (CountryCode, error) {
+	if prefix, ok := dottedQuadPrefix(addr); ok {
+		code, found := r.blocks[prefix]
+		if !found {
+			return "", ErrUnknownCountry
+		}
+		return code, nil
+	}
+	// Not a plain dotted quad (IPv6, IPv4-mapped "::ffff:" forms, garbage):
+	// take the general parser.
 	ip := net.ParseIP(addr)
 	if ip == nil {
-		return "", fmt.Errorf("%w: cannot parse %q", ErrUnknownCountry, addr)
+		return "", ErrUnknownCountry
 	}
 	return r.Lookup(ip)
+}
+
+// dottedQuadPrefix parses the leading "a.b" of a dotted-quad IPv4 address and
+// returns the /16 prefix the registry's allocation table is keyed by. The
+// remaining octets are validated for shape (the registry allocates whole /16
+// blocks, so their values cannot change the answer).
+func dottedQuadPrefix(addr string) (uint16, bool) {
+	var octets [2]uint16
+	i := 0
+	for oct := 0; oct < 2; oct++ {
+		start := i
+		var v int
+		for i < len(addr) && addr[i] >= '0' && addr[i] <= '9' {
+			v = v*10 + int(addr[i]-'0')
+			if v > 255 {
+				return 0, false
+			}
+			i++
+		}
+		if i == start || i-start > 3 || (addr[start] == '0' && i-start > 1) || i >= len(addr) || addr[i] != '.' {
+			return 0, false
+		}
+		octets[oct] = uint16(v)
+		i++
+	}
+	// Two more dot-separated decimal octets and nothing else.
+	for oct := 0; oct < 2; oct++ {
+		start := i
+		var v int
+		for i < len(addr) && addr[i] >= '0' && addr[i] <= '9' {
+			v = v*10 + int(addr[i]-'0')
+			if v > 255 {
+				return 0, false
+			}
+			i++
+		}
+		if i == start || i-start > 3 || (addr[start] == '0' && i-start > 1) {
+			return 0, false
+		}
+		if oct == 0 {
+			if i >= len(addr) || addr[i] != '.' {
+				return 0, false
+			}
+			i++
+		}
+	}
+	if i != len(addr) {
+		return 0, false
+	}
+	return octets[0]<<8 | octets[1], true
 }
 
 // RandomIP returns a deterministic pseudo-random IPv4 address located in the

@@ -39,6 +39,11 @@ const (
 	// submission, via the API client SDK; the simulated observation time
 	// travels in the request, so campaign timelines survive the wire.
 	TransportV2 Transport = "v2"
+	// TransportV2Binary is TransportV2 with the SDK's binary encoding: the
+	// same v2 batch endpoint, but each submission ships as a CRC-framed
+	// application/x-encore-records frame instead of a JSON body — the
+	// wire-speed lane E23 measures against the JSON baseline.
+	TransportV2Binary Transport = "v2bin"
 )
 
 // Config parameterizes a load-generation run.
@@ -189,10 +194,11 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 				Timeout:   30 * time.Second,
 			}
 		}
+		clientCfg.BinaryEncoding = cfg.Transport == TransportV2Binary
 		prev := stack.Population.Collector
 		stack.Population.Collector = &clientsim.RemoteCollector{
 			Client: apiclient.NewWithConfig(srv.URL, clientCfg),
-			UseV2:  cfg.Transport == TransportV2,
+			UseV2:  cfg.Transport == TransportV2 || cfg.Transport == TransportV2Binary,
 		}
 		defer func() { stack.Population.Collector = prev }()
 	}

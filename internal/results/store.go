@@ -227,9 +227,17 @@ func (s *Store) addLocked(sh *storeShard, m Measurement) {
 		if sh.entries[idx].m.Completed() && m.State == core.StateInit {
 			return // never downgrade a terminal state
 		}
-		prev := sh.entries[idx].m
+		// Materialize the pre-upgrade copy only when someone will see it:
+		// the pointer escapes through the observer interface, so an
+		// unconditional copy would heap-allocate one Measurement per upgrade
+		// even on stores with no observers attached.
+		var prevp *Measurement
+		if len(s.observers) > 0 {
+			prev := sh.entries[idx].m
+			prevp = &prev
+		}
 		sh.entries[idx].m = m
-		s.notify(s.commits.Add(1), sh.entries[idx].seq, &prev, m)
+		s.notify(s.commits.Add(1), sh.entries[idx].seq, prevp, m)
 		return
 	}
 	seq := s.seq.Add(1)
@@ -292,17 +300,29 @@ func (s *Store) addBatchValidated(ms []Measurement) {
 	if len(ms) == 0 {
 		return
 	}
-	byShard := make(map[*storeShard][]Measurement)
-	for _, m := range ms {
-		sh := s.shardFor(m.MeasurementID)
-		byShard[sh] = append(byShard[sh], m)
+	// Group by shard through one index slice instead of a map of slices: the
+	// map and its per-shard append chains cost O(shards) allocations per
+	// batch on the ingest hot path, where this single slice costs one.
+	shardIdx := make([]uint32, len(ms))
+	for i := range ms {
+		shardIdx[i] = ShardHash(ms[i].MeasurementID) & s.mask
 	}
-	for sh, group := range byShard {
-		sh.mu.Lock()
-		for _, m := range group {
-			s.addLocked(sh, m)
+	for shard := range s.shards {
+		sh := &s.shards[shard]
+		locked := false
+		for i := range ms {
+			if shardIdx[i] != uint32(shard) {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			s.addLocked(sh, ms[i])
 		}
-		sh.mu.Unlock()
+		if locked {
+			sh.mu.Unlock()
+		}
 	}
 }
 

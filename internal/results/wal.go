@@ -14,13 +14,10 @@ package results
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,9 +25,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"encore/internal/core"
 	"encore/internal/faultinject"
-	"encore/internal/geo"
+	"encore/internal/wire"
 )
 
 // SyncPolicy selects how aggressively the WAL pushes appended records to
@@ -117,19 +113,16 @@ const (
 	defaultSegmentBytes = 16 << 20
 	defaultSyncInterval = 200 * time.Millisecond
 
-	// walVersion is the record-format version byte; bump when the payload
-	// encoding changes. Version 2 added the commit-stream position (the
-	// federation forward cursor's coordinate) ahead of the insertion
-	// sequence; version-1 records are still decoded, with the insertion
-	// sequence standing in for the missing position.
-	walVersion   = 2
-	walVersionV1 = 1
-	// walFrameHeader is the per-record framing overhead: a uint32 payload
-	// length and a uint32 CRC of the payload.
-	walFrameHeader = 8
-	// maxWALRecord bounds a decoded payload length; a frame claiming more is
-	// treated as tail corruption.
-	maxWALRecord = 16 << 20
+	// walVersion is the record-format version; bump when the payload
+	// encoding changes. It equals the payload kind byte of the shared wire
+	// codec (internal/wire), which owns the record encoding: version 2 added
+	// the commit-stream position (the federation forward cursor's coordinate)
+	// ahead of the insertion sequence, and version-1 records still decode,
+	// with the insertion sequence standing in for the missing position.
+	walVersion = int(wire.KindRecord)
+	// walFrameHeader is the per-record framing overhead (wire.FrameHeaderLen):
+	// a uint32 payload length and a uint32 CRC of the payload.
+	walFrameHeader = wire.FrameHeaderLen
 )
 
 // walShard is one independent segment writer.
@@ -364,7 +357,7 @@ func (w *WAL) CommitStream(commitSeq, seq uint64, prev *Measurement, cur Measure
 	if cap(sh.buf) < walFrameHeader {
 		sh.buf = make([]byte, walFrameHeader, 256)
 	}
-	frame, err := appendWALRecord(sh.buf[:walFrameHeader], commitSeq, seq, &cur)
+	frame, err := wire.AppendRecord(sh.buf[:walFrameHeader], commitSeq, seq, (*wire.Record)(&cur))
 	if err != nil {
 		w.fail(err)
 		return
@@ -375,21 +368,13 @@ func (w *WAL) CommitStream(commitSeq, seq uint64, prev *Measurement, cur Measure
 	}
 }
 
-// fillFrameHeader writes the payload-length and CRC32 frame header into the
-// walFrameHeader bytes reserved at the front of frame. It is the single
-// definition of the on-disk framing, shared by the append path and
-// compaction.
-func fillFrameHeader(frame []byte) {
-	payload := frame[walFrameHeader:]
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-}
-
 // writeFrameLocked fills in the frame header (whose walFrameHeader bytes the
 // caller reserved at the front of frame) and writes the frame to the shard's
-// current segment, rotating first when the segment is full; sh.mu held.
+// current segment, rotating first when the segment is full; sh.mu held. The
+// framing itself (wire.FillFrameHeader) is the shared wire format, so a
+// segment file is a valid application/x-encore-records stream as-is.
 func (w *WAL) writeFrameLocked(sh *walShard, frame []byte) error {
-	fillFrameHeader(frame)
+	wire.FillFrameHeader(frame)
 	frameLen := int64(len(frame))
 	if sh.f != nil && sh.size > 0 && sh.size+frameLen > w.cfg.SegmentBytes {
 		if err := w.rotateLocked(sh); err != nil {
@@ -717,13 +702,13 @@ func (w *WAL) compactShard(shard int) error {
 	bw := bufio.NewWriterSize(tmp, 1<<16)
 	scratch := make([]byte, walFrameHeader, 256)
 	for _, r := range recs {
-		frame, err := appendWALRecord(scratch[:walFrameHeader], r.cseq, r.seq, &r.m)
+		frame, err := wire.AppendRecord(scratch[:walFrameHeader], r.cseq, r.seq, (*wire.Record)(&r.m))
 		if err != nil {
 			tmp.Close()
 			return err
 		}
 		scratch = frame
-		fillFrameHeader(frame)
+		wire.FillFrameHeader(frame)
 		if _, err := bw.Write(frame); err != nil {
 			tmp.Close()
 			return err
@@ -928,6 +913,46 @@ func (w *WAL) ReadRecords(after uint64, fn func(commitSeq uint64, m Measurement)
 	return nil
 }
 
+// ReadRecordFrames is ReadRecords at the frame level: it streams each raw
+// validated frame (header + payload, byte-for-byte as the WAL stores it) with
+// a commit-stream position strictly greater than after to fn, without
+// decoding the records. A binary-mode federation forwarder catches up through
+// it, shipping the exact bytes the log already holds — the disk encoding IS
+// the wire encoding, so the forward path re-encodes nothing. The frame slice
+// passed to fn is only valid during the call; the same point-in-time-scan and
+// out-of-order-position caveats as ReadRecords apply.
+func (w *WAL) ReadRecordFrames(after uint64, fn func(commitSeq uint64, frame []byte) error) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	segs, err := walSegments(w.fs, w.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	shardIDs := make([]int, 0, len(segs))
+	for shard := range segs {
+		shardIDs = append(shardIDs, shard)
+	}
+	sort.Ints(shardIDs)
+	for _, shard := range shardIDs {
+		for _, f := range segs[shard] {
+			_, err := readWALSegmentFrames(w.fs, f.path, func(cseq uint64, frame []byte) error {
+				if cseq <= after {
+					return nil
+				}
+				return fn(cseq, frame)
+			})
+			if os.IsNotExist(err) {
+				continue // compacted away mid-pass; the re-run covers it
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // readWALSegment streams the framed records of one segment to fn in file
 // order. A truncated or CRC-corrupted frame is treated as a torn tail (the
 // crash artifact fsync policies other than SyncAlways permit): reading stops
@@ -940,218 +965,63 @@ func readWALSegment(fs faultinject.FS, path string, fn func(commitSeq, seq uint6
 		return 0, false, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
-	var hdr [walFrameHeader]byte
-	var payload []byte
+	fr := wire.GetFrameReader(f)
+	defer wire.PutFrameReader(fr)
 	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return records, false, nil
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return records, true, nil
-			}
-			return records, false, err
+		payload, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return records, false, nil
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if n == 0 || n > maxWALRecord {
+		if wire.Torn(err) {
 			return records, true, nil
 		}
-		if cap(payload) < int(n) {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return records, true, nil
-			}
+		if err != nil {
 			return records, false, err
 		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			return records, true, nil
-		}
-		cseq, seq, m, err := decodeWALRecord(payload)
+		cseq, seq, r, err := wire.DecodeRecord(payload)
 		if err != nil {
 			return records, false, fmt.Errorf("results: %s: %w", filepath.Base(path), err)
 		}
-		if err := fn(cseq, seq, m); err != nil {
+		if err := fn(cseq, seq, Measurement(r)); err != nil {
 			return records, false, err
 		}
 		records++
 	}
 }
 
-// ---------------------------------------------------------------------------
-// Record encoding.
-//
-// The payload is a compact hand-rolled binary encoding rather than JSON: the
-// append sits on the ingest hot path (it runs under the store's shard lock),
-// and encoding/json costs more than the entire in-memory commit. Strings are
-// uvarint-length-prefixed bytes; the timestamp uses time.Time.MarshalBinary,
-// which preserves wall clock and zone offset so a recovered measurement
-// marshals to the exact JSON the live one does (the bit-for-bit snapshot
-// guarantee). TestWALAndJSONLRoundTripAgree pins the two persistence formats
-// to each other so they cannot drift.
-// ---------------------------------------------------------------------------
-
-// appendWALRecord appends the encoded record to buf and returns it. The
-// commit-stream position precedes the insertion sequence (version 2).
-func appendWALRecord(buf []byte, commitSeq, seq uint64, m *Measurement) ([]byte, error) {
-	buf = append(buf, walVersion)
-	buf = binary.AppendUvarint(buf, commitSeq)
-	buf = binary.AppendUvarint(buf, seq)
-	buf = appendWALString(buf, m.MeasurementID)
-	buf = appendWALString(buf, m.PatternKey)
-	buf = appendWALString(buf, m.TargetURL)
-	buf = binary.AppendVarint(buf, int64(m.TaskType))
-	buf = appendWALString(buf, string(m.State))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.DurationMillis))
-	buf = appendWALString(buf, m.ClientIP)
-	buf = appendWALString(buf, string(m.Region))
-	buf = binary.AppendVarint(buf, int64(m.Browser))
-	buf = appendWALString(buf, m.OriginSite)
-	if m.Control {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	// Reserve one byte for the timestamp length (time's binary encoding is
-	// 15–16 bytes, always a single-byte uvarint) and append in place — no
-	// per-record allocation.
-	mark := len(buf)
-	buf = append(buf, 0)
-	buf, err := m.Received.AppendBinary(buf)
+// readWALSegmentFrames is readWALSegment at the frame level: it streams each
+// validated frame — header and payload, byte-for-byte as stored — to fn along
+// with the commit-stream position peeked from its payload, without decoding
+// the record. It is the zero-re-encode read the binary federation forwarder
+// ships from: the frames a WAL holds ARE the wire format. Torn-tail semantics
+// match readWALSegment.
+func readWALSegmentFrames(fs faultinject.FS, path string, fn func(commitSeq uint64, frame []byte) error) (torn bool, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("results: encoding WAL timestamp: %w", err)
+		return false, err
 	}
-	tlen := len(buf) - mark - 1
-	if tlen > 0x7f {
-		return nil, fmt.Errorf("results: encoding WAL timestamp: %d-byte encoding", tlen)
+	defer f.Close()
+	fr := wire.GetFrameReader(f)
+	defer wire.PutFrameReader(fr)
+	for {
+		frame, err := fr.NextFrame()
+		if errors.Is(err, io.EOF) {
+			return false, nil
+		}
+		if wire.Torn(err) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		cseq, ok := wire.PeekCommitSeq(frame[wire.FrameHeaderLen:])
+		if !ok {
+			return false, fmt.Errorf("results: %s: %w", filepath.Base(path), wire.ErrMalformed)
+		}
+		if err := fn(cseq, frame); err != nil {
+			return false, err
+		}
 	}
-	buf[mark] = byte(tlen)
-	return buf, nil
-}
-
-// appendWALString appends a uvarint-length-prefixed string.
-func appendWALString(buf []byte, s string) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(s)))
-	return append(buf, s...)
-}
-
-// errWALRecord is returned for structurally invalid (but CRC-clean) records.
-var errWALRecord = errors.New("invalid WAL record")
-
-// decodeWALRecord decodes one payload produced by appendWALRecord. Version-1
-// payloads (written before the commit-stream position existed) decode with
-// the insertion sequence standing in for the position — the best available
-// lower bound, and exact for a store that never upgraded in place.
-func decodeWALRecord(p []byte) (uint64, uint64, Measurement, error) {
-	var m Measurement
-	if len(p) == 0 || (p[0] != walVersion && p[0] != walVersionV1) {
-		return 0, 0, m, fmt.Errorf("%w: unsupported version", errWALRecord)
-	}
-	version := p[0]
-	p = p[1:]
-	var commitSeq uint64
-	ok := true
-	if version == walVersion {
-		commitSeq, p, ok = takeUvarint(p)
-	}
-	var seq uint64
-	if ok {
-		seq, p, ok = takeUvarint(p)
-	}
-	if version == walVersionV1 {
-		commitSeq = seq
-	}
-	var s string
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.MeasurementID = s
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.PatternKey = s
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.TargetURL = s
-	}
-	var v int64
-	if v, p, ok = takeVarint(p, ok); ok {
-		m.TaskType = core.TaskType(v)
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.State = core.State(s)
-	}
-	if ok && len(p) >= 8 {
-		m.DurationMillis = math.Float64frombits(binary.LittleEndian.Uint64(p))
-		p = p[8:]
-	} else {
-		ok = false
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.ClientIP = s
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.Region = geo.CountryCode(s)
-	}
-	if v, p, ok = takeVarint(p, ok); ok {
-		m.Browser = core.BrowserFamily(v)
-	}
-	if s, p, ok = takeWALString(p, ok); ok {
-		m.OriginSite = s
-	}
-	if ok && len(p) >= 1 {
-		m.Control = p[0] == 1
-		p = p[1:]
-	} else {
-		ok = false
-	}
-	if !ok {
-		return 0, 0, m, errWALRecord
-	}
-	tlen, p, ok := takeUvarint(p)
-	if !ok || uint64(len(p)) != tlen {
-		return 0, 0, m, errWALRecord
-	}
-	if err := m.Received.UnmarshalBinary(p); err != nil {
-		return 0, 0, m, fmt.Errorf("%w: timestamp: %v", errWALRecord, err)
-	}
-	return commitSeq, seq, m, nil
-}
-
-// takeUvarint consumes a uvarint from p.
-func takeUvarint(p []byte) (uint64, []byte, bool) {
-	v, n := binary.Uvarint(p)
-	if n <= 0 {
-		return 0, p, false
-	}
-	return v, p[n:], true
-}
-
-// takeVarint consumes a signed varint from p; ok threads the running decode
-// state.
-func takeVarint(p []byte, ok bool) (int64, []byte, bool) {
-	if !ok {
-		return 0, p, false
-	}
-	v, n := binary.Varint(p)
-	if n <= 0 {
-		return 0, p, false
-	}
-	return v, p[n:], true
-}
-
-// takeWALString consumes a length-prefixed string from p; ok threads the
-// running decode state so a malformed record short-circuits.
-func takeWALString(p []byte, ok bool) (string, []byte, bool) {
-	if !ok {
-		return "", p, false
-	}
-	n, rest, ok := takeUvarint(p)
-	if !ok || uint64(len(rest)) < n {
-		return "", p, false
-	}
-	return string(rest[:n]), rest[n:], true
 }
 
 var _ CommitStreamObserver = (*WAL)(nil)

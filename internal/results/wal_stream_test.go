@@ -12,18 +12,20 @@ import (
 	"testing"
 
 	"encore/internal/core"
+	"encore/internal/wire"
 )
 
 func TestWALRecordDecodesBothVersions(t *testing.T) {
 	m := walTestMeasurement(3, core.StateSuccess)
-	rec, err := appendWALRecord(nil, 7, 5, &m)
+	rec, err := wire.AppendRecord(nil, 7, 5, (*wire.Record)(&m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cseq, seq, got, err := decodeWALRecord(rec)
+	cseq, seq, decoded, err := wire.DecodeRecord(rec)
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := Measurement(decoded)
 	if cseq != 7 || seq != 5 {
 		t.Fatalf("decoded positions (%d, %d), want (7, 5)", cseq, seq)
 	}
@@ -37,12 +39,13 @@ func TestWALRecordDecodesBothVersions(t *testing.T) {
 	p := rec[1:]
 	_, n1 := binary.Uvarint(p) // commitSeq
 	_, n2 := binary.Uvarint(p[n1:])
-	v1 := append([]byte{walVersionV1}, binary.AppendUvarint(nil, 5)...)
+	v1 := append([]byte{wire.KindRecordV1}, binary.AppendUvarint(nil, 5)...)
 	v1 = append(v1, p[n1+n2:]...)
-	cseq, seq, got, err = decodeWALRecord(v1)
+	cseq, seq, decoded, err = wire.DecodeRecord(v1)
 	if err != nil {
 		t.Fatalf("decoding v1 record: %v", err)
 	}
+	got = Measurement(decoded)
 	if cseq != 5 || seq != 5 {
 		t.Fatalf("v1 decode positions (%d, %d), want (5, 5)", cseq, seq)
 	}

@@ -1,0 +1,33 @@
+package results
+
+import (
+	"bufio"
+	"io"
+
+	"encore/internal/wire"
+)
+
+// WriteWire serializes the store as CRC-framed binary records in insertion
+// order — the same application/x-encore-records stream the WAL persists and
+// the v2 binary lanes carry, so an export can be replayed through any frame
+// consumer. An export has no commit positions (those are a WAL coordinate),
+// so both stream positions carry the entry's insertion sequence, exactly how
+// DecodeRecord already treats a v1 record.
+func (s *Store) WriteWire(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bufp := wire.GetBuffer()
+	defer wire.PutBuffer(bufp)
+	buf := *bufp
+	for _, e := range s.snapshot() {
+		frame, err := wire.AppendRecordFrame(buf[:0], e.seq, e.seq, (*wire.Record)(&e.m))
+		if err != nil {
+			return err
+		}
+		buf = frame
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	*bufp = buf
+	return bw.Flush()
+}

@@ -1,0 +1,198 @@
+package wire
+
+// Golden wire-format tests: the exact bytes of the record encoding are pinned
+// in testdata/ so no surface can drift silently. The same frames serve disk
+// (WAL segments), wire (the v2 binary batch lanes), and federation (verbatim
+// WAL-tail forwarding) — a byte changed here is a compatibility break on all
+// three at once, which is why these fixtures are checked in rather than
+// regenerated per run. Regenerate deliberately with:
+//
+//	go test ./internal/wire -run TestGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format fixtures in testdata/")
+
+// goldenFrame is one pinned frame: a measurement record with its stream
+// positions, or (when sub is set) a raw submission.
+type goldenFrame struct {
+	file string
+	cseq uint64
+	seq  uint64
+	rec  Record
+	sub  *Submission
+}
+
+// goldenFrames covers the record shapes the system produces: a plain success,
+// an in-place upgrade (commit position ahead of the insertion sequence), a
+// retraction to failure, control traffic, and a raw client submission. All
+// timestamps are fixed 2014-era instants, matching the paper's study window.
+func goldenFrames() []goldenFrame {
+	return []goldenFrame{
+		{
+			file: "record_upgrade.bin",
+			// An init record upgraded in place: the upgrade's commit position
+			// (17) has moved past the record's insertion sequence (3).
+			cseq: 17, seq: 3,
+			rec: Record{
+				MeasurementID:  "golden-upgrade",
+				PatternKey:     "domain:youtube.com",
+				TargetURL:      "http://youtube.com/favicon.ico",
+				TaskType:       core.TaskImage,
+				State:          core.StateSuccess,
+				DurationMillis: 245.5,
+				ClientIP:       "101.4.7.20",
+				Region:         "CN",
+				Browser:        core.BrowserChrome,
+				OriginSite:     "blog.example.org",
+				Received:       time.Date(2014, 6, 15, 8, 30, 0, 0, time.UTC),
+			},
+		},
+		{
+			file: "record_retraction.bin",
+			// A success retracted to failure by a later conflicting terminal
+			// submission — the overwrite path the WAL must replay in order.
+			cseq: 18, seq: 3,
+			rec: Record{
+				MeasurementID:  "golden-upgrade",
+				PatternKey:     "domain:youtube.com",
+				TargetURL:      "http://youtube.com/favicon.ico",
+				TaskType:       core.TaskImage,
+				State:          core.StateFailure,
+				DurationMillis: 30000,
+				ClientIP:       "101.4.7.20",
+				Region:         "CN",
+				Browser:        core.BrowserChrome,
+				OriginSite:     "blog.example.org",
+				Received:       time.Date(2014, 6, 15, 8, 31, 12, 500e6, time.UTC),
+			},
+		},
+		{
+			file: "record_control.bin",
+			// A control-traffic measurement (§5.3): fetches the collector
+			// expects to succeed everywhere, used as the detection baseline.
+			cseq: 19, seq: 19,
+			rec: Record{
+				MeasurementID:  "golden-control",
+				PatternKey:     "control:img.example.com",
+				TargetURL:      "http://img.example.com/pixel.png",
+				TaskType:       core.TaskImage,
+				State:          core.StateSuccess,
+				DurationMillis: 88,
+				ClientIP:       "198.51.100.7",
+				Region:         "US",
+				Browser:        core.BrowserFirefox,
+				OriginSite:     "portal.example.edu",
+				Control:        true,
+				Received:       time.Date(2014, 7, 1, 23, 59, 59, 0, time.UTC),
+			},
+		},
+		{
+			file: "submission.bin",
+			sub: &Submission{
+				MeasurementID:      "golden-submission",
+				Result:             "success",
+				ElapsedMillis:      140.25,
+				OriginSite:         "blog.example.org",
+				ReceivedUnixMillis: time.Date(2014, 6, 15, 8, 30, 0, 0, time.UTC).UnixMilli(),
+			},
+		},
+	}
+}
+
+func encodeGolden(t *testing.T, g goldenFrame) []byte {
+	t.Helper()
+	if g.sub != nil {
+		return AppendSubmissionFrame(nil, g.sub)
+	}
+	frame, err := AppendRecordFrame(nil, g.cseq, g.seq, &g.rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestGoldenFrames(t *testing.T) {
+	var stream []byte
+	for _, g := range goldenFrames() {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			frame := encodeGolden(t, g)
+			path := filepath.Join("testdata", g.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, frame, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(frame, want) {
+				t.Fatalf("encoder drifted from pinned fixture %s:\n got %x\nwant %x\n(an intentional format change must bump the record kind and keep decoding the old bytes; then regenerate with -update)", g.file, frame, want)
+			}
+			// The pinned bytes must also still decode to the same values —
+			// decoder drift is as much a break as encoder drift.
+			if g.sub != nil {
+				got, err := DecodeSubmission(want[FrameHeaderLen:])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != *g.sub {
+					t.Fatalf("pinned submission decodes to %+v, want %+v", got, *g.sub)
+				}
+			} else {
+				cseq, seq, got, err := DecodeRecord(want[FrameHeaderLen:])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cseq != g.cseq || seq != g.seq {
+					t.Fatalf("pinned positions (%d, %d), want (%d, %d)", cseq, seq, g.cseq, g.seq)
+				}
+				if !got.Received.Equal(g.rec.Received) {
+					t.Fatalf("pinned timestamp %v, want %v", got.Received, g.rec.Received)
+				}
+				got.Received = g.rec.Received
+				if got != g.rec {
+					t.Fatalf("pinned record decodes to:\n %+v\nwant %+v", got, g.rec)
+				}
+			}
+		})
+	}
+	// The concatenation fixture pins stream framing: a batch body and a WAL
+	// segment are both just frames back to back, nothing between them.
+	for _, g := range goldenFrames() {
+		stream = append(stream, encodeGolden(t, g)...)
+	}
+	path := filepath.Join("testdata", "batch_stream.bin")
+	if *update {
+		if err := os.WriteFile(path, stream, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(stream, want) {
+		t.Fatal("concatenated stream drifted from pinned batch_stream.bin")
+	}
+	fr := NewFrameReader(bytes.NewReader(want))
+	for i := 0; i < len(goldenFrames()); i++ {
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("pinned stream frame %d: %v", i, err)
+		}
+	}
+}

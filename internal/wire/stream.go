@@ -1,0 +1,188 @@
+package wire
+
+// Streaming frame I/O and the shared buffer pools. The FrameReader is the
+// single frame decoder for every surface — WAL segment replay, the binary
+// batch endpoint, the binary measurement export — so torn-tail semantics and
+// adversarial-input hardening live in exactly one place.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// frameReadChunk bounds how much the reader allocates ahead of bytes that
+// have actually arrived. A hostile length prefix claiming MaxFramePayload
+// costs the attacker MaxFramePayload bytes of upload before it costs the
+// server MaxFramePayload bytes of memory.
+const frameReadChunk = 64 << 10
+
+// FrameReader decodes a stream of CRC-framed payloads from r. It is not safe
+// for concurrent use; the payload (and frame) slices it returns are reused by
+// the next call.
+type FrameReader struct {
+	r     *bufio.Reader
+	frame []byte // header + payload scratch, reused across frames
+}
+
+// NewFrameReader creates a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &FrameReader{r: br}
+	}
+	return &FrameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Reset repoints the reader at a new stream, keeping its buffers.
+func (fr *FrameReader) Reset(r io.Reader) {
+	if br, ok := r.(*bufio.Reader); ok {
+		fr.r = br
+		return
+	}
+	fr.r.Reset(r)
+}
+
+// Next reads and validates one frame, returning its payload. io.EOF marks a
+// clean end of stream (exactly at a frame boundary); ErrTruncated a stream
+// that ends mid-frame; ErrFrameLength a zero or over-MaxFramePayload length
+// prefix; ErrChecksum a payload failing its CRC. The returned slice is valid
+// only until the next call.
+func (fr *FrameReader) Next() ([]byte, error) {
+	frame, err := fr.NextFrame()
+	if err != nil {
+		return nil, err
+	}
+	return frame[FrameHeaderLen:], nil
+}
+
+// NextFrame is Next returning the entire validated frame — header included —
+// so a consumer that re-emits frames (the federation forwarder shipping a WAL
+// tail) can do so byte-for-byte without re-framing.
+func (fr *FrameReader) NextFrame() ([]byte, error) {
+	if cap(fr.frame) < FrameHeaderLen {
+		fr.frame = make([]byte, FrameHeaderLen, FrameHeaderLen+1024)
+	}
+	hdr := fr.frame[:FrameHeaderLen]
+	if _, err := io.ReadFull(fr.r, hdr); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameLength, n)
+	}
+	frame, err := fr.fill(int(FrameHeaderLen + n))
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(frame[FrameHeaderLen:]) != crc {
+		return nil, ErrChecksum
+	}
+	return frame, nil
+}
+
+// fill grows fr.frame from FrameHeaderLen to total bytes, reading from the
+// stream as it grows. Growth is capped at frameReadChunk per read, so the
+// buffer never runs more than one chunk ahead of bytes that actually arrived
+// — the pre-allocation cap that defuses length-bomb frames.
+func (fr *FrameReader) fill(total int) ([]byte, error) {
+	frame := fr.frame[:FrameHeaderLen]
+	if cap(frame) >= total {
+		// Steady state: the scratch already fits, one read, no allocation.
+		frame = frame[:total]
+		if _, err := io.ReadFull(fr.r, frame[FrameHeaderLen:]); err != nil {
+			return nil, err
+		}
+		fr.frame = frame
+		return frame, nil
+	}
+	for len(frame) < total {
+		next := len(frame) + frameReadChunk
+		if next > total {
+			next = total
+		}
+		if cap(frame) < next {
+			grown := make([]byte, len(frame), next)
+			copy(grown, frame)
+			frame = grown
+		}
+		prev := len(frame)
+		frame = frame[:next]
+		if _, err := io.ReadFull(fr.r, frame[prev:next]); err != nil {
+			return nil, err
+		}
+	}
+	fr.frame = frame
+	return frame, nil
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pools. The encode paths (SDK batch bodies, forwarder batches, the
+// binary export) build frames in pooled buffers so a steady-state submitter
+// allocates nothing per batch.
+// ---------------------------------------------------------------------------
+
+// maxPooledBuffer caps what PutBuffer retains; one pathological batch must
+// not pin megabytes in the pool forever.
+const maxPooledBuffer = 4 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer returns a pooled zero-length byte buffer. Return it with
+// PutBuffer when done.
+func GetBuffer() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuffer {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+var readerPool = sync.Pool{New: func() any { return NewFrameReader(emptyReader{}) }}
+
+// GetFrameReader returns a pooled FrameReader reset onto r; return it with
+// PutFrameReader. The pool keeps the per-request decode path allocation-free
+// once warm (the reader retains its bufio buffer and frame scratch).
+func GetFrameReader(r io.Reader) *FrameReader {
+	fr := readerPool.Get().(*FrameReader)
+	fr.Reset(r)
+	return fr
+}
+
+// PutFrameReader returns a FrameReader obtained from GetFrameReader to the
+// pool, dropping oversized scratch buffers.
+func PutFrameReader(fr *FrameReader) {
+	if cap(fr.frame) > maxPooledBuffer {
+		fr.frame = nil
+	}
+	fr.Reset(emptyReader{})
+	readerPool.Put(fr)
+}
+
+// emptyReader is the parked state of a pooled FrameReader.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }

@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+)
+
+func testRecord() Record {
+	return Record{
+		MeasurementID:  "m-upgrade-7",
+		PatternKey:     "domain:youtube.com",
+		TargetURL:      "http://youtube.com/favicon.ico",
+		TaskType:       core.TaskImage,
+		State:          core.StateSuccess,
+		DurationMillis: 123.5,
+		ClientIP:       "101.4.0.9",
+		Region:         "CN",
+		Browser:        core.BrowserChrome,
+		OriginSite:     "blog.example.org",
+		Control:        false,
+		Received:       time.Date(2014, 8, 1, 12, 30, 15, 250e6, time.UTC),
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := testRecord()
+	frame, err := AppendRecordFrame(nil, 42, 7, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) < FrameHeaderLen+1 {
+		t.Fatalf("frame too short: %d bytes", len(frame))
+	}
+	if k := PayloadKind(frame[FrameHeaderLen:]); k != KindRecord {
+		t.Fatalf("payload kind %d, want KindRecord", k)
+	}
+	cseq, seq, got, err := DecodeRecord(frame[FrameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cseq != 42 || seq != 7 {
+		t.Fatalf("positions (%d, %d), want (42, 7)", cseq, seq)
+	}
+	if !got.Received.Equal(want.Received) {
+		t.Fatalf("timestamp %v, want %v", got.Received, want.Received)
+	}
+	got.Received, want.Received = time.Time{}, time.Time{}
+	if got != want {
+		t.Fatalf("record round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecordV1DecodesWithSeqAsCommitSeq(t *testing.T) {
+	r := testRecord()
+	frame, err := AppendRecordFrame(nil, 42, 7, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1 record is the v2 payload minus the commit-seq varint, tagged v1.
+	// Build one by re-encoding with kind 1 and no commit position.
+	payload := frame[FrameHeaderLen:]
+	cseq, _, _, err := DecodeRecord(payload)
+	if err != nil || cseq != 42 {
+		t.Fatalf("v2 precondition: cseq=%d err=%v", cseq, err)
+	}
+	v1 := append([]byte{KindRecordV1}, payload[2:]...) // kind byte + cseq varint (42 is one byte) stripped
+	cseq, seq, got, err := DecodeRecord(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || cseq != 7 {
+		t.Fatalf("v1 positions (%d, %d), want commit seq to mirror seq 7", cseq, seq)
+	}
+	if got.MeasurementID != r.MeasurementID {
+		t.Fatalf("v1 decode lost fields: %+v", got)
+	}
+}
+
+func TestSubmissionRoundTrip(t *testing.T) {
+	want := Submission{
+		MeasurementID:      "m-1",
+		Result:             "failure",
+		ElapsedMillis:      88.25,
+		OriginSite:         "news.example.net",
+		ReceivedUnixMillis: time.Date(2014, 8, 1, 0, 0, 1, 0, time.UTC).UnixMilli(),
+	}
+	frame := AppendSubmissionFrame(nil, &want)
+	if k := PayloadKind(frame[FrameHeaderLen:]); k != KindSubmission {
+		t.Fatalf("payload kind %d, want KindSubmission", k)
+	}
+	got, err := DecodeSubmission(frame[FrameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("submission round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPeekCommitSeq(t *testing.T) {
+	r := testRecord()
+	frame, err := AppendRecordFrame(nil, 99, 3, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cseq, ok := PeekCommitSeq(frame[FrameHeaderLen:]); !ok || cseq != 99 {
+		t.Fatalf("PeekCommitSeq = (%d, %v), want (99, true)", cseq, ok)
+	}
+	sub := AppendSubmissionFrame(nil, &Submission{MeasurementID: "m"})
+	if _, ok := PeekCommitSeq(sub[FrameHeaderLen:]); ok {
+		t.Fatal("PeekCommitSeq accepted a submission payload")
+	}
+}
+
+func TestDecodeRejectsWrongKind(t *testing.T) {
+	r := testRecord()
+	frame, _ := AppendRecordFrame(nil, 1, 1, &r)
+	if _, err := DecodeSubmission(frame[FrameHeaderLen:]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeSubmission(record payload) err = %v, want ErrMalformed", err)
+	}
+	sub := AppendSubmissionFrame(nil, &Submission{MeasurementID: "m"})
+	if _, _, _, err := DecodeRecord(sub[FrameHeaderLen:]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeRecord(submission payload) err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeRecordTruncatedPayloads(t *testing.T) {
+	r := testRecord()
+	frame, err := AppendRecordFrame(nil, 12, 34, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[FrameHeaderLen:]
+	// Every proper prefix must fail cleanly with ErrMalformed, never panic.
+	for n := 0; n < len(payload); n++ {
+		if _, _, _, err := DecodeRecord(payload[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded", n, len(payload))
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrMalformed", n, err)
+		}
+	}
+	// Trailing garbage after a complete payload is also malformed: the frame
+	// length said this was all one record.
+	if _, _, _, err := DecodeRecord(append(append([]byte(nil), payload...), 0xfe)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing garbage: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestFrameReaderStream(t *testing.T) {
+	var stream []byte
+	var want []Submission
+	for i := 0; i < 10; i++ {
+		s := Submission{MeasurementID: "m-" + string(rune('a'+i)), Result: "success", ElapsedMillis: float64(i)}
+		want = append(want, s)
+		stream = AppendSubmissionFrame(stream, &s)
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i := 0; ; i++ {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("stream ended after %d of %d frames", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSubmission(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestFrameReaderNextFrameIsVerbatim(t *testing.T) {
+	r := testRecord()
+	frame, err := AppendRecordFrame(nil, 5, 5, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(frame))
+	got, err := fr.NextFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("NextFrame did not return the frame byte-for-byte")
+	}
+}
+
+func TestFrameReaderErrors(t *testing.T) {
+	r := testRecord()
+	valid, err := AppendRecordFrame(nil, 1, 1, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff
+
+	lengthBomb := make([]byte, FrameHeaderLen)
+	lengthBomb[0], lengthBomb[1], lengthBomb[2], lengthBomb[3] = 0xff, 0xff, 0xff, 0xff
+
+	cases := map[string]struct {
+		stream []byte
+		want   error
+	}{
+		"torn header":    {valid[:4], ErrTruncated},
+		"torn payload":   {valid[:len(valid)-3], ErrTruncated},
+		"zero length":    {make([]byte, FrameHeaderLen), ErrFrameLength},
+		"length bomb":    {lengthBomb, ErrFrameLength},
+		"crc flip":       {flipped, ErrChecksum},
+		"header only":    {valid[:FrameHeaderLen], ErrTruncated},
+		"second is torn": {append(append([]byte(nil), valid...), valid[:11]...), ErrTruncated},
+	}
+	for name, tc := range cases {
+		fr := NewFrameReader(bytes.NewReader(tc.stream))
+		var ferr error
+		for ferr == nil {
+			_, ferr = fr.Next()
+		}
+		if !errors.Is(ferr, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, ferr, tc.want)
+		}
+		if !Torn(ferr) {
+			t.Errorf("%s: Torn(%v) = false, want true for every framing failure", name, ferr)
+		}
+	}
+	if Torn(ErrMalformed) || Torn(nil) {
+		t.Fatal("Torn misclassifies non-framing errors")
+	}
+}
+
+// TestFrameReaderLengthBombAllocation pins the adversarial-input guarantee:
+// a length prefix claiming MaxFramePayload with only a few real bytes behind
+// it must not make the reader allocate the claimed size.
+func TestFrameReaderLengthBombAllocation(t *testing.T) {
+	bomb := make([]byte, FrameHeaderLen, FrameHeaderLen+128)
+	for i := 0; i < 4; i++ {
+		bomb[i] = 0xff
+	}
+	bomb[3] = 0x00 // claim ~16 MiB, just under MaxFramePayload
+	bomb = append(bomb, bytes.Repeat([]byte{0xab}, 128)...)
+	fr := NewFrameReader(bytes.NewReader(bomb))
+	if _, err := fr.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if cap(fr.frame) > FrameHeaderLen+2*frameReadChunk {
+		t.Fatalf("reader allocated %d bytes ahead of a %d-byte stream", cap(fr.frame), len(bomb))
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	bufp := GetBuffer()
+	if len(*bufp) != 0 {
+		t.Fatal("pooled buffer not empty")
+	}
+	*bufp = append(*bufp, "scratch"...)
+	PutBuffer(bufp)
+	// Oversized buffers are dropped rather than pinned.
+	big := make([]byte, 0, maxPooledBuffer+1)
+	PutBuffer(&big)
+
+	fr := GetFrameReader(bytes.NewReader(nil))
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+	PutFrameReader(fr)
+}

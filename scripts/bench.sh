@@ -10,16 +10,20 @@
 # POSTs through the client SDK over loopback HTTP, plus the federation
 # forwarder path), and the E22 lossless-federation benchmarks (WAL-tailing
 # forwarder throughput vs the in-memory baseline, plus the recovery-resume
-# replay rate after an edge restart), and records every benchmark line as
-# structured JSON in BENCH_aggregate.json so successive runs can be compared
-# numerically.
+# replay rate after an edge restart), and the E23 binary-wire benchmarks
+# (application/x-encore-records batch POSTs vs the pinned E21 JSON numbers,
+# plus zero-re-encode binary federation forwarding), and records every
+# benchmark line as structured JSON in BENCH_aggregate.json so successive
+# runs can be compared numerically.
 #
 # Results are MERGED into BENCH_aggregate.json by exact benchmark name:
 # entries for benchmarks not re-run by this invocation (for example E17-E19
 # when running `-only sched`) are retained from the existing file, so partial
-# runs never clobber the rest of the suite's numbers.
+# runs never clobber the rest of the suite's numbers. `-only wire`
+# deliberately excludes the E21 JSON submit benchmarks so the pinned JSON
+# baseline survives as the comparison point for the binary lane.
 #
-# Usage: scripts/bench.sh [-only sched|api|fed] [extra go-test flags, e.g. -benchtime=5x]
+# Usage: scripts/bench.sh [-only sched|api|fed|wire] [extra go-test flags, e.g. -benchtime=5x]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,7 +34,8 @@ if [ "${1:-}" = "-only" ]; then
         sched) BENCH='ParallelAssign|SchedulerPick' ;;
         api) BENCH='APISubmit|APIFederation' ;;
         fed) BENCH='APIFederation' ;;
-        *) echo "usage: scripts/bench.sh [-only sched|api|fed] [go-test flags]" >&2; exit 2 ;;
+        wire) BENCH='APISubmitBatchBinary|APIFederation' ;;
+        *) echo "usage: scripts/bench.sh [-only sched|api|fed|wire] [go-test flags]" >&2; exit 2 ;;
     esac
     shift 2
 fi

@@ -30,6 +30,15 @@ echo "== docs check =="
 echo "== go test -race =="
 go test -race ./...
 
+# Short fuzz smoke over the untrusted wire surfaces: the record payload
+# decoder and the full streaming frame path. Ten seconds each — enough to
+# shake out regressions around the seeded adversarial corpus on every CI run;
+# longer exploratory runs stay manual. (go test accepts one -fuzz pattern per
+# invocation, hence two runs.)
+echo "== fuzz smoke (internal/wire) =="
+go test ./internal/wire -run '^$' -fuzz '^FuzzDecodeRecord$' -fuzztime 10s
+go test ./internal/wire -run '^$' -fuzz '^FuzzDecodeBatchStream$' -fuzztime 10s
+
 echo "== chaos suite =="
 ./scripts/chaos.sh
 
