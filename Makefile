@@ -18,6 +18,10 @@
 #                      binary federation forwarding) plus the E22 federation
 #                      set, merged into BENCH_aggregate.json while keeping
 #                      the pinned E21 JSON numbers as the comparison baseline
+#   make bench-gossip- the E24 control-plane benchmarks (gossip round cost,
+#                      delta-carrying and steady-state, plus assignment
+#                      throughput at K=1/3/5 coordinators), merged the same
+#                      way
 #   make fuzz        - the CI fuzz smoke: 10s on each internal/wire target
 #   make docs-check  - verify the docs suite: README/architecture/example
 #                      docs exist, every package carries a package comment,
@@ -32,7 +36,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-wire bench-paper fuzz loadgen docs-check chaos chaos-soak
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-wire bench-gossip bench-paper fuzz loadgen docs-check chaos chaos-soak
 
 ci:
 	./scripts/ci.sh
@@ -66,6 +70,9 @@ bench-fed:
 
 bench-wire:
 	./scripts/bench.sh -only wire
+
+bench-gossip:
+	./scripts/bench.sh -only gossip
 
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s

@@ -14,6 +14,7 @@ package encore
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -33,6 +34,7 @@ import (
 	"encore/internal/censor"
 	"encore/internal/clientsim"
 	"encore/internal/collectserver"
+	"encore/internal/coordfed"
 	"encore/internal/core"
 	"encore/internal/geo"
 	"encore/internal/inference"
@@ -1688,4 +1690,145 @@ func BenchmarkAPIFederationWALResume(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*backlog/b.Elapsed().Seconds(), "resumed-records/s")
+}
+
+// ---------------------------------------------------------------------------
+// E24 — the replicated control plane: what federation costs. One gossip
+// round's end-to-end price over loopback HTTP (delta-carrying and
+// steady-state digest-only), and assignment throughput on a coordinator
+// while a K=1/3/5 federation gossips underneath it — the Assign path never
+// takes a federation lock, so throughput should be flat in K.
+// ---------------------------------------------------------------------------
+
+// benchGossipNode is one coordinator in a benchmark federation.
+type benchGossipNode struct {
+	sched *scheduler.Scheduler
+	fed   *coordfed.Federation
+	srv   *httptest.Server
+}
+
+func benchGossipTaskSet() *pipeline.TaskSet {
+	ts := pipeline.NewTaskSet()
+	ts.Add(pipeline.Candidate{PatternKey: "domain:aaa-script-only.org", Type: core.TaskScript,
+		TargetURL: "http://aaa-script-only.org/app.js", Strict: true})
+	for i := 1; i < 6; i++ {
+		d := fmt.Sprintf("balance%02d.example.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+	}
+	return ts
+}
+
+// benchGossipCluster builds k fully-meshed coordinators. start launches the
+// real jittered probe loops; otherwise the benchmark steps RunRound itself.
+func benchGossipCluster(b *testing.B, k int, interval time.Duration, start bool) []*benchGossipNode {
+	b.Helper()
+	nodes := make([]*benchGossipNode, k)
+	for i := range nodes {
+		cfg := scheduler.DefaultConfig()
+		cfg.QuorumWindow = 1000 * time.Hour
+		cfg.Seed = uint64(i + 1)
+		nodes[i] = &benchGossipNode{sched: scheduler.New(benchGossipTaskSet(), cfg)}
+		n := nodes[i]
+		n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.fed.Handler()(w, r)
+		}))
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, p := range nodes {
+			if j != i {
+				peers = append(peers, p.srv.URL)
+			}
+		}
+		fed, err := coordfed.New(coordfed.Config{
+			Origin:    fmt.Sprintf("bench-c%d", i),
+			Scheduler: n.sched,
+			Peers:     peers,
+			Interval:  interval,
+			Seed:      uint64(100 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.fed = fed
+		if start {
+			fed.Start()
+		}
+	}
+	b.Cleanup(func() {
+		for _, n := range nodes {
+			n.fed.Close()
+			n.srv.Close()
+		}
+	})
+	return nodes
+}
+
+var benchGossipClient = scheduler.ClientInfo{
+	Region: "US", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5,
+}
+
+// BenchmarkGossipRound measures one delta-carrying push-pull exchange: an
+// assignment lands on the local coordinator, then a full round ships the
+// delta to the peer and merges the response, over real loopback HTTP with
+// binary framing.
+func BenchmarkGossipRound(b *testing.B) {
+	nodes := benchGossipCluster(b, 2, time.Second, false)
+	at := time.Unix(6_000_000, 0)
+	ctx := context.Background()
+	nodes[0].sched.Assign(benchGossipClient, at)
+	nodes[0].fed.RunRound(ctx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].sched.Assign(benchGossipClient, at)
+		nodes[0].fed.RunRound(ctx)
+	}
+	b.StopTimer()
+	st := nodes[0].fed.Stats()
+	if st.Failures > 0 {
+		b.Fatalf("%d of %d exchanges failed", st.Failures, st.Rounds)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkGossipRoundSteadyState measures the idle anti-entropy heartbeat:
+// both sides are already converged, so each exchange carries digests only
+// and merges nothing. This is the per-interval price every peer pays
+// forever.
+func BenchmarkGossipRoundSteadyState(b *testing.B) {
+	nodes := benchGossipCluster(b, 2, time.Second, false)
+	at := time.Unix(6_000_000, 0)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		nodes[0].sched.Assign(benchGossipClient, at)
+	}
+	nodes[0].fed.RunRound(ctx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].fed.RunRound(ctx)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkGossipAssignmentThroughput drives parallel assignments on one
+// coordinator while a K-node federation gossips underneath at a short
+// interval. K=1 is the unfederated baseline; the replicated control plane
+// earns its keep only if K=3 and K=5 hold the same assignment rate.
+func BenchmarkGossipAssignmentThroughput(b *testing.B) {
+	at := time.Unix(6_000_000, 0)
+	for _, k := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			nodes := benchGossipCluster(b, k, 2*time.Millisecond, true)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					nodes[0].sched.Assign(benchGossipClient, at)
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "assignments/s")
+		})
+	}
 }

@@ -18,12 +18,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"encore/internal/api"
 	"encore/internal/browser"
 	"encore/internal/censor"
+	"encore/internal/coordfed"
 	"encore/internal/coordserver"
 	"encore/internal/core"
 	"encore/internal/geo"
@@ -35,6 +37,20 @@ import (
 	"encore/internal/webgen"
 )
 
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*p = append(*p, u)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
@@ -43,7 +59,13 @@ func main() {
 		targetsPath  = flag.String("targets", "", "path to a target list file; defaults to the built-in YouTube/Twitter/Facebook list")
 		seed         = flag.Uint64("seed", 1, "seed for the synthetic Web and scheduling randomness")
 		pprofAddr    = flag.String("pprof", "", "optional side-port listen address for net/http/pprof (e.g. localhost:6060), for profiling scheduler contention under load")
+
+		origin         = flag.String("origin", "", "this coordinator's federation identity; required with -peer, must be unique across the federation (use a fresh value when restarting with an empty scheduler)")
+		gossipInterval = flag.Duration("gossip-interval", time.Second, "target gap between anti-entropy gossip rounds per peer (full-jittered)")
+		gossipToken    = flag.String("gossip-token", "", "shared bearer token peers must present on POST /v2/gossip (and this coordinator sends outbound)")
 	)
+	var peers peerList
+	flag.Var(&peers, "peer", "peer coordinator base URL (repeatable, or comma-separated); enables the replicated-coordinator federation")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -93,6 +115,29 @@ func main() {
 	index := results.NewTaskIndex()
 	snippet := core.SnippetOptions{CoordinatorURL: *coordURL, CollectorURL: *collectorURL}
 	server := coordserver.New(sched, index, g, snippet)
+
+	if len(peers) > 0 {
+		if *origin == "" {
+			log.Fatalf("-peer requires -origin (a unique federation identity)")
+		}
+		fed, err := coordfed.New(coordfed.Config{
+			Origin:    *origin,
+			Scheduler: sched,
+			Peers:     peers,
+			Interval:  *gossipInterval,
+			Token:     *gossipToken,
+			Seed:      *seed,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("building coordinator federation: %v", err)
+		}
+		server.Federation = fed
+		fed.Start()
+		defer fed.Close()
+		log.Printf("federation: origin %s gossiping with %d peer(s) every ~%s on %s",
+			*origin, len(peers), *gossipInterval, api.V2GossipPath)
+	}
 
 	log.Printf("webmasters embed: %s", core.EmbedSnippet(snippet))
 	log.Printf("API: v1 %s %s %s %s | v2 %s %s",

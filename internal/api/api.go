@@ -40,6 +40,9 @@ const (
 	V2TasksPath        = "/v2/tasks"
 	V2HealthPath       = "/v2/healthz"
 	V2MeasurementsPath = "/v2/measurements"
+	// V2GossipPath is the coordinator federation's anti-entropy exchange
+	// (binary wire.Gossip frames both ways); see internal/coordfed.
+	V2GossipPath = "/v2/gossip"
 )
 
 // Error codes carried by v2 JSON error bodies and, as terse plain text, by
@@ -53,6 +56,8 @@ const (
 	CodeConflictingResult     = "conflicting_result"      // 409
 	CodeRateLimited           = "rate_limited"            // 429
 	CodeAttributionNotAllowed = "attribution_not_allowed" // 403
+	CodeUnauthorizedPeer      = "unauthorized_peer"       // 403 (gossip without the shared federation token)
+	CodeScheduleMismatch      = "schedule_mismatch"       // 409 (gossip from a peer with a different task set / quorum window)
 	CodeOverloaded            = "overloaded"              // 503 (ingest queue saturated; retry later)
 	CodeDegraded              = "degraded"                // 503 (durability lost; durable lane closed)
 	CodeInternal              = "internal"                // 500
@@ -74,11 +79,11 @@ func StatusForCode(code string) int {
 		return http.StatusNotFound
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
-	case CodeConflictingResult:
+	case CodeConflictingResult, CodeScheduleMismatch:
 		return http.StatusConflict
 	case CodeRateLimited:
 		return http.StatusTooManyRequests
-	case CodeAttributionNotAllowed:
+	case CodeAttributionNotAllowed, CodeUnauthorizedPeer:
 		return http.StatusForbidden
 	case CodeOverloaded, CodeDegraded:
 		return http.StatusServiceUnavailable
@@ -290,6 +295,30 @@ type HealthResponse struct {
 	ForwarderSpilled     uint64 `json:"forwarder_spilled,omitempty"`
 	ForwarderDeadLetters int    `json:"forwarder_dead_letters,omitempty"`
 	ForwarderDropped     uint64 `json:"forwarder_dropped,omitempty"`
+	// Origin is this coordinator's federation identity (federated
+	// coordinators only). A federated coordinator reports StatusDegraded
+	// while a quorum of the coordinator set is unreachable; it keeps
+	// assigning tasks from its last merged coverage view throughout.
+	Origin string `json:"origin,omitempty"`
+	// Peers reports per-peer gossip health (federated coordinators only).
+	Peers []PeerHealth `json:"peers,omitempty"`
+}
+
+// PeerHealth is one federation peer's gossip state as reported on
+// /v2/healthz.
+type PeerHealth struct {
+	// URL is the peer's base URL as configured.
+	URL string `json:"url"`
+	// State is "alive", "suspect" (missed rounds, still probed), or "dead"
+	// (probing continues at full backoff; a revived peer is re-adopted on
+	// its first successful exchange).
+	State string `json:"state"`
+	// ConsecutiveFailures counts gossip rounds failed since the last
+	// successful exchange.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LagMillis is how long ago the last successful exchange with this peer
+	// completed (-1 before the first success).
+	LagMillis int64 `json:"lag_millis"`
 }
 
 // BearerToken extracts the shared-secret token from an Authorization header

@@ -1,0 +1,29 @@
+package api
+
+import "time"
+
+// BackoffDelay is the shared retry delay policy every API consumer applies
+// before re-contacting a failing server: exponential doubling of base per
+// attempt with a capped shift (so an unbounded `<<` can neither overflow nor
+// grow past max), then full jitter on the upper half of the window, so a
+// fleet recovering from one outage spreads out instead of retrying in
+// lockstep. attempt counts from 1 for the first retry; randN must return a
+// uniform value in [0, n) — the SDK passes math/rand/v2's Int64N, while the
+// coordinator federation's peer probing passes a seeded generator so chaos
+// campaigns replay their exact delays.
+func BackoffDelay(base, max time.Duration, attempt int, randN func(int64) int64) time.Duration {
+	backoff := base
+	if shift := attempt - 1; shift > 0 {
+		if shift > 20 {
+			shift = 20
+		}
+		backoff <<= shift
+	}
+	if backoff > max || backoff <= 0 {
+		backoff = max
+	}
+	if half := int64(backoff / 2); half > 0 {
+		backoff = backoff/2 + time.Duration(randN(half+1))
+	}
+	return backoff
+}

@@ -142,26 +142,12 @@ func retryable(status int, err error) bool {
 	return status >= 500
 }
 
-// backoffFor computes the pre-attempt delay: exponential doubling with a
-// capped shift (so the former unbounded `<<` can neither overflow nor grow
-// past RetryBackoffMax), full jitter on the upper half of the window (so a
-// fleet of edges recovering from one upstream outage spreads out instead of
-// retrying in lockstep), and the server's Retry-After when the previous
-// failure carried one and asked for longer than we would have waited.
+// backoffFor computes the pre-attempt delay: api.BackoffDelay's capped,
+// full-jittered exponential, raised to the server's Retry-After when the
+// previous failure carried one and asked for longer than we would have
+// waited.
 func (c *Client) backoffFor(attempt int, lastErr error) time.Duration {
-	backoff := c.cfg.RetryBackoff
-	if shift := attempt - 1; shift > 0 {
-		if shift > 20 {
-			shift = 20
-		}
-		backoff <<= shift
-	}
-	if backoff > c.cfg.RetryBackoffMax || backoff <= 0 {
-		backoff = c.cfg.RetryBackoffMax
-	}
-	if half := int64(backoff / 2); half > 0 {
-		backoff = backoff/2 + time.Duration(rand.Int64N(half+1))
-	}
+	backoff := api.BackoffDelay(c.cfg.RetryBackoff, c.cfg.RetryBackoffMax, attempt, rand.Int64N)
 	var apiErr *api.Error
 	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > backoff {
 		backoff = apiErr.RetryAfter

@@ -1,0 +1,577 @@
+// Package coordfed federates coordinators: N `encore-coordinator` processes
+// serve disjoint (or overlapping) client populations and converge on one
+// global coverage view, removing the control plane's single point of failure
+// the same way PR 6 removed the collector's.
+//
+// The design leans on two properties the scheduler already has. First, its
+// per-(region, pattern) assignment counters only ever grow, so per-origin
+// count vectors form a G-counter CRDT: merging is pointwise max, which is
+// commutative, idempotent, and monotone, and therefore converges under
+// arbitrary message loss, duplication, reordering, and relay. Second, focus
+// rotation is a pure function of (anchor, time), so coordinators that agree
+// on the anchor — by the deterministic minimum-non-zero-anchor-wins rule
+// carried in every exchange — derive bit-identical focus schedules with no
+// further coordination.
+//
+// Anti-entropy runs as push-pull gossip over POST /v2/gossip (binary
+// wire.Gossip frames on the existing api router): a round sends the local
+// digest (every origin's coverage version this coordinator knows) plus full
+// per-origin state for whatever the peer was last known to lack; the peer
+// merges, then answers with its own digest and the states the requester's
+// digest proved it lacks. Third-party origins relay transitively, so a
+// partition heals even between coordinators that are not direct peers.
+//
+// Failure is the steady state: a peer that misses rounds is marked suspect,
+// then dead, with probing backed off under the SDK's capped full-jitter
+// policy (api.BackoffDelay) — never abandoned, so a revived peer
+// re-converges on its first successful exchange. Nothing in this package
+// sits on the Assign path; local assignment always proceeds on the last
+// merged view — degraded, never down — and /v2/healthz reports per-peer lag
+// and status "degraded" while a quorum of the coordinator set is
+// unreachable.
+package coordfed
+
+import (
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"encore/internal/api"
+	"encore/internal/scheduler"
+	"encore/internal/stats"
+	"encore/internal/wire"
+)
+
+// Peer states reported on /v2/healthz.
+const (
+	PeerAlive   = "alive"
+	PeerSuspect = "suspect"
+	PeerDead    = "dead"
+)
+
+// Config parameterizes a coordinator's membership in a federation.
+type Config struct {
+	// Origin is this coordinator's identity: the key its G-counter
+	// contribution lives under on every peer. Origins must be unique across
+	// the federation, including across restarts of the same process when
+	// the scheduler restarts empty — a rejoining coordinator takes a fresh
+	// origin (an incarnation) so its pre-crash counts, preserved on peers
+	// under the old origin, merge back as remote state instead of being
+	// clobbered.
+	Origin string
+	// Scheduler is the local scheduler whose coverage is federated.
+	Scheduler *scheduler.Scheduler
+	// Peers are the other coordinators' base URLs.
+	Peers []string
+	// Interval is the target gap between gossip rounds per peer; each round
+	// waits a full-jittered interval (interval/2 + rand(interval/2)) so K
+	// coordinators never synchronize into exchange storms, in particular
+	// after a shared partition heals. Default 1s.
+	Interval time.Duration
+	// Token, when set, is required (as a bearer credential, compared in
+	// constant time) on every inbound exchange and sent on every outbound
+	// one.
+	Token string
+	// Transport is the outbound HTTP transport (chaos runs wrap it in a
+	// faultinject.RoundTripper); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Timeout bounds one exchange end-to-end. Default 5s.
+	Timeout time.Duration
+	// SuspectAfter and DeadAfter are the consecutive-failure thresholds for
+	// marking a peer suspect / dead. Defaults 3 and 8.
+	SuspectAfter int
+	DeadAfter    int
+	// MaxBackoff caps the failed-peer probing backoff. Default 30s.
+	MaxBackoff time.Duration
+	// Seed drives the jitter RNGs; chaos runs derive it from the campaign
+	// seed so every delay replays.
+	Seed uint64
+	// Logf, when set, receives peer state transitions and refused
+	// exchanges.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the federation's counters.
+type Stats struct {
+	// Rounds counts outbound exchange attempts; Failures the attempts that
+	// did not complete.
+	Rounds   uint64
+	Failures uint64
+	// MergedDeltas counts per-origin states merged in, from both directions
+	// of the exchange.
+	MergedDeltas uint64
+	// Served counts inbound exchanges answered successfully.
+	Served uint64
+	// Refused counts inbound exchanges rejected (bad auth, schedule
+	// mismatch, malformed frame).
+	Refused uint64
+}
+
+// peer is one remote coordinator as this one sees it.
+type peer struct {
+	url string
+
+	mu sync.Mutex
+	// known maps origin -> the coverage version this peer acknowledged
+	// holding (from its last response digest); deltas are sent only for
+	// origins it lags on.
+	known map[string]uint64
+	// failures counts consecutive failed exchanges; lastOK is the wall
+	// time of the last success (zero before the first).
+	failures int
+	lastOK   time.Time
+	rng      stats.RNG
+}
+
+// state derives the peer's health state from its failure count.
+func (p *peer) state(suspectAfter, deadAfter int) string {
+	switch {
+	case p.failures >= deadAfter:
+		return PeerDead
+	case p.failures >= suspectAfter:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// Federation runs one coordinator's side of the gossip protocol. All methods
+// are safe for concurrent use; none of them is ever called by, or blocks,
+// the scheduler's Assign path.
+type Federation struct {
+	cfg    Config
+	sched  *scheduler.Scheduler
+	client *http.Client
+	peers  []*peer
+
+	rounds   atomic.Uint64
+	failures atomic.Uint64
+	merged   atomic.Uint64
+	served   atomic.Uint64
+	refused  atomic.Uint64
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a Federation. It does not start probing; call Start for the
+// background loops or RunRound to step exchanges explicitly (what the
+// deterministic chaos scenarios do).
+func New(cfg Config) (*Federation, error) {
+	if cfg.Origin == "" {
+		return nil, fmt.Errorf("coordfed: Origin is required")
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("coordfed: Scheduler is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter + 5
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	f := &Federation{
+		cfg:    cfg,
+		sched:  cfg.Scheduler,
+		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		closed: make(chan struct{}),
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	for i, url := range cfg.Peers {
+		f.peers = append(f.peers, &peer{
+			url:   url,
+			known: make(map[string]uint64),
+			rng:   stats.RNGFrom(seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)),
+		})
+	}
+	return f, nil
+}
+
+// Origin returns this coordinator's federation identity.
+func (f *Federation) Origin() string { return f.cfg.Origin }
+
+// Start launches one probe goroutine per peer. Each loop sleeps a
+// full-jittered interval between rounds — or the SDK's capped, jittered
+// exponential backoff while the peer is failing — then exchanges once.
+func (f *Federation) Start() {
+	f.startOnce.Do(func() {
+		for _, p := range f.peers {
+			f.wg.Add(1)
+			go f.probeLoop(p)
+		}
+	})
+}
+
+// Close stops the probe loops and waits for them. It never touches the
+// scheduler: the last merged view keeps serving assignments.
+func (f *Federation) Close() {
+	f.closeOnce.Do(func() { close(f.closed) })
+	f.wg.Wait()
+}
+
+func (f *Federation) probeLoop(p *peer) {
+	defer f.wg.Done()
+	timer := time.NewTimer(f.nextDelay(p))
+	defer timer.Stop()
+	for {
+		select {
+		case <-f.closed:
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
+		f.exchange(ctx, p)
+		cancel()
+		timer.Reset(f.nextDelay(p))
+	}
+}
+
+// nextDelay computes the sleep before the peer's next round: the
+// full-jittered interval while healthy, the SDK backoff policy (base =
+// interval, capped at MaxBackoff, full jitter) after failures — both drawn
+// from the peer's seeded RNG so campaigns replay.
+func (f *Federation) nextDelay(p *peer) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failures > 0 {
+		return api.BackoffDelay(f.cfg.Interval, f.cfg.MaxBackoff, p.failures, p.rng.Int63n)
+	}
+	half := f.cfg.Interval / 2
+	if half <= 0 {
+		return f.cfg.Interval
+	}
+	return half + time.Duration(p.rng.Int63n(int64(half)+1))
+}
+
+// RunRound performs one synchronous exchange with every peer in
+// configuration order. The chaos scenarios and tests step the protocol with
+// it instead of racing wall-clock probe loops; each call is one
+// deterministic anti-entropy round.
+func (f *Federation) RunRound(ctx context.Context) {
+	for _, p := range f.peers {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		f.exchange(ctx, p)
+	}
+}
+
+// exchange runs one push-pull gossip with a peer: send digest + owed deltas,
+// merge the response's deltas, and record the peer's acknowledged versions.
+func (f *Federation) exchange(ctx context.Context, p *peer) {
+	f.rounds.Add(1)
+
+	p.mu.Lock()
+	known := make(map[string]uint64, len(p.known))
+	for o, v := range p.known {
+		known[o] = v
+	}
+	p.mu.Unlock()
+
+	g := &wire.Gossip{
+		From:         f.cfg.Origin,
+		Anchor:       f.sched.Anchor(),
+		ScheduleHash: f.sched.ScheduleHash(),
+		Digest:       f.digest(),
+		Deltas:       f.deltasFor(known),
+	}
+	body := wire.AppendGossipFrame(nil, g)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+api.V2GossipPath, bytes.NewReader(body))
+	if err != nil {
+		f.fail(p, err)
+		return
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeGossip)
+	if f.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+f.cfg.Token)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.fail(p, err)
+		return
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		f.fail(p, fmt.Errorf("peer answered %d", resp.StatusCode))
+		return
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, wire.FrameHeaderLen+wire.MaxFramePayload+1))
+	if err != nil {
+		f.fail(p, err)
+		return
+	}
+	reply, err := decodeGossipFrame(respBody)
+	if err != nil {
+		f.fail(p, err)
+		return
+	}
+	if reply.ScheduleHash != f.sched.ScheduleHash() {
+		f.fail(p, fmt.Errorf("schedule hash mismatch"))
+		return
+	}
+	f.sched.AdoptAnchor(reply.Anchor)
+	f.mergeDeltas(reply.Deltas)
+
+	p.mu.Lock()
+	for _, d := range reply.Digest {
+		if d.Version > p.known[d.Origin] {
+			p.known[d.Origin] = d.Version
+		}
+	}
+	if p.failures >= f.cfg.SuspectAfter {
+		f.cfg.Logf("coordfed: peer %s recovered after %d failed rounds", p.url, p.failures)
+	}
+	p.failures = 0
+	p.lastOK = time.Now()
+	p.mu.Unlock()
+}
+
+// fail records one failed exchange and logs the peer's state transitions.
+func (f *Federation) fail(p *peer, err error) {
+	f.failures.Add(1)
+	p.mu.Lock()
+	p.failures++
+	n := p.failures
+	p.mu.Unlock()
+	switch n {
+	case f.cfg.SuspectAfter:
+		f.cfg.Logf("coordfed: peer %s suspect after %d missed rounds (%v)", p.url, n, err)
+	case f.cfg.DeadAfter:
+		f.cfg.Logf("coordfed: peer %s dead after %d missed rounds (%v)", p.url, n, err)
+	}
+}
+
+// digest lists every origin this coordinator knows — itself plus every
+// merged remote — with the coverage version it holds, sorted for
+// deterministic frames.
+func (f *Federation) digest() []wire.GossipDigest {
+	known := f.sched.KnownOrigins()
+	dig := make([]wire.GossipDigest, 0, len(known)+1)
+	dig = append(dig, wire.GossipDigest{Origin: f.cfg.Origin, Version: f.sched.CoverageVersion()})
+	for _, origin := range sortedOrigins(known) {
+		if origin == f.cfg.Origin {
+			continue
+		}
+		dig = append(dig, wire.GossipDigest{Origin: origin, Version: known[origin]})
+	}
+	return dig
+}
+
+// deltasFor builds the full per-origin states the receiver lacks, judged
+// against the versions it last acknowledged: the local contribution plus
+// relayed third-party origins.
+func (f *Federation) deltasFor(acked map[string]uint64) []wire.GossipDelta {
+	var out []wire.GossipDelta
+	if v := f.sched.CoverageVersion(); v > acked[f.cfg.Origin] {
+		out = append(out, stateToDelta(f.cfg.Origin, f.sched.LocalCoverage()))
+	}
+	known := f.sched.KnownOrigins()
+	for _, origin := range sortedOrigins(known) {
+		if origin == f.cfg.Origin || known[origin] <= acked[origin] {
+			continue
+		}
+		if cs, ok := f.sched.RemoteCoverage(origin); ok {
+			out = append(out, stateToDelta(origin, cs))
+		}
+	}
+	return out
+}
+
+// mergeDeltas merges received per-origin states, skipping any delta claiming
+// this coordinator's own origin: the local counters are authoritative, and
+// merging an echo of them as remote state would double-count.
+func (f *Federation) mergeDeltas(deltas []wire.GossipDelta) {
+	for _, d := range deltas {
+		if d.Origin == f.cfg.Origin {
+			continue
+		}
+		f.sched.MergeCoverage(d.Origin, deltaToState(d))
+		f.merged.Add(1)
+	}
+}
+
+// Handler serves POST /v2/gossip: authenticate, decode, refuse schedule
+// mismatches, merge the requester's deltas and anchor, and answer with the
+// post-merge digest plus the states the requester's digest proved it lacks.
+func (f *Federation) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if f.cfg.Token != "" &&
+			subtle.ConstantTimeCompare([]byte(api.BearerToken(r)), []byte(f.cfg.Token)) != 1 {
+			f.refused.Add(1)
+			api.WriteError(w, api.Errorf(api.CodeUnauthorizedPeer, "gossip requires the federation token"))
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, wire.FrameHeaderLen+wire.MaxFramePayload+1))
+		if err != nil {
+			f.refused.Add(1)
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "reading gossip body"))
+			return
+		}
+		g, err := decodeGossipFrame(body)
+		if err != nil {
+			f.refused.Add(1)
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "malformed gossip frame"))
+			return
+		}
+		if g.ScheduleHash != f.sched.ScheduleHash() {
+			f.refused.Add(1)
+			f.cfg.Logf("coordfed: refusing gossip from %s: schedule hash %x != %x", g.From, g.ScheduleHash, f.sched.ScheduleHash())
+			api.WriteError(w, api.Errorf(api.CodeScheduleMismatch, "peer %s runs a different task set or quorum window", g.From))
+			return
+		}
+		f.sched.AdoptAnchor(g.Anchor)
+		f.mergeDeltas(g.Deltas)
+
+		acked := make(map[string]uint64, len(g.Digest))
+		for _, d := range g.Digest {
+			acked[d.Origin] = d.Version
+		}
+		reply := &wire.Gossip{
+			From:         f.cfg.Origin,
+			Anchor:       f.sched.Anchor(),
+			ScheduleHash: f.sched.ScheduleHash(),
+			Digest:       f.digest(),
+			Deltas:       f.deltasFor(acked),
+		}
+		f.served.Add(1)
+		w.Header().Set("Content-Type", wire.ContentTypeGossip)
+		_, _ = w.Write(wire.AppendGossipFrame(nil, reply))
+	}
+}
+
+// PeerHealth reports every peer's gossip state for /v2/healthz.
+func (f *Federation) PeerHealth(now time.Time) []api.PeerHealth {
+	out := make([]api.PeerHealth, 0, len(f.peers))
+	for _, p := range f.peers {
+		p.mu.Lock()
+		ph := api.PeerHealth{
+			URL:                 p.url,
+			State:               p.state(f.cfg.SuspectAfter, f.cfg.DeadAfter),
+			ConsecutiveFailures: p.failures,
+			LagMillis:           -1,
+		}
+		if !p.lastOK.IsZero() {
+			ph.LagMillis = now.Sub(p.lastOK).Milliseconds()
+			if ph.LagMillis < 0 {
+				ph.LagMillis = 0
+			}
+		}
+		p.mu.Unlock()
+		out = append(out, ph)
+	}
+	return out
+}
+
+// Degraded reports whether a quorum of the coordinator set (peers plus this
+// coordinator, counting itself reachable) is currently unreachable. A
+// degraded coordinator keeps assigning from its last merged view; the status
+// is advice to operators, never a gate on Assign.
+func (f *Federation) Degraded() bool {
+	if len(f.peers) == 0 {
+		return false
+	}
+	reachable := 1 // self
+	for _, p := range f.peers {
+		p.mu.Lock()
+		if p.failures < f.cfg.SuspectAfter {
+			reachable++
+		}
+		p.mu.Unlock()
+	}
+	total := len(f.peers) + 1
+	return reachable < total/2+1
+}
+
+// Stats returns a snapshot of the federation's counters.
+func (f *Federation) Stats() Stats {
+	return Stats{
+		Rounds:       f.rounds.Load(),
+		Failures:     f.failures.Load(),
+		MergedDeltas: f.merged.Load(),
+		Served:       f.served.Load(),
+		Refused:      f.refused.Load(),
+	}
+}
+
+// decodeGossipFrame validates one CRC frame and decodes its gossip payload.
+func decodeGossipFrame(body []byte) (wire.Gossip, error) {
+	if len(body) < wire.FrameHeaderLen {
+		return wire.Gossip{}, wire.ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(body[0:4])
+	if uint64(n) > wire.MaxFramePayload {
+		return wire.Gossip{}, wire.ErrFrameLength
+	}
+	if len(body) != wire.FrameHeaderLen+int(n) {
+		return wire.Gossip{}, wire.ErrTruncated
+	}
+	payload := body[wire.FrameHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(body[4:8]) {
+		return wire.Gossip{}, wire.ErrChecksum
+	}
+	return wire.DecodeGossip(payload)
+}
+
+// stateToDelta converts a scheduler coverage state to its wire form.
+func stateToDelta(origin string, cs scheduler.CoverageState) wire.GossipDelta {
+	d := wire.GossipDelta{Origin: origin, Version: cs.Version}
+	for _, rc := range cs.Regions {
+		d.Regions = append(d.Regions, wire.GossipRegion{Region: rc.Region, Counts: rc.Counts})
+	}
+	return d
+}
+
+// deltaToState converts a wire delta to the scheduler's merge input.
+func deltaToState(d wire.GossipDelta) scheduler.CoverageState {
+	cs := scheduler.CoverageState{Version: d.Version}
+	for _, r := range d.Regions {
+		cs.Regions = append(cs.Regions, scheduler.RegionCounts{Region: r.Region, Counts: r.Counts})
+	}
+	return cs
+}
+
+// sortedOrigins returns the map's keys sorted, for deterministic frames.
+func sortedOrigins(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for o := range m {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,404 @@
+package coordfed
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"encore/internal/api"
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/pipeline"
+	"encore/internal/scheduler"
+	"encore/internal/wire"
+)
+
+// fedTaskSet builds the balance-test task set: one script-only focus pattern
+// plus image patterns every family can measure, so Firefox clients always
+// take the balanced pick path.
+func fedTaskSet(patterns int) *pipeline.TaskSet {
+	ts := pipeline.NewTaskSet()
+	ts.Add(pipeline.Candidate{PatternKey: "domain:aaa-script-only.org", Type: core.TaskScript,
+		TargetURL: "http://aaa-script-only.org/app.js", Strict: true})
+	for i := 1; i < patterns; i++ {
+		d := fmt.Sprintf("balance%02d.example.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+	}
+	return ts
+}
+
+func newFedScheduler(seed uint64, window time.Duration) *scheduler.Scheduler {
+	cfg := scheduler.DefaultConfig()
+	cfg.QuorumWindow = window
+	cfg.Seed = seed
+	return scheduler.New(fedTaskSet(6), cfg)
+}
+
+// testNode is one coordinator for the unit tests: a scheduler with the
+// gossip handler mounted on a loopback server.
+type testNode struct {
+	sched *scheduler.Scheduler
+	fed   *Federation
+	srv   *httptest.Server
+}
+
+func (n *testNode) close() {
+	if n.fed != nil {
+		n.fed.Close()
+	}
+	if n.srv != nil {
+		n.srv.Close()
+	}
+}
+
+// newCluster builds k nodes fully meshed over loopback HTTP. Federations are
+// created but not Start()ed; tests step them with RunRound.
+func newCluster(t *testing.T, k int, window time.Duration, token string) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, k)
+	for i := range nodes {
+		nodes[i] = &testNode{sched: newFedScheduler(uint64(i+1), window)}
+		i := i
+		nodes[i].srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			nodes[i].fed.Handler()(w, r)
+		}))
+	}
+	for i, n := range nodes {
+		var peers []string
+		for j, p := range nodes {
+			if j != i {
+				peers = append(peers, p.srv.URL)
+			}
+		}
+		fed, err := New(Config{
+			Origin:    fmt.Sprintf("c%d", i),
+			Scheduler: n.sched,
+			Peers:     peers,
+			Token:     token,
+			Seed:      uint64(1000 + i),
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		n.fed = fed
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	})
+	return nodes
+}
+
+func driveNode(n *testNode, region geo.CountryCode, picks int) {
+	at := time.Unix(6_000_000, 0)
+	client := scheduler.ClientInfo{Region: region, Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}
+	for i := 0; i < picks; i++ {
+		n.sched.Assign(client, at)
+	}
+}
+
+// viewsEqual asserts every node reports the identical global count for every
+// (pattern, region).
+func viewsEqual(t *testing.T, nodes []*testNode, regions []geo.CountryCode) {
+	t.Helper()
+	keys := nodes[0].sched.PatternKeys()
+	for _, key := range keys {
+		for _, region := range regions {
+			want := nodes[0].sched.GlobalAssignments(key, region)
+			for i, n := range nodes[1:] {
+				if got := n.sched.GlobalAssignments(key, region); got != want {
+					t.Fatalf("node %d global[%s/%s]=%d, node 0 has %d", i+1, key, region, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeConvergesTwoNodes(t *testing.T) {
+	nodes := newCluster(t, 2, 1000*time.Hour, "")
+	driveNode(nodes[0], "US", 17)
+	driveNode(nodes[1], "PK", 23)
+
+	// One push-pull round from node 0 converges both directions.
+	nodes[0].fed.RunRound(context.Background())
+	viewsEqual(t, nodes, []geo.CountryCode{"US", "PK"})
+
+	// The global view equals the sum of the local contributions.
+	keys := nodes[0].sched.PatternKeys()
+	sumUS, sumPK := 0, 0
+	for _, key := range keys {
+		sumUS += nodes[0].sched.GlobalAssignments(key, "US")
+		sumPK += nodes[0].sched.GlobalAssignments(key, "PK")
+	}
+	if sumUS != 17 || sumPK != 23 {
+		t.Fatalf("merged totals US=%d PK=%d, want 17/23", sumUS, sumPK)
+	}
+
+	// Anchors converged to the minimum (both assigned at the same instant,
+	// so they are equal — and equal to each node's view).
+	if a, b := nodes[0].sched.Anchor(), nodes[1].sched.Anchor(); a != b || a == 0 {
+		t.Fatalf("anchors diverged: %d vs %d", a, b)
+	}
+
+	st := nodes[0].fed.Stats()
+	if st.Rounds == 0 || st.MergedDeltas == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+}
+
+func TestExchangeIsIdempotentAcrossRounds(t *testing.T) {
+	nodes := newCluster(t, 3, 1000*time.Hour, "")
+	driveNode(nodes[0], "US", 10)
+	driveNode(nodes[1], "PK", 12)
+	driveNode(nodes[2], "CN", 14)
+	for round := 0; round < 3; round++ {
+		for _, n := range nodes {
+			n.fed.RunRound(context.Background())
+		}
+	}
+	snapshot := nodes[0].sched.CoverageSnapshot()
+	// Extra duplicated rounds must change nothing.
+	for round := 0; round < 3; round++ {
+		for _, n := range nodes {
+			n.fed.RunRound(context.Background())
+		}
+	}
+	viewsEqual(t, nodes, []geo.CountryCode{"US", "PK", "CN"})
+	after := nodes[0].sched.CoverageSnapshot()
+	if fmt.Sprint(snapshot) != fmt.Sprint(after) {
+		t.Fatal("duplicated gossip rounds changed the converged coverage view")
+	}
+}
+
+func TestExchangeRelaysTransitively(t *testing.T) {
+	// Chain topology: a <-> b <-> c; a and c are not peers.
+	nodes := make([]*testNode, 3)
+	for i := range nodes {
+		nodes[i] = &testNode{sched: newFedScheduler(uint64(i+1), 1000*time.Hour)}
+		i := i
+		nodes[i].srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			nodes[i].fed.Handler()(w, r)
+		}))
+		defer nodes[i].close()
+	}
+	mk := func(i int, peers ...string) *Federation {
+		fed, err := New(Config{Origin: fmt.Sprintf("c%d", i), Scheduler: nodes[i].sched, Peers: peers, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+	nodes[0].fed = mk(0, nodes[1].srv.URL)
+	nodes[1].fed = mk(1, nodes[0].srv.URL, nodes[2].srv.URL)
+	nodes[2].fed = mk(2, nodes[1].srv.URL)
+
+	driveNode(nodes[0], "US", 9)
+	nodes[0].fed.RunRound(context.Background()) // a -> b
+	nodes[2].fed.RunRound(context.Background()) // c <-> b: b relays a's state
+	key := nodes[0].sched.PatternKeys()[1]
+	if got, want := nodes[2].sched.GlobalAssignments(key, "US"), nodes[0].sched.Assignments(key, "US"); got != want {
+		t.Fatalf("c's relayed view of a: %d, want %d", got, want)
+	}
+}
+
+func TestGossipAuth(t *testing.T) {
+	nodes := newCluster(t, 2, 1000*time.Hour, "sekrit")
+	driveNode(nodes[0], "US", 5)
+	// Correct token converges.
+	nodes[0].fed.RunRound(context.Background())
+	viewsEqual(t, nodes, []geo.CountryCode{"US"})
+
+	// A requester without the token is refused with the typed 403.
+	g := &wire.Gossip{From: "intruder", ScheduleHash: nodes[1].sched.ScheduleHash()}
+	resp, err := http.Post(nodes[1].srv.URL+api.V2GossipPath, wire.ContentTypeGossip,
+		bytes.NewReader(wire.AppendGossipFrame(nil, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated gossip got %d, want 403", resp.StatusCode)
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != api.CodeUnauthorizedPeer {
+		t.Fatalf("error code %q, want %q", apiErr.Code, api.CodeUnauthorizedPeer)
+	}
+	if nodes[1].fed.Stats().Refused == 0 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+func TestGossipScheduleMismatch(t *testing.T) {
+	nodes := newCluster(t, 2, 1000*time.Hour, "")
+	g := &wire.Gossip{From: "other", ScheduleHash: 12345}
+	resp, err := http.Post(nodes[0].srv.URL+api.V2GossipPath, wire.ContentTypeGossip,
+		bytes.NewReader(wire.AppendGossipFrame(nil, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched gossip got %d, want 409", resp.StatusCode)
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != api.CodeScheduleMismatch {
+		t.Fatalf("error code %q, want %q", apiErr.Code, api.CodeScheduleMismatch)
+	}
+
+	// And a client whose peer runs a different window marks the exchange
+	// failed rather than merging anything.
+	other := &testNode{sched: newFedScheduler(9, 999*time.Hour)}
+	other.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		other.fed.Handler()(w, r)
+	}))
+	defer other.close()
+	fed, err := New(Config{Origin: "cx", Scheduler: other.sched, Peers: []string{nodes[0].srv.URL}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.fed = fed
+	other.fed.RunRound(context.Background())
+	if st := other.fed.Stats(); st.Failures != 1 {
+		t.Fatalf("mismatched exchange failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestGossipMalformedBody(t *testing.T) {
+	nodes := newCluster(t, 2, 1000*time.Hour, "")
+	for _, body := range [][]byte{nil, []byte("not a frame"), make([]byte, wire.FrameHeaderLen)} {
+		resp, err := http.Post(nodes[0].srv.URL+api.V2GossipPath, wire.ContentTypeGossip, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && body != nil {
+			t.Fatalf("malformed gossip body got %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestPeerStatesAndDegraded(t *testing.T) {
+	sched := newFedScheduler(1, 1000*time.Hour)
+	fed, err := New(Config{
+		Origin:    "lonely",
+		Scheduler: sched,
+		// An address nothing listens on: every exchange fails fast.
+		Peers:        []string{"http://127.0.0.1:9", "http://127.0.0.1:10"},
+		SuspectAfter: 2,
+		DeadAfter:    4,
+		Timeout:      200 * time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Degraded() {
+		t.Fatal("fresh federation must not be degraded before any missed round")
+	}
+	for i := 0; i < 4; i++ {
+		fed.RunRound(context.Background())
+	}
+	health := fed.PeerHealth(time.Now())
+	if len(health) != 2 {
+		t.Fatalf("PeerHealth reported %d peers, want 2", len(health))
+	}
+	for _, ph := range health {
+		if ph.State != PeerDead {
+			t.Fatalf("peer %s state %q after 4 missed rounds, want dead", ph.URL, ph.State)
+		}
+		if ph.ConsecutiveFailures != 4 {
+			t.Fatalf("failures = %d, want 4", ph.ConsecutiveFailures)
+		}
+		if ph.LagMillis != -1 {
+			t.Fatalf("lag = %d before any success, want -1", ph.LagMillis)
+		}
+	}
+	// Both peers unreachable out of a 3-node set: quorum (2) lost.
+	if !fed.Degraded() {
+		t.Fatal("federation must report degraded with a quorum unreachable")
+	}
+	// Assignment still proceeds — degraded, never down.
+	at := time.Unix(6_000_000, 0)
+	tasks := sched.Assign(scheduler.ClientInfo{Region: "US", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}, at)
+	if len(tasks) == 0 {
+		t.Fatal("Assign blocked while degraded")
+	}
+}
+
+func TestDegradedQuorumMath(t *testing.T) {
+	// K=3: one dead peer of two leaves 2/3 reachable — still quorum.
+	nodes := newCluster(t, 3, 1000*time.Hour, "")
+	nodes[1].srv.Close() // kill one peer's listener
+	for i := 0; i < 3; i++ {
+		nodes[0].fed.RunRound(context.Background())
+	}
+	if nodes[0].fed.Degraded() {
+		t.Fatal("one dead peer of two must not be degraded (quorum = 2 of 3, self counts)")
+	}
+}
+
+func TestNextDelayJitterBounds(t *testing.T) {
+	sched := newFedScheduler(1, 1000*time.Hour)
+	fed, err := New(Config{
+		Origin: "j", Scheduler: sched, Peers: []string{"http://127.0.0.1:9"},
+		Interval: time.Second, MaxBackoff: 8 * time.Second, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fed.peers[0]
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := fed.nextDelay(p)
+		if d < time.Second/2 || d > time.Second {
+			t.Fatalf("healthy delay %v outside [interval/2, interval]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("healthy delays barely vary (%d distinct values in 200 draws): jitter missing", len(seen))
+	}
+	// Failing peers back off exponentially with full jitter, capped.
+	p.mu.Lock()
+	p.failures = 20
+	p.mu.Unlock()
+	for i := 0; i < 100; i++ {
+		d := fed.nextDelay(p)
+		if d < 4*time.Second || d > 8*time.Second {
+			t.Fatalf("capped backoff %v outside [max/2, max]", d)
+		}
+	}
+}
+
+func TestHealthzViaHandler(t *testing.T) {
+	// PeerHealth + Degraded surface through api.HealthResponse fields the
+	// coordserver attaches; pin the JSON shape here where the types meet.
+	sched := newFedScheduler(1, 1000*time.Hour)
+	fed, err := New(Config{Origin: "c0", Scheduler: sched, Peers: []string{"http://127.0.0.1:9"}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := api.HealthResponse{Status: api.StatusOK, Origin: fed.Origin(), Peers: fed.PeerHealth(time.Now())}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"origin":"c0"`, `"peers":[`, `"state":"alive"`, `"lag_millis":-1`} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("health JSON %s missing %s", raw, want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"encore/internal/api"
 	"encore/internal/collectserver"
+	"encore/internal/coordfed"
 	"encore/internal/core"
 	"encore/internal/geo"
 	"encore/internal/results"
@@ -42,8 +43,21 @@ type Server struct {
 	// obfuscated per client, as the paper's coordination server does
 	// (Appendix A, §8) to resist DPI-based blocking.
 	Obfuscate bool
+	// Federation, when set, makes this a replicated coordinator: the
+	// router mounts POST /v2/gossip and /v2/healthz reports the federation
+	// origin, per-peer gossip health, and status "degraded" while a quorum
+	// of the coordinator set is unreachable. Set it before the first
+	// request, like every other configuration field.
+	Federation *coordfed.Federation
 
 	served uint64
+
+	// covMu guards covBuf, the reusable coverage snapshot buffer behind
+	// /coverage.json: dashboards poll the endpoint continuously, and reusing
+	// one buffer (entries and maps) keeps steady-state polling from
+	// re-allocating the whole snapshot per request.
+	covMu  sync.Mutex
+	covBuf []scheduler.RegionCoverage
 
 	// router dispatches HTTP requests; built lazily on the first request
 	// from the configuration fields above (all of which must be set before
@@ -99,6 +113,9 @@ func (s *Server) buildRouter() *api.Router {
 	rt.Alias("/v1"+api.V1CoveragePath, api.V1CoveragePath)
 	rt.HandleFunc(http.MethodGet, api.V2TasksPath, s.handleTasksV2)
 	rt.HandleFunc(http.MethodGet, api.V2HealthPath, s.handleHealthV2)
+	if s.Federation != nil {
+		rt.HandleFunc(http.MethodPost, api.V2GossipPath, s.Federation.Handler())
+	}
 	return rt
 }
 
@@ -108,13 +125,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ok: %d task responses served, %d tasks assigned\n", s.TasksServed(), s.TasksAssigned())
 }
 
-// handleHealthV2 answers GET /v2/healthz with structured health.
+// handleHealthV2 answers GET /v2/healthz with structured health. A federated
+// coordinator adds its origin and per-peer gossip state, and reports
+// "degraded" while a quorum of the coordinator set is unreachable — it keeps
+// assigning tasks from its last merged coverage view the whole time.
 func (s *Server) handleHealthV2(w http.ResponseWriter, _ *http.Request) {
-	api.WriteJSON(w, http.StatusOK, api.HealthResponse{
+	resp := api.HealthResponse{
 		Status:        api.StatusOK,
 		TasksServed:   s.TasksServed(),
 		TasksAssigned: s.TasksAssigned(),
-	})
+	}
+	if f := s.Federation; f != nil {
+		resp.Origin = f.Origin()
+		resp.Peers = f.PeerHealth(s.Now())
+		if f.Degraded() {
+			resp.Status = api.StatusDegraded
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleTasksV2 answers GET /v2/tasks with the structured form of the same
@@ -158,9 +186,14 @@ func (s *Server) handleTasksV2(w http.ResponseWriter, r *http.Request) {
 // monitoring dashboards: how many assignments each pattern has received from
 // each region, plus the min/max balance the per-region least-covered index
 // maintains. Snapshotting locks each region shard only long enough to copy
-// its counters, so polling this endpoint never stalls assignment.
+// its counters, so polling this endpoint never stalls assignment; the
+// snapshot buffer is reused across requests (serialized by covMu) so
+// steady-state polling does not re-allocate it.
 func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	s.covMu.Lock()
+	defer s.covMu.Unlock()
+	s.covBuf = s.Scheduler.CoverageSnapshotInto(s.covBuf)
 	payload := struct {
 		TasksServed   uint64                     `json:"tasksServed"`
 		TasksAssigned uint64                     `json:"tasksAssigned"`
@@ -170,7 +203,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, _ *http.Request) {
 		TasksServed:   s.TasksServed(),
 		TasksAssigned: s.TasksAssigned(),
 		Focus:         s.Scheduler.FocusPattern(s.Now()),
-		Regions:       s.Scheduler.CoverageSnapshot(),
+		Regions:       s.covBuf,
 	}
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

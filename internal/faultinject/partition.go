@@ -1,0 +1,106 @@
+package faultinject
+
+// The partition surface. Partition models a network partition as a shared
+// connectivity matrix over named nodes: chaos scenarios wrap each node's
+// outbound transport with Link, then flip the whole topology atomically with
+// Isolate (split the nodes into disconnected groups) and Heal (restore full
+// connectivity). A request across a severed link fails with
+// ErrInjectedReset before reaching the wire — exactly what a coordinator
+// sees when a peer becomes unreachable — and because the matrix is shared,
+// a partition is always symmetric and consistent across every wrapped
+// transport, the way a real network split is.
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Partition is a shared, atomically switchable connectivity matrix. The
+// zero-value-equivalent NewPartition() starts fully connected. Safe for
+// concurrent use.
+type Partition struct {
+	mu sync.Mutex
+	// group maps node name -> partition group; nodes in different groups
+	// cannot reach each other. nil means fully connected.
+	group map[string]int
+	// severed counts requests failed by the partition.
+	severed uint64
+}
+
+// NewPartition returns a fully connected partition.
+func NewPartition() *Partition {
+	return &Partition{}
+}
+
+// Isolate splits the topology into the given groups: nodes within one group
+// reach each other, nodes in different groups (or in no group at all) do
+// not. It replaces any previous topology atomically.
+func (p *Partition) Isolate(groups ...[]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = make(map[string]int)
+	for i, g := range groups {
+		for _, node := range g {
+			p.group[node] = i
+		}
+	}
+}
+
+// Heal restores full connectivity.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = nil
+}
+
+// Connected reports whether src can currently reach dst.
+func (p *Partition) Connected(src, dst string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.group == nil {
+		return true
+	}
+	sg, okS := p.group[src]
+	dg, okD := p.group[dst]
+	return okS && okD && sg == dg
+}
+
+// Severed counts the requests the partition has failed so far.
+func (p *Partition) Severed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.severed
+}
+
+// Link wraps inner (nil means http.DefaultTransport) as node src's outbound
+// transport: requests to a host src cannot currently reach fail with
+// ErrInjectedReset. The destination node is the request URL's host
+// (including port), matching how scenarios name nodes after their listen
+// addresses.
+func (p *Partition) Link(src string, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &partitionLink{partition: p, src: src, inner: inner}
+}
+
+// partitionLink is one node's view of the shared partition.
+type partitionLink struct {
+	partition *Partition
+	src       string
+	inner     http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (l *partitionLink) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !l.partition.Connected(l.src, req.URL.Host) {
+		l.partition.mu.Lock()
+		l.partition.severed++
+		l.partition.mu.Unlock()
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	return l.inner.RoundTrip(req)
+}

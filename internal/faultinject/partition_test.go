@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPartitionConnectivityMatrix(t *testing.T) {
+	p := NewPartition()
+	// Fully connected by default, including unnamed nodes.
+	if !p.Connected("a", "b") || !p.Connected("x", "y") {
+		t.Fatal("fresh partition must be fully connected")
+	}
+	p.Isolate([]string{"a"}, []string{"b", "c"})
+	cases := []struct {
+		src, dst string
+		want     bool
+	}{
+		{"a", "a", true},  // same group
+		{"b", "c", true},  // same group
+		{"c", "b", true},  // symmetric
+		{"a", "b", false}, // across groups
+		{"b", "a", false}, // symmetric severing
+		{"a", "z", false}, // z is in no group
+		{"z", "b", false},
+	}
+	for _, tc := range cases {
+		if got := p.Connected(tc.src, tc.dst); got != tc.want {
+			t.Errorf("Connected(%s, %s) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+	p.Heal()
+	if !p.Connected("a", "b") || !p.Connected("a", "z") {
+		t.Fatal("Heal must restore full connectivity")
+	}
+}
+
+func TestPartitionLinkSeversRequests(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	p := NewPartition()
+	client := &http.Client{Transport: p.Link("me", nil)}
+
+	// Connected: the request goes through.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("connected request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Severed: the request dies with the injected reset, body closed, and
+	// the severed counter advances.
+	p.Isolate([]string{"me"}, []string{host})
+	body := &closeTrackingReader{}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, body)
+	if _, err := client.Do(req); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("severed request error = %v, want ErrInjectedReset", err)
+	}
+	if !body.closed {
+		t.Fatal("severed request must close the request body per the RoundTripper contract")
+	}
+	if p.Severed() != 1 {
+		t.Fatalf("Severed() = %d, want 1", p.Severed())
+	}
+
+	// Healed: traffic resumes on the same client.
+	p.Heal()
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestPartitionSharedMatrix verifies a single Partition flips every wrapped
+// transport atomically and is safe under concurrent topology changes.
+func TestPartitionSharedMatrix(t *testing.T) {
+	p := NewPartition()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g % 3 {
+				case 0:
+					p.Isolate([]string{"a"}, []string{"b"})
+				case 1:
+					p.Heal()
+				default:
+					p.Connected("a", "b")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+type closeTrackingReader struct{ closed bool }
+
+func (r *closeTrackingReader) Read([]byte) (int, error) { return 0, io.EOF }
+func (r *closeTrackingReader) Close() error             { r.closed = true; return nil }

@@ -1,9 +1,11 @@
 package loadgen
 
-// The chaos runner: deterministic full-stack fault campaigns over the three
+// The chaos runner: deterministic full-stack fault campaigns over the four
 // injection surfaces internal/faultinject exposes — the filesystem the WAL
 // writes through, the http.RoundTripper the SDK and federation forwarder
-// dial through, and schedule-driven adversarial censor/netsim grids. Every
+// dial through, schedule-driven adversarial censor/netsim grids, and the
+// replicated coordinator control plane (partitions, crash/restart, gossip
+// storms; see chaos_coord.go). Every
 // scenario runs two arms from the same seed: a fault-free baseline and a
 // faulted arm, then checks the standing invariants (DetectIncremental
 // verdicts equal, nothing dropped with a WAL attached, recovered snapshots
@@ -94,6 +96,9 @@ func ChaosScenarios() []ChaosScenario {
 		{Name: "censor-throttle-ramp", Surface: "censor", run: scenarioCensorThrottleRamp},
 		{Name: "censor-dns-flip", Surface: "censor", run: scenarioCensorDNSFlip},
 		{Name: "churn-backdated", Surface: "censor", run: scenarioChurnBackdated},
+		{Name: "coord-partition-heal", Surface: "coord", run: scenarioCoordPartitionHeal},
+		{Name: "coord-crash-restart", Surface: "coord", run: scenarioCoordCrashRestart},
+		{Name: "coord-gossip-storm", Surface: "coord", run: scenarioCoordGossipStorm},
 	}
 }
 

@@ -35,11 +35,12 @@ func TestChaosSuite(t *testing.T) {
 			}
 		})
 	}
-	// The registry must keep covering every injection surface at least
-	// twice — the acceptance floor for the chaos tier.
-	for _, surface := range []string{"disk", "network", "censor"} {
-		if surfaces[surface] < 2 {
-			t.Errorf("only %d scenarios on the %s surface, want >= 2", surfaces[surface], surface)
+	// The registry must keep covering every injection surface at its
+	// acceptance floor: two per data-path surface, three on the replicated
+	// control plane.
+	for surface, floor := range map[string]int{"disk": 2, "network": 2, "censor": 2, "coord": 3} {
+		if surfaces[surface] < floor {
+			t.Errorf("only %d scenarios on the %s surface, want >= %d", surfaces[surface], surface, floor)
 		}
 	}
 }

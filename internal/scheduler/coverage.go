@@ -1,0 +1,234 @@
+package scheduler
+
+// Mergeable coverage state for the replicated coordinator control plane
+// (internal/coordfed). Each coordinator's per-(region, pattern) assignment
+// counters form a G-counter CRDT keyed by origin coordinator: a coordinator
+// only ever increments its own counters, every other coordinator's view of
+// them is merged by pointwise max, and the balancing heaps order on the sum
+// over all origins. Merges are therefore commutative, idempotent, and
+// monotone — anti-entropy gossip converges no matter how deltas are lost,
+// duplicated, reordered, or relayed through third peers — and merging never
+// touches the assignment fast path beyond the per-region shard lock a local
+// record already takes, so Assign proceeds on the last merged view even when
+// every peer is unreachable.
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"encore/internal/geo"
+)
+
+// RegionCounts is one region's per-pattern assignment counts, indexed by the
+// scheduler's pattern index (the order PatternKeys returns). Counts for
+// patterns outside the regular task set (control extras) are not part of
+// mergeable coverage.
+type RegionCounts struct {
+	Region geo.CountryCode
+	Counts []int64
+}
+
+// CoverageState is one origin coordinator's complete coverage contribution:
+// every region it has recorded assignments for, stamped with a monotone
+// version. Because an origin's counters only grow, a state at a higher
+// version is a pointwise superset of any lower-versioned state from the same
+// origin, which is what lets gossip digests skip origins a peer already has.
+type CoverageState struct {
+	Version uint64
+	Regions []RegionCounts
+}
+
+// computeScheduleHash derives the schedule-compatibility fingerprint two
+// federated coordinators must agree on before merging coverage: the pattern
+// key sequence (merge vectors are indexed by pattern position) and the
+// quorum window (the focus schedule is elapsed/window mod patterns, so a
+// window disagreement would diverge rotations even with equal anchors).
+func computeScheduleHash(keys []string, windowNanos int64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strconv.FormatInt(windowNanos, 10)))
+	for _, k := range keys {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+// ScheduleHash fingerprints everything two coordinators must share for their
+// coverage vectors and focus schedules to be mergeable: the pattern key
+// order and the quorum window. Gossip exchanges carry it and refuse peers
+// whose hash differs.
+func (s *Scheduler) ScheduleHash() uint64 { return s.scheduleHash }
+
+// CoverageVersion returns the monotone version of this scheduler's own
+// (locally recorded) coverage state. It advances on every recorded
+// assignment to a regular pattern, so a peer holding version v has seen
+// every increment up to v.
+func (s *Scheduler) CoverageVersion() uint64 { return s.recorded.Load() }
+
+// Anchor returns the focus-rotation epoch anchor (0 before the first
+// assignment installs one).
+func (s *Scheduler) Anchor() int64 { return s.epochNanos.Load() }
+
+// AdoptAnchor merges a peer's rotation anchor under the federation's
+// deterministic agreement rule: the minimum non-zero anchor wins. Because
+// min is commutative, associative, and idempotent, every coordinator that
+// has seen the same set of anchors derives the identical focus schedule from
+// FocusPattern's pure (anchor, time) function, regardless of exchange order.
+func (s *Scheduler) AdoptAnchor(anchor int64) {
+	if anchor <= 0 {
+		return
+	}
+	for {
+		cur := s.epochNanos.Load()
+		if cur != 0 && cur <= anchor {
+			return
+		}
+		if s.epochNanos.CompareAndSwap(cur, anchor) {
+			return
+		}
+	}
+}
+
+// LocalCoverage snapshots this scheduler's own coverage contribution — the
+// assignments it recorded itself, excluding anything merged from peers — as
+// the CoverageState gossip pushes to peers. The version is read before the
+// counters are copied: counters recorded mid-snapshot may ride along under
+// the older version, which max-merge absorbs harmlessly (the next delta
+// simply re-sends them).
+func (s *Scheduler) LocalCoverage() CoverageState {
+	cs := CoverageState{Version: s.recorded.Load()}
+	s.shards.Range(func(key, value any) bool {
+		shard := value.(*regionShard)
+		shard.mu.Lock()
+		counts := make([]int64, len(shard.counts))
+		any := false
+		for p, n := range shard.counts {
+			counts[p] = int64(n)
+			if n > 0 {
+				any = true
+			}
+		}
+		shard.mu.Unlock()
+		if any {
+			cs.Regions = append(cs.Regions, RegionCounts{Region: key.(geo.CountryCode), Counts: counts})
+		}
+		return true
+	})
+	sort.Slice(cs.Regions, func(a, b int) bool { return cs.Regions[a].Region < cs.Regions[b].Region })
+	return cs
+}
+
+// RemoteCoverage snapshots a previously merged origin's coverage state, so a
+// coordinator can relay third-party state it learned through gossip —
+// anti-entropy heals transitively even between coordinators that are not
+// direct peers.
+func (s *Scheduler) RemoteCoverage(origin string) (CoverageState, bool) {
+	s.remoteMu.Lock()
+	version, ok := s.remoteVersions[origin]
+	s.remoteMu.Unlock()
+	if !ok {
+		return CoverageState{}, false
+	}
+	cs := CoverageState{Version: version}
+	s.shards.Range(func(key, value any) bool {
+		shard := value.(*regionShard)
+		shard.mu.Lock()
+		vec := shard.remote[origin]
+		var counts []int64
+		if vec != nil {
+			counts = append([]int64(nil), vec...)
+		}
+		shard.mu.Unlock()
+		if counts != nil {
+			cs.Regions = append(cs.Regions, RegionCounts{Region: key.(geo.CountryCode), Counts: counts})
+		}
+		return true
+	})
+	sort.Slice(cs.Regions, func(a, b int) bool { return cs.Regions[a].Region < cs.Regions[b].Region })
+	return cs, true
+}
+
+// KnownOrigins returns the versions of every remote origin this scheduler
+// has merged state from — the remote half of a gossip digest (the caller
+// adds its own origin at CoverageVersion).
+func (s *Scheduler) KnownOrigins() map[string]uint64 {
+	s.remoteMu.Lock()
+	defer s.remoteMu.Unlock()
+	out := make(map[string]uint64, len(s.remoteVersions))
+	for origin, v := range s.remoteVersions {
+		out[origin] = v
+	}
+	return out
+}
+
+// MergeCoverage merges one origin coordinator's coverage state into the
+// global view: per (region, pattern), the origin's contribution becomes the
+// pointwise max of the stored and incoming values, and the balancing heaps
+// are re-sifted under the increased totals. Duplicated, reordered, and stale
+// deltas are all no-ops by construction. Region vectors whose length does
+// not match this scheduler's pattern count are ignored (the gossip layer
+// already refuses peers with a different ScheduleHash; this is the local
+// backstop). Merging an origin's state under the scheduler's own identity is
+// the caller's bug to avoid — the federation layer filters self-deltas.
+func (s *Scheduler) MergeCoverage(origin string, cs CoverageState) {
+	n := s.compiled.NumPatterns()
+	for _, rc := range cs.Regions {
+		if len(rc.Counts) != n || n == 0 {
+			continue
+		}
+		s.shard(rc.Region).mergeOrigin(origin, rc.Counts, s)
+	}
+	s.remoteMu.Lock()
+	if cs.Version > s.remoteVersions[origin] {
+		s.remoteVersions[origin] = cs.Version
+	}
+	s.remoteMu.Unlock()
+}
+
+// GlobalAssignments returns the merged (all origins: local + every merged
+// peer) assignment count for a pattern from a region, plus local control
+// extras when the pattern lies outside the regular set — the global-view
+// counterpart of Assignments.
+func (s *Scheduler) GlobalAssignments(pattern string, region geo.CountryCode) int {
+	v, ok := s.shards.Load(region)
+	if !ok {
+		return 0
+	}
+	shard := v.(*regionShard)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if p, ok := s.compiled.PatternIndex(pattern); ok {
+		return int(shard.global[p]) + shard.extra[pattern]
+	}
+	return shard.extra[pattern]
+}
+
+// mergeOrigin applies one origin's count vector to the shard: pointwise max
+// into the origin's stored vector, with every increase added to the global
+// totals the balancing heaps order on. Totals only grow, so the same
+// sift-down that serves local records restores the heap invariant.
+func (r *regionShard) mergeOrigin(origin string, counts []int64, s *Scheduler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.remote == nil {
+		r.remote = make(map[string][]int64)
+	}
+	cur := r.remote[origin]
+	if cur == nil {
+		cur = make([]int64, len(r.global))
+		r.remote[origin] = cur
+	}
+	for p, v := range counts {
+		if v <= cur[p] {
+			continue
+		}
+		r.global[p] += v - cur[p]
+		cur[p] = v
+		for f := range r.heaps {
+			if i := r.pos[f][p]; i >= 0 {
+				r.siftDown(f, int(i), s.lexRank)
+			}
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package scheduler
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/geo"
+	"encore/internal/pipeline"
+	"encore/internal/stats"
+)
+
+// mergeTestRegions are the regions the merge tests drive traffic from.
+var mergeTestRegions = []geo.CountryCode{"US", "PK", "CN", "IR"}
+
+// newMergeScheduler builds a scheduler over a fixed 6-pattern image-only
+// task set (every family can measure every pattern) with a huge quorum
+// window, so balanced picks and focus behavior are deterministic in time.
+func newMergeScheduler(seed uint64) *Scheduler {
+	cfg := DefaultConfig()
+	cfg.QuorumWindow = 1000 * time.Hour
+	cfg.Seed = seed
+	return New(imageOnlyTaskSet(6), cfg)
+}
+
+// drive records n assignments on s from pseudo-random regions drawn from
+// rng, all at one instant inside the first quorum window.
+func drive(s *Scheduler, rng *stats.RNG, n int) {
+	at := time.Unix(6_000_000, 0)
+	for i := 0; i < n; i++ {
+		region := mergeTestRegions[rng.Intn(len(mergeTestRegions))]
+		s.Assign(ClientInfo{Region: region, Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}, at)
+	}
+}
+
+// globalView reads every (pattern, region) merged count from s.
+func globalView(s *Scheduler) map[string]int {
+	out := make(map[string]int)
+	for _, key := range s.PatternKeys() {
+		for _, region := range mergeTestRegions {
+			out[fmt.Sprintf("%s/%s", key, region)] = s.GlobalAssignments(key, region)
+		}
+	}
+	return out
+}
+
+// TestMergeCoverageConvergesUnderArbitraryInterleavings is the CRDT property
+// pin: K schedulers record independently, and their states are exchanged
+// with duplication, reordering, stale replays, and interleaved fresh local
+// records — and every scheduler still converges to the identical global
+// view, equal to the pointwise sum of every origin's local counts.
+func TestMergeCoverageConvergesUnderArbitraryInterleavings(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := stats.NewRNG(uint64(trial)*0x9e3779b97f4a7c15 + 1)
+		const k = 3
+		scheds := make([]*Scheduler, k)
+		for i := range scheds {
+			scheds[i] = newMergeScheduler(uint64(i + 1))
+			drive(scheds[i], rng, 5+rng.Intn(40))
+		}
+
+		// Capture a stale snapshot of every origin early, then keep
+		// recording, so replaying these later is a strictly stale delta.
+		stale := make([]CoverageState, k)
+		for i := range scheds {
+			stale[i] = scheds[i].LocalCoverage()
+			drive(scheds[i], rng, 1+rng.Intn(20))
+		}
+
+		// Exchange everything everywhere in a random interleaving: each
+		// (src, dst) state delivered 1-3 times in shuffled order, with stale
+		// replays mixed in.
+		type delivery struct {
+			origin string
+			state  CoverageState
+			dst    int
+		}
+		var deliveries []delivery
+		for src := 0; src < k; src++ {
+			origin := fmt.Sprintf("c%d", src)
+			fresh := scheds[src].LocalCoverage()
+			for dst := 0; dst < k; dst++ {
+				if dst == src {
+					continue
+				}
+				for rep := 0; rep < 1+rng.Intn(3); rep++ {
+					deliveries = append(deliveries, delivery{origin, fresh, dst})
+				}
+				if rng.Bool(0.5) {
+					deliveries = append(deliveries, delivery{origin, stale[src], dst})
+				}
+			}
+		}
+		rng.Shuffle(len(deliveries), func(i, j int) {
+			deliveries[i], deliveries[j] = deliveries[j], deliveries[i]
+		})
+		for _, d := range deliveries {
+			scheds[d.dst].MergeCoverage(d.origin, d.state)
+		}
+
+		// Every scheduler's global view must agree, and equal the sum of
+		// all origins' local counts.
+		want := make(map[string]int)
+		for i := range scheds {
+			local := scheds[i].LocalCoverage()
+			for _, rc := range local.Regions {
+				for p, n := range rc.Counts {
+					want[fmt.Sprintf("%s/%s", scheds[i].PatternKeys()[p], rc.Region)] += int(n)
+				}
+			}
+		}
+		for i := range scheds {
+			got := globalView(scheds[i])
+			for key, n := range want {
+				if got[key] != n {
+					t.Fatalf("trial %d: scheduler %d global[%s]=%d, want %d", trial, i, key, got[key], n)
+				}
+			}
+			if !reflect.DeepEqual(got, globalView(scheds[0])) {
+				t.Fatalf("trial %d: scheduler %d global view diverged from scheduler 0", trial, i)
+			}
+		}
+	}
+}
+
+// TestMergeCoverageIdempotentAndMonotone pins the G-counter algebra
+// directly: re-merging the same state is a no-op, merging a stale state
+// never decreases anything, and versions track the max seen.
+func TestMergeCoverageIdempotentAndMonotone(t *testing.T) {
+	src := newMergeScheduler(1)
+	rng := stats.NewRNG(7)
+	drive(src, rng, 30)
+	early := src.LocalCoverage()
+	drive(src, rng, 30)
+	late := src.LocalCoverage()
+	if late.Version <= early.Version {
+		t.Fatalf("version did not advance: early=%d late=%d", early.Version, late.Version)
+	}
+	if late.Version != src.CoverageVersion() {
+		t.Fatalf("LocalCoverage version %d != CoverageVersion %d", late.Version, src.CoverageVersion())
+	}
+
+	dst := newMergeScheduler(2)
+	dst.MergeCoverage("src", late)
+	after := globalView(dst)
+
+	// Idempotent: merging the identical state changes nothing.
+	dst.MergeCoverage("src", late)
+	if got := globalView(dst); !reflect.DeepEqual(got, after) {
+		t.Fatal("re-merging the same state changed the global view")
+	}
+	// Monotone: a stale replay changes nothing (pointwise max).
+	dst.MergeCoverage("src", early)
+	if got := globalView(dst); !reflect.DeepEqual(got, after) {
+		t.Fatal("merging a stale state changed the global view")
+	}
+	if v := dst.KnownOrigins()["src"]; v != late.Version {
+		t.Fatalf("KnownOrigins[src]=%d, want %d", v, late.Version)
+	}
+
+	// Commutative: early-then-late equals late-then-early(-then-stale).
+	dst2 := newMergeScheduler(3)
+	dst2.MergeCoverage("src", early)
+	dst2.MergeCoverage("src", late)
+	if got := globalView(dst2); !reflect.DeepEqual(got, after) {
+		t.Fatal("early-then-late merge order diverged from late-only")
+	}
+}
+
+// TestMergeCoverageRelaysThirdPartyState pins transitive anti-entropy: B
+// merges A's state, C merges it *from B* (RemoteCoverage), and C's view of A
+// matches A exactly.
+func TestMergeCoverageRelaysThirdPartyState(t *testing.T) {
+	a := newMergeScheduler(1)
+	rng := stats.NewRNG(11)
+	drive(a, rng, 25)
+
+	b := newMergeScheduler(2)
+	b.MergeCoverage("a", a.LocalCoverage())
+	relayed, ok := b.RemoteCoverage("a")
+	if !ok {
+		t.Fatal("RemoteCoverage(a) missing after merge")
+	}
+	if relayed.Version != a.CoverageVersion() {
+		t.Fatalf("relayed version %d, want %d", relayed.Version, a.CoverageVersion())
+	}
+
+	c := newMergeScheduler(3)
+	c.MergeCoverage("a", relayed)
+	for _, key := range a.PatternKeys() {
+		for _, region := range mergeTestRegions {
+			if got, want := c.GlobalAssignments(key, region), a.Assignments(key, region); got != want {
+				t.Fatalf("relayed global[%s/%s]=%d, want %d", key, region, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeCoverageRejectsMismatchedVectors pins the local backstop: a
+// region vector whose length does not match the pattern count is ignored,
+// never merged or panicking.
+func TestMergeCoverageRejectsMismatchedVectors(t *testing.T) {
+	s := newMergeScheduler(1)
+	before := globalView(s)
+	s.MergeCoverage("evil", CoverageState{Version: 9, Regions: []RegionCounts{
+		{Region: "US", Counts: []int64{1, 2}},             // too short
+		{Region: "PK", Counts: make([]int64, 100)},        // too long
+		{Region: "CN", Counts: []int64{1, 1, 1, 1, 1, 1}}, // exact: merges
+	}})
+	after := globalView(s)
+	for key, n := range before {
+		want := n
+		if key[len(key)-2:] == "CN" {
+			want = n + 1
+		}
+		if after[key] != want {
+			t.Fatalf("global[%s]=%d, want %d", key, after[key], want)
+		}
+	}
+}
+
+// TestMergedCoverageSteersBalancedPicks pins that balancing orders on the
+// merged view: after merging a peer that heavily covered one pattern, local
+// balanced picks avoid that pattern until the others catch up globally. The
+// focus pattern is script-only, so Firefox clients always fall through to
+// the balanced path (the property_test idiom).
+func TestMergedCoverageSteersBalancedPicks(t *testing.T) {
+	const patterns = 6
+	ts := pipeline.NewTaskSet()
+	ts.Add(pipeline.Candidate{PatternKey: "domain:aaa-script-only.org", Type: core.TaskScript,
+		TargetURL: "http://aaa-script-only.org/app.js", Strict: true})
+	for i := 1; i < patterns; i++ {
+		d := fmt.Sprintf("balance%02d.example.org", i)
+		ts.Add(pipeline.Candidate{PatternKey: "domain:" + d, Type: core.TaskImage,
+			TargetURL: "http://" + d + "/favicon.ico", Strict: true})
+	}
+	cfg := DefaultConfig()
+	cfg.QuorumWindow = 1000 * time.Hour // focus never rotates off the script-only pattern
+	s := New(ts, cfg)
+
+	keys := s.PatternKeys()
+	counts := make([]int64, len(keys))
+	counts[2] = 10 // peer covered one image pattern ten times in PK
+	s.MergeCoverage("peer", CoverageState{Version: 1, Regions: []RegionCounts{{Region: "PK", Counts: counts}}})
+
+	at := time.Unix(6_000_000, 0)
+	client := ClientInfo{Region: "PK", Browser: core.BrowserFirefox, ExpectedDwellSeconds: 5}
+	// 10 picks per image pattern: enough to water-fill the other four up to
+	// the merged peak and spread the remainder evenly.
+	for i := 0; i < 10*(patterns-1); i++ {
+		s.Assign(client, at)
+	}
+	min, max := -1, -1
+	for _, key := range keys[1:] { // keys[0] is the script-only focus
+		n := s.GlobalAssignments(key, "PK")
+		if min == -1 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("merged balance spread %d (min=%d max=%d) exceeds 1", max-min, min, max)
+	}
+	if max < 10 {
+		t.Fatalf("merged peak %d lost (want >= 10)", max)
+	}
+}
+
+// TestAdoptAnchorMinimumWins pins the deterministic anchor agreement rule.
+func TestAdoptAnchorMinimumWins(t *testing.T) {
+	s := newMergeScheduler(1)
+	if s.Anchor() != 0 {
+		t.Fatalf("fresh anchor = %d, want 0", s.Anchor())
+	}
+	s.AdoptAnchor(0)  // ignored
+	s.AdoptAnchor(-5) // ignored
+	if s.Anchor() != 0 {
+		t.Fatal("non-positive anchors must be ignored")
+	}
+	s.AdoptAnchor(1000)
+	s.AdoptAnchor(2000) // larger loses
+	if s.Anchor() != 1000 {
+		t.Fatalf("anchor = %d, want 1000", s.Anchor())
+	}
+	s.AdoptAnchor(500) // smaller wins
+	if s.Anchor() != 500 {
+		t.Fatalf("anchor = %d, want 500", s.Anchor())
+	}
+	// The local focus computation must follow the adopted anchor: focus at
+	// time anchor + 1.5 windows is pattern 1.
+	s2 := newMergeScheduler(2)
+	base := time.Unix(6_000_000, 0)
+	s2.AdoptAnchor(base.UnixNano())
+	window := 1000 * time.Hour
+	if got, want := s2.FocusPattern(base.Add(window*3/2)), s2.PatternKeys()[1]; got != want {
+		t.Fatalf("focus after adopted anchor = %s, want %s", got, want)
+	}
+}
+
+// TestScheduleHashPinsPatternsAndWindow pins what the hash covers: equal
+// configs agree; different pattern sets or windows disagree.
+func TestScheduleHashPinsPatternsAndWindow(t *testing.T) {
+	a := newMergeScheduler(1)
+	b := newMergeScheduler(99) // different seed: hash must not cover it
+	if a.ScheduleHash() != b.ScheduleHash() {
+		t.Fatal("schedule hash must not depend on the seed")
+	}
+	cfg := DefaultConfig()
+	cfg.QuorumWindow = 999 * time.Hour
+	c := New(imageOnlyTaskSet(6), cfg)
+	if a.ScheduleHash() == c.ScheduleHash() {
+		t.Fatal("schedule hash must cover the quorum window")
+	}
+	cfg2 := DefaultConfig()
+	cfg2.QuorumWindow = 1000 * time.Hour
+	d := New(imageOnlyTaskSet(7), cfg2)
+	if a.ScheduleHash() == d.ScheduleHash() {
+		t.Fatal("schedule hash must cover the pattern set")
+	}
+}
+
+// TestCoverageSnapshotIntoMatchesSnapshot pins the reusable-buffer variant:
+// identical output to CoverageSnapshot, including the Global view after a
+// merge, across buffer reuse.
+func TestCoverageSnapshotIntoMatchesSnapshot(t *testing.T) {
+	s := newMergeScheduler(1)
+	rng := stats.NewRNG(3)
+	drive(s, rng, 50)
+
+	var buf []RegionCoverage
+	buf = s.CoverageSnapshotInto(buf)
+	if !reflect.DeepEqual(buf, s.CoverageSnapshot()) {
+		t.Fatal("CoverageSnapshotInto != CoverageSnapshot (standalone)")
+	}
+	for _, rc := range buf {
+		if rc.Global != nil {
+			t.Fatal("standalone snapshot must omit the Global view")
+		}
+	}
+
+	counts := make([]int64, len(s.PatternKeys()))
+	counts[0] = 4
+	s.MergeCoverage("peer", CoverageState{Version: 1, Regions: []RegionCounts{{Region: "PK", Counts: counts}}})
+	drive(s, rng, 20)
+	buf = s.CoverageSnapshotInto(buf) // reuse across a state change
+	if !reflect.DeepEqual(buf, s.CoverageSnapshot()) {
+		t.Fatal("CoverageSnapshotInto != CoverageSnapshot (federated, reused buffer)")
+	}
+	var pk *RegionCoverage
+	for i := range buf {
+		if buf[i].Region == "PK" {
+			pk = &buf[i]
+		}
+	}
+	if pk == nil || pk.Global == nil {
+		t.Fatal("federated PK snapshot must carry the Global view")
+	}
+	key := s.PatternKeys()[0]
+	if pk.Global[key] != pk.Assigned[key]+4 {
+		t.Fatalf("Global[%s]=%d, want local %d + merged 4", key, pk.Global[key], pk.Assigned[key])
+	}
+	if min, max := pk.Min, pk.Max; max < min {
+		t.Fatalf("min=%d > max=%d", min, max)
+	}
+}

@@ -122,6 +122,16 @@ type Scheduler struct {
 	// shards maps geo.CountryCode -> *regionShard. Region sets are small and
 	// stable after warm-up, so the read path is a lock-free sync.Map hit.
 	shards sync.Map
+
+	// Federation state (see coverage.go): scheduleHash fingerprints the
+	// pattern set + quorum window for gossip compatibility checks; recorded
+	// versions the local coverage contribution (bumped per recorded regular
+	// assignment); remoteVersions tracks the highest merged version per
+	// remote origin, guarded by remoteMu.
+	scheduleHash   uint64
+	recorded       atomic.Uint64
+	remoteMu       sync.Mutex
+	remoteVersions map[string]uint64
 }
 
 // New creates a scheduler over a generated task set.
@@ -137,11 +147,13 @@ func New(tasks *pipeline.TaskSet, cfg Config) *Scheduler {
 	}
 	compiled := pipeline.Compile(tasks)
 	s := &Scheduler{
-		cfg:         cfg,
-		windowNanos: cfg.QuorumWindow.Nanoseconds(),
-		compiled:    compiled,
-		lexRank:     compiled.LexRanks(),
+		cfg:            cfg,
+		windowNanos:    cfg.QuorumWindow.Nanoseconds(),
+		compiled:       compiled,
+		lexRank:        compiled.LexRanks(),
+		remoteVersions: make(map[string]uint64),
 	}
+	s.scheduleHash = computeScheduleHash(compiled.PatternKeys(), s.windowNanos)
 	s.familyMembers = compiled.FamilyMembers(s.lexRank)
 	s.schedulable = make([]bool, compiled.NumPatterns())
 	for _, members := range s.familyMembers {
@@ -448,44 +460,81 @@ type RegionCoverage struct {
 	// Assigned maps pattern key -> assignments from this region; patterns
 	// with zero assignments are omitted.
 	Assigned map[string]int `json:"assigned"`
-	// Min and Max are the extreme assignment counts over the schedulable
-	// regular patterns (those at least one browser family can measure), the
-	// balance the per-region least-covered index maintains.
+	// Global maps pattern key -> merged assignments over every federated
+	// origin (local plus gossiped peers). Omitted entirely when no remote
+	// state has been merged, so standalone snapshots are unchanged.
+	Global map[string]int `json:"global,omitempty"`
+	// Min and Max are the extreme merged assignment counts over the
+	// schedulable regular patterns (those at least one browser family can
+	// measure) — the balance the per-region least-covered index maintains.
+	// Standalone they are the extremes of the local counts.
 	Min int `json:"min"`
 	Max int `json:"max"`
 }
 
 // CoverageSnapshot returns a per-region copy of the coverage state for
-// reports and monitoring, sorted by region. Each shard is locked only long
-// enough to copy its counts.
+// reports and monitoring, sorted by region.
 func (s *Scheduler) CoverageSnapshot() []RegionCoverage {
-	var out []RegionCoverage
+	return s.CoverageSnapshotInto(nil)
+}
+
+// CoverageSnapshotInto is CoverageSnapshot writing into a caller-provided
+// buffer, reusing entries (and their maps) from previous snapshots. Polling
+// paths — /coverage.json, healthz, load harness progress loops — snapshot
+// continuously, and the full per-call copy made this an allocation hot spot;
+// reusing one buffer per poller makes the steady state allocation-free once
+// the region set stabilizes. Each shard is locked only long enough to read
+// its counters.
+func (s *Scheduler) CoverageSnapshotInto(buf []RegionCoverage) []RegionCoverage {
+	out := buf[:0]
 	s.shards.Range(func(key, value any) bool {
 		shard := value.(*regionShard)
-		rc := RegionCoverage{Region: key.(geo.CountryCode), Assigned: make(map[string]int)}
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+		} else {
+			out = append(out, RegionCoverage{})
+		}
+		rc := &out[len(out)-1]
+		rc.Region = key.(geo.CountryCode)
+		rc.Min, rc.Max = 0, 0
+		if rc.Assigned == nil {
+			rc.Assigned = make(map[string]int)
+		} else {
+			clear(rc.Assigned)
+		}
 		shard.mu.Lock()
-		counts := append([]int32(nil), shard.counts...)
+		federated := len(shard.remote) > 0
+		if !federated {
+			rc.Global = nil
+		} else if rc.Global == nil {
+			rc.Global = make(map[string]int)
+		} else {
+			clear(rc.Global)
+		}
 		for pattern, n := range shard.extra {
 			rc.Assigned[pattern] = n
 		}
-		shard.mu.Unlock()
 		first := true
-		for p, n := range counts {
+		for p, n := range shard.counts {
 			if n > 0 {
 				rc.Assigned[s.compiled.PatternKey(p)] += int(n)
+			}
+			g := shard.global[p]
+			if federated && g > 0 {
+				rc.Global[s.compiled.PatternKey(p)] += int(g)
 			}
 			if !s.schedulable[p] {
 				continue
 			}
-			if first || int(n) < rc.Min {
-				rc.Min = int(n)
+			if first || int(g) < rc.Min {
+				rc.Min = int(g)
 			}
-			if first || int(n) > rc.Max {
-				rc.Max = int(n)
+			if first || int(g) > rc.Max {
+				rc.Max = int(g)
 			}
 			first = false
 		}
-		out = append(out, rc)
+		shard.mu.Unlock()
 		return true
 	})
 	sort.Slice(out, func(a, b int) bool { return out[a].Region < out[b].Region })
@@ -501,6 +550,15 @@ func (s *Scheduler) CoverageSnapshot() []RegionCoverage {
 type regionShard struct {
 	mu     sync.Mutex
 	counts []int32
+	// global[p] is pattern p's merged assignment count over every origin:
+	// this coordinator's own counts plus the pointwise-max contribution of
+	// each federated peer in remote. The balancing heaps order on global, so
+	// a federated coordinator steers new clients at the pattern least covered
+	// worldwide; standalone, global mirrors counts exactly.
+	global []int64
+	// remote maps origin coordinator -> its merged per-pattern G-counter
+	// vector, allocated on the first merge (nil standalone).
+	remote map[string][]int64
 	// heaps[f] is the family-f min-heap of pattern indices; pos[f][p] is
 	// pattern p's position in heaps[f], or -1 when the family cannot measure
 	// p.
@@ -516,6 +574,7 @@ func newRegionShard(s *Scheduler) *regionShard {
 	families := len(s.familyMembers)
 	shard := &regionShard{
 		counts: make([]int32, n),
+		global: make([]int64, n),
 		heaps:  make([][]int32, families),
 		pos:    make([][]int32, families),
 	}
@@ -566,9 +625,13 @@ func (r *regionShard) record(pattern int, s *Scheduler) {
 	r.recordLocked(pattern, s)
 }
 
-// recordLocked is record with r.mu already held.
+// recordLocked is record with r.mu already held. Besides the local count it
+// bumps the merged global total (the heaps' sort key) and the scheduler's
+// coverage version, which gossip digests use to skip already-seen state.
 func (r *regionShard) recordLocked(pattern int, s *Scheduler) {
 	r.counts[pattern]++
+	r.global[pattern]++
+	s.recorded.Add(1)
 	for f := range r.heaps {
 		if i := r.pos[f][pattern]; i >= 0 {
 			r.siftDown(f, int(i), s.lexRank)
@@ -586,10 +649,12 @@ func (r *regionShard) recordExtra(pattern string) {
 	r.extra[pattern]++
 }
 
-// less orders heap entries by (assignment count, lexicographic key rank).
+// less orders heap entries by (merged global assignment count, lexicographic
+// key rank). Standalone, global equals the local counts; federated, ordering
+// on the merged totals is what keeps balance global across coordinators.
 func (r *regionShard) less(a, b int32, lexRank []int32) bool {
-	if r.counts[a] != r.counts[b] {
-		return r.counts[a] < r.counts[b]
+	if r.global[a] != r.global[b] {
+		return r.global[a] < r.global[b]
 	}
 	return lexRank[a] < lexRank[b]
 }

@@ -1,0 +1,233 @@
+package wire
+
+// Gossip payload: the anti-entropy exchange federated coordinators POST to
+// /v2/gossip (internal/coordfed). One frame carries the sender's identity,
+// its focus-rotation anchor, a schedule-compatibility hash, a digest of
+// every origin's coverage version it knows, and full per-origin count deltas
+// for the origins the receiver is believed to be behind on. The same framing
+// and hostile-input discipline as the record kinds apply: CRC validated
+// before decode, and no allocation is sized by a length claim larger than
+// the bytes actually present.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"encore/internal/geo"
+)
+
+// ContentTypeGossip is the media type of a coordinator gossip exchange, the
+// body of POST /v2/gossip requests and responses.
+const ContentTypeGossip = "application/x-encore-gossip"
+
+// KindGossip is the payload kind byte of a coordinator gossip exchange.
+const KindGossip byte = 4
+
+// GossipDigest states how much of one origin's coverage the sender has seen:
+// the origin's monotone coverage version. A receiver replies with deltas
+// only for origins where its own version is higher.
+type GossipDigest struct {
+	Origin  string
+	Version uint64
+}
+
+// GossipRegion is one region's per-pattern G-counter vector inside a delta,
+// indexed by the shared pattern order the schedule hash pins.
+type GossipRegion struct {
+	Region geo.CountryCode
+	Counts []int64
+}
+
+// GossipDelta is one origin's full coverage contribution at a version —
+// G-counters are merged by pointwise max, so "delta" means "state the
+// receiver may be behind on", and resending it is always safe.
+type GossipDelta struct {
+	Origin  string
+	Version uint64
+	Regions []GossipRegion
+}
+
+// Gossip is one direction of an anti-entropy exchange. Requests and
+// responses share the shape: the responder answers with its own identity,
+// post-merge digest, and the deltas the requester's digest proved it lacks.
+type Gossip struct {
+	// From identifies the sending coordinator (its origin ID).
+	From string
+	// Anchor is the sender's focus-rotation epoch anchor in UnixNanos (0
+	// when unset); receivers adopt the minimum non-zero anchor they see.
+	Anchor int64
+	// ScheduleHash fingerprints the pattern set and quorum window; peers
+	// with different hashes refuse to merge.
+	ScheduleHash uint64
+	// Digest lists every origin the sender knows (itself included) with the
+	// coverage version it holds.
+	Digest []GossipDigest
+	// Deltas carries the origins the receiver is believed to lack, each as
+	// its complete per-region count vectors.
+	Deltas []GossipDelta
+}
+
+// AppendGossipFrame appends one complete gossip frame (header + payload) to
+// buf and returns the grown buffer.
+func AppendGossipFrame(buf []byte, g *Gossip) []byte {
+	buf, mark := BeginFrame(buf)
+	buf = AppendGossip(buf, g)
+	FinishFrame(buf, mark)
+	return buf
+}
+
+// AppendGossip appends the encoded gossip payload (KindGossip) to buf and
+// returns it.
+func AppendGossip(buf []byte, g *Gossip) []byte {
+	buf = append(buf, KindGossip)
+	buf = appendString(buf, g.From)
+	buf = binary.AppendVarint(buf, g.Anchor)
+	buf = binary.LittleEndian.AppendUint64(buf, g.ScheduleHash)
+	buf = binary.AppendUvarint(buf, uint64(len(g.Digest)))
+	for _, d := range g.Digest {
+		buf = appendString(buf, d.Origin)
+		buf = binary.AppendUvarint(buf, d.Version)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(g.Deltas)))
+	for _, d := range g.Deltas {
+		buf = appendString(buf, d.Origin)
+		buf = binary.AppendUvarint(buf, d.Version)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Regions)))
+		for _, r := range d.Regions {
+			buf = appendString(buf, string(r.Region))
+			buf = binary.AppendUvarint(buf, uint64(len(r.Counts)))
+			for _, c := range r.Counts {
+				buf = binary.AppendVarint(buf, c)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeGossip decodes one gossip payload (KindGossip). Every list length
+// claim is checked against the bytes remaining before anything is allocated
+// — a frame claiming a million digests buys nothing unless a million bytes
+// arrived — and negative counts are malformed by decree (G-counters only
+// grow).
+func DecodeGossip(p []byte) (Gossip, error) {
+	var g Gossip
+	if len(p) == 0 || p[0] != KindGossip {
+		return g, fmt.Errorf("%w: unsupported gossip kind", ErrMalformed)
+	}
+	p = p[1:]
+	ok := true
+	var s string
+	if s, p, ok = takeString(p, ok); ok {
+		g.From = s
+	}
+	var v int64
+	if v, p, ok = takeVarint(p, ok); ok {
+		g.Anchor = v
+	}
+	if ok && len(p) >= 8 {
+		g.ScheduleHash = binary.LittleEndian.Uint64(p)
+		p = p[8:]
+	} else {
+		ok = false
+	}
+	g.Digest, p, ok = takeDigests(p, ok)
+	g.Deltas, p, ok = takeDeltas(p, ok)
+	if !ok || len(p) != 0 {
+		return g, ErrMalformed
+	}
+	return g, nil
+}
+
+// takeDigests consumes the digest list. Each entry occupies at least two
+// bytes (an origin length prefix and a version byte), so a claimed count
+// above len(p) can never decode and is rejected before allocating.
+func takeDigests(p []byte, ok bool) ([]GossipDigest, []byte, bool) {
+	n, p, ok := takeCount(p, ok, 2)
+	if !ok || n == 0 {
+		return nil, p, ok
+	}
+	out := make([]GossipDigest, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d GossipDigest
+		d.Origin, p, ok = takeString(p, ok)
+		d.Version, p, ok = takeUvarintOK(p, ok)
+		if !ok {
+			return nil, p, false
+		}
+		out = append(out, d)
+	}
+	return out, p, true
+}
+
+// takeDeltas consumes the delta list with the same bytes-remaining guard at
+// every nesting level (deltas, regions, counts).
+func takeDeltas(p []byte, ok bool) ([]GossipDelta, []byte, bool) {
+	n, p, ok := takeCount(p, ok, 3)
+	if !ok || n == 0 {
+		return nil, p, ok
+	}
+	out := make([]GossipDelta, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d GossipDelta
+		d.Origin, p, ok = takeString(p, ok)
+		d.Version, p, ok = takeUvarintOK(p, ok)
+		var regions uint64
+		regions, p, ok = takeCount(p, ok, 2)
+		for j := uint64(0); ok && j < regions; j++ {
+			var r GossipRegion
+			var s string
+			s, p, ok = takeString(p, ok)
+			r.Region = geo.CountryCode(s)
+			var counts uint64
+			counts, p, ok = takeCount(p, ok, 1)
+			if !ok {
+				break
+			}
+			if counts > 0 {
+				r.Counts = make([]int64, 0, counts)
+			}
+			for k := uint64(0); k < counts; k++ {
+				var c int64
+				c, p, ok = takeVarint(p, ok)
+				if !ok || c < 0 {
+					ok = false
+					break
+				}
+				r.Counts = append(r.Counts, c)
+			}
+			if !ok {
+				break
+			}
+			d.Regions = append(d.Regions, r)
+		}
+		if !ok {
+			return nil, p, false
+		}
+		out = append(out, d)
+	}
+	return out, p, true
+}
+
+// takeCount consumes a list-length uvarint and validates it against the
+// bytes remaining: each list element occupies at least minBytes, so any
+// claim above len(p)/minBytes is a length bomb, rejected before the caller
+// sizes an allocation by it.
+func takeCount(p []byte, ok bool, minBytes int) (uint64, []byte, bool) {
+	if !ok {
+		return 0, p, false
+	}
+	n, p, ok := takeUvarint(p)
+	if !ok || n > uint64(len(p)/minBytes) || n > math.MaxInt32 {
+		return 0, p, false
+	}
+	return n, p, true
+}
+
+// takeUvarintOK is takeUvarint threading the running decode state.
+func takeUvarintOK(p []byte, ok bool) (uint64, []byte, bool) {
+	if !ok {
+		return 0, p, false
+	}
+	return takeUvarint(p)
+}

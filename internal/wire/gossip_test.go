@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func sampleGossip() *Gossip {
+	return &Gossip{
+		From:         "coord-a",
+		Anchor:       1_700_000_000_000_000_000,
+		ScheduleHash: 0xdeadbeefcafef00d,
+		Digest: []GossipDigest{
+			{Origin: "coord-a", Version: 42},
+			{Origin: "coord-b", Version: 7},
+		},
+		Deltas: []GossipDelta{
+			{
+				Origin:  "coord-a",
+				Version: 42,
+				Regions: []GossipRegion{
+					{Region: "US", Counts: []int64{3, 0, 5}},
+					{Region: "PK", Counts: []int64{1, 1, 1}},
+				},
+			},
+			{Origin: "coord-c", Version: 9, Regions: []GossipRegion{{Region: "CN", Counts: []int64{0, 2, 0}}}},
+		},
+	}
+}
+
+func TestGossipRoundtrip(t *testing.T) {
+	g := sampleGossip()
+	payload := AppendGossip(nil, g)
+	if PayloadKind(payload) != KindGossip {
+		t.Fatalf("kind = %d, want %d", PayloadKind(payload), KindGossip)
+	}
+	got, err := DecodeGossip(payload)
+	if err != nil {
+		t.Fatalf("DecodeGossip: %v", err)
+	}
+	if !reflect.DeepEqual(got, *g) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, *g)
+	}
+}
+
+func TestGossipRoundtripEmpty(t *testing.T) {
+	g := &Gossip{From: "x"}
+	got, err := DecodeGossip(AppendGossip(nil, g))
+	if err != nil {
+		t.Fatalf("DecodeGossip: %v", err)
+	}
+	if !reflect.DeepEqual(got, *g) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, *g)
+	}
+}
+
+func TestGossipFrame(t *testing.T) {
+	g := sampleGossip()
+	frame := AppendGossipFrame(nil, g)
+	if len(frame) < FrameHeaderLen {
+		t.Fatalf("frame too short: %d", len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if int(n) != len(frame)-FrameHeaderLen {
+		t.Fatalf("frame length header %d, payload %d", n, len(frame)-FrameHeaderLen)
+	}
+	var check [FrameHeaderLen]byte
+	copy(check[:], frame[:FrameHeaderLen])
+	FillFrameHeader(frame)
+	if !bytes.Equal(check[:], frame[:FrameHeaderLen]) {
+		t.Fatal("frame header does not match FillFrameHeader's")
+	}
+	if _, err := DecodeGossip(frame[FrameHeaderLen:]); err != nil {
+		t.Fatalf("DecodeGossip(frame payload): %v", err)
+	}
+}
+
+func TestGossipDecodeMalformed(t *testing.T) {
+	good := AppendGossip(nil, sampleGossip())
+
+	// Truncations at every byte boundary must error, never panic or succeed.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeGossip(good[:i]); err == nil {
+			t.Fatalf("DecodeGossip(good[:%d]) succeeded on a truncation", i)
+		}
+	}
+	// Trailing garbage is malformed.
+	if _, err := DecodeGossip(append(append([]byte(nil), good...), 0xff)); err == nil {
+		t.Fatal("DecodeGossip accepted trailing bytes")
+	}
+	// Wrong kind byte.
+	if _, err := DecodeGossip([]byte{KindRecord}); err == nil {
+		t.Fatal("DecodeGossip accepted a record kind")
+	}
+	if _, err := DecodeGossip(nil); err == nil {
+		t.Fatal("DecodeGossip accepted an empty payload")
+	}
+}
+
+func TestGossipDecodeLengthBomb(t *testing.T) {
+	// A payload claiming a huge digest list with no bytes behind it must be
+	// rejected before any allocation is sized by the claim.
+	bomb := []byte{KindGossip}
+	bomb = appendString(bomb, "a")
+	bomb = binary.AppendVarint(bomb, 0)
+	bomb = binary.LittleEndian.AppendUint64(bomb, 0)
+	bomb = binary.AppendUvarint(bomb, 1<<40) // digest count
+	if _, err := DecodeGossip(bomb); err == nil {
+		t.Fatal("DecodeGossip accepted a digest length bomb")
+	}
+
+	// Same for a counts vector inside a delta.
+	bomb = []byte{KindGossip}
+	bomb = appendString(bomb, "a")
+	bomb = binary.AppendVarint(bomb, 0)
+	bomb = binary.LittleEndian.AppendUint64(bomb, 0)
+	bomb = binary.AppendUvarint(bomb, 0) // digests
+	bomb = binary.AppendUvarint(bomb, 1) // deltas
+	bomb = appendString(bomb, "a")
+	bomb = binary.AppendUvarint(bomb, 1)     // version
+	bomb = binary.AppendUvarint(bomb, 1)     // regions
+	bomb = appendString(bomb, "US")          // region
+	bomb = binary.AppendUvarint(bomb, 1<<40) // counts claim
+	if _, err := DecodeGossip(bomb); err == nil {
+		t.Fatal("DecodeGossip accepted a counts length bomb")
+	}
+}
+
+func TestGossipDecodeNegativeCount(t *testing.T) {
+	g := sampleGossip()
+	g.Deltas[0].Regions[0].Counts[1] = -3
+	if _, err := DecodeGossip(AppendGossip(nil, g)); err == nil {
+		t.Fatal("DecodeGossip accepted a negative G-counter value")
+	}
+}

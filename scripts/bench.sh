@@ -12,9 +12,12 @@
 # forwarder throughput vs the in-memory baseline, plus the recovery-resume
 # replay rate after an edge restart), and the E23 binary-wire benchmarks
 # (application/x-encore-records batch POSTs vs the pinned E21 JSON numbers,
-# plus zero-re-encode binary federation forwarding), and records every
-# benchmark line as structured JSON in BENCH_aggregate.json so successive
-# runs can be compared numerically.
+# plus zero-re-encode binary federation forwarding), and the E24
+# control-plane benchmarks (one gossip round's cost over loopback HTTP —
+# delta-carrying and steady-state digest-only — plus assignment throughput
+# on a coordinator while a K=1/3/5 federation gossips underneath), and
+# records every benchmark line as structured JSON in BENCH_aggregate.json so
+# successive runs can be compared numerically.
 #
 # Results are MERGED into BENCH_aggregate.json by exact benchmark name:
 # entries for benchmarks not re-run by this invocation (for example E17-E19
@@ -23,19 +26,20 @@
 # deliberately excludes the E21 JSON submit benchmarks so the pinned JSON
 # baseline survives as the comparison point for the binary lane.
 #
-# Usage: scripts/bench.sh [-only sched|api|fed|wire] [extra go-test flags, e.g. -benchtime=5x]
+# Usage: scripts/bench.sh [-only sched|api|fed|wire|gossip] [extra go-test flags, e.g. -benchtime=5x]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect|WALRecovery|ParallelAssign|SchedulerPick|APISubmit|APIFederation'
+BENCH='DetectionBatchRescan|DetectionIncremental|AggregatorBackfill|ParallelIngest|ParallelCollect|WALRecovery|ParallelAssign|SchedulerPick|APISubmit|APIFederation|Gossip'
 if [ "${1:-}" = "-only" ]; then
     case "${2:-}" in
         sched) BENCH='ParallelAssign|SchedulerPick' ;;
         api) BENCH='APISubmit|APIFederation' ;;
         fed) BENCH='APIFederation' ;;
         wire) BENCH='APISubmitBatchBinary|APIFederation' ;;
-        *) echo "usage: scripts/bench.sh [-only sched|api|fed|wire] [go-test flags]" >&2; exit 2 ;;
+        gossip) BENCH='Gossip' ;;
+        *) echo "usage: scripts/bench.sh [-only sched|api|fed|wire|gossip] [go-test flags]" >&2; exit 2 ;;
     esac
     shift 2
 fi
