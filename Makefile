@@ -31,12 +31,16 @@
 #                      print the seed that replays them
 #   make chaos-soak  - the same suite plus one randomized seed, logged before
 #                      the run so any failure is replayable
+#   make campaign-smoke - the campaign-tier gate (part of make ci): the grid
+#                      and dispatcher property tests under the race detector,
+#                      then a fixed-seed 2x2 grid through the encore-campaign
+#                      binary with a mid-campaign kill and a journal resume
 #   make bench-paper - the paper's full evaluation benchmark suite
 #   make loadgen     - concurrent ingest throughput benchmarks (-cpu=4)
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-wire bench-gossip bench-paper fuzz loadgen docs-check chaos chaos-soak
+.PHONY: ci fmt vet build test race bench bench-sched bench-api bench-fed bench-wire bench-gossip bench-paper fuzz loadgen docs-check chaos chaos-soak campaign-smoke
 
 ci:
 	./scripts/ci.sh
@@ -92,3 +96,6 @@ chaos:
 
 chaos-soak:
 	./scripts/chaos.sh -soak
+
+campaign-smoke:
+	./scripts/campaign_smoke.sh

@@ -1,0 +1,156 @@
+// Command encore-campaign expands a declarative experiment spec into its
+// deterministic job grid and drives it through the resumable work-queue
+// dispatcher. A spec names a target list (honoring the sensitivity policy
+// gate), a grid of dimensions (clients × transports × region mixes × chaos
+// arms × WAL sync policies × durations), and per-cell repeats; the
+// dispatcher runs the jobs over N worker slots with a crash-safe journal,
+// so a killed campaign resumes — rerun the same command — with every job
+// appearing exactly once in the manifest.
+//
+// Usage:
+//
+//	encore-campaign -spec grid.json [-dir state/] [-out manifest.jsonl]
+//	encore-campaign -spec grid.json -expand      # print the job set, run nothing
+//	encore-campaign -spec grid.json -validate    # check the spec, run nothing
+//
+// See docs/API.md, "Campaign spec files", for the spec schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"encore/internal/campaign"
+)
+
+// exit codes: 0 complete, 1 usage/spec error, 2 jobs failed, 3 interrupted
+// (resumable by rerunning).
+const (
+	exitOK          = 0
+	exitUsage       = 1
+	exitJobsFailed  = 2
+	exitInterrupted = 3
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run() int {
+	var (
+		specPath  = flag.String("spec", "", "campaign spec file (JSON; required)")
+		dir       = flag.String("dir", "", "state directory for the resume journal (default: no journal, no resume)")
+		workers   = flag.Int("workers", 0, "worker slots (default: spec's workers, then 2)")
+		out       = flag.String("out", "", "manifest output path (default: stdout)")
+		expand    = flag.Bool("expand", false, "print the expanded job set and exit")
+		validate  = flag.Bool("validate", false, "validate the spec and exit")
+		stopAfter = flag.Int("stop-after", 0, "stop after N job completions this run (kill-resume testing)")
+		paceURLs  stringList
+	)
+	flag.Var(&paceURLs, "pace", "live collector base URL to pace dispatch on (repeatable)")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "encore-campaign: -spec is required")
+		flag.Usage()
+		return exitUsage
+	}
+	spec, err := campaign.LoadSpec(*specPath)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	exp, err := campaign.Expand(spec)
+	if err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	if *validate {
+		fmt.Printf("spec %s ok: %d job(s) in %d wave(s), hash %s\n", spec.Name, len(exp.Jobs), len(exp.Waves), exp.Hash)
+		return exitOK
+	}
+	if *expand {
+		for _, job := range exp.Jobs {
+			fmt.Printf("%-4d wave=%d seed=%-20d %s  %s\n", job.Ordinal, job.Wave, job.Seed, job.ID, job.Cell.Label())
+		}
+		fmt.Printf("%d job(s) in %d wave(s), hash %s\n", len(exp.Jobs), len(exp.Waves), exp.Hash)
+		return exitOK
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	cfg := campaign.DispatchConfig{
+		Workers: *workers,
+		Dir:     *dir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if len(paceURLs) > 0 {
+		cfg.Pacer = campaign.NewCollectorPacer(paceURLs)
+	}
+	doneThisRun := 0
+	cfg.OnJobDone = func(res *campaign.JobResult) {
+		status := "ok"
+		if res.Failed() {
+			status = "FAILED: " + res.Err
+		}
+		fmt.Fprintf(os.Stderr, "  job %s (%s) %s\n", res.JobID, res.Cell.Label(), status)
+		doneThisRun++
+		if *stopAfter > 0 && doneThisRun >= *stopAfter {
+			cancel()
+		}
+	}
+
+	outcome, runErr := campaign.Run(ctx, spec, cfg)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		log.Print(runErr)
+		return exitUsage
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Print(err)
+			return exitUsage
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := campaign.WriteManifest(w, spec, exp, outcome.Results); err != nil {
+		log.Print(err)
+		return exitUsage
+	}
+	fmt.Fprint(os.Stderr, campaign.SummaryTable(outcome.Results))
+	fmt.Fprintf(os.Stderr, "campaign %s: %d/%d complete (%d resumed, %d failed)\n",
+		spec.Name, outcome.Completed(), outcome.Total, outcome.Resumed, outcome.Failed)
+
+	if runErr != nil {
+		if *dir != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; resume by rerunning with -dir %s\n", *dir)
+		}
+		return exitInterrupted
+	}
+	if outcome.Failed > 0 {
+		return exitJobsFailed
+	}
+	return exitOK
+}

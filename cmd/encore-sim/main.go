@@ -36,10 +36,22 @@ func main() {
 		walDir  = flag.String("wal-dir", "", "attach a durable write-ahead log to the simulated collector (for WAL-on vs WAL-off throughput comparisons)")
 		walSync = flag.String("wal-sync", "interval", "WAL fsync policy: always, interval, or none")
 
-		chaosMode = flag.Bool("chaos", false, "run the deterministic chaos suite (seeded by -seed) instead of a campaign, and exit nonzero on any invariant violation")
+		chaosMode     = flag.Bool("chaos", false, "run the deterministic chaos suite (seeded by -seed) instead of a campaign, and exit nonzero on any invariant violation")
+		chaosScenario = flag.String("chaos-scenario", "", "run a single named chaos scenario (seeded by -seed) instead of a campaign; see -chaos-list")
+		chaosList     = flag.Bool("chaos-list", false, "list the chaos scenario registry and exit")
 	)
 	flag.Parse()
 
+	if *chaosList {
+		for _, sc := range loadgen.ChaosScenarios() {
+			fmt.Printf("%-22s [%s]\n", sc.Name, sc.Surface)
+		}
+		return
+	}
+	if *chaosScenario != "" {
+		runChaosScenario(*chaosScenario, *seed)
+		return
+	}
 	if *chaosMode {
 		runChaos(*seed)
 		return
@@ -187,4 +199,19 @@ func runChaos(seed uint64) {
 		fmt.Printf("%d scenario(s) failed; replay with: encore-sim -chaos -seed %d\n", failed, seed)
 		os.Exit(1)
 	}
+}
+
+// runChaosScenario executes one named scenario from the registry with the
+// given seed, printing its verdict; an invariant violation (or an unknown
+// name) exits 1.
+func runChaosScenario(name string, seed uint64) {
+	start := time.Now()
+	res := loadgen.RunChaosScenario(name, seed, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if res.Err != nil {
+		fmt.Printf("FAIL %-22s [%s] after %v: %v\n", res.Name, res.Surface, time.Since(start).Round(time.Millisecond), res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   %-22s [%s] in %v\n", res.Name, res.Surface, time.Since(start).Round(time.Millisecond))
 }

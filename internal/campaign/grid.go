@@ -1,0 +1,173 @@
+package campaign
+
+// The grid expander: flattens a validated Spec into the ordered job set the
+// dispatcher runs. Expansion is fully deterministic — dimension order is
+// fixed (arms, clients, transports, region mixes, WAL sync, durations,
+// repeats), job IDs derive from the cell coordinates, and per-job sub-seeds
+// come from one splitmix64 stream rooted at Spec.Seed — so the same spec
+// always produces the byte-identical job set, which is what makes the
+// journal's "resume after a kill" contract sound (job IDs recorded before
+// the kill still name the same work after it).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"encore/internal/faultinject"
+)
+
+// Cell is one grid cell's coordinates: the dimension values a job runs
+// under. For a chaos-arm job (Scenario non-empty) the loadgen dimensions
+// ride along as labels — the scenario builds its own stacks — but still
+// distinguish repeat cells in reports.
+type Cell struct {
+	Arm       string   `json:"arm"`
+	Scenario  string   `json:"scenario,omitempty"`
+	Clients   int      `json:"clients"`
+	Transport string   `json:"transport"`
+	RegionMix string   `json:"region_mix"`
+	Regions   []string `json:"regions,omitempty"`
+	WALSync   string   `json:"wal"`
+	Duration  string   `json:"duration"`
+	Repeat    int      `json:"repeat"`
+}
+
+// key renders the cell's canonical coordinate string — the stable input to
+// the job-ID hash and the journal's identity for the cell.
+func (c Cell) key() string {
+	return fmt.Sprintf("arm=%s/clients=%d/transport=%s/mix=%s/wal=%s/dur=%s/rep=%d",
+		c.Arm, c.Clients, c.Transport, c.RegionMix, c.WALSync, c.Duration, c.Repeat)
+}
+
+// Label renders the cell compactly for logs and summary tables.
+func (c Cell) Label() string {
+	transport := c.Transport
+	if transport == "" {
+		transport = "inproc"
+	}
+	parts := []string{c.Arm, fmt.Sprintf("c%d", c.Clients), transport, c.RegionMix, "wal-" + c.WALSync, c.Duration}
+	if c.Repeat > 0 {
+		parts = append(parts, fmt.Sprintf("r%d", c.Repeat))
+	}
+	return strings.Join(parts, "/")
+}
+
+// Job is one unit of dispatchable work.
+type Job struct {
+	// ID is the stable job identity: campaign name, ordinal, and a hash of
+	// the cell coordinates. It is what the journal records and what the
+	// manifest's exactly-once guarantee is keyed on.
+	ID string `json:"id"`
+	// Ordinal is the job's position in expansion order (0-based).
+	Ordinal int `json:"ordinal"`
+	// Seed is the job's private sub-seed, drawn deterministically from
+	// Spec.Seed in expansion order.
+	Seed uint64 `json:"seed"`
+	// Cell holds the grid coordinates.
+	Cell Cell `json:"cell"`
+	// Tag is the job's barrier tag (its arm name); After lists the tags
+	// whose jobs must all complete before this job may start.
+	Tag   string   `json:"tag"`
+	After []string `json:"after,omitempty"`
+	// Wave is the barrier wave the dispatcher runs the job in (the arm's
+	// depth in the After DAG).
+	Wave int `json:"wave"`
+}
+
+// Expansion is the flattened form of a spec: the ordered job set plus the
+// wave structure and the spec hash the journal cursor pins.
+type Expansion struct {
+	Jobs []Job
+	// Waves holds job indexes per barrier wave, in ordinal order; the
+	// dispatcher completes wave w entirely before starting wave w+1.
+	Waves [][]int
+	// Hash fingerprints the expansion (IDs, seeds, cell coordinates). A
+	// journal written under one hash refuses to resume under another — the
+	// same guard the coordinator federation applies to schedule state.
+	Hash string
+}
+
+// Expand validates the spec and flattens it into its job set.
+func Expand(spec *Spec) (*Expansion, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := spec.Grid.normalized()
+	repeats := spec.Repeats
+	if repeats <= 0 {
+		repeats = DefaultRepeats
+	}
+	depths, err := armDepths(g.Arms)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := faultinject.NewRNG(spec.Seed)
+	exp := &Expansion{}
+	maxWave := 0
+	for _, arm := range g.Arms {
+		if d := depths[arm.Name]; d > maxWave {
+			maxWave = d
+		}
+		for _, clients := range g.Clients {
+			for _, transport := range g.Transports {
+				for _, mix := range g.RegionMixes {
+					for _, wal := range g.WALSync {
+						for _, dur := range g.Durations {
+							for rep := 0; rep < repeats; rep++ {
+								cell := Cell{
+									Arm:       arm.Name,
+									Scenario:  arm.Scenario,
+									Clients:   clients,
+									Transport: transport,
+									RegionMix: mix.Name,
+									Regions:   mix.Regions,
+									WALSync:   wal,
+									Duration:  dur,
+									Repeat:    rep,
+								}
+								job := Job{
+									Ordinal: len(exp.Jobs),
+									Seed:    rng.Uint64(),
+									Cell:    cell,
+									Tag:     arm.Name,
+									After:   arm.After,
+									Wave:    depths[arm.Name],
+								}
+								job.ID = jobID(spec.Name, job.Ordinal, cell)
+								exp.Jobs = append(exp.Jobs, job)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	exp.Waves = make([][]int, maxWave+1)
+	for i, job := range exp.Jobs {
+		exp.Waves[job.Wave] = append(exp.Waves[job.Wave], i)
+	}
+	exp.Hash = expansionHash(exp.Jobs)
+	return exp, nil
+}
+
+// jobID builds the stable job identity from the campaign name, the
+// expansion ordinal, and a hash of the cell coordinates.
+func jobID(name string, ordinal int, cell Cell) string {
+	h := fnv.New64a()
+	h.Write([]byte(cell.key()))
+	return fmt.Sprintf("%s-%04d-%08x", name, ordinal, h.Sum64()&0xffffffff)
+}
+
+// expansionHash fingerprints the whole job set: IDs, sub-seeds, and cell
+// coordinates (including the region lists, which the ID hash alone does not
+// cover).
+func expansionHash(jobs []Job) string {
+	h := fnv.New64a()
+	for _, j := range jobs {
+		fmt.Fprintf(h, "%s|%d|%s|%s\n", j.ID, j.Seed, j.Cell.key(), strings.Join(j.Cell.Regions, ","))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

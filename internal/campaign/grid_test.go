@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// gridSpecJSON is a multi-dimension spec exercising arms with barriers —
+// the shape the determinism and barrier properties are checked against.
+const gridSpecJSON = `{
+	"name": "prop",
+	"seed": 42,
+	"repeats": 2,
+	"grid": {
+		"clients": [1, 4],
+		"transports": ["", "v2"],
+		"region-mixes": [{"name": "global"}, {"name": "asia", "regions": ["CN", "PK"]}],
+		"wal": ["off", "interval"],
+		"durations": ["24h"],
+		"arms": [
+			{"name": "baseline"},
+			{"name": "faulted", "scenario": "disk-fsync-fail", "after": ["baseline"]},
+			{"name": "post", "after": ["faulted"]}
+		]
+	}
+}`
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	spec, err := ParseSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestExpandDeterministic is the grid property test: the same spec (parsed
+// fresh each time) always expands to the byte-identical job set.
+func TestExpandDeterministic(t *testing.T) {
+	var first []byte
+	var firstHash string
+	for i := 0; i < 5; i++ {
+		exp, err := Expand(mustParse(t, gridSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(exp.Jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf
+			firstHash = exp.Hash
+			continue
+		}
+		if !bytes.Equal(buf, first) {
+			t.Fatalf("expansion %d differs from the first:\n%s\nvs\n%s", i, buf, first)
+		}
+		if exp.Hash != firstHash {
+			t.Fatalf("expansion %d hash %s != %s", i, exp.Hash, firstHash)
+		}
+	}
+}
+
+func TestExpandShape(t *testing.T) {
+	exp, err := Expand(mustParse(t, gridSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 arms × 2 clients × 2 transports × 2 mixes × 2 wal × 1 duration × 2
+	// repeats.
+	if want := 3 * 2 * 2 * 2 * 2 * 2; len(exp.Jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(exp.Jobs), want)
+	}
+	if len(exp.Waves) != 3 {
+		t.Fatalf("baseline→faulted→post should make 3 waves, got %d", len(exp.Waves))
+	}
+	// Waves partition the ordinals and agree with each job's Wave field.
+	seen := map[int]bool{}
+	for w, wave := range exp.Waves {
+		for _, idx := range wave {
+			if seen[idx] {
+				t.Fatalf("ordinal %d appears in two waves", idx)
+			}
+			seen[idx] = true
+			if exp.Jobs[idx].Wave != w {
+				t.Fatalf("job %d in wave slice %d but Wave=%d", idx, w, exp.Jobs[idx].Wave)
+			}
+		}
+	}
+	if len(seen) != len(exp.Jobs) {
+		t.Fatalf("waves cover %d of %d jobs", len(seen), len(exp.Jobs))
+	}
+	// IDs are unique, seeds are drawn per job, and arm→wave mapping holds.
+	ids := map[string]bool{}
+	seeds := map[uint64]bool{}
+	armWave := map[string]int{"baseline": 0, "faulted": 1, "post": 2}
+	for _, job := range exp.Jobs {
+		if ids[job.ID] {
+			t.Fatalf("duplicate job ID %s", job.ID)
+		}
+		ids[job.ID] = true
+		seeds[job.Seed] = true
+		if want := armWave[job.Cell.Arm]; job.Wave != want {
+			t.Fatalf("arm %s job in wave %d, want %d", job.Cell.Arm, job.Wave, want)
+		}
+		if job.Tag != job.Cell.Arm {
+			t.Fatalf("job tag %q != arm %q", job.Tag, job.Cell.Arm)
+		}
+	}
+	if len(seeds) < len(exp.Jobs)/2 {
+		t.Fatalf("sub-seeds look degenerate: %d distinct over %d jobs", len(seeds), len(exp.Jobs))
+	}
+}
+
+func TestExpandSeedChangesSubSeeds(t *testing.T) {
+	a, err := Expand(mustParse(t, gridSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(mustParse(t, strings.Replace(gridSpecJSON, `"seed": 42`, `"seed": 43`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Fatal("different seeds should change the expansion hash")
+	}
+	// Job identity (IDs, order, cells) is seed-independent; only the
+	// sub-seeds move.
+	for i := range a.Jobs {
+		if a.Jobs[i].ID != b.Jobs[i].ID {
+			t.Fatalf("job %d ID changed with the seed: %s vs %s", i, a.Jobs[i].ID, b.Jobs[i].ID)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package campaign
+
+// The collector pacer: the dispatcher's bridge to live collectors'
+// load-shedding protocol. Before dispatching a job, workers ask the pacer
+// for a delay; the pacer probes each configured collector with an empty
+// batch submission — the cheapest request that still returns an
+// api.LoadSignal — and converts what comes back into backpressure:
+//
+//   - a 503 with Retry-After (the collector shedding past its queue
+//     high-water mark) maps to exactly that delay;
+//   - a 200 whose LoadSignal shows queue utilization past 50% maps to a
+//     delay ramping linearly toward maxDelay at full utilization;
+//   - SuggestedFlushMillis is honored as a floor on the ramp delay.
+//
+// Probes are cached for probeInterval so a pool of workers shares one
+// probe per window instead of hammering the collector it is trying to
+// protect.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"encore/internal/api"
+	apiclient "encore/internal/api/client"
+)
+
+// Pacer tuning defaults.
+const (
+	// defaultProbeInterval is how long a probe's verdict is reused before
+	// the collectors are asked again.
+	defaultProbeInterval = 500 * time.Millisecond
+	// defaultMaxDelay caps the utilization-ramp delay (Retry-After from a
+	// shedding collector is honored even above the cap).
+	defaultMaxDelay = 5 * time.Second
+	// rampThreshold is the queue utilization above which the pacer starts
+	// delaying dispatch.
+	rampThreshold = 0.5
+)
+
+// loadProber is the slice of apiclient.Client the pacer needs; tests
+// substitute fakes.
+type loadProber interface {
+	SubmitBatch(ctx context.Context, reqs []api.SubmitRequest, meta *apiclient.ClientMeta) (*api.BatchSubmitResponse, error)
+}
+
+// CollectorPacer paces dispatch on live collectors' load signals. Zero
+// collectors means never delay. Safe for concurrent use.
+type CollectorPacer struct {
+	probers       []loadProber
+	probeInterval time.Duration
+	maxDelay      time.Duration
+
+	mu        sync.Mutex
+	probedAt  time.Time
+	lastDelay time.Duration
+}
+
+// NewCollectorPacer builds a pacer probing the given collector base URLs.
+func NewCollectorPacer(baseURLs []string) *CollectorPacer {
+	p := &CollectorPacer{
+		probeInterval: defaultProbeInterval,
+		maxDelay:      defaultMaxDelay,
+	}
+	for _, u := range baseURLs {
+		// One no-retry client per collector: a shedding collector's 503 is
+		// the signal, not a failure to retry through.
+		p.probers = append(p.probers, apiclient.NewWithConfig(u, apiclient.Config{Retries: 1}))
+	}
+	return p
+}
+
+// Delay probes the collectors (or reuses a fresh probe) and returns how
+// long the caller should hold the next job. Unreachable collectors do not
+// delay dispatch: the campaign's stacks are in-process, so a dead probe
+// target means no live load to respect.
+func (p *CollectorPacer) Delay(ctx context.Context) time.Duration {
+	if len(p.probers) == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.probedAt.IsZero() && time.Since(p.probedAt) < p.probeInterval {
+		return p.lastDelay
+	}
+	var worst time.Duration
+	for _, c := range p.probers {
+		if d := p.probeOne(ctx, c); d > worst {
+			worst = d
+		}
+	}
+	p.probedAt = time.Now()
+	p.lastDelay = worst
+	return worst
+}
+
+// probeOne asks one collector for its load signal and converts it to a
+// delay.
+func (p *CollectorPacer) probeOne(ctx context.Context, c loadProber) time.Duration {
+	resp, err := c.SubmitBatch(ctx, nil, nil)
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+			// The collector is shedding: honor its Retry-After verbatim.
+			return apiErr.RetryAfter
+		}
+		return 0
+	}
+	if resp == nil || resp.Load == nil || resp.Load.QueueCapacity == 0 {
+		return 0
+	}
+	util := float64(resp.Load.QueueDepth) / float64(resp.Load.QueueCapacity)
+	if util < rampThreshold {
+		return 0
+	}
+	// Linear ramp: threshold → 0, full queue → maxDelay.
+	frac := (util - rampThreshold) / (1 - rampThreshold)
+	if frac > 1 {
+		frac = 1
+	}
+	d := time.Duration(frac * float64(p.maxDelay))
+	if suggested := time.Duration(resp.Load.SuggestedFlushMillis) * time.Millisecond; suggested > d {
+		d = suggested
+	}
+	if d > p.maxDelay {
+		d = p.maxDelay
+	}
+	return d
+}

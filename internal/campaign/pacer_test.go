@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"encore/internal/api"
+	apiclient "encore/internal/api/client"
+)
+
+// fakeProber scripts one collector's responses to pacer probes.
+type fakeProber struct {
+	resp   *api.BatchSubmitResponse
+	err    error
+	probes int
+}
+
+func (f *fakeProber) SubmitBatch(ctx context.Context, reqs []api.SubmitRequest, meta *apiclient.ClientMeta) (*api.BatchSubmitResponse, error) {
+	f.probes++
+	return f.resp, f.err
+}
+
+func loadResp(depth, capacity, flushMillis int) *api.BatchSubmitResponse {
+	return &api.BatchSubmitResponse{Load: &api.LoadSignal{
+		QueueDepth:           depth,
+		QueueCapacity:        capacity,
+		SuggestedFlushMillis: flushMillis,
+	}}
+}
+
+func newTestPacer(probers ...loadProber) *CollectorPacer {
+	return &CollectorPacer{
+		probers:       probers,
+		probeInterval: defaultProbeInterval,
+		maxDelay:      defaultMaxDelay,
+	}
+}
+
+func TestPacerIdleCollectorNoDelay(t *testing.T) {
+	p := newTestPacer(&fakeProber{resp: loadResp(10, 100, 0)})
+	if d := p.Delay(context.Background()); d != 0 {
+		t.Fatalf("10%% utilization should not delay, got %v", d)
+	}
+}
+
+func TestPacerRetryAfterHonored(t *testing.T) {
+	// A shedding collector's 503 carries Retry-After; the pacer returns it
+	// verbatim.
+	p := newTestPacer(&fakeProber{err: &api.Error{Code: "overloaded", RetryAfter: 2 * time.Second}})
+	if d := p.Delay(context.Background()); d != 2*time.Second {
+		t.Fatalf("Delay = %v, want the collector's Retry-After of 2s", d)
+	}
+}
+
+func TestPacerUtilizationRamp(t *testing.T) {
+	// 90% utilization sits 80% of the way up the ramp from the 50%
+	// threshold: 0.8 × maxDelay.
+	p := newTestPacer(&fakeProber{resp: loadResp(90, 100, 0)})
+	d := p.Delay(context.Background())
+	want := time.Duration(0.8 * float64(defaultMaxDelay))
+	if d < want-time.Millisecond || d > want+time.Millisecond {
+		t.Fatalf("Delay = %v, want ~%v", d, want)
+	}
+}
+
+func TestPacerSuggestedFlushFloor(t *testing.T) {
+	// Just over threshold the ramp is tiny, but SuggestedFlushMillis floors
+	// the delay.
+	p := newTestPacer(&fakeProber{resp: loadResp(51, 100, 400)})
+	if d := p.Delay(context.Background()); d != 400*time.Millisecond {
+		t.Fatalf("Delay = %v, want the suggested 400ms floor", d)
+	}
+}
+
+func TestPacerWorstCollectorWins(t *testing.T) {
+	p := newTestPacer(
+		&fakeProber{resp: loadResp(0, 100, 0)},
+		&fakeProber{err: &api.Error{Code: "overloaded", RetryAfter: 3 * time.Second}},
+	)
+	if d := p.Delay(context.Background()); d != 3*time.Second {
+		t.Fatalf("Delay = %v, want the worst collector's 3s", d)
+	}
+}
+
+func TestPacerUnreachableCollectorIgnored(t *testing.T) {
+	p := newTestPacer(&fakeProber{err: context.DeadlineExceeded})
+	if d := p.Delay(context.Background()); d != 0 {
+		t.Fatalf("a dead probe target must not stall dispatch, got %v", d)
+	}
+}
+
+func TestPacerProbeCaching(t *testing.T) {
+	f := &fakeProber{resp: loadResp(0, 100, 0)}
+	p := newTestPacer(f)
+	for i := 0; i < 5; i++ {
+		p.Delay(context.Background())
+	}
+	if f.probes != 1 {
+		t.Fatalf("5 Delay calls inside one probe window made %d probes, want 1", f.probes)
+	}
+}

@@ -1,0 +1,249 @@
+package campaign
+
+// The campaign report: per-job result rows merged into a manifest (a JSONL
+// stream headed by campaign + host metadata) plus a human summary table.
+// Host metadata — CPU model, physical core count, GOMAXPROCS — is stamped
+// into every manifest so the standing "a 1-core container understates the
+// sharding wins" caveat is machine-readable: two manifests are only
+// comparable when their host stanzas say they ran on comparable hardware.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"encore/internal/loadgen"
+)
+
+// JobResult is one job's recorded outcome — the row the journal persists
+// and the manifest re-emits.
+type JobResult struct {
+	JobID   string `json:"job_id"`
+	Ordinal int    `json:"ordinal"`
+	Seed    uint64 `json:"seed"`
+	Cell    Cell   `json:"cell"`
+	// Attempt is which run of the job produced this result (>1 after a
+	// kill re-ran an unfinished job).
+	Attempt    int       `json:"attempt"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	// Err is non-empty when the job failed (a chaos invariant violation, a
+	// WAL error, a panic in the stack). Failed jobs are recorded, not
+	// retried: exactly-once reporting covers failures too.
+	Err string `json:"error,omitempty"`
+	// Loadgen carries the measured result for plain-campaign jobs.
+	Loadgen *LoadgenRow `json:"loadgen,omitempty"`
+	// Chaos carries the outcome for chaos-arm jobs.
+	Chaos *ChaosRow `json:"chaos,omitempty"`
+}
+
+// Failed reports whether the job recorded a failure.
+func (r *JobResult) Failed() bool { return r.Err != "" }
+
+// LoadgenRow is the JSON-stable projection of loadgen.Result a manifest
+// row carries.
+type LoadgenRow struct {
+	Visits            int     `json:"visits"`
+	TasksAssigned     int     `json:"tasks_assigned"`
+	TasksSubmitted    int     `json:"tasks_submitted"`
+	Stored            int     `json:"stored"`
+	ElapsedMillis     float64 `json:"elapsed_millis"`
+	SubmissionsPerSec float64 `json:"submissions_per_sec"`
+	AssignmentsPerSec float64 `json:"assignments_per_sec"`
+	CoverageRegions   int     `json:"coverage_regions,omitempty"`
+	CoverageSpread    int     `json:"coverage_spread,omitempty"`
+	Groups            int     `json:"groups,omitempty"`
+	DetectMicros      int64   `json:"detect_micros,omitempty"`
+	WALAttached       bool    `json:"wal_attached,omitempty"`
+	WALRecords        uint64  `json:"wal_records,omitempty"`
+	WALFsyncs         uint64  `json:"wal_fsyncs,omitempty"`
+}
+
+// newLoadgenRow projects a loadgen.Result into its manifest row.
+func newLoadgenRow(res loadgen.Result) *LoadgenRow {
+	return &LoadgenRow{
+		Visits:            res.Visits,
+		TasksAssigned:     res.TasksAssigned,
+		TasksSubmitted:    res.TasksSubmitted,
+		Stored:            res.Stored,
+		ElapsedMillis:     float64(res.Elapsed) / float64(time.Millisecond),
+		SubmissionsPerSec: res.SubmissionsPerSec,
+		AssignmentsPerSec: res.AssignmentsPerSec,
+		CoverageRegions:   res.CoverageRegions,
+		CoverageSpread:    res.CoverageSpread,
+		Groups:            res.Groups,
+		DetectMicros:      res.DetectIncremental.Microseconds(),
+		WALAttached:       res.WALAttached,
+		WALRecords:        res.WAL.Records,
+		WALFsyncs:         res.WAL.Fsyncs,
+	}
+}
+
+// ChaosRow is a chaos-arm job's outcome: which scenario ran and whether its
+// invariants held (a violation also sets JobResult.Err).
+type ChaosRow struct {
+	Scenario string `json:"scenario"`
+	Surface  string `json:"surface,omitempty"`
+	Passed   bool   `json:"passed"`
+}
+
+// HostMeta identifies the hardware a manifest's numbers came from.
+type HostMeta struct {
+	CPUModel      string `json:"cpu_model"`
+	PhysicalCores int    `json:"physical_cores"`
+	LogicalCPUs   int    `json:"logical_cpus"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GoVersion     string `json:"go_version"`
+}
+
+// CollectHostMeta reads the host's identity: CPU model and physical core
+// count from /proc/cpuinfo where available (falling back to the logical
+// count), plus the runtime's view of parallelism.
+func CollectHostMeta() HostMeta {
+	m := HostMeta{
+		LogicalCPUs: runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GoVersion:   runtime.Version(),
+	}
+	m.CPUModel, m.PhysicalCores = readCPUInfo("/proc/cpuinfo")
+	if m.CPUModel == "" {
+		m.CPUModel = "unknown"
+	}
+	if m.PhysicalCores == 0 {
+		m.PhysicalCores = m.LogicalCPUs
+	}
+	return m
+}
+
+// readCPUInfo parses a Linux /proc/cpuinfo: the first "model name" line and
+// the number of distinct (physical id, core id) pairs. Zero values mean the
+// file was absent or carried neither field (non-Linux, stripped container).
+func readCPUInfo(path string) (model string, physicalCores int) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0
+	}
+	defer f.Close()
+	cores := map[string]bool{}
+	var physID string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		key, val, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "model name":
+			if model == "" {
+				model = val
+			}
+		case "physical id":
+			physID = val
+		case "core id":
+			cores[physID+"/"+val] = true
+		}
+	}
+	return model, len(cores)
+}
+
+// ManifestHeader is the first line of a manifest: campaign identity plus
+// the host stanza.
+type ManifestHeader struct {
+	Campaign  string    `json:"campaign"`
+	SpecHash  string    `json:"spec_hash"`
+	Generated time.Time `json:"generated"`
+	Jobs      int       `json:"jobs"`
+	Host      HostMeta  `json:"host"`
+}
+
+// WriteManifest renders the campaign manifest: one header line, then one
+// JSONL row per job in ordinal order. The outcome's results already carry
+// the exactly-once guarantee (journal replay deduplicates by job ID), so
+// the manifest is a straight re-emission.
+func WriteManifest(w io.Writer, spec *Spec, exp *Expansion, results []*JobResult) error {
+	enc := json.NewEncoder(w)
+	header := ManifestHeader{
+		Campaign:  spec.Name,
+		SpecHash:  exp.Hash,
+		Generated: time.Now().UTC(),
+		Jobs:      len(exp.Jobs),
+		Host:      CollectHostMeta(),
+	}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SummaryTable renders a fixed-width per-job table plus per-arm aggregates
+// — the quick human view of a finished (or partially resumed) campaign.
+func SummaryTable(results []*JobResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %-34s %-8s %12s %12s\n", "JOB", "CELL", "STATUS", "SUBS/S", "ELAPSED")
+	type agg struct {
+		jobs, failed int
+		subsPerSec   float64
+	}
+	arms := map[string]*agg{}
+	var armOrder []string
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		status := "ok"
+		if r.Failed() {
+			status = "FAILED"
+		}
+		subs := "-"
+		if r.Loadgen != nil {
+			subs = fmt.Sprintf("%.0f", r.Loadgen.SubmissionsPerSec)
+		}
+		elapsed := r.FinishedAt.Sub(r.StartedAt).Round(time.Millisecond)
+		fmt.Fprintf(&b, "%-42s %-34s %-8s %12s %12s\n", r.JobID, r.Cell.Label(), status, subs, elapsed)
+		a := arms[r.Cell.Arm]
+		if a == nil {
+			a = &agg{}
+			arms[r.Cell.Arm] = a
+			armOrder = append(armOrder, r.Cell.Arm)
+		}
+		a.jobs++
+		if r.Failed() {
+			a.failed++
+		}
+		if r.Loadgen != nil {
+			a.subsPerSec += r.Loadgen.SubmissionsPerSec
+		}
+	}
+	sort.Strings(armOrder)
+	for _, arm := range armOrder {
+		a := arms[arm]
+		line := fmt.Sprintf("arm %s: %d job(s)", arm, a.jobs)
+		if a.failed > 0 {
+			line += fmt.Sprintf(", %d FAILED", a.failed)
+		}
+		if a.subsPerSec > 0 {
+			line += fmt.Sprintf(", mean %.0f submissions/s", a.subsPerSec/float64(a.jobs))
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

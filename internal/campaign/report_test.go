@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteManifest(t *testing.T) {
+	spec := mustParse(t, `{"name":"mani","seed":3,"grid":{"clients":[1,2]}}`)
+	exp, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*JobResult, len(exp.Jobs))
+	for i, job := range exp.Jobs {
+		results[i] = &JobResult{
+			JobID: job.ID, Ordinal: i, Seed: job.Seed, Cell: job.Cell,
+			StartedAt:  time.Now().UTC(),
+			FinishedAt: time.Now().UTC(),
+			Loadgen:    &LoadgenRow{Visits: 10, SubmissionsPerSec: 100},
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, spec, exp, results); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("manifest is empty")
+	}
+	var header ManifestHeader
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if header.Campaign != "mani" || header.SpecHash != exp.Hash || header.Jobs != len(exp.Jobs) {
+		t.Fatalf("bad header: %+v", header)
+	}
+	if header.Host.CPUModel == "" || header.Host.GOMAXPROCS < 1 || header.Host.PhysicalCores < 1 {
+		t.Fatalf("host metadata not stamped: %+v", header.Host)
+	}
+	rows := 0
+	ids := map[string]bool{}
+	for sc.Scan() {
+		var row JobResult
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("row %d: %v", rows, err)
+		}
+		if ids[row.JobID] {
+			t.Fatalf("job %s appears twice in the manifest", row.JobID)
+		}
+		ids[row.JobID] = true
+		rows++
+	}
+	if rows != len(exp.Jobs) {
+		t.Fatalf("manifest has %d rows, want %d", rows, len(exp.Jobs))
+	}
+}
+
+func TestSummaryTableAggregates(t *testing.T) {
+	results := []*JobResult{
+		{JobID: "a-1", Cell: Cell{Arm: "baseline"}, Loadgen: &LoadgenRow{SubmissionsPerSec: 100}},
+		{JobID: "a-2", Cell: Cell{Arm: "baseline"}, Loadgen: &LoadgenRow{SubmissionsPerSec: 300}},
+		{JobID: "a-3", Cell: Cell{Arm: "faulted"}, Err: "boom"},
+		nil, // an unfinished job must not crash the table
+	}
+	table := SummaryTable(results)
+	if !strings.Contains(table, "arm baseline: 2 job(s), mean 200 submissions/s") {
+		t.Fatalf("missing baseline aggregate:\n%s", table)
+	}
+	if !strings.Contains(table, "arm faulted: 1 job(s), 1 FAILED") {
+		t.Fatalf("missing faulted aggregate:\n%s", table)
+	}
+}
+
+func TestReadCPUInfo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpuinfo")
+	content := strings.Join([]string{
+		"processor\t: 0",
+		"model name\t: Example CPU @ 3.00GHz",
+		"physical id\t: 0",
+		"core id\t: 0",
+		"",
+		"processor\t: 1",
+		"model name\t: Example CPU @ 3.00GHz",
+		"physical id\t: 0",
+		"core id\t: 1",
+		"",
+		"processor\t: 2",
+		"model name\t: Example CPU @ 3.00GHz",
+		"physical id\t: 0",
+		"core id\t: 0", // hyperthread sibling of processor 0
+		"",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	model, cores := readCPUInfo(path)
+	if model != "Example CPU @ 3.00GHz" {
+		t.Fatalf("model = %q", model)
+	}
+	if cores != 2 {
+		t.Fatalf("physical cores = %d, want 2 (hyperthreads folded)", cores)
+	}
+	if m, c := readCPUInfo(filepath.Join(t.TempDir(), "missing")); m != "" || c != 0 {
+		t.Fatalf("missing cpuinfo should zero out, got %q/%d", m, c)
+	}
+}

@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"encore/internal/targets"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(`{"name":"mini","seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Jobs) != 1 {
+		t.Fatalf("empty grid should collapse to one job, got %d", len(exp.Jobs))
+	}
+	job := exp.Jobs[0]
+	if job.Cell.Arm != "baseline" || job.Cell.Clients != 1 || job.Cell.WALSync != WALOff {
+		t.Fatalf("unexpected default cell: %+v", job.Cell)
+	}
+	if len(exp.Waves) != 1 {
+		t.Fatalf("one arm should make one wave, got %d", len(exp.Waves))
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"name":"x","grid":{"transprots":["v2"]}}`))
+	if !errors.Is(err, ErrSpec) {
+		t.Fatalf("typo'd field should fail with ErrSpec, got %v", err)
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"bad name", `{"name":"has space"}`},
+		{"bad transport", `{"name":"x","grid":{"transports":["carrier-pigeon"]}}`},
+		{"bad wal", `{"name":"x","grid":{"wal":["sometimes"]}}`},
+		{"empty wal value", `{"name":"x","grid":{"wal":[""]}}`},
+		{"bad duration", `{"name":"x","grid":{"durations":["fortnight"]}}`},
+		{"zero clients", `{"name":"x","grid":{"clients":[0]}}`},
+		{"dup mix", `{"name":"x","grid":{"region-mixes":[{"name":"a"},{"name":"a"}]}}`},
+		{"unknown scenario", `{"name":"x","grid":{"arms":[{"name":"a","scenario":"no-such-chaos"}]}}`},
+		{"dup arm", `{"name":"x","grid":{"arms":[{"name":"a"},{"name":"a"}]}}`},
+		{"unknown after", `{"name":"x","grid":{"arms":[{"name":"a","after":["ghost"]}]}}`},
+		{"self after", `{"name":"x","grid":{"arms":[{"name":"a","after":["a"]}]}}`},
+		{"after cycle", `{"name":"x","grid":{"arms":[{"name":"a","after":["b"]},{"name":"b","after":["a"]}]}}`},
+		{"unknown list", `{"name":"x","targets":{"lists":["opennet"]}}`},
+		{"unknown sensitivity", `{"name":"x","targets":{"max-sensitivity":"extreme"}}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(strings.NewReader(tc.json)); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: want ErrSpec, got %v", tc.name, err)
+		}
+	}
+}
+
+// writeTargetsFile writes a targets file in the targets.ReadFrom format.
+func writeTargetsFile(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "targets.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSensitivityGate(t *testing.T) {
+	path := writeTargetsFile(t,
+		"safe.example.com risk=low",
+		"risky.example.org risk=high regions=CN",
+	)
+	spec := &Spec{
+		Name: "gate",
+		Targets: TargetsSpec{
+			Files:          []string{path},
+			MaxSensitivity: "high",
+		},
+	}
+
+	_, err := spec.ResolveTargets()
+	var sensErr *SensitivityError
+	if !errors.As(err, &sensErr) {
+		t.Fatalf("high-sensitivity entries without the policy key: want *SensitivityError, got %v", err)
+	}
+	if sensErr.HighEntries != 1 {
+		t.Fatalf("HighEntries = %d, want 1", sensErr.HighEntries)
+	}
+	if !errors.Is(err, ErrSpec) {
+		t.Fatal("SensitivityError should wrap ErrSpec")
+	}
+	// Validate (and hence ParseSpec/Expand) must refuse the same spec.
+	if err := spec.Validate(); !errors.As(err, &sensErr) {
+		t.Fatalf("Validate should surface the sensitivity gate, got %v", err)
+	}
+
+	spec.Targets.AllowHighSensitivity = true
+	list, err := spec.ResolveTargets()
+	if err != nil {
+		t.Fatalf("explicit policy key should unlock high entries: %v", err)
+	}
+	if list.Len() != 2 {
+		t.Fatalf("resolved %d entries, want 2", list.Len())
+	}
+}
+
+func TestSensitivityDefaultFiltersHigh(t *testing.T) {
+	// Default max-sensitivity is low: high entries are filtered out, not
+	// gated on — the gate only fires for entries the campaign would run.
+	path := writeTargetsFile(t,
+		"safe.example.com risk=low",
+		"risky.example.org risk=high",
+	)
+	spec := &Spec{Name: "lowcap", Targets: TargetsSpec{Files: []string{path}}}
+	list, err := spec.ResolveTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 1 {
+		t.Fatalf("low cap should keep only the low entry, got %d", list.Len())
+	}
+}
+
+func TestResolveTargetsMergesListsAndFiles(t *testing.T) {
+	// The same pattern appearing in a file and a built-in list merges into
+	// one entry (regions union, max sensitivity) via targets.Merge.
+	study := targets.MeasurementStudyList()
+	entries := study.Entries()
+	if len(entries) == 0 {
+		t.Fatal("study list is empty")
+	}
+	dup := entries[0].Pattern.String()
+	path := writeTargetsFile(t,
+		dup+" risk=low regions=ZZ",
+		"extra.example.net risk=low",
+	)
+	spec := &Spec{Name: "merge", Targets: TargetsSpec{
+		Lists: []string{"study"},
+		Files: []string{path},
+	}}
+	list, err := spec.ResolveTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := study.Len() + 1; list.Len() != want {
+		t.Fatalf("merged list has %d entries, want %d (study + 1 new, duplicate merged)", list.Len(), want)
+	}
+	var merged *targets.Entry
+	for _, e := range list.Entries() {
+		if e.Pattern.String() == dup {
+			ecopy := e
+			merged = &ecopy
+		}
+	}
+	if merged == nil {
+		t.Fatalf("duplicate pattern %q missing from merge", dup)
+	}
+	found := false
+	for _, r := range merged.Regions {
+		if r == "ZZ" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merge should union regions; got %v", merged.Regions)
+	}
+}
+
+func TestResolveTargetsEmptyListFails(t *testing.T) {
+	// A file whose entries are all filtered out leaves nothing to measure.
+	path := writeTargetsFile(t, "only.example.com risk=high")
+	spec := &Spec{Name: "empty", Targets: TargetsSpec{Files: []string{path}}}
+	if _, err := spec.ResolveTargets(); !errors.Is(err, ErrSpec) {
+		t.Fatalf("empty resolved list: want ErrSpec, got %v", err)
+	}
+}

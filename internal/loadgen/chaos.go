@@ -132,6 +132,42 @@ func RunChaos(seed uint64, logf func(format string, args ...any)) []ChaosResult 
 	return out
 }
 
+// FindChaosScenario looks one scenario up by name in the registry.
+func FindChaosScenario(name string) (ChaosScenario, bool) {
+	for _, sc := range ChaosScenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return ChaosScenario{}, false
+}
+
+// RunChaosScenario executes a single named scenario with the given seed
+// used directly as the scenario sub-seed (no derivation: a campaign job's
+// sub-seed is already drawn from the spec's stream), including the
+// goroutine-baseline check RunChaos applies between scenarios. An unknown
+// name is reported as a failed result rather than a panic — campaign specs
+// validate names up front, so this is a backstop.
+func RunChaosScenario(name string, seed uint64, logf func(format string, args ...any)) ChaosResult {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sc, ok := FindChaosScenario(name)
+	if !ok {
+		return ChaosResult{Name: name, Seed: seed, Err: fmt.Errorf("unknown chaos scenario %q", name)}
+	}
+	baseline := runtime.NumGoroutine()
+	logf("chaos: %-22s surface=%-7s seed=%d", sc.Name, sc.Surface, seed)
+	err := sc.run(&chaosCtx{seed: seed, logf: logf})
+	if err == nil {
+		err = awaitGoroutineBaseline(baseline)
+	}
+	if err != nil {
+		err = fmt.Errorf("chaos scenario %s failed (replay with -chaos-scenario %s -seed %d): %w", sc.Name, sc.Name, seed, err)
+	}
+	return ChaosResult{Name: sc.Name, Surface: sc.Surface, Seed: seed, Err: err}
+}
+
 // awaitGoroutineBaseline waits for the goroutine count to settle back to
 // the pre-scenario baseline (plus slack for runtime/netpoll churn).
 func awaitGoroutineBaseline(baseline int) error {

@@ -60,3 +60,41 @@ func TestChaosSeedDerivationIsStable(t *testing.T) {
 		}
 	}
 }
+
+// TestFindChaosScenario pins the by-name lookup the campaign tier's spec
+// validation and encore-sim's -chaos-scenario flag rely on.
+func TestFindChaosScenario(t *testing.T) {
+	for _, sc := range ChaosScenarios() {
+		got, ok := FindChaosScenario(sc.Name)
+		if !ok || got.Name != sc.Name || got.Surface != sc.Surface {
+			t.Fatalf("FindChaosScenario(%q) = %+v, %v", sc.Name, got, ok)
+		}
+	}
+	if _, ok := FindChaosScenario("no-such-scenario"); ok {
+		t.Fatal("unknown name should not resolve")
+	}
+}
+
+// TestRunChaosScenarioUnknownName checks the single-scenario runner reports
+// an unknown name as a failed result instead of panicking.
+func TestRunChaosScenarioUnknownName(t *testing.T) {
+	res := RunChaosScenario("no-such-scenario", 1, nil)
+	if res.Err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+// TestRunChaosScenarioSingle runs one scenario standalone — the campaign
+// tier's chaos-arm path — and expects its invariants to hold.
+func TestRunChaosScenarioSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios are not -short")
+	}
+	res := RunChaosScenario("disk-fsync-fail", *chaosSeed, t.Logf)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Name != "disk-fsync-fail" || res.Surface != "disk" || res.Seed != *chaosSeed {
+		t.Fatalf("unexpected result metadata: %+v", res)
+	}
+}

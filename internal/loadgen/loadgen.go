@@ -16,6 +16,7 @@ import (
 	apiclient "encore/internal/api/client"
 	"encore/internal/clientsim"
 	"encore/internal/collectserver"
+	"encore/internal/geo"
 	"encore/internal/inference"
 	"encore/internal/results"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// http.RoundTripper the SDK client dials through — the seam chaos
 	// campaigns use to interpose fault injection on the submission path.
 	HTTPTransport http.RoundTripper
+	// Regions optionally fixes the client-region mix for the run
+	// (clientsim.CampaignConfig.Regions); empty samples by Internet
+	// population. Campaign region-mix cells set this.
+	Regions []geo.CountryCode
 }
 
 // DefaultConfig returns a short, CI-sized load run.
@@ -208,6 +213,7 @@ func Run(stack *clientsim.Stack, cfg Config) Result {
 		Visits:   cfg.Visits,
 		Start:    cfg.Start,
 		Duration: cfg.SimulatedDuration,
+		Regions:  cfg.Regions,
 	}, cfg.Clients)
 	if ingester != nil {
 		ingester.Close()

@@ -17,7 +17,9 @@
 # delta-carrying and steady-state digest-only — plus assignment throughput
 # on a coordinator while a K=1/3/5 federation gossips underneath), and
 # records every benchmark line as structured JSON in BENCH_aggregate.json so
-# successive runs can be compared numerically.
+# successive runs can be compared numerically. Every fresh entry is stamped
+# with host metadata (cpu_model, physical_cores, gomaxprocs), so merged
+# aggregates from different machines stay distinguishable per entry.
 #
 # Results are MERGED into BENCH_aggregate.json by exact benchmark name:
 # entries for benchmarks not re-run by this invocation (for example E17-E19
@@ -60,7 +62,17 @@ cat "$TMP"
 OLD=$OUT
 [ -f "$OLD" ] || OLD=/dev/null
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Host metadata stamped into every fresh entry: numbers from different
+# machines (or different GOMAXPROCS caps on the same machine) must stay
+# machine-readably distinguishable after merges. Physical cores are distinct
+# (physical id, core id) pairs — hyperthread siblings fold together.
+MODEL=$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$MODEL" ] || MODEL=unknown
+PHYS=$(awk -F': *' '/^physical id/ { p = $2 } /^core id/ { seen[p "/" $2] = 1 } END { print length(seen) }' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$PHYS" ] && [ "$PHYS" -gt 0 ] 2>/dev/null || PHYS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v model="$MODEL" -v phys="$PHYS" -v gmp="$GMP" '
 FNR == 1 { file++ }
 # First input: the fresh benchmark output.
 file == 1 && /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -72,6 +84,9 @@ file == 1 && /^Benchmark/ {
         gsub(/[^A-Za-z0-9_\/%.-]/, "", unit)
         entry = entry sprintf(", \"%s\": %s", unit, $i)
     }
+    cm = cpu != "" ? cpu : model
+    gsub(/"/, "", cm)
+    entry = entry sprintf(", \"cpu_model\": \"%s\", \"physical_cores\": %d, \"gomaxprocs\": %d", cm, phys, gmp)
     fresh[$1] = 1
     newent[nn++] = entry "}"
 }

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Campaign-tier smoke: the CI gate for `encore-campaign` (make campaign-smoke).
+#
+# Two passes:
+#
+#  1. The campaign package's property tests under the race detector — grid
+#     determinism (same spec + seed expands to the byte-identical job set),
+#     barrier ordering under arbitrary worker interleavings, and the
+#     kill-and-resume exactly-once contract.
+#  2. An end-to-end kill-resume pass through the real binary: a fixed-seed
+#     2x2 grid (2 client counts x 2 transports) over 2 workers is stopped
+#     after 2 job completions (-stop-after, exit code 3), then resumed from
+#     the journal; the final manifest must contain every job exactly once,
+#     and the resumed count must cover what the killed run completed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== campaign property tests (-race) =="
+go test -race ./internal/campaign
+
+echo "== campaign kill-resume smoke =="
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/encore-campaign" ./cmd/encore-campaign
+
+SPEC="$WORK/grid.json"
+cat > "$SPEC" <<'EOF'
+{
+  "name": "ci-smoke",
+  "seed": 424242,
+  "visits": 40,
+  "workers": 2,
+  "grid": {
+    "clients": [1, 2],
+    "transports": ["", "v2"],
+    "durations": ["1h"]
+  }
+}
+EOF
+
+STATE="$WORK/state"
+MANIFEST="$WORK/manifest.jsonl"
+
+echo "-- first run: killed after 2 completions --"
+status=0
+"$WORK/encore-campaign" -spec "$SPEC" -dir "$STATE" -stop-after 2 -out "$WORK/partial.jsonl" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "expected exit 3 (interrupted) from the killed run, got $status" >&2
+    exit 1
+fi
+[ -f "$STATE/journal.bin" ] || { echo "no journal written" >&2; exit 1; }
+
+echo "-- second run: resume to completion --"
+"$WORK/encore-campaign" -spec "$SPEC" -dir "$STATE" -out "$MANIFEST"
+
+# The 2x2 grid is 4 jobs: header line + 4 rows, each job ID exactly once.
+rows=$(tail -n +2 "$MANIFEST" | wc -l)
+unique=$(tail -n +2 "$MANIFEST" | sed 's/.*"job_id":"\([^"]*\)".*/\1/' | sort -u | wc -l)
+if [ "$rows" -ne 4 ] || [ "$unique" -ne 4 ]; then
+    echo "manifest has $rows rows, $unique unique job IDs; want 4 of each" >&2
+    cat "$MANIFEST" >&2
+    exit 1
+fi
+grep -q '"cpu_model"' "$MANIFEST" || { echo "manifest header lacks host metadata" >&2; exit 1; }
+
+echo "campaign smoke OK"

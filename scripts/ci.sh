@@ -4,8 +4,10 @@
 # every package, README-referenced commands build), the full test suite
 # (including the concurrent ingest soak, the WAL kill-and-restart tests, and
 # the federation soak — concurrent edge commits against a flapping upstream
-# with a WAL-backed forwarder) under the race detector, and the deterministic
-# chaos suite at fixed seeds (scripts/chaos.sh).
+# with a WAL-backed forwarder) under the race detector, the deterministic
+# chaos suite at fixed seeds (scripts/chaos.sh), and the campaign-tier smoke
+# (scripts/campaign_smoke.sh: grid/dispatcher property tests under -race plus
+# a fixed-seed kill-and-resume pass through the encore-campaign binary).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,5 +43,8 @@ go test ./internal/wire -run '^$' -fuzz '^FuzzDecodeBatchStream$' -fuzztime 10s
 
 echo "== chaos suite =="
 ./scripts/chaos.sh
+
+echo "== campaign smoke =="
+./scripts/campaign_smoke.sh
 
 echo "CI OK"
